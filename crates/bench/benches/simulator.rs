@@ -1,0 +1,202 @@
+//! Criterion benchmarks of the simulator itself: how fast the functional
+//! mesh kernels, the reference oracles, and the collectives execute on
+//! the host. (Simulated-time results come from the `bin/` regenerators;
+//! these benches track the cost of running the simulation.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sw26010::{CoreGroup, ExecMode};
+use swdnn::gemm::{gemm, GemmOperands};
+use swdnn::{reference, ConvShape, GemmDims, Trans};
+use swnet::{allreduce, Algorithm, NetParams, RankMap, ReduceEngine, Topology};
+
+fn bench_mesh_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_gemm_functional");
+    group.sample_size(10);
+    for size in [64usize, 128] {
+        let dims = GemmDims::new(size, size, size);
+        let a = vec![1.0f32; size * size];
+        let b = vec![0.5f32; size * size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| {
+                let mut cg = CoreGroup::new(ExecMode::Functional);
+                let mut out = vec![0.0f32; size * size];
+                gemm(
+                    &mut cg,
+                    dims,
+                    Trans::No,
+                    Trans::No,
+                    0.0,
+                    Some(GemmOperands { a: &a, b: &b, c: &mut out }),
+                );
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_conv(c: &mut Criterion) {
+    let shape = ConvShape {
+        batch: 2,
+        in_c: 8,
+        in_h: 16,
+        in_w: 16,
+        out_c: 8,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let input = vec![0.3f32; shape.input_len()];
+    let weights = vec![0.1f32; shape.weight_len()];
+    c.bench_function("reference_conv_forward", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0f32; shape.output_len()];
+            reference::conv_forward(&shape, &input, &weights, &mut out);
+            out
+        })
+    });
+}
+
+fn bench_allreduce_functional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_functional");
+    group.sample_size(10);
+    for nodes in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |bench, &n| {
+            let topo = Topology::with_supernode(n, (n / 2).max(1));
+            let params = NetParams::sunway(ReduceEngine::CpeClusters);
+            bench.iter(|| {
+                let mut data: Vec<Vec<f32>> =
+                    (0..n).map(|r| vec![r as f32; 10_000]).collect();
+                allreduce(
+                    &topo,
+                    &params,
+                    RankMap::RoundRobin,
+                    Algorithm::RecursiveHalvingDoubling,
+                    10_000,
+                    Some(&mut data),
+                );
+                data
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_timing_models(c: &mut Criterion) {
+    // The closed-form models must be cheap: they are called per layer per
+    // iteration in every sweep.
+    let shape = ConvShape {
+        batch: 128,
+        in_c: 256,
+        in_h: 56,
+        in_w: 56,
+        out_c: 256,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
+    c.bench_function("conv_time_models", |b| {
+        b.iter(|| {
+            (
+                swdnn::conv_explicit::forward_time(&shape),
+                swdnn::conv_implicit::forward_time(&shape),
+            )
+        })
+    });
+}
+
+fn bench_double_buffered_gemm(c: &mut Criterion) {
+    let dims = GemmDims::new(128, 128, 256);
+    let a = vec![1.0f32; dims.m * dims.k];
+    let b = vec![0.5f32; dims.k * dims.n];
+    let mut group = c.benchmark_group("gemm_variants");
+    group.sample_size(10);
+    group.bench_function("synchronous", |bench| {
+        bench.iter(|| {
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            let mut out = vec![0.0f32; dims.m * dims.n];
+            gemm(&mut cg, dims, Trans::No, Trans::No, 0.0, Some(GemmOperands { a: &a, b: &b, c: &mut out }));
+            out
+        })
+    });
+    group.bench_function("double_buffered", |bench| {
+        bench.iter(|| {
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            let mut out = vec![0.0f32; dims.m * dims.n];
+            swdnn::gemm::gemm_double_buffered(&mut cg, dims, Trans::No, Trans::No, 0.0, Some(GemmOperands { a: &a, b: &b, c: &mut out }));
+            out
+        })
+    });
+    group.finish();
+}
+
+fn bench_elementwise_streams(c: &mut Criterion) {
+    let len = 200_000;
+    let x = vec![1.0f32; len];
+    c.bench_function("relu_forward_functional", |bench| {
+        bench.iter(|| {
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            let mut y = vec![0.0f32; len];
+            swdnn::elementwise::relu_forward(&mut cg, len, Some((&x, &mut y)));
+            y
+        })
+    });
+}
+
+fn bench_network_timing_sweep(c: &mut Criterion) {
+    // Whole-network timing-mode evaluation: the inner loop of every
+    // table/figure regenerator. Must stay cheap enough to sweep.
+    use swcaffe_core::{models, Net};
+    c.bench_function("vgg16_timing_iteration", |bench| {
+        let def = models::vgg16(16);
+        bench.iter(|| {
+            let mut net = Net::from_def(&def, false).unwrap();
+            let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+            net.forward(&mut cg);
+            net.backward(&mut cg);
+            cg.elapsed()
+        })
+    });
+}
+
+fn bench_pooling_mesh(c: &mut Criterion) {
+    use swdnn::pool::{forward, PoolFwdOperands};
+    use swdnn::{PoolMethod, PoolShape};
+    let shape = PoolShape {
+        batch: 4,
+        channels: 16,
+        in_h: 28,
+        in_w: 28,
+        k: 2,
+        stride: 2,
+        pad: 0,
+        method: PoolMethod::Max,
+    };
+    let input = vec![1.0f32; shape.input_len()];
+    c.bench_function("maxpool_mesh_functional", |bench| {
+        bench.iter(|| {
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            let mut out = vec![0.0f32; shape.output_len()];
+            let mut am = vec![0.0f32; shape.output_len()];
+            forward(
+                &mut cg,
+                &shape,
+                Some(PoolFwdOperands { input: &input, output: &mut out, argmax: Some(&mut am) }),
+            );
+            out
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mesh_gemm,
+    bench_reference_conv,
+    bench_allreduce_functional,
+    bench_timing_models,
+    bench_double_buffered_gemm,
+    bench_elementwise_streams,
+    bench_network_timing_sweep,
+    bench_pooling_mesh
+);
+criterion_main!(benches);

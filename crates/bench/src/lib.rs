@@ -1,0 +1,26 @@
+//! # swcaffe-bench — regenerators for every table and figure in the paper
+//!
+//! One binary per experiment (see DESIGN.md's experiment index). Binaries
+//! print paper-style tables/series to stdout; Criterion benches under
+//! `benches/` measure the simulator itself.
+
+/// Format a seconds value the way the paper's tables do.
+pub fn fmt_s(t: f64) -> String {
+    if t >= 1.0 {
+        format!("{t:.2}")
+    } else if t >= 1e-3 {
+        format!("{:.2}m", t * 1e3)
+    } else {
+        format!("{:.1}u", t * 1e6)
+    }
+}
+
+/// Simple fixed-width table row printer.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}

@@ -1,0 +1,179 @@
+//! Blob: the 4-D tensor (data + gradient) that flows between layers,
+//! mirroring Caffe's `Blob<float>`.
+//!
+//! In timing-only mode blobs carry shape but no storage — a full VGG-16
+//! batch-128 activation set is tens of GB, which the performance sweeps
+//! never need to materialise.
+
+/// An N-dimensional tensor with a paired gradient buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Blob {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+    diff: Vec<f32>,
+    materialized: bool,
+}
+
+impl Blob {
+    /// A materialised (functional-mode) blob, zero-filled.
+    pub fn new(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Blob { shape: shape.to_vec(), data: vec![0.0; len], diff: vec![0.0; len], materialized: true }
+    }
+
+    /// A shape-only (timing-mode) blob.
+    pub fn shell(shape: &[usize]) -> Self {
+        Blob { shape: shape.to_vec(), data: Vec::new(), diff: Vec::new(), materialized: false }
+    }
+
+    pub fn with_mode(shape: &[usize], materialize: bool) -> Self {
+        if materialize {
+            Blob::new(shape)
+        } else {
+            Blob::shell(shape)
+        }
+    }
+
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn materialized(&self) -> bool {
+        self.materialized
+    }
+
+    /// Resize, preserving mode. Contents are zeroed.
+    pub fn reshape(&mut self, shape: &[usize]) {
+        let len: usize = shape.iter().product();
+        self.shape = shape.to_vec();
+        if self.materialized {
+            self.data.clear();
+            self.data.resize(len, 0.0);
+            self.diff.clear();
+            self.diff.resize(len, 0.0);
+        }
+    }
+
+    /// Leading dimension (mini-batch size for data blobs).
+    pub fn num(&self) -> usize {
+        self.shape.first().copied().unwrap_or(0)
+    }
+
+    /// Channels (second axis), 1 if absent.
+    pub fn channels(&self) -> usize {
+        self.shape.get(1).copied().unwrap_or(1)
+    }
+
+    /// Product of trailing axes from `axis`.
+    pub fn count_from(&self, axis: usize) -> usize {
+        self.shape[axis..].iter().product()
+    }
+
+    pub fn data(&self) -> &[f32] {
+        debug_assert!(self.materialized, "data access on a shell blob");
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        debug_assert!(self.materialized, "data access on a shell blob");
+        &mut self.data
+    }
+
+    pub fn diff(&self) -> &[f32] {
+        debug_assert!(self.materialized, "diff access on a shell blob");
+        &self.diff
+    }
+
+    pub fn diff_mut(&mut self) -> &mut [f32] {
+        debug_assert!(self.materialized, "diff access on a shell blob");
+        &mut self.diff
+    }
+
+    /// Split borrow: `(data, diff_mut)` — the common backward-pass pattern.
+    pub fn data_and_diff_mut(&mut self) -> (&[f32], &mut [f32]) {
+        debug_assert!(self.materialized, "access on a shell blob");
+        (&self.data, &mut self.diff)
+    }
+
+    /// Split borrow the other way: `(diff, data_mut)` — optimizer updates.
+    pub fn diff_and_data_mut(&mut self) -> (&[f32], &mut [f32]) {
+        debug_assert!(self.materialized, "access on a shell blob");
+        (&self.diff, &mut self.data)
+    }
+
+    pub fn set_data(&mut self, values: &[f32]) {
+        assert_eq!(values.len(), self.len(), "set_data length mismatch");
+        self.data_mut().copy_from_slice(values);
+    }
+
+    pub fn zero_diff(&mut self) {
+        if self.materialized {
+            self.diff.fill(0.0);
+        }
+    }
+
+    /// Sum of squared data entries (diagnostics, weight-decay tests).
+    pub fn sumsq_data(&self) -> f64 {
+        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum()
+    }
+
+    /// L1 norm of the gradient (diagnostics).
+    pub fn asum_diff(&self) -> f64 {
+        self.diff.iter().map(|v| (*v as f64).abs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_blob_is_zeroed() {
+        let b = Blob::new(&[2, 3, 4, 5]);
+        assert_eq!(b.len(), 120);
+        assert_eq!(b.shape(), &[2, 3, 4, 5]);
+        assert!(b.data().iter().all(|v| *v == 0.0));
+        assert_eq!(b.num(), 2);
+        assert_eq!(b.channels(), 3);
+        assert_eq!(b.count_from(2), 20);
+    }
+
+    #[test]
+    fn shell_blob_has_no_storage() {
+        let b = Blob::shell(&[128, 3, 224, 224]);
+        assert_eq!(b.len(), 128 * 3 * 224 * 224);
+        assert!(!b.materialized());
+    }
+
+    #[test]
+    fn reshape_preserves_mode() {
+        let mut b = Blob::new(&[4]);
+        b.data_mut()[0] = 5.0;
+        b.reshape(&[2, 8]);
+        assert_eq!(b.len(), 16);
+        assert!(b.materialized());
+        assert_eq!(b.data()[0], 0.0);
+
+        let mut s = Blob::shell(&[4]);
+        s.reshape(&[32]);
+        assert!(!s.materialized());
+    }
+
+    #[test]
+    fn norms() {
+        let mut b = Blob::new(&[3]);
+        b.set_data(&[1.0, -2.0, 2.0]);
+        b.diff_mut().copy_from_slice(&[0.5, -0.5, 1.0]);
+        assert_eq!(b.sumsq_data(), 9.0);
+        assert_eq!(b.asum_diff(), 2.0);
+    }
+}

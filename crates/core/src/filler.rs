@@ -1,0 +1,104 @@
+//! Weight initialisers (Caffe "fillers").
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Initialisation policy for a parameter blob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Filler {
+    Constant(f32),
+    /// Uniform in `[-scale, scale]` with `scale = sqrt(3 / fan_in)`.
+    Xavier,
+    /// Gaussian with `std = sqrt(2 / fan_in)` (He/MSRA, for ReLU nets).
+    Msra,
+    /// Gaussian with explicit standard deviation.
+    Gaussian(f32),
+}
+
+impl Filler {
+    /// Fill `data` in place. `fan_in` is the receptive-field size
+    /// (`in_channels * k * k` for convolutions, input features for FC).
+    pub fn fill(&self, data: &mut [f32], fan_in: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Filler::Constant(v) => data.fill(*v),
+            Filler::Xavier => {
+                let scale = (3.0 / fan_in.max(1) as f64).sqrt();
+                let dist = rand::distributions::Uniform::new_inclusive(-scale, scale);
+                for v in data.iter_mut() {
+                    *v = dist.sample(&mut rng) as f32;
+                }
+            }
+            Filler::Msra => {
+                let std = (2.0 / fan_in.max(1) as f64).sqrt();
+                gaussian_fill(data, std, &mut rng);
+            }
+            Filler::Gaussian(std) => {
+                gaussian_fill(data, *std as f64, &mut rng);
+            }
+        }
+    }
+}
+
+fn gaussian_fill(data: &mut [f32], std: f64, rng: &mut StdRng) {
+    // Box-Muller; avoids pulling in rand_distr.
+    let uni = rand::distributions::Uniform::new(f64::MIN_POSITIVE, 1.0f64);
+    let mut i = 0;
+    while i < data.len() {
+        let u1: f64 = uni.sample(rng);
+        let u2: f64 = uni.sample(rng);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data[i] = (r * theta.cos() * std) as f32;
+        if i + 1 < data.len() {
+            data[i + 1] = (r * theta.sin() * std) as f32;
+        }
+        i += 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_fill() {
+        let mut d = vec![0.0; 10];
+        Filler::Constant(2.5).fill(&mut d, 1, 0);
+        assert!(d.iter().all(|v| *v == 2.5));
+    }
+
+    #[test]
+    fn xavier_bounds_and_determinism() {
+        let mut a = vec![0.0; 1000];
+        let mut b = vec![0.0; 1000];
+        Filler::Xavier.fill(&mut a, 75, 42);
+        Filler::Xavier.fill(&mut b, 75, 42);
+        assert_eq!(a, b, "same seed must reproduce");
+        let bound = (3.0f64 / 75.0).sqrt() as f32 + 1e-6;
+        assert!(a.iter().all(|v| v.abs() <= bound));
+        assert!(a.iter().any(|v| v.abs() > bound * 0.5), "spread too narrow");
+    }
+
+    #[test]
+    fn msra_std_is_plausible() {
+        let mut d = vec![0.0; 20_000];
+        Filler::Msra.fill(&mut d, 200, 7);
+        let mean: f64 = d.iter().map(|v| *v as f64).sum::<f64>() / d.len() as f64;
+        let var: f64 =
+            d.iter().map(|v| (*v as f64 - mean).powi(2)).sum::<f64>() / d.len() as f64;
+        let want = 2.0 / 200.0;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((var - want).abs() / want < 0.1, "var {var} vs {want}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = vec![0.0; 100];
+        let mut b = vec![0.0; 100];
+        Filler::Gaussian(0.01).fill(&mut a, 1, 1);
+        Filler::Gaussian(0.01).fill(&mut b, 1, 2);
+        assert_ne!(a, b);
+    }
+}

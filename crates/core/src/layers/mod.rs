@@ -1,0 +1,48 @@
+//! Layer implementations and the `LayerKind` -> `Box<dyn Layer>` factory.
+
+pub mod conv;
+pub mod ip;
+pub mod loss;
+pub mod norm;
+pub mod pool;
+pub mod simple;
+
+pub use conv::ConvLayer;
+pub use ip::InnerProductLayer;
+pub use loss::{AccuracyLayer, SoftmaxLossLayer};
+pub use norm::{BatchNormLayer, LrnLayer};
+pub use pool::PoolLayer;
+pub use simple::{ConcatLayer, DropoutLayer, EltwiseSumLayer, InputLayer, ReluLayer, TransformLayer};
+
+use crate::layer::Layer;
+use crate::netdef::{LayerDef, LayerKind};
+
+/// Instantiate a layer from its definition.
+pub fn build(def: &LayerDef) -> Box<dyn Layer> {
+    let name = def.name.as_str();
+    match &def.kind {
+        LayerKind::Input { shape, with_labels } => {
+            Box::new(InputLayer::new(name, shape.clone(), *with_labels))
+        }
+        LayerKind::Convolution { num_output, kernel, stride, pad, bias, format } => Box::new(
+            ConvLayer::new(name, *num_output, *kernel, *stride, *pad, *bias, *format),
+        ),
+        LayerKind::Pooling { kernel, stride, pad, method } => {
+            Box::new(PoolLayer::new(name, *kernel, *stride, *pad, *method))
+        }
+        LayerKind::InnerProduct { num_output, bias } => {
+            Box::new(InnerProductLayer::new(name, *num_output, *bias))
+        }
+        LayerKind::ReLU => Box::new(ReluLayer::new(name)),
+        LayerKind::BatchNorm { eps, momentum } => Box::new(BatchNormLayer::new(name, *eps, *momentum)),
+        LayerKind::Lrn { local_size, alpha, beta, k } => {
+            Box::new(LrnLayer::new(name, *local_size, *alpha, *beta, *k))
+        }
+        LayerKind::Dropout { ratio } => Box::new(DropoutLayer::new(name, *ratio)),
+        LayerKind::SoftmaxWithLoss => Box::new(SoftmaxLossLayer::new(name)),
+        LayerKind::Accuracy { top_k } => Box::new(AccuracyLayer::new(name, *top_k)),
+        LayerKind::Concat => Box::new(ConcatLayer::new(name)),
+        LayerKind::EltwiseSum => Box::new(EltwiseSumLayer::new(name)),
+        LayerKind::TensorTransform { dir } => Box::new(TransformLayer::new(name, *dir)),
+    }
+}

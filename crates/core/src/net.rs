@@ -1,0 +1,332 @@
+//! The network: blobs + layers + the forward/backward schedules
+//! (Caffe's `Net`, the second of the three components in Sec. II-C).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use sw26010::{CoreGroup, SimTime};
+use swdnn::elementwise as ew;
+
+use crate::blob::Blob;
+use crate::layer::{Layer, Phase};
+use crate::layers;
+use crate::netdef::{LayerKind, NetDef};
+
+/// A runnable network instance.
+pub struct Net {
+    name: String,
+    def: NetDef,
+    layers: Vec<Box<dyn Layer>>,
+    layer_bottoms: Vec<Vec<usize>>,
+    layer_tops: Vec<Vec<usize>>,
+    blobs: Vec<RefCell<Blob>>,
+    blob_index: HashMap<String, usize>,
+    /// Whether each blob needs a gradient (false for Input-layer products).
+    needs_grad: Vec<bool>,
+    materialize: bool,
+    loss_blob: Option<usize>,
+}
+
+/// Per-layer timing breakdown of one pass (Figs. 8/9 raw data).
+#[derive(Debug, Clone)]
+pub struct LayerTimes {
+    pub entries: Vec<(String, SimTime)>,
+}
+
+impl LayerTimes {
+    pub fn total(&self) -> SimTime {
+        self.entries
+            .iter()
+            .fold(SimTime::ZERO, |acc, (_, t)| acc + *t)
+    }
+}
+
+impl Net {
+    /// Build a network from its definition. `materialize` selects
+    /// functional (true) or timing-only (false) blobs; it must match the
+    /// mode of the core group the net later runs on.
+    pub fn from_def(def: &NetDef, materialize: bool) -> Result<Net, String> {
+        def.validate()?;
+        let mut net = Net {
+            name: def.name.clone(),
+            def: def.clone(),
+            layers: Vec::new(),
+            layer_bottoms: Vec::new(),
+            layer_tops: Vec::new(),
+            blobs: Vec::new(),
+            blob_index: HashMap::new(),
+            needs_grad: Vec::new(),
+            materialize,
+            loss_blob: None,
+        };
+        for ldef in &def.layers {
+            let mut layer = layers::build(ldef);
+            let bottom_ids: Vec<usize> = ldef
+                .bottoms
+                .iter()
+                .map(|b| net.blob_index[b.as_str()])
+                .collect();
+            let bottom_shapes: Vec<Vec<usize>> = bottom_ids
+                .iter()
+                .map(|&i| net.blobs[i].borrow().shape().to_vec())
+                .collect();
+            let top_shapes = layer
+                .setup(&bottom_shapes, materialize)
+                .map_err(|e| format!("layer '{}': {e}", ldef.name))?;
+            if top_shapes.len() != ldef.tops.len() {
+                return Err(format!(
+                    "layer '{}' produced {} tops, definition names {}",
+                    ldef.name,
+                    top_shapes.len(),
+                    ldef.tops.len()
+                ));
+            }
+            let is_input = matches!(ldef.kind, LayerKind::Input { .. });
+            let mut top_ids = Vec::new();
+            for (name, shape) in ldef.tops.iter().zip(&top_shapes) {
+                let id = net.blobs.len();
+                net.blobs.push(RefCell::new(Blob::with_mode(shape, materialize)));
+                net.blob_index.insert(name.clone(), id);
+                net.needs_grad.push(!is_input);
+                top_ids.push(id);
+            }
+            if layer.is_loss() {
+                net.loss_blob = Some(top_ids[0]);
+            }
+            net.layers.push(layer);
+            net.layer_bottoms.push(bottom_ids);
+            net.layer_tops.push(top_ids);
+        }
+        Ok(net)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn materialized(&self) -> bool {
+        self.materialize
+    }
+
+    /// Blob lookup by name.
+    pub fn blob(&self, name: &str) -> std::cell::Ref<'_, Blob> {
+        self.blobs[self.blob_index[name]].borrow()
+    }
+
+    pub fn blob_mut(&self, name: &str) -> std::cell::RefMut<'_, Blob> {
+        self.blobs[self.blob_index[name]].borrow_mut()
+    }
+
+    pub fn has_blob(&self, name: &str) -> bool {
+        self.blob_index.contains_key(name)
+    }
+
+    /// Copy input data into a source blob (e.g. "data", "label").
+    pub fn set_input(&self, name: &str, values: &[f32]) {
+        self.blob_mut(name).set_data(values);
+    }
+
+    /// All learnable parameter blobs, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Blob> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    pub fn params(&self) -> Vec<&Blob> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Total learnable parameter count (the paper quotes 232.6 MB for
+    /// AlexNet and 97.7 MB for ResNet-50 at 4 bytes each).
+    pub fn param_len(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// All persistent layer state vectors (snapshot payload beyond the
+    /// learnable parameters).
+    pub fn state(&self) -> Vec<&[f32]> {
+        self.layers.iter().flat_map(|l| l.state()).collect()
+    }
+
+    pub fn state_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        self.layers.iter_mut().flat_map(|l| l.state_mut()).collect()
+    }
+
+    pub fn zero_param_diffs(&mut self) {
+        for p in self.params_mut() {
+            p.zero_diff();
+        }
+    }
+
+    fn run_layer_forward(&mut self, cg: &mut CoreGroup, i: usize) {
+        let bottoms: Vec<std::cell::Ref<'_, Blob>> =
+            self.layer_bottoms[i].iter().map(|&b| self.blobs[b].borrow()).collect();
+        let bottom_refs: Vec<&Blob> = bottoms.iter().map(|r| &**r).collect();
+        let mut tops: Vec<std::cell::RefMut<'_, Blob>> =
+            self.layer_tops[i].iter().map(|&t| self.blobs[t].borrow_mut()).collect();
+        let mut top_refs: Vec<&mut Blob> = tops.iter_mut().map(|r| &mut **r).collect();
+        self.layers[i].forward(cg, &bottom_refs, &mut top_refs);
+    }
+
+    /// Forward pass; returns the loss (0 in timing mode or for loss-less
+    /// nets).
+    pub fn forward(&mut self, cg: &mut CoreGroup) -> f32 {
+        for i in 0..self.layers.len() {
+            self.run_layer_forward(cg, i);
+        }
+        match self.loss_blob {
+            Some(b) if self.materialize => self.blobs[b].borrow().data()[0],
+            _ => 0.0,
+        }
+    }
+
+    /// Forward pass with a per-layer time breakdown.
+    pub fn forward_with_times(&mut self, cg: &mut CoreGroup) -> (f32, LayerTimes) {
+        let mut entries = Vec::with_capacity(self.layers.len());
+        for i in 0..self.layers.len() {
+            let before = cg.elapsed();
+            self.run_layer_forward(cg, i);
+            entries.push((self.layers[i].name().to_string(), cg.elapsed() - before));
+        }
+        let loss = match self.loss_blob {
+            Some(b) if self.materialize => self.blobs[b].borrow().data()[0],
+            _ => 0.0,
+        };
+        (loss, LayerTimes { entries })
+    }
+
+    fn run_layer_backward(&mut self, cg: &mut CoreGroup, i: usize, diff_written: &mut [bool]) {
+        // Skip layers whose outputs never received a gradient and which do
+        // not originate one (e.g. Accuracy).
+        let originates = self.layers[i].is_loss();
+        let receives = self.layer_tops[i].iter().any(|&t| diff_written[t]);
+        if !originates && !receives {
+            return;
+        }
+        let pd: Vec<bool> =
+            self.layer_bottoms[i].iter().map(|&b| self.needs_grad[b]).collect();
+
+        // Gradient fan-in: if some bottom's diff was already written by a
+        // later consumer, stash it, let this layer overwrite, then add the
+        // stash back (the Caffe split-layer sum, expressed as an AXPY).
+        let mut stashes: Vec<(usize, Option<Vec<f32>>)> = Vec::new();
+        for (slot, &b) in self.layer_bottoms[i].iter().enumerate() {
+            if pd[slot] && diff_written[b] {
+                let stash =
+                    self.materialize.then(|| self.blobs[b].borrow().diff().to_vec());
+                stashes.push((b, stash));
+            }
+        }
+
+        {
+            let tops: Vec<std::cell::Ref<'_, Blob>> =
+                self.layer_tops[i].iter().map(|&t| self.blobs[t].borrow()).collect();
+            let top_refs: Vec<&Blob> = tops.iter().map(|r| &**r).collect();
+            let mut bottoms: Vec<std::cell::RefMut<'_, Blob>> =
+                self.layer_bottoms[i].iter().map(|&b| self.blobs[b].borrow_mut()).collect();
+            let mut bottom_refs: Vec<&mut Blob> = bottoms.iter_mut().map(|r| &mut **r).collect();
+            self.layers[i].backward(cg, &top_refs, &mut bottom_refs, &pd);
+        }
+
+        for (b, stash) in stashes {
+            let len = self.blobs[b].borrow().len();
+            if let Some(stash) = stash {
+                let mut blob = self.blobs[b].borrow_mut();
+                ew::axpy(cg, len, 1.0, Some((&stash, blob.diff_mut())));
+            } else {
+                ew::axpy(cg, len, 1.0, None);
+            }
+        }
+        for (slot, &b) in self.layer_bottoms[i].iter().enumerate() {
+            if pd[slot] {
+                diff_written[b] = true;
+            }
+        }
+    }
+
+    /// Backward pass (assumes `forward` ran).
+    pub fn backward(&mut self, cg: &mut CoreGroup) {
+        let mut diff_written = vec![false; self.blobs.len()];
+        for i in (0..self.layers.len()).rev() {
+            self.run_layer_backward(cg, i, &mut diff_written);
+        }
+    }
+
+    /// Backward pass with per-layer times (in execution order, i.e.
+    /// reversed topological order).
+    pub fn backward_with_times(&mut self, cg: &mut CoreGroup) -> LayerTimes {
+        let mut diff_written = vec![false; self.blobs.len()];
+        let mut entries = Vec::with_capacity(self.layers.len());
+        for i in (0..self.layers.len()).rev() {
+            let before = cg.elapsed();
+            self.run_layer_backward(cg, i, &mut diff_written);
+            entries.push((self.layers[i].name().to_string(), cg.elapsed() - before));
+        }
+        LayerTimes { entries }
+    }
+
+    /// Human-readable network summary: layer table with shapes and
+    /// parameter counts (the `caffe net summary` analogue).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "network '{}' — {} layers, {} parameters", self.name, self.layers.len(), self.param_len());
+        let _ = writeln!(out, "{:<24}{:<16}{:>20}{:>12}", "layer", "type", "output shape", "params");
+        for (i, layer) in self.layers.iter().enumerate() {
+            let shape = self.layer_tops[i]
+                .first()
+                .map(|&t| format!("{:?}", self.blobs[t].borrow().shape()))
+                .unwrap_or_default();
+            let params: usize = layer.params().iter().map(|p| p.len()).sum();
+            let _ = writeln!(out, "{:<24}{:<16}{:>20}{:>12}", layer.name(), layer.layer_type(), shape, params);
+        }
+        out
+    }
+
+    /// Switch every layer between training and inference behaviour.
+    pub fn set_phase(&mut self, phase: Phase) {
+        for l in &mut self.layers {
+            l.set_phase(phase);
+        }
+    }
+
+    /// Layer count (diagnostics).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer names in topological order.
+    pub fn layer_names(&self) -> Vec<&str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Resolved per-layer descriptors (kind + actual blob shapes) — the
+    /// interface external cost models (the GPU/CPU baselines) consume.
+    pub fn ops(&self) -> Vec<LayerOp> {
+        self.def
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, ldef)| LayerOp {
+                name: ldef.name.clone(),
+                kind: ldef.kind.clone(),
+                in_shapes: self.layer_bottoms[i]
+                    .iter()
+                    .map(|&b| self.blobs[b].borrow().shape().to_vec())
+                    .collect(),
+                out_shapes: self.layer_tops[i]
+                    .iter()
+                    .map(|&t| self.blobs[t].borrow().shape().to_vec())
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// One resolved layer: its definition plus concrete bottom/top shapes.
+#[derive(Debug, Clone)]
+pub struct LayerOp {
+    pub name: String,
+    pub kind: LayerKind,
+    pub in_shapes: Vec<Vec<usize>>,
+    pub out_shapes: Vec<Vec<usize>>,
+}

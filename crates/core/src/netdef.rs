@@ -1,0 +1,183 @@
+//! Declarative network definitions — the prototxt of swCaffe, as plain
+//! serde-serialisable Rust values.
+
+use serde::{Deserialize, Serialize};
+
+/// Pooling operator selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolKind {
+    Max,
+    Average,
+}
+
+/// Data layout a convolution runs in (Sec. IV-C): NCHW uses the explicit
+/// plan, RCNB the implicit plan. Transform layers convert at region
+/// boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ConvFormat {
+    #[default]
+    Nchw,
+    Rcnb,
+}
+
+/// Direction of a tensor-transformation layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransDir {
+    NchwToRcnb,
+    RcnbToNchw,
+}
+
+/// Layer kind plus its hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Produces a data blob of the given shape (and optionally a label
+    /// blob of shape `[batch]` when `with_labels`).
+    Input { shape: Vec<usize>, with_labels: bool },
+    Convolution {
+        num_output: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        format: ConvFormat,
+    },
+    Pooling { kernel: usize, stride: usize, pad: usize, method: PoolKind },
+    InnerProduct { num_output: usize, bias: bool },
+    ReLU,
+    BatchNorm { eps: f32, momentum: f32 },
+    Lrn { local_size: usize, alpha: f32, beta: f32, k: f32 },
+    Dropout { ratio: f32 },
+    SoftmaxWithLoss,
+    Accuracy { top_k: usize },
+    /// Channel-axis concatenation (GoogLeNet inception joins).
+    Concat,
+    /// Element-wise sum (ResNet shortcut joins).
+    EltwiseSum,
+    TensorTransform { dir: TransDir },
+}
+
+/// One layer instance in a network definition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerDef {
+    pub name: String,
+    pub kind: LayerKind,
+    pub bottoms: Vec<String>,
+    pub tops: Vec<String>,
+}
+
+/// A whole network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetDef {
+    pub name: String,
+    pub layers: Vec<LayerDef>,
+}
+
+impl NetDef {
+    pub fn new(name: impl Into<String>) -> Self {
+        NetDef { name: name.into(), layers: Vec::new() }
+    }
+
+    /// Builder-style push.
+    pub fn layer(
+        mut self,
+        name: impl Into<String>,
+        kind: LayerKind,
+        bottoms: &[&str],
+        tops: &[&str],
+    ) -> Self {
+        self.layers.push(LayerDef {
+            name: name.into(),
+            kind,
+            bottoms: bottoms.iter().map(|s| s.to_string()).collect(),
+            tops: tops.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Serialise to JSON (the swCaffe interchange format in this repo).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("NetDef serialisation cannot fail")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Structural validation: every bottom must be produced by an earlier
+    /// layer, and top names must not collide (no in-place rewrites).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut known = std::collections::HashSet::new();
+        for l in &self.layers {
+            for b in &l.bottoms {
+                if !known.contains(b.as_str()) {
+                    return Err(format!("layer '{}' consumes undefined blob '{b}'", l.name));
+                }
+            }
+            for t in &l.tops {
+                if !known.insert(t.as_str()) {
+                    return Err(format!("layer '{}' redefines blob '{t}'", l.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NetDef {
+        NetDef::new("tiny")
+            .layer(
+                "data",
+                LayerKind::Input { shape: vec![2, 1, 4, 4], with_labels: true },
+                &[],
+                &["data", "label"],
+            )
+            .layer(
+                "conv1",
+                LayerKind::Convolution {
+                    num_output: 3,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    bias: true,
+                    format: ConvFormat::Nchw,
+                },
+                &["data"],
+                &["conv1"],
+            )
+            .layer("relu1", LayerKind::ReLU, &["conv1"], &["relu1"], )
+            .layer("loss", LayerKind::SoftmaxWithLoss, &["relu1", "label"], &["loss"])
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let def = tiny();
+        let json = def.to_json();
+        let back = NetDef::from_json(&json).unwrap();
+        assert_eq!(back.name, "tiny");
+        assert_eq!(back.layers.len(), 4);
+        assert_eq!(back.layers[1].bottoms, vec!["data"]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_undefined_bottom() {
+        let def = NetDef::new("bad").layer("relu", LayerKind::ReLU, &["ghost"], &["out"]);
+        assert!(def.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_redefined_top() {
+        let def = NetDef::new("bad")
+            .layer("a", LayerKind::Input { shape: vec![1], with_labels: false }, &[], &["x"])
+            .layer("b", LayerKind::ReLU, &["x"], &["x"]);
+        assert!(def.validate().is_err());
+    }
+}

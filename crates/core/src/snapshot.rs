@@ -1,0 +1,172 @@
+//! Weight snapshots — the `.caffemodel` of this framework.
+//!
+//! A deliberately simple, versioned little-endian binary format:
+//! magic, format version, parameter-blob count, then for each blob its
+//! element count and raw f32 data. The network structure itself travels
+//! as the JSON `NetDef` (the "prototxt"); loading checks that the blob
+//! layout matches the target network.
+
+use std::io::{self, Read, Write};
+
+use crate::net::Net;
+
+const MAGIC: &[u8; 8] = b"SWCAFFE2";
+
+/// Serialise all parameter blobs and persistent layer state (batch-norm
+/// running statistics) of a (materialised) net.
+pub fn write_weights<W: Write>(net: &Net, mut w: W) -> io::Result<()> {
+    let params = net.params();
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u64).to_le_bytes())?;
+    for p in &params {
+        w.write_all(&(p.len() as u64).to_le_bytes())?;
+        for v in p.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    let state = net.state();
+    w.write_all(&(state.len() as u64).to_le_bytes())?;
+    for s in &state {
+        w.write_all(&(s.len() as u64).to_le_bytes())?;
+        for v in s.iter() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Load parameter blobs into a (materialised) net. Fails when the blob
+/// layout does not match.
+pub fn read_weights<R: Read>(net: &mut Net, mut r: R) -> Result<(), String> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(|e| e.to_string())?;
+    if &magic != MAGIC {
+        return Err("not a swcaffe weight file".into());
+    }
+    let count = read_u64(&mut r)? as usize;
+    let mut params = net.params_mut();
+    if count != params.len() {
+        return Err(format!("snapshot has {count} blobs, network has {}", params.len()));
+    }
+    for (i, p) in params.iter_mut().enumerate() {
+        let len = read_u64(&mut r)? as usize;
+        if len != p.len() {
+            return Err(format!("blob {i}: snapshot {len} elements, network {}", p.len()));
+        }
+        let mut bytes = vec![0u8; len * 4];
+        r.read_exact(&mut bytes).map_err(|e| e.to_string())?;
+        for (dst, chunk) in p.data_mut().iter_mut().zip(bytes.chunks_exact(4)) {
+            *dst = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+    drop(params);
+    let state_count = read_u64(&mut r)? as usize;
+    let mut state = net.state_mut();
+    if state_count != state.len() {
+        return Err(format!("snapshot has {state_count} state vectors, network has {}", state.len()));
+    }
+    for (i, sv) in state.iter_mut().enumerate() {
+        let len = read_u64(&mut r)? as usize;
+        if len != sv.len() {
+            return Err(format!("state {i}: snapshot {len} elements, network {}", sv.len()));
+        }
+        let mut bytes = vec![0u8; len * 4];
+        r.read_exact(&mut bytes).map_err(|e| e.to_string())?;
+        for (dst, chunk) in sv.iter_mut().zip(bytes.chunks_exact(4)) {
+            *dst = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, String> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(|e| e.to_string())?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Convenience: snapshot to / restore from a file path.
+pub fn save(net: &Net, path: &std::path::Path) -> io::Result<()> {
+    write_weights(net, std::io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+pub fn load(net: &mut Net, path: &std::path::Path) -> Result<(), String> {
+    let f = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    read_weights(net, std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn roundtrip_restores_weights_exactly() {
+        let def = models::tiny_cnn(2, 3);
+        let net = Net::from_def(&def, true).unwrap();
+        let mut bytes = Vec::new();
+        write_weights(&net, &mut bytes).unwrap();
+
+        // A differently-seeded net... actually identical seeds, so scribble
+        // on it first to prove the load really overwrites.
+        let mut other = Net::from_def(&def, true).unwrap();
+        for p in other.params_mut() {
+            p.data_mut().fill(9.9);
+        }
+        read_weights(&mut other, &bytes[..]).unwrap();
+        for (a, b) in net.params().iter().zip(other.params()) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_shape() {
+        let def = models::tiny_cnn(2, 3);
+        let mut net = Net::from_def(&def, true).unwrap();
+        assert!(read_weights(&mut net, &b"NOTAFILE"[..]).is_err());
+
+        // Snapshot of a structurally different network must be rejected.
+        let other_def = models::tiny_cnn(2, 7);
+        let other = Net::from_def(&other_def, true).unwrap();
+        let mut bytes = Vec::new();
+        write_weights(&other, &mut bytes).unwrap();
+        assert!(read_weights(&mut net, &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn state_roundtrips_too() {
+        use sw26010::{CoreGroup, ExecMode};
+        let def = models::tiny_cnn(2, 3);
+        let mut net = Net::from_def(&def, true).unwrap();
+        // Run a forward pass so the BN running stats move off their init.
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        let data: Vec<f32> = (0..2 * 3 * 16 * 16).map(|i| (i % 11) as f32 * 0.3).collect();
+        net.set_input("data", &data);
+        net.set_input("label", &[0.0, 1.0]);
+        net.forward(&mut cg);
+        let state_before: Vec<Vec<f32>> = net.state().iter().map(|s| s.to_vec()).collect();
+        assert!(state_before.iter().any(|s| s.iter().any(|v| *v != 0.0 && *v != 1.0)));
+
+        let mut bytes = Vec::new();
+        write_weights(&net, &mut bytes).unwrap();
+        let mut other = Net::from_def(&def, true).unwrap();
+        read_weights(&mut other, &bytes[..]).unwrap();
+        let state_after: Vec<Vec<f32>> = other.state().iter().map(|s| s.to_vec()).collect();
+        assert_eq!(state_before, state_after);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let def = models::tiny_cnn(2, 3);
+        let net = Net::from_def(&def, true).unwrap();
+        let path = std::env::temp_dir().join("swcaffe_snapshot_test.bin");
+        save(&net, &path).unwrap();
+        let mut loaded = Net::from_def(&def, true).unwrap();
+        for p in loaded.params_mut() {
+            p.data_mut().fill(0.0);
+        }
+        load(&mut loaded, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(net.params()[0].data(), loaded.params()[0].data());
+    }
+}

@@ -1,0 +1,114 @@
+//! Core group: one MPE + one 8x8 CPE cluster + one memory controller.
+//!
+//! A [`CoreGroup`] is the unit kernels are launched on and the unit the
+//! swCaffe multi-threaded solver parallelises over (one pthread per CG,
+//! Fig. 5 of the paper). It accumulates simulated time and hardware
+//! counters across launches.
+
+use crate::arch::MPE_PEAK_FLOPS;
+use crate::cpe::Cpe;
+use crate::dma;
+use crate::mesh::run_mesh;
+use crate::stats::{LaunchReport, Stats};
+use crate::time::{ExecMode, SimTime};
+
+/// One SW26010 core group.
+#[derive(Debug)]
+pub struct CoreGroup {
+    mode: ExecMode,
+    stats: Stats,
+    elapsed: SimTime,
+}
+
+impl Default for CoreGroup {
+    fn default() -> Self {
+        Self::new(ExecMode::Functional)
+    }
+}
+
+impl CoreGroup {
+    pub fn new(mode: ExecMode) -> Self {
+        CoreGroup { mode, stats: Stats::default(), elapsed: SimTime::ZERO }
+    }
+
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Launch a kernel on `n_cpes` CPEs of this core group's mesh and
+    /// accumulate its time and counters.
+    pub fn run<F>(&mut self, n_cpes: usize, kernel: F) -> LaunchReport
+    where
+        F: Fn(&mut Cpe) + Sync,
+    {
+        let report = run_mesh(self.mode, n_cpes, kernel);
+        self.stats.merge(&report.stats);
+        self.elapsed += report.elapsed;
+        report
+    }
+
+    /// MPE-mediated memory copy (Principle 2's slow path, 9.9 GB/s).
+    pub fn mpe_memcpy(&mut self, bytes: usize) -> SimTime {
+        let t = dma::mpe_memcpy_time(bytes);
+        self.elapsed += t;
+        t
+    }
+
+    /// Scalar compute on the MPE (11.6 GFlops peak).
+    pub fn mpe_compute(&mut self, flops: u64) -> SimTime {
+        let t = SimTime::from_seconds(flops as f64 / MPE_PEAK_FLOPS);
+        self.stats.mpe_flops += flops;
+        self.elapsed += t;
+        t
+    }
+
+    /// Charge an externally-modelled duration (e.g. network wait) to this
+    /// core group's timeline.
+    pub fn charge(&mut self, t: SimTime) {
+        self.elapsed += t;
+    }
+
+    /// Total simulated time accumulated on this core group.
+    pub fn elapsed(&self) -> SimTime {
+        self.elapsed
+    }
+
+    /// Accumulated hardware counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Reset time and counters (e.g. between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.stats = Stats::default();
+        self.elapsed = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_launches() {
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        cg.run(64, |cpe| cpe.charge_flops(1000));
+        cg.run(64, |cpe| cpe.charge_flops(1000));
+        assert_eq!(cg.stats().flops, 2 * 64 * 1000);
+        assert_eq!(cg.stats().launches, 2);
+        assert!(cg.elapsed().seconds() > 0.0);
+        cg.reset();
+        assert_eq!(cg.stats().flops, 0);
+        assert_eq!(cg.elapsed(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn mpe_paths_charge_time() {
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        let t1 = cg.mpe_memcpy(9_900_000); // ~1 ms at 9.9 GB/s
+        assert!((t1.seconds() - 1.0e-3).abs() < 1e-9);
+        let t2 = cg.mpe_compute(11_600_000); // ~1 ms at 11.6 GFlops
+        assert!((t2.seconds() - 1.0e-3).abs() < 1e-9);
+        assert!((cg.elapsed().seconds() - 2.0e-3).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,424 @@
+//! The per-CPE execution context handed to mesh kernels.
+//!
+//! A kernel is a closure `Fn(&mut Cpe)` executed by 64 (or fewer) real
+//! threads. The context exposes exactly the resources a CPE has on
+//! silicon: its 64 KB LDM, a DMA engine to main memory, row/column
+//! register communication, the vector pipelines, and the mesh barrier.
+//! Everything else (direct loads from main memory in particular) is
+//! deliberately absent — gld/gst-style accesses are what Principle 2 says
+//! to avoid, and kernels written against this API physically cannot issue
+//! them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use crate::arch::{CPE_DP_FLOPS_PER_CYCLE, KERNEL_COMPUTE_EFFICIENCY, MESH_DIM};
+use crate::dma;
+use crate::ldm::Ldm;
+use crate::rlc::{transfer_cycles, CpePorts, RlcFabric, RlcMsg, RLC_HOP_CYCLES};
+use crate::stats::Stats;
+use crate::time::{ExecMode, SimTime};
+use crate::view::{MemView, MemViewMut};
+
+/// Completion token for an asynchronous DMA transfer.
+///
+/// The copy itself happens eagerly (the simulator is functional); the token
+/// carries the simulated completion instant so kernels can overlap compute
+/// with the transfer and pay only `max(compute, dma)`, which is how the
+/// double-buffered swDNN kernels hide memory latency.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "un-waited DMA transfers do not advance the clock"]
+pub struct DmaHandle {
+    complete_at: SimTime,
+}
+
+/// Barrier with simulated-clock reconciliation: after `sync()` every CPE's
+/// local clock equals the mesh-wide maximum, which is what a hardware
+/// barrier does to wall time.
+pub struct MeshBarrier {
+    barrier: Barrier,
+    clocks: Vec<AtomicU64>,
+}
+
+impl MeshBarrier {
+    pub fn new(n: usize) -> Self {
+        MeshBarrier {
+            barrier: Barrier::new(n),
+            clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Enter the barrier with `local` time; returns the mesh-wide maximum.
+    pub fn wait(&self, slot: usize, local: SimTime) -> SimTime {
+        self.clocks[slot].store(local.seconds().to_bits(), Ordering::Release);
+        self.barrier.wait();
+        let max = self
+            .clocks
+            .iter()
+            .map(|c| f64::from_bits(c.load(Ordering::Acquire)))
+            .fold(0.0f64, f64::max);
+        // Second rendezvous: nobody may overwrite their slot for the next
+        // sync until everyone has read this one.
+        self.barrier.wait();
+        SimTime::from_seconds(max)
+    }
+}
+
+/// Execution context of one CPE inside a mesh kernel launch.
+pub struct Cpe<'l> {
+    row: usize,
+    col: usize,
+    idx: usize,
+    n_active: usize,
+    mode: ExecMode,
+    /// The CPE's scratch-pad allocator.
+    pub ldm: Ldm,
+    clock: SimTime,
+    dma_engine_free_at: SimTime,
+    stats: Stats,
+    fabric: &'l RlcFabric,
+    ports: CpePorts,
+    barrier: &'l MeshBarrier,
+}
+
+impl<'l> Cpe<'l> {
+    pub(crate) fn new(
+        idx: usize,
+        n_active: usize,
+        mode: ExecMode,
+        fabric: &'l RlcFabric,
+        barrier: &'l MeshBarrier,
+    ) -> Self {
+        let ports = fabric.take_ports(idx);
+        Cpe {
+            row: idx / MESH_DIM,
+            col: idx % MESH_DIM,
+            idx,
+            n_active,
+            mode,
+            ldm: Ldm::new(),
+            clock: SimTime::ZERO,
+            dma_engine_free_at: SimTime::ZERO,
+            stats: Stats::default(),
+            fabric,
+            ports,
+            barrier,
+        }
+    }
+
+    // ---- identity ----------------------------------------------------
+
+    /// Row of this CPE in the 8x8 mesh.
+    pub fn row(&self) -> usize {
+        self.row
+    }
+
+    /// Column of this CPE in the 8x8 mesh.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// Linear index (`row * 8 + col`).
+    pub fn idx(&self) -> usize {
+        self.idx
+    }
+
+    /// Number of CPEs participating in this launch (affects the DMA
+    /// bandwidth share).
+    pub fn n_active(&self) -> usize {
+        self.n_active
+    }
+
+    /// True when the kernel should actually move/compute data.
+    pub fn functional(&self) -> bool {
+        self.mode.is_functional()
+    }
+
+    /// Local simulated clock.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    pub(crate) fn finish(self) -> (SimTime, Stats) {
+        let mut stats = self.stats;
+        stats.busy = self.clock;
+        (self.clock, stats)
+    }
+
+    // ---- DMA ----------------------------------------------------------
+
+    fn dma_start(&mut self) -> SimTime {
+        // One DMA engine per CPE: transfers queue behind each other but
+        // overlap with compute.
+        self.clock.max(self.dma_engine_free_at)
+    }
+
+    /// Synchronous continuous DMA get: `dst.len()` f32 from `src[offset..]`.
+    pub fn dma_get(&mut self, src: MemView<'_>, offset: usize, dst: &mut [f32]) {
+        let h = self.dma_get_async(src, offset, dst);
+        self.dma_wait(h);
+    }
+
+    /// Asynchronous continuous DMA get.
+    pub fn dma_get_async(&mut self, src: MemView<'_>, offset: usize, dst: &mut [f32]) -> DmaHandle {
+        let bytes = std::mem::size_of_val(dst);
+        if self.functional() {
+            src.read(offset, dst);
+        }
+        self.charge_dma(bytes, 0, dma::continuous_time(bytes, self.n_active), dma::DmaDir::Get)
+    }
+
+    /// Synchronous continuous DMA put: `src` into `dst[offset..]`.
+    pub fn dma_put(&mut self, dst: MemViewMut<'_>, offset: usize, src: &[f32]) {
+        let h = self.dma_put_async(dst, offset, src);
+        self.dma_wait(h);
+    }
+
+    /// Asynchronous continuous DMA put.
+    pub fn dma_put_async(&mut self, dst: MemViewMut<'_>, offset: usize, src: &[f32]) -> DmaHandle {
+        let bytes = std::mem::size_of_val(src);
+        if self.functional() {
+            dst.write(offset, src);
+        }
+        self.charge_dma(0, bytes, dma::continuous_time(bytes, self.n_active), dma::DmaDir::Put)
+    }
+
+    /// DMA put that *accumulates* into main memory (`dst += src`).
+    ///
+    /// Hardware has no add-to-memory DMA; this models the common
+    /// read-modify-write plan (get + vector add + put) as a single call
+    /// charged as two transfers plus the adds.
+    pub fn dma_accumulate(&mut self, dst: MemViewMut<'_>, offset: usize, src: &[f32]) {
+        let bytes = std::mem::size_of_val(src);
+        if self.functional() {
+            dst.accumulate(offset, src);
+        }
+        let t = dma::continuous_time(bytes, self.n_active);
+        let h1 = self.charge_dma(bytes, bytes, SimTime::from_seconds(2.0 * t.seconds()), dma::DmaDir::Put);
+        self.charge_flops(src.len() as u64);
+        self.dma_wait(h1);
+    }
+
+    /// Asynchronous strided DMA get (double-buffering support): the copy
+    /// happens eagerly, the simulated completion is returned as a handle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dma_get_strided_async(
+        &mut self,
+        src: MemView<'_>,
+        offset: usize,
+        block_elems: usize,
+        stride_elems: usize,
+        nblocks: usize,
+        dst: &mut [f32],
+    ) -> DmaHandle {
+        assert!(dst.len() >= block_elems * nblocks, "strided get dst too small");
+        assert!(stride_elems >= block_elems, "strided get blocks overlap");
+        if self.functional() {
+            for b in 0..nblocks {
+                let s = offset + b * stride_elems;
+                let d = b * block_elems;
+                src.read(s, &mut dst[d..d + block_elems]);
+            }
+        }
+        let bytes = block_elems * nblocks * 4;
+        let t = dma::strided_time(block_elems * 4, nblocks, self.n_active);
+        self.charge_dma(bytes, 0, t, dma::DmaDir::Get)
+    }
+
+    /// Strided DMA get: `nblocks` blocks of `block_elems` f32, consecutive
+    /// source blocks separated by `stride_elems`, packed densely into `dst`.
+    pub fn dma_get_strided(
+        &mut self,
+        src: MemView<'_>,
+        offset: usize,
+        block_elems: usize,
+        stride_elems: usize,
+        nblocks: usize,
+        dst: &mut [f32],
+    ) {
+        let h = self.dma_get_strided_async(src, offset, block_elems, stride_elems, nblocks, dst);
+        self.dma_wait(h);
+    }
+
+    /// Strided DMA put: scatter dense `src` into blocks of `block_elems`
+    /// separated by `stride_elems` in `dst`.
+    pub fn dma_put_strided(
+        &mut self,
+        dst: MemViewMut<'_>,
+        offset: usize,
+        block_elems: usize,
+        stride_elems: usize,
+        nblocks: usize,
+        src: &[f32],
+    ) {
+        assert!(src.len() >= block_elems * nblocks, "strided put src too small");
+        assert!(stride_elems >= block_elems, "strided put blocks overlap");
+        if self.functional() {
+            for b in 0..nblocks {
+                let d = offset + b * stride_elems;
+                let s = b * block_elems;
+                dst.write(d, &src[s..s + block_elems]);
+            }
+        }
+        let bytes = block_elems * nblocks * 4;
+        let t = dma::strided_time(block_elems * 4, nblocks, self.n_active);
+        let h = self.charge_dma(0, bytes, t, dma::DmaDir::Put);
+        self.dma_wait(h);
+    }
+
+    fn charge_dma(&mut self, get: usize, put: usize, dur: SimTime, _dir: dma::DmaDir) -> DmaHandle {
+        self.stats.dma_get_bytes += get as u64;
+        self.stats.dma_put_bytes += put as u64;
+        self.stats.dma_requests += 1;
+        let start = self.dma_start();
+        let complete_at = start + dur;
+        self.dma_engine_free_at = complete_at;
+        DmaHandle { complete_at }
+    }
+
+    /// Block until an asynchronous transfer completes.
+    pub fn dma_wait(&mut self, h: DmaHandle) {
+        self.clock = self.clock.max(h.complete_at);
+    }
+
+    // ---- register-level communication ----------------------------------
+
+    fn rlc_charge_send(&mut self, bytes: usize) {
+        self.stats.rlc_bytes += bytes as u64;
+        self.stats.rlc_messages += 1;
+        self.clock += SimTime::from_cycles(transfer_cycles(bytes));
+    }
+
+    fn payload(&self, data: &[f64]) -> Option<Box<[f64]>> {
+        self.functional().then(|| data.to_vec().into_boxed_slice())
+    }
+
+    /// P2P send on the row bus to `(self.row, dst_col)`.
+    pub fn rlc_row_send(&mut self, dst_col: usize, data: &[f64]) {
+        let bytes = std::mem::size_of_val(data);
+        self.rlc_charge_send(bytes);
+        let msg = RlcMsg { sent_at: self.clock, data: self.payload(data) };
+        self.fabric.send_row(self.row, self.col, dst_col, msg);
+    }
+
+    /// P2P send on the column bus to `(dst_row, self.col)`.
+    pub fn rlc_col_send(&mut self, dst_row: usize, data: &[f64]) {
+        let bytes = std::mem::size_of_val(data);
+        self.rlc_charge_send(bytes);
+        let msg = RlcMsg { sent_at: self.clock, data: self.payload(data) };
+        self.fabric.send_col(self.col, self.row, dst_row, msg);
+    }
+
+    /// Broadcast on the row bus to the other active CPEs in this row.
+    ///
+    /// The bus is occupied once regardless of receiver count, which is what
+    /// makes broadcast GEMM so effective (Principle 4).
+    pub fn rlc_row_bcast(&mut self, data: &[f64]) {
+        let bytes = std::mem::size_of_val(data);
+        self.rlc_charge_send(bytes);
+        let row_width = self.active_row_width();
+        for dst_col in 0..row_width {
+            if dst_col != self.col {
+                let msg = RlcMsg { sent_at: self.clock, data: self.payload(data) };
+                self.fabric.send_row(self.row, self.col, dst_col, msg);
+            }
+        }
+    }
+
+    /// Broadcast on the column bus to the other active CPEs in this column.
+    pub fn rlc_col_bcast(&mut self, data: &[f64]) {
+        let bytes = std::mem::size_of_val(data);
+        self.rlc_charge_send(bytes);
+        let col_height = self.active_col_height();
+        for dst_row in 0..col_height {
+            if dst_row != self.row {
+                let msg = RlcMsg { sent_at: self.clock, data: self.payload(data) };
+                self.fabric.send_col(self.col, self.row, dst_row, msg);
+            }
+        }
+    }
+
+    /// Receive from `(self.row, src_col)` on the row bus into `buf`.
+    pub fn rlc_row_recv(&mut self, src_col: usize, buf: &mut [f64]) {
+        let msg = self.ports.row[src_col].recv().expect("RLC sender dropped mid-kernel");
+        self.finish_recv(msg, buf);
+    }
+
+    /// Receive from `(src_row, self.col)` on the column bus into `buf`.
+    pub fn rlc_col_recv(&mut self, src_row: usize, buf: &mut [f64]) {
+        let msg = self.ports.col[src_row].recv().expect("RLC sender dropped mid-kernel");
+        self.finish_recv(msg, buf);
+    }
+
+    fn finish_recv(&mut self, msg: RlcMsg, buf: &mut [f64]) {
+        let bytes = std::mem::size_of_val(buf);
+        if let Some(data) = msg.data {
+            assert_eq!(data.len(), buf.len(), "RLC receive buffer size mismatch");
+            buf.copy_from_slice(&data);
+        } else {
+            debug_assert!(!self.functional(), "missing payload in functional mode");
+        }
+        self.clock = self
+            .clock
+            .max(msg.sent_at + SimTime::from_cycles(RLC_HOP_CYCLES))
+            + SimTime::from_cycles(transfer_cycles(bytes));
+    }
+
+    fn active_row_width(&self) -> usize {
+        // With a partially-filled last row only the first `n mod 8` columns
+        // are active there.
+        let full_rows = self.n_active / MESH_DIM;
+        if self.row < full_rows {
+            MESH_DIM
+        } else {
+            self.n_active % MESH_DIM
+        }
+    }
+
+    fn active_col_height(&self) -> usize {
+        let full_rows = self.n_active / MESH_DIM;
+        let rem = self.n_active % MESH_DIM;
+        full_rows + usize::from(self.col < rem)
+    }
+
+    // ---- compute --------------------------------------------------------
+
+    /// Charge `flops` floating-point operations to the vector pipeline at
+    /// the tuned-kernel efficiency.
+    pub fn charge_flops(&mut self, flops: u64) {
+        self.stats.flops += flops;
+        let cycles = flops as f64 / (CPE_DP_FLOPS_PER_CYCLE * KERNEL_COMPUTE_EFFICIENCY);
+        self.clock += SimTime::from_cycles(cycles);
+    }
+
+    /// Charge `flops` and, in functional mode, run the math.
+    pub fn compute<R: Default>(&mut self, flops: u64, f: impl FnOnce() -> R) -> R {
+        self.charge_flops(flops);
+        if self.functional() {
+            f()
+        } else {
+            R::default()
+        }
+    }
+
+    /// Charge scalar (non-vectorised) operations — 1 flop/cycle.
+    pub fn charge_scalar_ops(&mut self, ops: u64) {
+        self.stats.flops += ops;
+        self.clock += SimTime::from_cycles(ops as f64);
+    }
+
+    /// Advance the local clock by an explicit duration (fixed-function
+    /// costs such as SIMD shuffles modelled at a coarser grain).
+    pub fn charge_time(&mut self, t: SimTime) {
+        self.clock += t;
+    }
+
+    // ---- synchronisation -------------------------------------------------
+
+    /// Mesh-wide barrier; local clocks are reconciled to the maximum.
+    pub fn sync(&mut self) {
+        self.clock = self.barrier.wait(self.idx, self.clock);
+        // The DMA engine cannot be busy past a barrier.
+        self.dma_engine_free_at = self.dma_engine_free_at.max(self.clock);
+    }
+}

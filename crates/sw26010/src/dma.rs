@@ -1,0 +1,164 @@
+//! DMA timing model, calibrated to the measured curves in Fig. 2 of the
+//! paper.
+//!
+//! The model has three calibration constants (see [`crate::arch`]):
+//!
+//! * `DMA_STARTUP_SECONDS` — fixed per-request latency ("hundreds of cycles
+//!   of LDM transfer latency", Principle 3). This is why transfers below
+//!   ~2 KB per CPE waste most of the bandwidth.
+//! * `DMA_CPE_LINK_BANDWIDTH` — what a single CPE can stream (the 1-CPE
+//!   saturation level on the left of Fig. 2, ~6 GB/s).
+//! * `DMA_PEAK_BANDWIDTH` — the 28 GB/s aggregate ceiling of the memory
+//!   controller, shared by however many CPEs issue concurrently.
+//!
+//! For strided access each block additionally pays
+//! `DMA_STRIDED_BLOCK_OVERHEAD_SECONDS` (descriptor processing / DRAM row
+//! activation), which reproduces the paper's "blocks should be at least
+//! 256 bytes" cliff on the right of Fig. 2.
+//!
+//! These functions are pure: `time = f(shape of the transfer, concurrency)`.
+//! The `Cpe` context (see `cpe.rs`) pairs them with the functional copy.
+
+use crate::arch::{
+    DMA_CPE_LINK_BANDWIDTH, DMA_PEAK_BANDWIDTH, DMA_STARTUP_SECONDS,
+    DMA_STRIDED_BLOCK_OVERHEAD_SECONDS, MPE_MEMCPY_BANDWIDTH,
+};
+use crate::time::SimTime;
+
+/// Direction of a DMA transfer. Get (memory -> LDM) and put (LDM -> memory)
+/// saturate at the same ~28 GB/s in Fig. 2, so the model treats them
+/// identically; the enum exists for counters and future asymmetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaDir {
+    Get,
+    Put,
+}
+
+/// Bandwidth share available to one CPE when `ncpes` stream concurrently.
+#[inline]
+fn per_cpe_share(ncpes: usize) -> f64 {
+    debug_assert!(ncpes >= 1);
+    DMA_CPE_LINK_BANDWIDTH.min(DMA_PEAK_BANDWIDTH / ncpes as f64)
+}
+
+/// Time for one CPE to move `bytes` contiguous bytes while `ncpes` CPEs
+/// stream concurrently.
+pub fn continuous_time(bytes: usize, ncpes: usize) -> SimTime {
+    if bytes == 0 {
+        return SimTime::ZERO;
+    }
+    let share = per_cpe_share(ncpes);
+    SimTime::from_seconds(DMA_STARTUP_SECONDS + bytes as f64 / share)
+}
+
+/// Time for one CPE to move `nblocks` strided blocks of `block_bytes` each
+/// while `ncpes` CPEs stream concurrently.
+pub fn strided_time(block_bytes: usize, nblocks: usize, ncpes: usize) -> SimTime {
+    if block_bytes == 0 || nblocks == 0 {
+        return SimTime::ZERO;
+    }
+    let share = per_cpe_share(ncpes);
+    let per_block = DMA_STRIDED_BLOCK_OVERHEAD_SECONDS + block_bytes as f64 / share;
+    SimTime::from_seconds(DMA_STARTUP_SECONDS + nblocks as f64 * per_block)
+}
+
+/// Aggregate bandwidth (bytes/s) achieved when `ncpes` CPEs each move
+/// `bytes_per_cpe` contiguous bytes — the quantity plotted on the left of
+/// Fig. 2.
+pub fn continuous_aggregate_bandwidth(bytes_per_cpe: usize, ncpes: usize) -> f64 {
+    let t = continuous_time(bytes_per_cpe, ncpes).seconds();
+    if t == 0.0 {
+        0.0
+    } else {
+        (ncpes * bytes_per_cpe) as f64 / t
+    }
+}
+
+/// Aggregate bandwidth (bytes/s) for strided access where each CPE moves a
+/// fixed total of `total_bytes_per_cpe` split into blocks of `block_bytes`
+/// — the quantity plotted on the right of Fig. 2 (total fixed at 32 KB).
+pub fn strided_aggregate_bandwidth(
+    block_bytes: usize,
+    total_bytes_per_cpe: usize,
+    ncpes: usize,
+) -> f64 {
+    let nblocks = total_bytes_per_cpe.div_ceil(block_bytes.max(1));
+    let t = strided_time(block_bytes, nblocks, ncpes).seconds();
+    if t == 0.0 {
+        0.0
+    } else {
+        (ncpes * total_bytes_per_cpe) as f64 / t
+    }
+}
+
+/// Time for the MPE to copy `bytes` memory-to-memory (Principle 2: only
+/// 9.9 GB/s — the reason LDM must be the intermediary for bulk movement).
+pub fn mpe_memcpy_time(bytes: usize) -> SimTime {
+    SimTime::from_seconds(bytes as f64 / MPE_MEMCPY_BANDWIDTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1.0e9;
+
+    #[test]
+    fn saturates_near_28gbs_with_64_cpes_large_blocks() {
+        let bw = continuous_aggregate_bandwidth(16 * 1024, 64);
+        assert!(bw > 25.0 * GB && bw <= 28.0 * GB, "bw = {}", bw / GB);
+    }
+
+    #[test]
+    fn small_transfers_waste_bandwidth() {
+        // Principle 3: <2 KB per CPE cannot hide the start-up latency.
+        let small = continuous_aggregate_bandwidth(128, 64);
+        let large = continuous_aggregate_bandwidth(4096, 64);
+        assert!(small < 0.45 * large, "small={} large={}", small / GB, large / GB);
+    }
+
+    #[test]
+    fn single_cpe_limited_by_link() {
+        let bw = continuous_aggregate_bandwidth(48 * 1024, 1);
+        assert!(bw < 6.0 * GB, "single CPE must be link-limited, got {}", bw / GB);
+        assert!(bw > 4.0 * GB);
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_size() {
+        let mut last = 0.0;
+        for sz in [128usize, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768] {
+            let bw = continuous_aggregate_bandwidth(sz, 64);
+            assert!(bw >= last, "bandwidth decreased at {sz}");
+            last = bw;
+        }
+    }
+
+    #[test]
+    fn strided_256b_blocks_are_the_cliff() {
+        // Paper: strided blocks should be >= 256 B for satisfactory
+        // bandwidth. 4 B blocks should be catastrophically slower.
+        let total = 32 * 1024;
+        let tiny = strided_aggregate_bandwidth(4, total, 64);
+        let ok = strided_aggregate_bandwidth(256, total, 64);
+        let big = strided_aggregate_bandwidth(4096, total, 64);
+        assert!(tiny < 0.15 * big, "tiny={} big={}", tiny / GB, big / GB);
+        assert!(ok > 0.4 * big, "ok={} big={}", ok / GB, big / GB);
+    }
+
+    #[test]
+    fn mpe_memcpy_is_much_slower_than_dma() {
+        let bytes = 1 << 20;
+        let mpe = mpe_memcpy_time(bytes).seconds();
+        // 64-way DMA of the same total split across CPEs.
+        let dma = continuous_time(bytes / 64, 64).seconds();
+        assert!(mpe > 2.0 * dma);
+    }
+
+    #[test]
+    fn zero_sized_transfers_are_free() {
+        assert_eq!(continuous_time(0, 64), SimTime::ZERO);
+        assert_eq!(strided_time(0, 10, 64), SimTime::ZERO);
+        assert_eq!(strided_time(10, 0, 64), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,176 @@
+//! Local directive memory (LDM / scratch-pad) management.
+//!
+//! Each CPE owns 64 KB of software-managed scratch-pad. There is no
+//! hardware cache: every byte a kernel touches must be explicitly staged
+//! through DMA into an LDM buffer. The allocator here enforces the 64 KB
+//! capacity as a hard structural constraint — a kernel whose working set
+//! does not fit *panics*, exactly as an over-sized `__thread_local` array
+//! fails on the real chip. This is what forces the blocking structure the
+//! paper describes (Principles 2 and 3).
+
+use std::cell::Cell;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+
+use crate::arch::LDM_BYTES;
+
+/// Per-CPE LDM allocator (bump accounting with drop-based reclamation).
+pub struct Ldm {
+    capacity: usize,
+    used: Rc<Cell<usize>>,
+    high_water: Rc<Cell<usize>>,
+}
+
+impl Default for Ldm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ldm {
+    pub fn new() -> Self {
+        Self::with_capacity(LDM_BYTES)
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Ldm {
+            capacity,
+            used: Rc::new(Cell::new(0)),
+            high_water: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used.get()
+    }
+
+    /// Maximum bytes ever allocated simultaneously (working-set size).
+    pub fn high_water(&self) -> usize {
+        self.high_water.get()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.used.get()
+    }
+
+    /// Allocate a zeroed buffer of `n` `f32` elements.
+    pub fn alloc_f32(&self, n: usize) -> LdmBuf<f32> {
+        self.alloc(n, 0.0f32)
+    }
+
+    /// Allocate a zeroed buffer of `n` `f64` elements (register-communication
+    /// staging buffers are double precision on SW26010).
+    pub fn alloc_f64(&self, n: usize) -> LdmBuf<f64> {
+        self.alloc(n, 0.0f64)
+    }
+
+    fn alloc<T: Copy>(&self, n: usize, zero: T) -> LdmBuf<T> {
+        let bytes = n * std::mem::size_of::<T>();
+        let used = self.used.get();
+        assert!(
+            used + bytes <= self.capacity,
+            "LDM overflow: kernel requested {bytes} B with {used} B already \
+             resident ({} B capacity). Reduce the block size.",
+            self.capacity
+        );
+        self.used.set(used + bytes);
+        self.high_water.set(self.high_water.get().max(used + bytes));
+        LdmBuf { data: vec![zero; n], bytes, used: Rc::clone(&self.used) }
+    }
+
+    /// True if a hypothetical working set of `bytes` fits alongside what is
+    /// currently allocated. Used by blocking planners.
+    pub fn fits(&self, bytes: usize) -> bool {
+        self.used.get() + bytes <= self.capacity
+    }
+}
+
+/// An LDM-resident buffer. Dereferences to a slice; releases its LDM
+/// budget on drop.
+pub struct LdmBuf<T> {
+    data: Vec<T>,
+    bytes: usize,
+    used: Rc<Cell<usize>>,
+}
+
+impl<T> LdmBuf<T> {
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl<T> Deref for LdmBuf<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> DerefMut for LdmBuf<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for LdmBuf<T> {
+    fn drop(&mut self) {
+        self.used.set(self.used.get() - self.bytes);
+    }
+}
+
+/// Plan helper: does a set of buffer sizes (in bytes) fit in one CPE's LDM?
+pub fn working_set_fits(buffer_bytes: &[usize]) -> bool {
+    buffer_bytes.iter().sum::<usize>() <= LDM_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_reclaim() {
+        let ldm = Ldm::new();
+        assert_eq!(ldm.capacity(), 64 * 1024);
+        {
+            let a = ldm.alloc_f32(1024); // 4 KB
+            let b = ldm.alloc_f64(1024); // 8 KB
+            assert_eq!(a.len(), 1024);
+            assert_eq!(b.len(), 1024);
+            assert_eq!(ldm.used(), 12 * 1024);
+        }
+        assert_eq!(ldm.used(), 0);
+        assert_eq!(ldm.high_water(), 12 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "LDM overflow")]
+    fn overflow_panics() {
+        let ldm = Ldm::new();
+        let _a = ldm.alloc_f32(12 * 1024); // 48 KB
+        let _b = ldm.alloc_f32(8 * 1024); // +32 KB -> 80 KB > 64 KB
+    }
+
+    #[test]
+    fn buffers_are_writable() {
+        let ldm = Ldm::new();
+        let mut buf = ldm.alloc_f32(8);
+        buf[3] = 7.0;
+        assert_eq!(buf[3], 7.0);
+        assert_eq!(buf[0], 0.0);
+    }
+
+    #[test]
+    fn fits_accounts_for_residents() {
+        let ldm = Ldm::new();
+        let _a = ldm.alloc_f32(8 * 1024); // 32 KB
+        assert!(ldm.fits(32 * 1024));
+        assert!(!ldm.fits(32 * 1024 + 1));
+    }
+}

@@ -1,0 +1,237 @@
+//! Mesh kernel launch: the simulator's equivalent of `athread_spawn` /
+//! `athread_join`.
+//!
+//! A launch runs the kernel closure on `n_cpes` real host threads, each
+//! with its own [`Cpe`] context (LDM, DMA engine, RLC ports, local clock).
+//! Register-communication receives block exactly as the hardware FIFOs do,
+//! so a mis-scheduled kernel deadlocks in simulation the same way it would
+//! on silicon. The launch's simulated duration is the spawn overhead plus
+//! the latest per-CPE finish time.
+
+use crate::arch::{ATHREAD_LAUNCH_OVERHEAD_SECONDS, CPES_PER_CG};
+use crate::cpe::{Cpe, MeshBarrier};
+use crate::rlc::RlcFabric;
+use crate::stats::{LaunchReport, Stats};
+use crate::time::{ExecMode, SimTime};
+
+/// Run `kernel` on the first `n_cpes` CPEs (row-major) of one core group's
+/// 8x8 mesh.
+///
+/// `kernel` must be deterministic given the CPE identity; all 64 instances
+/// run concurrently on host threads.
+pub fn run_mesh<F>(mode: ExecMode, n_cpes: usize, kernel: F) -> LaunchReport
+where
+    F: Fn(&mut Cpe) + Sync,
+{
+    assert!(
+        (1..=CPES_PER_CG).contains(&n_cpes),
+        "launch must use 1..=64 CPEs, got {n_cpes}"
+    );
+    let fabric = RlcFabric::new();
+    let barrier = MeshBarrier::new(n_cpes);
+    let kernel = &kernel;
+    let fabric_ref = &fabric;
+    let barrier_ref = &barrier;
+
+    let per_cpe: Vec<(SimTime, Stats)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_cpes)
+            .map(|idx| {
+                s.spawn(move || {
+                    let mut cpe = Cpe::new(idx, n_cpes, mode, fabric_ref, barrier_ref);
+                    kernel(&mut cpe);
+                    cpe.finish()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("CPE kernel panicked"))
+            .collect()
+    });
+
+    let mut stats = Stats::default();
+    let mut max_clock = SimTime::ZERO;
+    for (clock, s) in &per_cpe {
+        stats.merge(s);
+        max_clock = max_clock.max(*clock);
+    }
+    stats.launches = 1;
+    LaunchReport {
+        elapsed: SimTime::from_seconds(ATHREAD_LAUNCH_OVERHEAD_SECONDS) + max_clock,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{MemView, MemViewMut};
+
+    #[test]
+    fn all_64_cpes_run_with_identity() {
+        let mut seen = vec![0.0f32; 64];
+        let out = MemViewMut::new(&mut seen);
+        run_mesh(ExecMode::Functional, 64, |cpe| {
+            let v = [cpe.idx() as f32 + 1.0];
+            cpe.dma_put(out, cpe.idx(), &v);
+            assert_eq!(cpe.idx(), cpe.row() * 8 + cpe.col());
+        });
+        for (i, v) in seen.iter().enumerate() {
+            assert_eq!(*v, i as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn launch_time_includes_spawn_overhead() {
+        let r = run_mesh(ExecMode::Functional, 8, |_| {});
+        assert!(r.elapsed.seconds() >= ATHREAD_LAUNCH_OVERHEAD_SECONDS);
+        assert_eq!(r.stats.launches, 1);
+    }
+
+    #[test]
+    fn launch_time_is_max_over_cpes() {
+        // One CPE does far more work; the launch takes its time.
+        let r = run_mesh(ExecMode::TimingOnly, 64, |cpe| {
+            if cpe.idx() == 13 {
+                cpe.charge_flops(1_000_000);
+            } else {
+                cpe.charge_flops(10);
+            }
+        });
+        let heavy = 1_000_000.0 / (8.0 * crate::arch::KERNEL_COMPUTE_EFFICIENCY)
+            / crate::arch::CLOCK_HZ;
+        assert!(r.elapsed.seconds() >= heavy);
+        assert_eq!(r.stats.flops, 1_000_000 + 63 * 10);
+    }
+
+    #[test]
+    fn barrier_reconciles_clocks() {
+        let r = run_mesh(ExecMode::TimingOnly, 16, |cpe| {
+            if cpe.idx() == 0 {
+                cpe.charge_flops(800_000);
+            }
+            cpe.sync();
+            // After the barrier every CPE is at the straggler's time; more
+            // work strictly extends the launch.
+            cpe.charge_flops(800);
+        });
+        let straggler = 800_000.0 / (8.0 * crate::arch::KERNEL_COMPUTE_EFFICIENCY)
+            / crate::arch::CLOCK_HZ;
+        let tail = 800.0 / (8.0 * crate::arch::KERNEL_COMPUTE_EFFICIENCY) / crate::arch::CLOCK_HZ;
+        assert!(r.elapsed.seconds() >= straggler + tail);
+    }
+
+    #[test]
+    fn rlc_ring_passes_values_around_a_row() {
+        // CPE (0, c) sends its value to (0, (c+1) % 8); verify arrival.
+        let mut results = vec![0.0f32; 8];
+        let out = MemViewMut::new(&mut results);
+        run_mesh(ExecMode::Functional, 8, |cpe| {
+            let me = [cpe.col() as f64 * 10.0];
+            let dst = (cpe.col() + 1) % 8;
+            let src = (cpe.col() + 7) % 8;
+            cpe.rlc_row_send(dst, &me);
+            let mut buf = [0.0f64];
+            cpe.rlc_row_recv(src, &mut buf);
+            cpe.dma_put(out, cpe.col(), &[buf[0] as f32]);
+        });
+        for c in 0..8 {
+            let src = (c + 7) % 8;
+            assert_eq!(results[c], src as f32 * 10.0);
+        }
+    }
+
+    #[test]
+    fn row_broadcast_reaches_all_active_row_members() {
+        let mut results = vec![0.0f32; 64];
+        let out = MemViewMut::new(&mut results);
+        run_mesh(ExecMode::Functional, 64, |cpe| {
+            // Column 3 of each row broadcasts row*100.
+            if cpe.col() == 3 {
+                cpe.rlc_row_bcast(&[cpe.row() as f64 * 100.0]);
+                cpe.dma_put(out, cpe.idx(), &[cpe.row() as f32 * 100.0]);
+            } else {
+                let mut buf = [0.0f64];
+                cpe.rlc_row_recv(3, &mut buf);
+                cpe.dma_put(out, cpe.idx(), &[buf[0] as f32]);
+            }
+        });
+        for idx in 0..64 {
+            assert_eq!(results[idx], (idx / 8) as f32 * 100.0);
+        }
+    }
+
+    #[test]
+    fn col_broadcast_reaches_column() {
+        let mut results = vec![0.0f32; 64];
+        let out = MemViewMut::new(&mut results);
+        run_mesh(ExecMode::Functional, 64, |cpe| {
+            if cpe.row() == 5 {
+                cpe.rlc_col_bcast(&[cpe.col() as f64 + 0.5]);
+                cpe.dma_put(out, cpe.idx(), &[cpe.col() as f32 + 0.5]);
+            } else {
+                let mut buf = [0.0f64];
+                cpe.rlc_col_recv(5, &mut buf);
+                cpe.dma_put(out, cpe.idx(), &[buf[0] as f32]);
+            }
+        });
+        for idx in 0..64 {
+            assert_eq!(results[idx], (idx % 8) as f32 + 0.5);
+        }
+    }
+
+    #[test]
+    fn timing_only_mode_skips_data_but_charges_time() {
+        let src_data = vec![1.0f32; 1024];
+        let mut dst_data = vec![0.0f32; 1024];
+        let src = MemView::new(&src_data);
+        let dst = MemViewMut::new(&mut dst_data);
+        let r = run_mesh(ExecMode::TimingOnly, 1, |cpe| {
+            let mut buf = cpe.ldm.alloc_f32(1024);
+            cpe.dma_get(src, 0, &mut buf);
+            cpe.dma_put(dst, 0, &buf);
+        });
+        assert!(dst_data.iter().all(|&v| v == 0.0), "timing-only must not move data");
+        assert_eq!(r.stats.dma_get_bytes, 4096);
+        assert_eq!(r.stats.dma_put_bytes, 4096);
+        assert!(r.elapsed.seconds() > 0.0);
+    }
+
+    #[test]
+    fn timing_matches_between_modes() {
+        let src_data = vec![1.0f32; 4096];
+        let src = MemView::new(&src_data);
+        let run = |mode| {
+            run_mesh(mode, 64, |cpe| {
+                let mut buf = cpe.ldm.alloc_f32(64);
+                cpe.dma_get(src, cpe.idx() * 64, &mut buf);
+                cpe.charge_flops(1000);
+                cpe.sync();
+            })
+        };
+        let f = run(ExecMode::Functional);
+        let t = run(ExecMode::TimingOnly);
+        assert!((f.elapsed.seconds() - t.elapsed.seconds()).abs() < 1e-15);
+        assert_eq!(f.stats.dma_get_bytes, t.stats.dma_get_bytes);
+        assert_eq!(f.stats.flops, t.stats.flops);
+    }
+
+    #[test]
+    fn async_dma_overlaps_with_compute() {
+        let src_data = vec![0.0f32; 1 << 16];
+        let src = MemView::new(&src_data);
+        // Sequential: get then compute. Overlapped: async get, compute, wait.
+        let seq = run_mesh(ExecMode::TimingOnly, 1, |cpe| {
+            let mut buf = cpe.ldm.alloc_f32(8192);
+            cpe.dma_get(src, 0, &mut buf);
+            cpe.charge_flops(40_000);
+        });
+        let ovl = run_mesh(ExecMode::TimingOnly, 1, |cpe| {
+            let mut buf = cpe.ldm.alloc_f32(8192);
+            let h = cpe.dma_get_async(src, 0, &mut buf);
+            cpe.charge_flops(40_000);
+            cpe.dma_wait(h);
+        });
+        assert!(ovl.elapsed.seconds() < seq.elapsed.seconds());
+    }
+}

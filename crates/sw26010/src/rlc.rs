@@ -1,0 +1,196 @@
+//! Register-level communication (RLC) fabric.
+//!
+//! The 8x8 CPE mesh can exchange 256-bit packets over per-row and
+//! per-column buses, following an *anonymous producer-consumer* pattern
+//! with bounded FIFOs: sends are asynchronous but stall when the receiving
+//! FIFO is full, receives stall when it is empty (paper, Principle 4).
+//!
+//! We model the fabric with bounded crossbeam channels — one FIFO per
+//! (receiver, axis, sender-position) — so the blocking semantics (and the
+//! deadlocks a wrong communication schedule would produce on silicon!)
+//! are reproduced faithfully. Payloads are `f64` because SW26010's
+//! instruction set has no single-precision RLC: single-precision data must
+//! be widened before transfer, which the GEMM kernels in `swdnn` do
+//! explicitly, just like the paper.
+//!
+//! Timing: a message of `n` doubles occupies the bus for
+//! `ceil(8n / 32)` cycles at both endpoints, and the receive completes no
+//! earlier than the send did (`max(local clock, sender clock)` + a small
+//! hop latency). Broadcast occupies the sender's bus once and every
+//! receiver's port once, reproducing the ~1.75x broadcast/P2P aggregate
+//! bandwidth ratio of the published microbenchmarks.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::arch::{MESH_DIM, RLC_FIFO_DEPTH, RLC_PACKET_BYTES};
+use crate::time::SimTime;
+
+/// Hop latency of one register-bus transfer (about 10 cycles on silicon).
+pub const RLC_HOP_CYCLES: f64 = 10.0;
+
+/// Which bus a transfer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Sender and receiver share a row; the FIFO is indexed by sender column.
+    Row,
+    /// Sender and receiver share a column; the FIFO is indexed by sender row.
+    Col,
+}
+
+/// One in-flight register-communication message.
+pub struct RlcMsg {
+    /// Sender's local clock at the moment the send completed.
+    pub sent_at: SimTime,
+    /// Payload; `None` in timing-only mode.
+    pub data: Option<Box<[f64]>>,
+}
+
+/// Cycles a message of `bytes` occupies a register bus endpoint.
+#[inline]
+pub fn transfer_cycles(bytes: usize) -> f64 {
+    bytes.div_ceil(RLC_PACKET_BYTES) as f64
+}
+
+/// Per-CPE receive ports, taken from the fabric when a CPE thread starts.
+pub struct CpePorts {
+    /// Row-bus FIFOs indexed by sender column.
+    pub row: Vec<Receiver<RlcMsg>>,
+    /// Column-bus FIFOs indexed by sender row.
+    pub col: Vec<Receiver<RlcMsg>>,
+}
+
+/// The per-launch communication fabric for one 8x8 mesh.
+pub struct RlcFabric {
+    /// `row_tx[receiver_idx][sender_col]`
+    row_tx: Vec<Vec<Sender<RlcMsg>>>,
+    /// `col_tx[receiver_idx][sender_row]`
+    col_tx: Vec<Vec<Sender<RlcMsg>>>,
+    ports: Vec<parking_lot::Mutex<Option<CpePorts>>>,
+}
+
+impl Default for RlcFabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RlcFabric {
+    pub fn new() -> Self {
+        let n = MESH_DIM * MESH_DIM;
+        let mut row_tx = Vec::with_capacity(n);
+        let mut col_tx = Vec::with_capacity(n);
+        let mut ports = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row_s = Vec::with_capacity(MESH_DIM);
+            let mut row_r = Vec::with_capacity(MESH_DIM);
+            let mut col_s = Vec::with_capacity(MESH_DIM);
+            let mut col_r = Vec::with_capacity(MESH_DIM);
+            for _ in 0..MESH_DIM {
+                let (ts, tr) = bounded(RLC_FIFO_DEPTH);
+                row_s.push(ts);
+                row_r.push(tr);
+                let (ts, tr) = bounded(RLC_FIFO_DEPTH);
+                col_s.push(ts);
+                col_r.push(tr);
+            }
+            row_tx.push(row_s);
+            col_tx.push(col_s);
+            ports.push(parking_lot::Mutex::new(Some(CpePorts { row: row_r, col: col_r })));
+        }
+        RlcFabric { row_tx, col_tx, ports }
+    }
+
+    /// Take the receive ports for CPE `idx`. Each CPE thread calls this once.
+    pub fn take_ports(&self, idx: usize) -> CpePorts {
+        self.ports[idx]
+            .lock()
+            .take()
+            .expect("CPE ports already taken — duplicate CPE index in launch")
+    }
+
+    /// Send on the row bus from `(row, src_col)` to `(row, dst_col)`.
+    ///
+    /// Blocks while the destination FIFO is full, mirroring hardware stall
+    /// semantics.
+    pub fn send_row(&self, row: usize, src_col: usize, dst_col: usize, msg: RlcMsg) {
+        assert!(src_col != dst_col, "RLC send to self");
+        let dst = row * MESH_DIM + dst_col;
+        self.row_tx[dst][src_col].send(msg).expect("RLC receiver dropped mid-kernel");
+    }
+
+    /// Send on the column bus from `(src_row, col)` to `(dst_row, col)`.
+    pub fn send_col(&self, col: usize, src_row: usize, dst_row: usize, msg: RlcMsg) {
+        assert!(src_row != dst_row, "RLC send to self");
+        let dst = dst_row * MESH_DIM + col;
+        self.col_tx[dst][src_row].send(msg).expect("RLC receiver dropped mid-kernel");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cycles_rounds_up_to_packets() {
+        assert_eq!(transfer_cycles(0), 0.0);
+        assert_eq!(transfer_cycles(1), 1.0);
+        assert_eq!(transfer_cycles(32), 1.0);
+        assert_eq!(transfer_cycles(33), 2.0);
+        assert_eq!(transfer_cycles(256), 8.0);
+    }
+
+    #[test]
+    fn row_message_routing() {
+        let fab = RlcFabric::new();
+        let mut ports_2_3 = fab.take_ports(2 * MESH_DIM + 3);
+        fab.send_row(
+            2,
+            5,
+            3,
+            RlcMsg { sent_at: SimTime::from_seconds(1.0), data: Some(vec![7.0].into()) },
+        );
+        let msg = ports_2_3.row[5].recv().unwrap();
+        assert_eq!(msg.sent_at.seconds(), 1.0);
+        assert_eq!(msg.data.unwrap()[0], 7.0);
+        // Nothing arrived from other senders.
+        ports_2_3.row.remove(5);
+        for rx in &ports_2_3.row {
+            assert!(rx.try_recv().is_err());
+        }
+    }
+
+    #[test]
+    fn col_message_routing() {
+        let fab = RlcFabric::new();
+        let ports = fab.take_ports(6 * MESH_DIM + 1);
+        fab.send_col(1, 0, 6, RlcMsg { sent_at: SimTime::ZERO, data: Some(vec![1.0, 2.0].into()) });
+        let msg = ports.col[0].recv().unwrap();
+        assert_eq!(msg.data.unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn double_take_panics() {
+        let fab = RlcFabric::new();
+        let _a = fab.take_ports(0);
+        let _b = fab.take_ports(0);
+    }
+
+    #[test]
+    fn fifo_depth_is_bounded() {
+        let fab = RlcFabric::new();
+        let _ports = fab.take_ports(3); // keep receiver alive, never read
+        for _ in 0..RLC_FIFO_DEPTH {
+            // Fill the FIFO without blocking.
+            let ok = fab.row_tx[3][0]
+                .try_send(RlcMsg { sent_at: SimTime::ZERO, data: None })
+                .is_ok();
+            assert!(ok);
+        }
+        // One more must report full.
+        let full = fab.row_tx[3][0]
+            .try_send(RlcMsg { sent_at: SimTime::ZERO, data: None })
+            .is_err();
+        assert!(full);
+    }
+}

@@ -1,0 +1,216 @@
+//! Shared views of main memory used by DMA operations.
+//!
+//! On the real chip, all 64 CPEs DMA into the same DDR3 address space and
+//! disjointness of writes is the programmer's responsibility. We mirror that
+//! contract: a [`MemView`] (read) or [`MemViewMut`] (write) is a `Copy`
+//! handle to a host slice that every CPE thread of a mesh launch can hold
+//! simultaneously. Reads are always safe to issue concurrently; concurrent
+//! writes must target disjoint element ranges, which kernel plans guarantee
+//! by construction (each CPE owns distinct output rows/tiles).
+//!
+//! All `unsafe` in the simulator is confined to this module and `dma.rs`,
+//! and the public kernel API only exposes memory through DMA calls.
+
+use std::marker::PhantomData;
+
+/// Read-only view of a `[f32]` region of simulated main memory.
+#[derive(Clone, Copy)]
+pub struct MemView<'a> {
+    ptr: *const f32,
+    len: usize,
+    _marker: PhantomData<&'a [f32]>,
+}
+
+// SAFETY: shared reads of f32 data are data-race free; the lifetime ties the
+// view to the borrow of the underlying slice.
+unsafe impl Send for MemView<'_> {}
+unsafe impl Sync for MemView<'_> {}
+
+impl<'a> MemView<'a> {
+    pub fn new(slice: &'a [f32]) -> Self {
+        MemView { ptr: slice.as_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copy `dst.len()` elements starting at `offset` into `dst`.
+    ///
+    /// Panics if the range is out of bounds (DMA beyond the region is a bug
+    /// in the kernel plan, not a recoverable condition).
+    #[inline]
+    pub fn read(&self, offset: usize, dst: &mut [f32]) {
+        assert!(
+            offset + dst.len() <= self.len,
+            "DMA get out of bounds: {}+{} > {}",
+            offset,
+            dst.len(),
+            self.len
+        );
+        // SAFETY: bounds checked above; source is valid for `len` reads.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(offset), dst.as_mut_ptr(), dst.len());
+        }
+    }
+
+    /// Read a single element (used by gather-style reference paths).
+    #[inline]
+    pub fn at(&self, idx: usize) -> f32 {
+        assert!(idx < self.len, "index {idx} out of bounds {}", self.len);
+        // SAFETY: bounds checked above.
+        unsafe { *self.ptr.add(idx) }
+    }
+
+    /// Sub-view starting at `offset` with `len` elements.
+    #[inline]
+    pub fn slice(&self, offset: usize, len: usize) -> MemView<'a> {
+        assert!(offset + len <= self.len, "subview out of bounds");
+        // SAFETY: in-bounds sub-range of a valid region.
+        MemView { ptr: unsafe { self.ptr.add(offset) }, len, _marker: PhantomData }
+    }
+}
+
+/// Mutable view of a `[f32]` region of simulated main memory.
+///
+/// `Copy` so that all CPE threads of a launch can address the output buffer,
+/// matching the hardware contract. Callers must ensure concurrently written
+/// element ranges are disjoint.
+#[derive(Clone, Copy)]
+pub struct MemViewMut<'a> {
+    ptr: *mut f32,
+    len: usize,
+    _marker: PhantomData<&'a mut [f32]>,
+}
+
+// SAFETY: see module docs — disjoint-write discipline is part of the DMA
+// contract enforced by kernel plans; reads/writes of distinct elements from
+// different threads are race-free.
+unsafe impl Send for MemViewMut<'_> {}
+unsafe impl Sync for MemViewMut<'_> {}
+
+impl<'a> MemViewMut<'a> {
+    pub fn new(slice: &'a mut [f32]) -> Self {
+        MemViewMut { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copy `src` into the region starting at `offset`.
+    #[inline]
+    pub fn write(&self, offset: usize, src: &[f32]) {
+        assert!(
+            offset + src.len() <= self.len,
+            "DMA put out of bounds: {}+{} > {}",
+            offset,
+            src.len(),
+            self.len
+        );
+        // SAFETY: bounds checked; disjointness across threads is the caller's
+        // contract (module docs).
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(offset), src.len());
+        }
+    }
+
+    /// Accumulate `src` into the region starting at `offset` (`dst += src`).
+    ///
+    /// Used by col2im-style scatter-add plans where a CPE owns the whole
+    /// destination range it accumulates into.
+    #[inline]
+    pub fn accumulate(&self, offset: usize, src: &[f32]) {
+        assert!(offset + src.len() <= self.len, "DMA accumulate out of bounds");
+        // SAFETY: bounds checked; exclusive ownership of the range is the
+        // caller's contract.
+        unsafe {
+            let base = self.ptr.add(offset);
+            for (i, v) in src.iter().enumerate() {
+                *base.add(i) += *v;
+            }
+        }
+    }
+
+    /// Read back `dst.len()` elements (DMA get from a mutable region).
+    #[inline]
+    pub fn read(&self, offset: usize, dst: &mut [f32]) {
+        assert!(offset + dst.len() <= self.len, "DMA get out of bounds");
+        // SAFETY: bounds checked.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(offset), dst.as_mut_ptr(), dst.len());
+        }
+    }
+
+    /// Downgrade to a read-only view.
+    #[inline]
+    pub fn as_view(&self) -> MemView<'a> {
+        MemView { ptr: self.ptr, len: self.len, _marker: PhantomData }
+    }
+
+    /// Mutable sub-view.
+    #[inline]
+    pub fn slice(&self, offset: usize, len: usize) -> MemViewMut<'a> {
+        assert!(offset + len <= self.len, "subview out of bounds");
+        // SAFETY: in-bounds sub-range.
+        MemViewMut { ptr: unsafe { self.ptr.add(offset) }, len, _marker: PhantomData }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut mem = vec![0.0f32; 16];
+        let view = MemViewMut::new(&mut mem);
+        view.write(4, &[1.0, 2.0, 3.0]);
+        let mut out = [0.0f32; 3];
+        view.read(4, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+        assert_eq!(view.as_view().at(5), 2.0);
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut mem = vec![1.0f32; 8];
+        let view = MemViewMut::new(&mut mem);
+        view.accumulate(2, &[0.5, 0.5]);
+        assert_eq!(mem[2], 1.5);
+        assert_eq!(mem[3], 1.5);
+        assert_eq!(mem[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let mem = vec![0.0f32; 4];
+        let view = MemView::new(&mem);
+        let mut dst = [0.0f32; 8];
+        view.read(0, &mut dst);
+    }
+
+    #[test]
+    fn subviews() {
+        let mut mem: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let v = MemViewMut::new(&mut mem);
+        let sub = v.slice(5, 3);
+        assert_eq!(sub.len(), 3);
+        let mut got = [0.0; 2];
+        sub.read(1, &mut got);
+        assert_eq!(got, [6.0, 7.0]);
+    }
+}

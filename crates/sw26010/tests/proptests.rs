@@ -1,0 +1,124 @@
+//! Property-based tests of the processor simulator: cost-model sanity
+//! (monotonicity, bounds) and functional correctness of mesh primitives
+//! under arbitrary shapes.
+
+use proptest::prelude::*;
+use sw26010::{dma, run_mesh, ExecMode, MemView, MemViewMut};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn continuous_bandwidth_bounded_and_monotone(
+        size in 16usize..64_000,
+        ncpes in 1usize..=64,
+    ) {
+        let bw = dma::continuous_aggregate_bandwidth(size, ncpes);
+        prop_assert!(bw > 0.0);
+        prop_assert!(bw <= sw26010::arch::DMA_PEAK_BANDWIDTH * 1.0001);
+        // Larger transfers never lose bandwidth.
+        let bw2 = dma::continuous_aggregate_bandwidth(size * 2, ncpes);
+        prop_assert!(bw2 >= bw * 0.999, "{bw} -> {bw2}");
+        // More CPEs never lose aggregate bandwidth.
+        if ncpes < 64 {
+            let bw3 = dma::continuous_aggregate_bandwidth(size, ncpes + 1);
+            prop_assert!(bw3 >= bw * 0.999);
+        }
+    }
+
+    #[test]
+    fn strided_never_beats_continuous(
+        block in 4usize..4096,
+        total in 1024usize..32_768,
+        ncpes in 1usize..=64,
+    ) {
+        prop_assume!(block <= total);
+        let strided = dma::strided_aggregate_bandwidth(block, total, ncpes);
+        let continuous = dma::continuous_aggregate_bandwidth(total, ncpes);
+        prop_assert!(strided <= continuous * 1.0001, "strided {strided} > continuous {continuous}");
+    }
+
+    #[test]
+    fn dma_time_additive_in_requests(bytes in 64usize..32_768, ncpes in 1usize..=64) {
+        // Two requests cost strictly more than one request of double size
+        // (the second start-up latency).
+        let one = dma::continuous_time(2 * bytes, ncpes).seconds();
+        let two = 2.0 * dma::continuous_time(bytes, ncpes).seconds();
+        prop_assert!(two > one);
+    }
+
+    #[test]
+    fn mesh_scatter_gather_roundtrip(
+        ncpes in 1usize..=64,
+        per_cpe in 1usize..128,
+    ) {
+        // Every CPE stages its slice, negates it, writes it back; the
+        // result must be the exact negation regardless of mesh size.
+        let input: Vec<f32> = (0..ncpes * per_cpe).map(|i| i as f32 - 17.0).collect();
+        let mut output = vec![0.0f32; input.len()];
+        let src = MemView::new(&input);
+        let dst = MemViewMut::new(&mut output);
+        run_mesh(ExecMode::Functional, ncpes, |cpe| {
+            let mut buf = cpe.ldm.alloc_f32(per_cpe);
+            cpe.dma_get(src, cpe.idx() * per_cpe, &mut buf);
+            cpe.compute(per_cpe as u64, || {
+                for v in buf.iter_mut() {
+                    *v = -*v;
+                }
+            });
+            cpe.dma_put(dst, cpe.idx() * per_cpe, &buf);
+        });
+        for (o, i) in output.iter().zip(&input) {
+            prop_assert_eq!(*o, -i);
+        }
+    }
+
+    #[test]
+    fn mesh_row_rotation_is_a_permutation(shift in 1usize..8) {
+        // Rotate values around each row by `shift` hops over the register
+        // buses; the multiset of values per row must be preserved.
+        let mut out = vec![0.0f32; 64];
+        let view = MemViewMut::new(&mut out);
+        run_mesh(ExecMode::Functional, 64, |cpe| {
+            let mut val = [cpe.idx() as f64];
+            let mut recv = [0.0f64];
+            for _ in 0..shift {
+                let dst = (cpe.col() + 1) % 8;
+                let src = (cpe.col() + 7) % 8;
+                cpe.rlc_row_send(dst, &val);
+                cpe.rlc_row_recv(src, &mut recv);
+                val[0] = recv[0];
+            }
+            cpe.dma_put(view, cpe.idx(), &[val[0] as f32]);
+        });
+        for row in 0..8 {
+            let mut vals: Vec<i32> = out[row * 8..][..8].iter().map(|v| *v as i32).collect();
+            vals.sort_unstable();
+            let want: Vec<i32> = (0..8).map(|c| (row * 8 + c) as i32).collect();
+            prop_assert_eq!(vals, want, "row {} lost values", row);
+        }
+    }
+
+    #[test]
+    fn timing_equals_between_modes_for_symmetric_kernels(
+        ncpes in 1usize..=64,
+        elems in 1usize..512,
+        flops in 1u64..10_000,
+    ) {
+        let data = vec![1.0f32; ncpes * elems];
+        let src = MemView::new(&data);
+        let run = |mode| {
+            run_mesh(mode, ncpes, |cpe| {
+                let mut buf = cpe.ldm.alloc_f32(elems);
+                cpe.dma_get(src, cpe.idx() * elems, &mut buf);
+                cpe.charge_flops(flops);
+                cpe.sync();
+            })
+        };
+        let f = run(ExecMode::Functional);
+        let t = run(ExecMode::TimingOnly);
+        prop_assert!((f.elapsed.seconds() - t.elapsed.seconds()).abs() < 1e-15);
+        prop_assert_eq!(f.stats.flops, t.stats.flops);
+        prop_assert_eq!(f.stats.dma_get_bytes, t.stats.dma_get_bytes);
+    }
+}

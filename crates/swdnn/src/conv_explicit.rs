@@ -1,0 +1,364 @@
+//! Explicit-GEMM convolution: im2col -> GEMM -> col2im (Sec. IV-B-1).
+//!
+//! This is the plan inherited from original Caffe, re-hosted on the CPE
+//! cluster: the lowering runs as the Fig. 4 DMA kernels and the matrix
+//! product as the register-communication GEMM. It is the only plan that
+//! handles arbitrary channel counts (the first layers of every network),
+//! at the price of materialising the `(K*K*N_i) x (R_o*C_o)` column matrix
+//! in main memory once per image and direction.
+
+use sw26010::{CoreGroup, LaunchReport, SimTime};
+
+use crate::gemm::{self, GemmOperands, TilePlan};
+use crate::im2col::{self, Col2imOperands, Im2colOperands};
+use crate::shapes::{ConvShape, GemmDims, Trans};
+
+/// Functional operands of a forward convolution, all NCHW row-major:
+/// input `(B, N_i, R_i, C_i)`, weights `(N_o, N_i, K, K)`,
+/// output `(B, N_o, R_o, C_o)`.
+pub struct ConvFwdOperands<'a> {
+    pub input: &'a [f32],
+    pub weights: &'a [f32],
+    pub output: &'a mut [f32],
+}
+
+/// Functional operands of a backward convolution. Either gradient target
+/// may be omitted (e.g. the first layer never needs `in_grad`).
+pub struct ConvBwdOperands<'a> {
+    pub input: &'a [f32],
+    pub weights: &'a [f32],
+    pub out_grad: &'a [f32],
+    pub in_grad: Option<&'a mut [f32]>,
+    /// Overwritten (not accumulated) — the batch loop accumulates
+    /// internally via the GEMM's beta.
+    pub w_grad: Option<&'a mut [f32]>,
+}
+
+fn fwd_gemm_dims(shape: &ConvShape) -> GemmDims {
+    GemmDims::new(shape.out_c, shape.col_cols(), shape.col_rows())
+}
+
+/// Forward convolution with the explicit plan.
+pub fn forward(cg: &mut CoreGroup, shape: &ConvShape, ops: Option<ConvFwdOperands<'_>>) -> LaunchReport {
+    if !cg.mode().is_functional() {
+        let report = LaunchReport { elapsed: forward_time(shape), stats: Default::default() };
+        cg.charge(report.elapsed);
+        return report;
+    }
+    let ops = ops.expect("functional conv requires operands");
+    assert_eq!(ops.input.len(), shape.input_len());
+    assert_eq!(ops.weights.len(), shape.weight_len());
+    assert_eq!(ops.output.len(), shape.output_len());
+    let per_in = shape.in_c * shape.in_h * shape.in_w;
+    let per_out = shape.out_c * shape.out_h() * shape.out_w();
+    let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
+    let mut total = LaunchReport::default();
+    for b in 0..shape.batch {
+        total.merge(&im2col::im2col(
+            cg,
+            shape,
+            Some(Im2colOperands { image: &ops.input[b * per_in..][..per_in], cols: &mut cols }),
+        ));
+        total.merge(&gemm::gemm(
+            cg,
+            fwd_gemm_dims(shape),
+            Trans::No,
+            Trans::No,
+            0.0,
+            Some(GemmOperands {
+                a: ops.weights,
+                b: &cols,
+                c: &mut ops.output[b * per_out..][..per_out],
+            }),
+        ));
+    }
+    total
+}
+
+/// Backward convolution with the explicit plan.
+pub fn backward(cg: &mut CoreGroup, shape: &ConvShape, ops: Option<ConvBwdOperands<'_>>) -> LaunchReport {
+    if !cg.mode().is_functional() {
+        // Timing mode has no operand optionality information; charge the
+        // full backward (both gradients), the common case during training.
+        let report = LaunchReport {
+            elapsed: backward_weights_time(shape) + backward_input_time(shape),
+            stats: Default::default(),
+        };
+        cg.charge(report.elapsed);
+        return report;
+    }
+    let mut ops = ops.expect("functional conv requires operands");
+    let per_in = shape.in_c * shape.in_h * shape.in_w;
+    let per_out = shape.out_c * shape.out_h() * shape.out_w();
+    let col_len = shape.col_rows() * shape.col_cols();
+    let mut cols = vec![0.0f32; col_len];
+    let mut total = LaunchReport::default();
+
+    if let Some(w_grad) = ops.w_grad.as_deref_mut() {
+        assert_eq!(w_grad.len(), shape.weight_len());
+        for b in 0..shape.batch {
+            total.merge(&im2col::im2col(
+                cg,
+                shape,
+                Some(Im2colOperands {
+                    image: &ops.input[b * per_in..][..per_in],
+                    cols: &mut cols,
+                }),
+            ));
+            // dW (No x KKNi) += dY_b (No x CoRo) * cols_b^T.
+            total.merge(&gemm::gemm(
+                cg,
+                GemmDims::new(shape.out_c, shape.col_rows(), shape.col_cols()),
+                Trans::No,
+                Trans::Yes,
+                if b == 0 { 0.0 } else { 1.0 },
+                Some(GemmOperands {
+                    a: &ops.out_grad[b * per_out..][..per_out],
+                    b: &cols,
+                    c: w_grad,
+                }),
+            ));
+        }
+    }
+
+    if let Some(in_grad) = ops.in_grad.as_deref_mut() {
+        assert_eq!(in_grad.len(), shape.input_len());
+        for b in 0..shape.batch {
+            // dCols (KKNi x CoRo) = W^T * dY_b, then col2im.
+            total.merge(&gemm::gemm(
+                cg,
+                GemmDims::new(shape.col_rows(), shape.col_cols(), shape.out_c),
+                Trans::Yes,
+                Trans::No,
+                0.0,
+                Some(GemmOperands {
+                    a: ops.weights,
+                    b: &ops.out_grad[b * per_out..][..per_out],
+                    c: &mut cols,
+                }),
+            ));
+            total.merge(&im2col::col2im(
+                cg,
+                shape,
+                Some(Col2imOperands {
+                    cols: &cols,
+                    image: &mut in_grad[b * per_in..][..per_in],
+                }),
+            ));
+        }
+    }
+    total
+}
+
+/// Duration of the explicit forward pass for the whole batch.
+pub fn forward_time(shape: &ConvShape) -> SimTime {
+    let dims = fwd_gemm_dims(shape);
+    let per_image = im2col::time_model_im2col(shape).seconds()
+        + gemm::time_model(dims, 0.0, TilePlan::choose(dims)).seconds();
+    SimTime::from_seconds(shape.batch as f64 * per_image)
+}
+
+/// Duration of the explicit weight-gradient pass for the whole batch.
+pub fn backward_weights_time(shape: &ConvShape) -> SimTime {
+    let dims = GemmDims::new(shape.out_c, shape.col_rows(), shape.col_cols());
+    let per_image = im2col::time_model_im2col(shape).seconds()
+        + gemm::time_model(dims, 1.0, TilePlan::choose(dims)).seconds();
+    SimTime::from_seconds(shape.batch as f64 * per_image)
+}
+
+/// Duration of the explicit input-gradient pass for the whole batch.
+pub fn backward_input_time(shape: &ConvShape) -> SimTime {
+    let dims = GemmDims::new(shape.col_rows(), shape.col_cols(), shape.out_c);
+    let per_image = gemm::time_model(dims, 0.0, TilePlan::choose(dims)).seconds()
+        + im2col::time_model_col2im(shape).seconds();
+    SimTime::from_seconds(shape.batch as f64 * per_image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sw26010::ExecMode;
+
+    fn pattern(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(2862933555777941757).wrapping_add(seed);
+                ((x >> 40) % 200) as f32 / 100.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn check_shape(shape: ConvShape) {
+        shape.validate().unwrap();
+        let input = pattern(shape.input_len(), 11);
+        let weights = pattern(shape.weight_len(), 22);
+        let out_grad = pattern(shape.output_len(), 33);
+
+        // Forward.
+        let mut want_out = vec![0.0; shape.output_len()];
+        reference::conv_forward(&shape, &input, &weights, &mut want_out);
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        let mut got_out = vec![0.0; shape.output_len()];
+        forward(
+            &mut cg,
+            &shape,
+            Some(ConvFwdOperands { input: &input, weights: &weights, output: &mut got_out }),
+        );
+        for (i, (g, w)) in got_out.iter().zip(&want_out).enumerate() {
+            assert!((g - w).abs() < 1e-3 * w.abs().max(1.0), "fwd {shape:?} elem {i}: {g} vs {w}");
+        }
+
+        // Backward.
+        let mut want_ig = vec![0.0; shape.input_len()];
+        let mut want_wg = vec![0.0; shape.weight_len()];
+        reference::conv_backward(&shape, &input, &weights, &out_grad, &mut want_ig, &mut want_wg);
+        let mut got_ig = vec![0.0; shape.input_len()];
+        let mut got_wg = vec![0.0; shape.weight_len()];
+        backward(
+            &mut cg,
+            &shape,
+            Some(ConvBwdOperands {
+                input: &input,
+                weights: &weights,
+                out_grad: &out_grad,
+                in_grad: Some(&mut got_ig),
+                w_grad: Some(&mut got_wg),
+            }),
+        );
+        for (i, (g, w)) in got_wg.iter().zip(&want_wg).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-2 * w.abs().max(1.0),
+                "w_grad {shape:?} elem {i}: {g} vs {w}"
+            );
+        }
+        for (i, (g, w)) in got_ig.iter().zip(&want_ig).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-2 * w.abs().max(1.0),
+                "in_grad {shape:?} elem {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn padded_stride1() {
+        check_shape(ConvShape {
+            batch: 2,
+            in_c: 3,
+            in_h: 8,
+            in_w: 8,
+            out_c: 5,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        });
+    }
+
+    #[test]
+    fn strided_unpadded() {
+        check_shape(ConvShape {
+            batch: 2,
+            in_c: 2,
+            in_h: 11,
+            in_w: 11,
+            out_c: 4,
+            k: 3,
+            stride: 2,
+            pad: 0,
+        });
+    }
+
+    #[test]
+    fn kernel_5_stride_3() {
+        check_shape(ConvShape {
+            batch: 1,
+            in_c: 2,
+            in_h: 13,
+            in_w: 13,
+            out_c: 3,
+            k: 5,
+            stride: 3,
+            pad: 2,
+        });
+    }
+
+    #[test]
+    fn one_by_one_conv() {
+        check_shape(ConvShape {
+            batch: 2,
+            in_c: 6,
+            in_h: 5,
+            in_w: 5,
+            out_c: 4,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        });
+    }
+
+    #[test]
+    fn timing_mode_charges_models() {
+        let shape = ConvShape {
+            batch: 4,
+            in_c: 64,
+            in_h: 56,
+            in_w: 56,
+            out_c: 128,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        let f = forward(&mut cg, &shape, None);
+        assert_eq!(f.elapsed, forward_time(&shape));
+        let b = backward(&mut cg, &shape, None);
+        assert_eq!(
+            b.elapsed,
+            backward_weights_time(&shape) + backward_input_time(&shape)
+        );
+        assert!(
+            (cg.elapsed().seconds() - (f.elapsed + b.elapsed).seconds()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn early_layers_pay_more_for_im2col() {
+        // Paper Sec. VI-A: im2col/col2im account for most of the time in
+        // the first layers (large images, few channels) and little in the
+        // deep layers. Compare the im2col share of conv1_1 vs conv4_1.
+        let conv1_1 = ConvShape {
+            batch: 1,
+            in_c: 3,
+            in_h: 224,
+            in_w: 224,
+            out_c: 64,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let conv4_1 = ConvShape {
+            batch: 1,
+            in_c: 256,
+            in_h: 28,
+            in_w: 28,
+            out_c: 512,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let share = |s: &ConvShape| {
+            im2col::time_model_im2col(s).seconds() / forward_time(s).seconds()
+        };
+        let early = share(&conv1_1);
+        let deep = share(&conv4_1);
+        assert!(
+            early > 2.0 * deep,
+            "early share {early:.3} should dwarf deep share {deep:.3}"
+        );
+        // And conv1_1's effective rate must be far below peak (the paper
+        // reports single-digit Gflops there vs ~740 peak).
+        let dims = fwd_gemm_dims(&conv1_1);
+        let gflops = dims.flops() as f64 / forward_time(&conv1_1).seconds() / 1e9;
+        assert!(gflops < 120.0, "conv1_1 at {gflops:.0} Gflops is implausibly fast");
+    }
+}

@@ -1,0 +1,1004 @@
+//! Implicit-GEMM convolution (Sec. IV-B-2, after swDNN \[4\]).
+//!
+//! No column matrix is ever materialised: the convolution is computed as a
+//! sum of K*K small matrix products directly from the `(R, C, N, B)` data
+//! layout, in which the (channel, batch) fibre at each pixel is a
+//! contiguous `N x B` block. The output tile stays resident in LDM across
+//! the whole K*K x channel-panel reduction — the data-reuse blocking the
+//! paper credits for beating the explicit plan on most layers.
+//!
+//! Zero padding is handled by *coordinate mapping* (the paper's padding
+//! optimisation): out-of-range taps contribute zero tiles and skip their
+//! DMA, with no padded copy of the input anywhere.
+//!
+//! The strategy degrades for small channel counts — tiles shrink below
+//! what the register buses and vector pipelines need (the paper gates it
+//! at 64 channels) — which the [`supports_forward`]/[`supports_backward`]
+//! predicates encode for the mixed-strategy chooser.
+
+use sw26010::arch::MESH_DIM;
+use sw26010::rlc::{transfer_cycles, RLC_HOP_CYCLES};
+use sw26010::{dma, CoreGroup, Cpe, LaunchReport, MemView, MemViewMut, SimTime};
+
+use crate::shapes::ConvShape;
+
+/// Tile edge for a channel-like dimension.
+fn pick_tile(d: usize) -> usize {
+    d.div_ceil(MESH_DIM).clamp(1, 32)
+}
+
+/// Tile width along the flattened `(x, batch)` dimension: the largest
+/// divisor of the batch size not exceeding 32, so a tile never straddles
+/// two pixels' batch fibres.
+fn pick_nt(batch: usize) -> usize {
+    (1..=32.min(batch)).rev().find(|d| batch.is_multiple_of(*d)).unwrap_or(1)
+}
+
+/// Strategy gate, forward: the paper's implicit plan needs >= 64 input
+/// channels to feed the 256-bit SIMD and register communication.
+pub fn supports_forward(shape: &ConvShape) -> bool {
+    shape.in_c >= 64
+}
+
+/// Strategy gate, backward (both gradients): Table II shows the implicit
+/// backward plans only win (or run at all) from 128 channels on each side.
+pub fn supports_backward(shape: &ConvShape) -> bool {
+    shape.in_c.min(shape.out_c) >= 128
+}
+
+/// Functional operands of an implicit forward convolution:
+/// input `(R_i, C_i, N_i, B)`, weights `(K, K, N_o, N_i)`,
+/// output `(R_o, C_o, N_o, B)`.
+pub struct ImplicitFwdOperands<'a> {
+    pub input: &'a [f32],
+    pub weights: &'a [f32],
+    pub output: &'a mut [f32],
+}
+
+/// Functional operands of an implicit backward convolution.
+pub struct ImplicitBwdOperands<'a> {
+    pub input: &'a [f32],
+    pub weights: &'a [f32],
+    pub out_grad: &'a [f32],
+    pub in_grad: Option<&'a mut [f32]>,
+    /// Overwritten `(K, K, N_o, N_i)` weight gradient.
+    pub w_grad: Option<&'a mut [f32]>,
+}
+
+/// Stage an `(rows x block)` group of batch-fibre blocks into `stage` and
+/// widen into the zero-padded f64 `tile` of extents `tr x tc`, optionally
+/// transposing. `base` addresses element `(0, 0)`; consecutive rows are
+/// `stride` elements apart.
+#[allow(clippy::too_many_arguments)]
+fn load_fibre_tile(
+    cpe: &mut Cpe,
+    src: MemView<'_>,
+    base: usize,
+    block: usize,
+    stride: usize,
+    rows: usize,
+    tr: usize,
+    tc: usize,
+    transpose: bool,
+    stage: &mut [f32],
+    tile: &mut [f64],
+) {
+    if rows == 0 || block == 0 {
+        cpe.compute((tr * tc) as u64, || tile.fill(0.0));
+        return;
+    }
+    cpe.dma_get_strided(src, base, block, stride, rows, stage);
+    cpe.compute((tr * tc) as u64, || {
+        tile.fill(0.0);
+        if transpose {
+            for r in 0..rows {
+                for c in 0..block {
+                    tile[c * tc + r] = stage[r * block + c] as f64;
+                }
+            }
+        } else {
+            for r in 0..rows {
+                for c in 0..block {
+                    tile[r * tc + c] = stage[r * block + c] as f64;
+                }
+            }
+        }
+    });
+}
+
+/// The 8-step broadcast-and-accumulate core shared by all three kernels.
+fn rlc_steps(
+    cpe: &mut Cpe,
+    a64: &[f64],
+    b64: &[f64],
+    abuf: &mut [f64],
+    bbuf: &mut [f64],
+    c64: &mut [f64],
+    mt: usize,
+    nt: usize,
+    kt: usize,
+) {
+    let (i, j) = (cpe.row(), cpe.col());
+    for t in 0..MESH_DIM {
+        if j == t {
+            cpe.rlc_row_bcast(a64);
+        } else {
+            cpe.rlc_row_recv(t, abuf);
+        }
+        if i == t {
+            cpe.rlc_col_bcast(b64);
+        } else {
+            cpe.rlc_col_recv(t, bbuf);
+        }
+        let at: &[f64] = if j == t { a64 } else { abuf };
+        let bt: &[f64] = if i == t { b64 } else { bbuf };
+        cpe.compute((2 * mt * nt * kt) as u64, || {
+            for r in 0..mt {
+                for tt in 0..kt {
+                    let av = at[r * kt + tt];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for cc in 0..nt {
+                        c64[r * nt + cc] += av * bt[tt * nt + cc];
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Implicit forward convolution.
+pub fn forward(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    ops: Option<ImplicitFwdOperands<'_>>,
+) -> LaunchReport {
+    if !cg.mode().is_functional() {
+        let report = LaunchReport { elapsed: forward_time(shape), stats: Default::default() };
+        cg.charge(report.elapsed);
+        return report;
+    }
+    let ops = ops.expect("functional conv requires operands");
+    assert_eq!(ops.input.len(), shape.input_len());
+    assert_eq!(ops.weights.len(), shape.weight_len());
+    assert_eq!(ops.output.len(), shape.output_len());
+
+    let s = *shape;
+    let b = s.batch;
+    let (no, ni) = (s.out_c, s.in_c);
+    let (ow, iw, ih, oh) = (s.out_w(), s.in_w, s.in_h, s.out_h());
+    let (mt, nt, kt) = (pick_tile(no), pick_nt(b), pick_tile(ni));
+    let panels_m = no.div_ceil(MESH_DIM * mt);
+    let panels_n = (ow * b).div_ceil(MESH_DIM * nt);
+    let panels_k = ni.div_ceil(MESH_DIM * kt);
+
+    let input = MemView::new(ops.input);
+    let weights = MemView::new(ops.weights);
+    let output = MemViewMut::new(ops.output);
+
+    let mut total = LaunchReport::default();
+    for pm in 0..panels_m {
+        for pn in 0..panels_n {
+            let report = cg.run(64, |cpe| {
+                let (i, j) = (cpe.row(), cpe.col());
+                let m0 = pm * MESH_DIM * mt + i * mt;
+                let vm = no.saturating_sub(m0).min(mt);
+                let col0 = pn * MESH_DIM * nt + j * nt;
+                let (x_out, b0) = (col0 / b, col0 % b);
+                let vn = if x_out < ow { nt } else { 0 };
+
+                let mut a64 = cpe.ldm.alloc_f64(mt * kt);
+                let mut b64 = cpe.ldm.alloc_f64(kt * nt);
+                let mut c64 = cpe.ldm.alloc_f64(mt * nt);
+                let mut abuf = cpe.ldm.alloc_f64(mt * kt);
+                let mut bbuf = cpe.ldm.alloc_f64(kt * nt);
+                let mut stage = cpe.ldm.alloc_f32(mt.max(kt) * nt.max(kt));
+
+                for oy in 0..oh {
+                    cpe.compute((mt * nt) as u64, || c64.fill(0.0));
+                    for ky in 0..s.k {
+                        let y = (oy * s.stride + ky) as isize - s.pad as isize;
+                        if y < 0 || y as usize >= ih {
+                            continue; // coordinate-mapped padding (uniform skip)
+                        }
+                        let y = y as usize;
+                        for kx in 0..s.k {
+                            let x = (x_out * s.stride + kx) as isize - s.pad as isize;
+                            let x_ok = x >= 0 && (x as usize) < iw;
+                            for pk in 0..panels_k {
+                                // Own W tile: rows m0.., channel cols by j.
+                                let kw0 = pk * MESH_DIM * kt + j * kt;
+                                let vkw = ni.saturating_sub(kw0).min(kt);
+                                load_fibre_tile(
+                                    cpe,
+                                    weights,
+                                    ((ky * s.k + kx) * no + m0) * ni + kw0,
+                                    if vm > 0 { vkw } else { 0 },
+                                    ni,
+                                    vm,
+                                    mt,
+                                    kt,
+                                    false,
+                                    &mut stage,
+                                    &mut a64,
+                                );
+                                // Own X tile: channel rows by i, batch fibre cols.
+                                let kx0 = pk * MESH_DIM * kt + i * kt;
+                                let vkx = ni.saturating_sub(kx0).min(kt);
+                                let x_rows = if x_ok && vn > 0 { vkx } else { 0 };
+                                load_fibre_tile(
+                                    cpe,
+                                    input,
+                                    if x_ok {
+                                        ((y * iw + x as usize) * ni + kx0) * b + b0
+                                    } else {
+                                        0
+                                    },
+                                    vn,
+                                    b,
+                                    x_rows,
+                                    kt,
+                                    nt,
+                                    false,
+                                    &mut stage,
+                                    &mut b64,
+                                );
+                                rlc_steps(cpe, &a64, &b64, &mut abuf, &mut bbuf, &mut c64, mt, nt, kt);
+                            }
+                        }
+                    }
+                    // Store the finished output tile for this row.
+                    if vm > 0 && vn > 0 {
+                        cpe.compute((mt * nt) as u64, || {
+                            for r in 0..vm {
+                                for cc in 0..vn {
+                                    stage[r * vn + cc] = c64[r * nt + cc] as f32;
+                                }
+                            }
+                        });
+                        cpe.dma_put_strided(
+                            output,
+                            ((oy * ow + x_out) * no + m0) * b + b0,
+                            vn,
+                            b,
+                            vm,
+                            &stage,
+                        );
+                    } else {
+                        cpe.charge_flops((mt * nt) as u64);
+                    }
+                }
+            });
+            total.merge(&report);
+        }
+    }
+    total
+}
+
+/// Implicit backward convolution (input and/or weight gradients).
+pub fn backward(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    ops: Option<ImplicitBwdOperands<'_>>,
+) -> LaunchReport {
+    if !cg.mode().is_functional() {
+        let report = LaunchReport {
+            elapsed: backward_weights_time(shape) + backward_input_time(shape),
+            stats: Default::default(),
+        };
+        cg.charge(report.elapsed);
+        return report;
+    }
+    let mut ops = ops.expect("functional conv requires operands");
+    let mut total = LaunchReport::default();
+    if let Some(w_grad) = ops.w_grad.as_deref_mut() {
+        total.merge(&backward_weights_mesh(cg, shape, ops.input, ops.out_grad, w_grad));
+    }
+    if let Some(in_grad) = ops.in_grad.as_deref_mut() {
+        total.merge(&backward_input_mesh(cg, shape, ops.weights, ops.out_grad, in_grad));
+    }
+    total
+}
+
+fn backward_input_mesh(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    weights: &[f32],
+    out_grad: &[f32],
+    in_grad: &mut [f32],
+) -> LaunchReport {
+    let s = *shape;
+    assert_eq!(weights.len(), s.weight_len());
+    assert_eq!(out_grad.len(), s.output_len());
+    assert_eq!(in_grad.len(), s.input_len());
+    let b = s.batch;
+    let (no, ni) = (s.out_c, s.in_c);
+    let (ow, iw, ih, oh) = (s.out_w(), s.in_w, s.in_h, s.out_h());
+    // M = N_i, shared = N_o, N = C_i * B.
+    let (mt, nt, kt) = (pick_tile(ni), pick_nt(b), pick_tile(no));
+    let panels_m = ni.div_ceil(MESH_DIM * mt);
+    let panels_n = (iw * b).div_ceil(MESH_DIM * nt);
+    let panels_k = no.div_ceil(MESH_DIM * kt);
+
+    let w_view = MemView::new(weights);
+    let dy = MemView::new(out_grad);
+    let dx = MemViewMut::new(in_grad);
+
+    let mut total = LaunchReport::default();
+    for pm in 0..panels_m {
+        for pn in 0..panels_n {
+            let report = cg.run(64, |cpe| {
+                let (i, j) = (cpe.row(), cpe.col());
+                let m0 = pm * MESH_DIM * mt + i * mt;
+                let vm = ni.saturating_sub(m0).min(mt);
+                let col0 = pn * MESH_DIM * nt + j * nt;
+                let (x_in, b0) = (col0 / b, col0 % b);
+                let vn = if x_in < iw { nt } else { 0 };
+
+                let mut a64 = cpe.ldm.alloc_f64(mt * kt);
+                let mut b64 = cpe.ldm.alloc_f64(kt * nt);
+                let mut c64 = cpe.ldm.alloc_f64(mt * nt);
+                let mut abuf = cpe.ldm.alloc_f64(mt * kt);
+                let mut bbuf = cpe.ldm.alloc_f64(kt * nt);
+                let mut stage = cpe.ldm.alloc_f32(mt.max(kt) * nt.max(kt));
+
+                for y in 0..ih {
+                    cpe.compute((mt * nt) as u64, || c64.fill(0.0));
+                    for ky in 0..s.k {
+                        let oy_num = y as isize + s.pad as isize - ky as isize;
+                        if oy_num < 0 || !(oy_num as usize).is_multiple_of(s.stride) {
+                            continue;
+                        }
+                        let oy = oy_num as usize / s.stride;
+                        if oy >= oh {
+                            continue;
+                        }
+                        for kx in 0..s.k {
+                            let ox_num = x_in as isize + s.pad as isize - kx as isize;
+                            let ox_ok = ox_num >= 0
+                                && (ox_num as usize).is_multiple_of(s.stride)
+                                && (ox_num as usize / s.stride) < ow;
+                            let ox = if ox_ok { ox_num as usize / s.stride } else { 0 };
+                            for pk in 0..panels_k {
+                                // Own W^T tile: rows = in-channels m0..,
+                                // cols = out-channels by j; W is (K,K,No,Ni)
+                                // so load channel-major and transpose.
+                                let ko0 = pk * MESH_DIM * kt + j * kt;
+                                let vko = no.saturating_sub(ko0).min(kt);
+                                load_fibre_tile(
+                                    cpe,
+                                    w_view,
+                                    ((ky * s.k + kx) * no + ko0) * ni + m0,
+                                    if vko > 0 { vm } else { 0 },
+                                    ni,
+                                    vko,
+                                    mt,
+                                    kt,
+                                    true,
+                                    &mut stage,
+                                    &mut a64,
+                                );
+                                // Own dY tile: out-channel rows by i.
+                                let ko0i = pk * MESH_DIM * kt + i * kt;
+                                let vkoi = no.saturating_sub(ko0i).min(kt);
+                                let rows = if ox_ok && vn > 0 { vkoi } else { 0 };
+                                load_fibre_tile(
+                                    cpe,
+                                    dy,
+                                    if ox_ok { ((oy * ow + ox) * no + ko0i) * b + b0 } else { 0 },
+                                    vn,
+                                    b,
+                                    rows,
+                                    kt,
+                                    nt,
+                                    false,
+                                    &mut stage,
+                                    &mut b64,
+                                );
+                                rlc_steps(cpe, &a64, &b64, &mut abuf, &mut bbuf, &mut c64, mt, nt, kt);
+                            }
+                        }
+                    }
+                    if vm > 0 && vn > 0 {
+                        cpe.compute((mt * nt) as u64, || {
+                            for r in 0..vm {
+                                for cc in 0..vn {
+                                    stage[r * vn + cc] = c64[r * nt + cc] as f32;
+                                }
+                            }
+                        });
+                        cpe.dma_put_strided(dx, ((y * iw + x_in) * ni + m0) * b + b0, vn, b, vm, &stage);
+                    } else {
+                        cpe.charge_flops((mt * nt) as u64);
+                    }
+                }
+            });
+            total.merge(&report);
+        }
+    }
+    total
+}
+
+fn backward_weights_mesh(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    input: &[f32],
+    out_grad: &[f32],
+    w_grad: &mut [f32],
+) -> LaunchReport {
+    let s = *shape;
+    assert_eq!(input.len(), s.input_len());
+    assert_eq!(out_grad.len(), s.output_len());
+    assert_eq!(w_grad.len(), s.weight_len());
+    let b = s.batch;
+    let (no, ni) = (s.out_c, s.in_c);
+    let (ow, iw, ih, oh) = (s.out_w(), s.in_w, s.in_h, s.out_h());
+    // M = N_o, N = N_i, shared = R_o x C_o x B (looped row by row).
+    let (mt, ntw, kt) = (pick_tile(no), pick_tile(ni), pick_nt(b));
+    let panels_m = no.div_ceil(MESH_DIM * mt);
+    let panels_n = ni.div_ceil(MESH_DIM * ntw);
+    let panels_k = (ow * b).div_ceil(MESH_DIM * kt);
+
+    let x_view = MemView::new(input);
+    let dy = MemView::new(out_grad);
+    let dw = MemViewMut::new(w_grad);
+
+    let mut total = LaunchReport::default();
+    for ky in 0..s.k {
+        for kx in 0..s.k {
+            for pm in 0..panels_m {
+                for pn in 0..panels_n {
+                    let report = cg.run(64, |cpe| {
+                        let (i, j) = (cpe.row(), cpe.col());
+                        let m0 = pm * MESH_DIM * mt + i * mt;
+                        let vm = no.saturating_sub(m0).min(mt);
+                        let n0 = pn * MESH_DIM * ntw + j * ntw;
+                        let vnw = ni.saturating_sub(n0).min(ntw);
+
+                        let mut a64 = cpe.ldm.alloc_f64(mt * kt);
+                        let mut b64 = cpe.ldm.alloc_f64(kt * ntw);
+                        let mut c64 = cpe.ldm.alloc_f64(mt * ntw);
+                        let mut abuf = cpe.ldm.alloc_f64(mt * kt);
+                        let mut bbuf = cpe.ldm.alloc_f64(kt * ntw);
+                        let mut stage = cpe.ldm.alloc_f32(mt.max(kt) * ntw.max(kt));
+
+                        cpe.compute((mt * ntw) as u64, || c64.fill(0.0));
+                        for oy in 0..oh {
+                            let y = (oy * s.stride + ky) as isize - s.pad as isize;
+                            if y < 0 || y as usize >= ih {
+                                continue;
+                            }
+                            let y = y as usize;
+                            for pk in 0..panels_k {
+                                // Own dY tile: out-channel rows m0.., shared
+                                // (x_out, b) cols by j.
+                                let cj0 = pk * MESH_DIM * kt + j * kt;
+                                let (xo_j, b0_j) = (cj0 / b, cj0 % b);
+                                let a_rows = if xo_j < ow { vm } else { 0 };
+                                load_fibre_tile(
+                                    cpe,
+                                    dy,
+                                    if xo_j < ow { ((oy * ow + xo_j) * no + m0) * b + b0_j } else { 0 },
+                                    kt,
+                                    b,
+                                    a_rows,
+                                    mt,
+                                    kt,
+                                    false,
+                                    &mut stage,
+                                    &mut a64,
+                                );
+                                // Own X^T tile: shared (x_out, b) rows by i,
+                                // in-channel cols n0..; load channel-major
+                                // (block over b) and transpose.
+                                let ci0 = pk * MESH_DIM * kt + i * kt;
+                                let (xo_i, b0_i) = (ci0 / b, ci0 % b);
+                                let x = xo_i as isize * s.stride as isize + kx as isize
+                                    - s.pad as isize;
+                                let x_ok = xo_i < ow && x >= 0 && (x as usize) < iw;
+                                let rows = if x_ok { vnw } else { 0 };
+                                load_fibre_tile(
+                                    cpe,
+                                    x_view,
+                                    if x_ok {
+                                        ((y * iw + x as usize) * ni + n0) * b + b0_i
+                                    } else {
+                                        0
+                                    },
+                                    kt,
+                                    b,
+                                    rows,
+                                    kt,
+                                    ntw,
+                                    true,
+                                    &mut stage,
+                                    &mut b64,
+                                );
+                                rlc_steps(
+                                    cpe, &a64, &b64, &mut abuf, &mut bbuf, &mut c64, mt, ntw, kt,
+                                );
+                            }
+                        }
+                        if vm > 0 && vnw > 0 {
+                            cpe.compute((mt * ntw) as u64, || {
+                                for r in 0..vm {
+                                    for cc in 0..vnw {
+                                        stage[r * vnw + cc] = c64[r * ntw + cc] as f32;
+                                    }
+                                }
+                            });
+                            cpe.dma_put_strided(
+                                dw,
+                                ((ky * s.k + kx) * no + m0) * ni + n0,
+                                vnw,
+                                ni,
+                                vm,
+                                &stage,
+                            );
+                        } else {
+                            cpe.charge_flops((mt * ntw) as u64);
+                        }
+                    });
+                    total.merge(&report);
+                }
+            }
+        }
+    }
+    total
+}
+
+// ---------------------------------------------------------------------
+// Timing models
+// ---------------------------------------------------------------------
+
+fn step_time(mt: usize, nt: usize, kt: usize) -> f64 {
+    let sa = transfer_cycles(mt * kt * 8);
+    let sb = transfer_cycles(kt * nt * 8);
+    let comp = crate::gemm_flop_time((2 * mt * nt * kt) as u64).seconds()
+        * sw26010::arch::CLOCK_HZ;
+    SimTime::from_cycles(2.0 * sa + 2.0 * sb + 2.0 * RLC_HOP_CYCLES + comp).seconds()
+}
+
+/// Duration of the implicit forward pass for the whole batch.
+pub fn forward_time(shape: &ConvShape) -> SimTime {
+    let s = *shape;
+    let b = s.batch;
+    let (no, ni) = (s.out_c, s.in_c);
+    let (ow, ih, oh) = (s.out_w(), s.in_h, s.out_h());
+    let (mt, nt, kt) = (pick_tile(no), pick_nt(b), pick_tile(ni));
+    let panels_m = no.div_ceil(MESH_DIM * mt);
+    let panels_n = (ow * b).div_ceil(MESH_DIM * nt);
+    let panels_k = ni.div_ceil(MESH_DIM * kt);
+
+    // Valid vertical taps summed over output rows (coordinate-mapped
+    // padding skips the rest).
+    let valid_ky: usize = (0..oh)
+        .map(|oy| {
+            (0..s.k)
+                .filter(|ky| {
+                    let y = (oy * s.stride + ky) as isize - s.pad as isize;
+                    y >= 0 && (y as usize) < ih
+                })
+                .count()
+        })
+        .sum();
+
+    let t_inner = dma::strided_time(kt * 4, mt, 64).seconds() // W tile
+        + crate::gemm_flop_time((mt * kt) as u64).seconds()
+        + dma::strided_time(nt * 4, kt, 64).seconds() // X tile
+        + crate::gemm_flop_time((kt * nt) as u64).seconds()
+        + MESH_DIM as f64 * step_time(mt, nt, kt);
+    let per_row_store = 2.0 * crate::gemm_flop_time((mt * nt) as u64).seconds()
+        + dma::strided_time(nt * 4, mt, 64).seconds();
+    let per_launch = sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
+        + valid_ky as f64 * s.k as f64 * panels_k as f64 * t_inner
+        + oh as f64 * per_row_store;
+    SimTime::from_seconds((panels_m * panels_n) as f64 * per_launch)
+}
+
+/// Duration of the implicit input-gradient pass for the whole batch.
+pub fn backward_input_time(shape: &ConvShape) -> SimTime {
+    let s = *shape;
+    let b = s.batch;
+    let (no, ni) = (s.out_c, s.in_c);
+    let (iw, ih, oh) = (s.in_w, s.in_h, s.out_h());
+    let (mt, nt, kt) = (pick_tile(ni), pick_nt(b), pick_tile(no));
+    let panels_m = ni.div_ceil(MESH_DIM * mt);
+    let panels_n = (iw * b).div_ceil(MESH_DIM * nt);
+    let panels_k = no.div_ceil(MESH_DIM * kt);
+
+    let valid_ky: usize = (0..ih)
+        .map(|y| {
+            (0..s.k)
+                .filter(|ky| {
+                    let oy_num = y as isize + s.pad as isize - *ky as isize;
+                    oy_num >= 0
+                        && (oy_num as usize).is_multiple_of(s.stride)
+                        && (oy_num as usize / s.stride) < oh
+                })
+                .count()
+        })
+        .sum();
+
+    let t_inner = dma::strided_time(mt * 4, kt, 64).seconds() // W^T tile
+        + crate::gemm_flop_time((mt * kt) as u64).seconds()
+        + dma::strided_time(nt * 4, kt, 64).seconds() // dY tile
+        + crate::gemm_flop_time((kt * nt) as u64).seconds()
+        + MESH_DIM as f64 * step_time(mt, nt, kt);
+    let per_row_store = 2.0 * crate::gemm_flop_time((mt * nt) as u64).seconds()
+        + dma::strided_time(nt * 4, mt, 64).seconds();
+    let per_launch = sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
+        + valid_ky as f64 * s.k as f64 * panels_k as f64 * t_inner
+        + ih as f64 * per_row_store;
+    SimTime::from_seconds((panels_m * panels_n) as f64 * per_launch)
+}
+
+/// Duration of the implicit weight-gradient pass for the whole batch.
+pub fn backward_weights_time(shape: &ConvShape) -> SimTime {
+    let s = *shape;
+    let b = s.batch;
+    let (no, ni) = (s.out_c, s.in_c);
+    let (ow, ih, oh) = (s.out_w(), s.in_h, s.out_h());
+    let (mt, ntw, kt) = (pick_tile(no), pick_tile(ni), pick_nt(b));
+    let panels_m = no.div_ceil(MESH_DIM * mt);
+    let panels_n = ni.div_ceil(MESH_DIM * ntw);
+    let panels_k = (ow * b).div_ceil(MESH_DIM * kt);
+
+    let per_tap_rows = |ky: usize| {
+        (0..oh)
+            .filter(|oy| {
+                let y = (oy * s.stride + ky) as isize - s.pad as isize;
+                y >= 0 && (y as usize) < ih
+            })
+            .count()
+    };
+    let valid_rows: usize = (0..s.k).map(per_tap_rows).sum();
+
+    let t_inner = dma::strided_time(kt * 4, mt, 64).seconds() // dY tile
+        + crate::gemm_flop_time((mt * kt) as u64).seconds()
+        + dma::strided_time(kt * 4, ntw, 64).seconds() // X^T tile
+        + crate::gemm_flop_time((kt * ntw) as u64).seconds()
+        + MESH_DIM as f64 * step_time(mt, ntw, kt);
+    let per_launch_fixed = sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
+        + 2.0 * crate::gemm_flop_time((mt * ntw) as u64).seconds()
+        + dma::strided_time(ntw * 4, mt, 64).seconds();
+    // One launch batch per (ky, kx); valid_rows is summed over ky, and kx
+    // multiplies uniformly.
+    let total = (panels_m * panels_n) as f64
+        * (s.k as f64 * s.k as f64 * per_launch_fixed
+            + s.k as f64 * valid_rows as f64 * panels_k as f64 * t_inner);
+    SimTime::from_seconds(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::transform::{filters_oikk_to_kkon, nchw_to_rcnb_host, rcnb_to_nchw_host, TransShape};
+    use sw26010::ExecMode;
+
+    fn pattern(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                ((x >> 35) % 400) as f32 / 200.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn in_trans(s: &ConvShape) -> TransShape {
+        TransShape { batch: s.batch, channels: s.in_c, height: s.in_h, width: s.in_w }
+    }
+
+    fn out_trans(s: &ConvShape) -> TransShape {
+        TransShape { batch: s.batch, channels: s.out_c, height: s.out_h(), width: s.out_w() }
+    }
+
+    fn check_forward(s: ConvShape) {
+        let input_nchw = pattern(s.input_len(), 1);
+        let weights_oikk = pattern(s.weight_len(), 2);
+        let mut want = vec![0.0; s.output_len()];
+        reference::conv_forward(&s, &input_nchw, &weights_oikk, &mut want);
+
+        let mut input_rcnb = vec![0.0; s.input_len()];
+        nchw_to_rcnb_host(&in_trans(&s), &input_nchw, &mut input_rcnb);
+        let weights = filters_oikk_to_kkon(s.out_c, s.in_c, s.k, &weights_oikk);
+        let mut out_rcnb = vec![0.0; s.output_len()];
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        forward(
+            &mut cg,
+            &s,
+            Some(ImplicitFwdOperands {
+                input: &input_rcnb,
+                weights: &weights,
+                output: &mut out_rcnb,
+            }),
+        );
+        let mut got = vec![0.0; s.output_len()];
+        rcnb_to_nchw_host(&out_trans(&s), &out_rcnb, &mut got);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-3 * w.abs().max(1.0),
+                "implicit fwd {s:?} elem {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    fn check_backward(s: ConvShape) {
+        let input_nchw = pattern(s.input_len(), 3);
+        let weights_oikk = pattern(s.weight_len(), 4);
+        let dy_nchw = pattern(s.output_len(), 5);
+        let mut want_dx = vec![0.0; s.input_len()];
+        let mut want_dw = vec![0.0; s.weight_len()];
+        reference::conv_backward(&s, &input_nchw, &weights_oikk, &dy_nchw, &mut want_dx, &mut want_dw);
+
+        let mut input_rcnb = vec![0.0; s.input_len()];
+        nchw_to_rcnb_host(&in_trans(&s), &input_nchw, &mut input_rcnb);
+        let mut dy_rcnb = vec![0.0; s.output_len()];
+        nchw_to_rcnb_host(&out_trans(&s), &dy_nchw, &mut dy_rcnb);
+        let weights = filters_oikk_to_kkon(s.out_c, s.in_c, s.k, &weights_oikk);
+
+        let mut dx_rcnb = vec![0.0; s.input_len()];
+        let mut dw_kkon = vec![0.0; s.weight_len()];
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        backward(
+            &mut cg,
+            &s,
+            Some(ImplicitBwdOperands {
+                input: &input_rcnb,
+                weights: &weights,
+                out_grad: &dy_rcnb,
+                in_grad: Some(&mut dx_rcnb),
+                w_grad: Some(&mut dw_kkon),
+            }),
+        );
+
+        let mut got_dx = vec![0.0; s.input_len()];
+        rcnb_to_nchw_host(&in_trans(&s), &dx_rcnb, &mut got_dx);
+        let got_dw = crate::transform::filters_kkon_to_oikk(s.out_c, s.in_c, s.k, &dw_kkon);
+        for (i, (g, w)) in got_dx.iter().zip(&want_dx).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-2 * w.abs().max(1.0),
+                "implicit dX {s:?} elem {i}: {g} vs {w}"
+            );
+        }
+        for (i, (g, w)) in got_dw.iter().zip(&want_dw).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-2 * w.abs().max(1.0),
+                "implicit dW {s:?} elem {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_padded_stride1() {
+        check_forward(ConvShape {
+            batch: 4,
+            in_c: 5,
+            in_h: 6,
+            in_w: 6,
+            out_c: 7,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        });
+    }
+
+    #[test]
+    fn forward_strided() {
+        check_forward(ConvShape {
+            batch: 2,
+            in_c: 3,
+            in_h: 9,
+            in_w: 9,
+            out_c: 4,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        });
+    }
+
+    #[test]
+    fn forward_one_by_one() {
+        check_forward(ConvShape {
+            batch: 8,
+            in_c: 6,
+            in_h: 4,
+            in_w: 4,
+            out_c: 10,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        });
+    }
+
+    #[test]
+    fn forward_wide_batch() {
+        // batch 33 exercises pick_nt's divisor search (nt = 11).
+        assert_eq!(pick_nt(33), 11);
+        check_forward(ConvShape {
+            batch: 33,
+            in_c: 2,
+            in_h: 4,
+            in_w: 4,
+            out_c: 3,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        });
+    }
+
+    #[test]
+    fn backward_padded_stride1() {
+        check_backward(ConvShape {
+            batch: 3,
+            in_c: 4,
+            in_h: 6,
+            in_w: 6,
+            out_c: 5,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        });
+    }
+
+    #[test]
+    fn backward_strided() {
+        check_backward(ConvShape {
+            batch: 2,
+            in_c: 3,
+            in_h: 9,
+            in_w: 9,
+            out_c: 4,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        });
+    }
+
+    #[test]
+    fn strategy_gates_match_table_ii() {
+        let mk = |ni, no| ConvShape {
+            batch: 128,
+            in_c: ni,
+            in_h: 56,
+            in_w: 56,
+            out_c: no,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert!(!supports_forward(&mk(3, 64))); // conv1_1
+        assert!(supports_forward(&mk(64, 64))); // conv1_2
+        assert!(!supports_backward(&mk(64, 64))); // conv1_2 backward
+        assert!(!supports_backward(&mk(64, 128))); // conv2_1 backward
+        assert!(supports_backward(&mk(128, 128))); // conv2_2 backward
+    }
+
+    #[test]
+    fn timing_mode_charges_models() {
+        let s = ConvShape {
+            batch: 128,
+            in_c: 128,
+            in_h: 56,
+            in_w: 56,
+            out_c: 256,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        let f = forward(&mut cg, &s, None);
+        assert_eq!(f.elapsed, forward_time(&s));
+        let b = backward(&mut cg, &s, None);
+        assert_eq!(b.elapsed, backward_weights_time(&s) + backward_input_time(&s));
+    }
+
+    #[test]
+    fn forward_model_matches_mesh() {
+        let s = ConvShape {
+            batch: 8,
+            in_c: 16,
+            in_h: 6,
+            in_w: 6,
+            out_c: 16,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let input = vec![0.0f32; s.input_len()];
+        let weights = vec![0.0f32; s.weight_len()];
+        let mut out = vec![0.0f32; s.output_len()];
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        let mesh = forward(
+            &mut cg,
+            &s,
+            Some(ImplicitFwdOperands { input: &input, weights: &weights, output: &mut out }),
+        );
+        let model = forward_time(&s);
+        let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
+        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+    }
+
+    #[test]
+    fn small_channels_degrade_throughput() {
+        // The rationale for the 64-channel gate: effective flops collapse
+        // when channel tiles shrink.
+        let base = ConvShape {
+            batch: 128,
+            in_c: 256,
+            in_h: 28,
+            in_w: 28,
+            out_c: 256,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let small = ConvShape { in_c: 16, out_c: 16, ..base };
+        let rate = |s: &ConvShape| s.forward_flops() as f64 / forward_time(s).seconds();
+        assert!(
+            rate(&small) < 0.4 * rate(&base),
+            "small-channel rate {:.1}G vs base {:.1}G",
+            rate(&small) / 1e9,
+            rate(&base) / 1e9
+        );
+    }
+}
+
+#[cfg(test)]
+mod model_validation {
+    use super::*;
+    use sw26010::ExecMode;
+
+    fn small() -> ConvShape {
+        ConvShape { batch: 8, in_c: 16, in_h: 6, in_w: 6, out_c: 16, k: 3, stride: 1, pad: 1 }
+    }
+
+    #[test]
+    fn backward_input_model_matches_mesh() {
+        let s = small();
+        let weights = vec![0.0f32; s.weight_len()];
+        let dy = vec![0.0f32; s.output_len()];
+        let mut dx = vec![0.0f32; s.input_len()];
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        let mesh = backward_input_mesh(&mut cg, &s, &weights, &dy, &mut dx);
+        let model = backward_input_time(&s);
+        let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
+        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+    }
+
+    #[test]
+    fn backward_weights_model_matches_mesh() {
+        let s = small();
+        let input = vec![0.0f32; s.input_len()];
+        let dy = vec![0.0f32; s.output_len()];
+        let mut dw = vec![0.0f32; s.weight_len()];
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        let mesh = backward_weights_mesh(&mut cg, &s, &input, &dy, &mut dw);
+        let model = backward_weights_time(&s);
+        let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
+        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+    }
+
+    #[test]
+    fn strided_conv_models_stay_consistent() {
+        // Stride-2 ResNet-style downsampling: models must stay finite and
+        // ordered (backward-weights > 0, forward > 0).
+        let s = ConvShape {
+            batch: 32,
+            in_c: 256,
+            in_h: 28,
+            in_w: 28,
+            out_c: 512,
+            k: 1,
+            stride: 2,
+            pad: 0,
+        };
+        let f = forward_time(&s).seconds();
+        let bw = backward_weights_time(&s).seconds();
+        let bi = backward_input_time(&s).seconds();
+        assert!(f > 0.0 && bw > 0.0 && bi > 0.0);
+        assert!(f.is_finite() && bw.is_finite() && bi.is_finite());
+    }
+}

@@ -1,0 +1,967 @@
+//! Blocked GEMM on the 8x8 CPE mesh with register-communication
+//! broadcasts — the algorithm of Fig. 3 in the paper (after swDNN \[4\] and
+//! Jiang et al. \[8\]).
+//!
+//! ## Algorithm
+//!
+//! Panels of `C` of size `(8*mt) x (8*nt)` are distributed so CPE `(i, j)`
+//! owns an `mt x nt` tile. For each `8*kt`-wide K panel, CPE `(i, j)` DMA-
+//! loads its own `mt x kt` tile of `A` and `kt x nt` tile of `B`, widened
+//! to f64 (the chip has no single-precision register communication). The
+//! panel product then takes 8 steps: at step `t`, CPE `(i, t)` broadcasts
+//! its `A` tile along row `i` and CPE `(t, j)` broadcasts its `B` tile
+//! along column `j`, and every CPE accumulates
+//! `C(i,j) += A(i,t) * B(t,j)` in its LDM. Each element of `A` and `B` is
+//! fetched from memory *once* per panel pass — the highest flop-per-byte
+//! plan available on this machine (Principle 4).
+//!
+//! ## Two execution paths, one cost
+//!
+//! * **Functional**: the plan above runs on 64 real threads against the
+//!   `sw26010` simulator; results are tested against [`crate::reference`].
+//! * **Timing-only**: [`time_model`] charges the same plan analytically.
+//!   `tests` assert the two paths agree (time within a few percent —
+//!   the residual is barrier-free clock drift between steps — and
+//!   counters exactly).
+
+use sw26010::arch::{CPE_DP_FLOPS_PER_CYCLE, KERNEL_COMPUTE_EFFICIENCY, MESH_DIM};
+use sw26010::rlc::{transfer_cycles, RLC_HOP_CYCLES};
+use sw26010::{dma, CoreGroup, LaunchReport, MemView, MemViewMut, SimTime, Stats};
+
+use crate::shapes::{GemmDims, Trans};
+
+/// Per-CPE tile extents of a GEMM plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilePlan {
+    /// Rows of C per CPE.
+    pub mt: usize,
+    /// Columns of C per CPE.
+    pub nt: usize,
+    /// K extent per CPE per panel.
+    pub kt: usize,
+}
+
+/// Largest square tile edge that keeps the working set
+/// (3 owned tiles + 2 receive buffers in f64, one f32 staging buffer)
+/// inside the 64 KB LDM.
+pub const MAX_TILE: usize = 32;
+
+impl TilePlan {
+    /// Choose tile extents for a problem size: full 32-wide tiles when the
+    /// dimensions allow, shrunk to `ceil(dim / 8)` for small dimensions so
+    /// no CPE is left entirely idle unless the dimension is smaller than
+    /// the mesh itself.
+    pub fn choose(dims: GemmDims) -> TilePlan {
+        let pick = |d: usize| d.div_ceil(MESH_DIM).clamp(1, MAX_TILE);
+        let plan = TilePlan { mt: pick(dims.m), nt: pick(dims.n), kt: pick(dims.k) };
+        debug_assert!(plan.ldm_bytes() <= sw26010::arch::LDM_BYTES);
+        plan
+    }
+
+    /// Panel extents across the whole mesh.
+    pub fn panel_m(&self) -> usize {
+        self.mt * MESH_DIM
+    }
+    pub fn panel_n(&self) -> usize {
+        self.nt * MESH_DIM
+    }
+    pub fn panel_k(&self) -> usize {
+        self.kt * MESH_DIM
+    }
+
+    /// LDM bytes used per CPE by this plan.
+    pub fn ldm_bytes(&self) -> usize {
+        let f64b = 8;
+        let own = (self.mt * self.kt + self.kt * self.nt + self.mt * self.nt) * f64b;
+        let recv = (self.mt * self.kt + self.kt * self.nt) * f64b;
+        let stage = self.mt.max(self.kt) * self.nt.max(self.kt) * 4;
+        own + recv + stage
+    }
+}
+
+/// Functional operands of a GEMM call (row-major, contiguous).
+pub struct GemmOperands<'a> {
+    pub a: &'a [f32],
+    pub b: &'a [f32],
+    pub c: &'a mut [f32],
+}
+
+/// `C = A*B + beta*C` on one core group.
+///
+/// When `cg` is in timing-only mode the analytic model is charged and
+/// `ops` may be `None`; in functional mode `ops` must be provided and the
+/// mesh kernel runs for real.
+pub fn gemm(
+    cg: &mut CoreGroup,
+    dims: GemmDims,
+    ta: Trans,
+    tb: Trans,
+    beta: f32,
+    ops: Option<GemmOperands<'_>>,
+) -> LaunchReport {
+    let plan = TilePlan::choose(dims);
+    if cg.mode().is_functional() {
+        let ops = ops.expect("functional GEMM requires operands");
+        assert_eq!(ops.a.len(), dims.m * dims.k, "A size");
+        assert_eq!(ops.b.len(), dims.k * dims.n, "B size");
+        assert_eq!(ops.c.len(), dims.m * dims.n, "C size");
+        execute_mesh(cg, dims, ta, tb, beta, plan, ops)
+    } else {
+        let report = model_report(dims, beta, plan);
+        cg.charge(report.elapsed);
+        report
+    }
+}
+
+fn execute_mesh(
+    cg: &mut CoreGroup,
+    dims: GemmDims,
+    ta: Trans,
+    tb: Trans,
+    beta: f32,
+    plan: TilePlan,
+    ops: GemmOperands<'_>,
+) -> LaunchReport {
+    let GemmDims { m, n, k } = dims;
+    let TilePlan { mt, nt, kt } = plan;
+    let panels_m = m.div_ceil(plan.panel_m());
+    let panels_n = n.div_ceil(plan.panel_n());
+    let panels_k = k.div_ceil(plan.panel_k());
+
+    let a_view = MemView::new(ops.a);
+    let b_view = MemView::new(ops.b);
+    let c_view = MemViewMut::new(ops.c);
+
+    let mut total = LaunchReport::default();
+    for pm in 0..panels_m {
+        for pn in 0..panels_n {
+            let report = cg.run(64, |cpe| {
+                let (i, j) = (cpe.row(), cpe.col());
+                // Tile origins in C.
+                let ci0 = pm * plan.panel_m() + i * mt;
+                let cj0 = pn * plan.panel_n() + j * nt;
+                let vm = m.saturating_sub(ci0).min(mt);
+                let vn = n.saturating_sub(cj0).min(nt);
+
+                let mut a64 = cpe.ldm.alloc_f64(mt * kt);
+                let mut b64 = cpe.ldm.alloc_f64(kt * nt);
+                let mut c64 = cpe.ldm.alloc_f64(mt * nt);
+                let mut abuf = cpe.ldm.alloc_f64(mt * kt);
+                let mut bbuf = cpe.ldm.alloc_f64(kt * nt);
+                let mut stage =
+                    cpe.ldm.alloc_f32(mt.max(kt) * nt.max(kt));
+
+                // Pre-load beta * C.
+                if beta != 0.0 && vm > 0 && vn > 0 {
+                    cpe.dma_get_strided(
+                        c_view.as_view(),
+                        ci0 * n + cj0,
+                        vn,
+                        n,
+                        vm,
+                        &mut stage,
+                    );
+                    cpe.compute((mt * nt) as u64, || {
+                        for r in 0..vm {
+                            for cc in 0..vn {
+                                c64[r * nt + cc] = (beta * stage[r * vn + cc]) as f64;
+                            }
+                        }
+                    });
+                } else {
+                    cpe.charge_flops((mt * nt) as u64); // zero fill
+                }
+
+                for pk in 0..panels_k {
+                    let k0 = pk * plan.panel_k();
+                    // ---- load own A tile: logical rows ci0..ci0+vm,
+                    //      logical cols k0 + j*kt .. (+vak)
+                    let aj0 = k0 + j * kt;
+                    let vak = k.saturating_sub(aj0).min(kt);
+                    load_tile(
+                        cpe, a_view, ta, m, k, ci0, aj0, vm, vak, mt, kt, &mut stage, &mut a64,
+                    );
+                    // ---- load own B tile: logical rows k0 + i*kt,
+                    //      logical cols cj0..
+                    let bi0 = k0 + i * kt;
+                    let vbk = k.saturating_sub(bi0).min(kt);
+                    load_tile(
+                        cpe, b_view, tb, k, n, bi0, cj0, vbk, vn, kt, nt, &mut stage, &mut b64,
+                    );
+
+                    // ---- 8 broadcast-and-accumulate steps
+                    for t in 0..MESH_DIM {
+                        if j == t {
+                            cpe.rlc_row_bcast(&a64);
+                        } else {
+                            cpe.rlc_row_recv(t, &mut abuf);
+                        }
+                        if i == t {
+                            cpe.rlc_col_bcast(&b64);
+                        } else {
+                            cpe.rlc_col_recv(t, &mut bbuf);
+                        }
+                        let at: &[f64] = if j == t { &a64 } else { &abuf };
+                        let bt: &[f64] = if i == t { &b64 } else { &bbuf };
+                        cpe.compute((2 * mt * nt * kt) as u64, || {
+                            for r in 0..mt {
+                                for tt in 0..kt {
+                                    let av = at[r * kt + tt];
+                                    if av == 0.0 {
+                                        continue;
+                                    }
+                                    for cc in 0..nt {
+                                        c64[r * nt + cc] += av * bt[tt * nt + cc];
+                                    }
+                                }
+                            }
+                        });
+                    }
+                }
+
+                // ---- store C tile
+                if vm > 0 && vn > 0 {
+                    cpe.compute((mt * nt) as u64, || {
+                        for r in 0..vm {
+                            for cc in 0..vn {
+                                stage[r * vn + cc] = c64[r * nt + cc] as f32;
+                            }
+                        }
+                    });
+                    cpe.dma_put_strided(c_view, ci0 * n + cj0, vn, n, vm, &stage);
+                } else {
+                    cpe.charge_flops((mt * nt) as u64);
+                }
+            });
+            total.merge(&report);
+        }
+    }
+    total
+}
+
+/// DMA-load a logical `rows x cols` tile (valid region `vr x vc`) of a
+/// row-major matrix that may be stored transposed, widening into a zero-
+/// padded f64 LDM tile of extents `tr x tc`.
+#[allow(clippy::too_many_arguments)]
+fn load_tile(
+    cpe: &mut sw26010::Cpe,
+    src: MemView<'_>,
+    trans: Trans,
+    _rows_total: usize,
+    cols_total: usize,
+    r0: usize,
+    c0: usize,
+    vr: usize,
+    vc: usize,
+    tr: usize,
+    tc: usize,
+    stage: &mut [f32],
+    tile: &mut [f64],
+) {
+    if vr == 0 || vc == 0 {
+        cpe.compute((tr * tc) as u64, || tile.fill(0.0));
+        return;
+    }
+    match trans {
+        Trans::No => {
+            // Storage row-major rows x cols: element (r, c) at r*cols + c.
+            cpe.dma_get_strided(src, r0 * cols_total + c0, vc, cols_total, vr, stage);
+            cpe.compute((tr * tc) as u64, || {
+                tile.fill(0.0);
+                for r in 0..vr {
+                    for c in 0..vc {
+                        tile[r * tc + c] = stage[r * vc + c] as f64;
+                    }
+                }
+            });
+        }
+        Trans::Yes => {
+            // Stored transposed: logical (r, c) at storage c*ld + r where
+            // ld equals the logical row count of the *logical* matrix...
+            // storage is cols_logical x rows_logical. Here the logical
+            // matrix is rows_total x cols_total stored as
+            // cols_total x rows_total with leading dimension rows_total.
+            cpe.dma_get_strided(src, c0 * _rows_total + r0, vr, _rows_total, vc, stage);
+            cpe.compute((tr * tc) as u64, || {
+                tile.fill(0.0);
+                for r in 0..vr {
+                    for c in 0..vc {
+                        tile[r * tc + c] = stage[c * vr + r] as f64;
+                    }
+                }
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analytic model
+// ---------------------------------------------------------------------
+
+fn cycles_to_time(cycles: f64) -> SimTime {
+    SimTime::from_cycles(cycles)
+}
+
+fn flop_cycles(flops: u64) -> f64 {
+    flops as f64 / (CPE_DP_FLOPS_PER_CYCLE * KERNEL_COMPUTE_EFFICIENCY)
+}
+
+/// Closed-form duration of [`gemm`] for a problem size, mirroring the
+/// charging logic of the mesh kernel (interior, full-tile CPEs dominate
+/// the makespan).
+pub fn time_model(dims: GemmDims, beta: f32, plan: TilePlan) -> SimTime {
+    let TilePlan { mt, nt, kt } = plan;
+    let panels_m = dims.m.div_ceil(plan.panel_m());
+    let panels_n = dims.n.div_ceil(plan.panel_n());
+    let panels_k = dims.k.div_ceil(plan.panel_k());
+
+    // Per k panel: two strided tile loads + converts, then 8 steps of
+    // (A transfer, B transfer — receive path pays send + hop + read — and
+    // the tile product).
+    let t_load_a = dma::strided_time(kt * 4, mt, 64).seconds()
+        + cycles_to_time(flop_cycles((mt * kt) as u64)).seconds();
+    let t_load_b = dma::strided_time(nt * 4, kt, 64).seconds()
+        + cycles_to_time(flop_cycles((kt * nt) as u64)).seconds();
+    let sa = transfer_cycles(mt * kt * 8);
+    let sb = transfer_cycles(kt * nt * 8);
+    let comp = flop_cycles((2 * mt * nt * kt) as u64);
+    let t_step = cycles_to_time(2.0 * sa + 2.0 * sb + 2.0 * RLC_HOP_CYCLES + comp).seconds();
+    let t_panel = t_load_a + t_load_b + MESH_DIM as f64 * t_step;
+
+    // Per launch: optional C pre-load, K panels, C store, spawn overhead.
+    let t_cload = if beta != 0.0 {
+        dma::strided_time(nt * 4, mt, 64).seconds()
+            + cycles_to_time(flop_cycles((mt * nt) as u64)).seconds()
+    } else {
+        cycles_to_time(flop_cycles((mt * nt) as u64)).seconds()
+    };
+    let t_cstore = cycles_to_time(flop_cycles((mt * nt) as u64)).seconds()
+        + dma::strided_time(nt * 4, mt, 64).seconds();
+    let t_launch = sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
+        + t_cload
+        + panels_k as f64 * t_panel
+        + t_cstore;
+
+    SimTime::from_seconds((panels_m * panels_n) as f64 * t_launch)
+}
+
+/// Counter totals of [`gemm`], mirroring the mesh kernel's charges exactly.
+pub fn stats_model(dims: GemmDims, beta: f32, plan: TilePlan) -> Stats {
+    let TilePlan { mt, nt, kt } = plan;
+    let panels_m = dims.m.div_ceil(plan.panel_m());
+    let panels_n = dims.n.div_ceil(plan.panel_n());
+    let panels_k = dims.k.div_ceil(plan.panel_k());
+    let launches = (panels_m * panels_n) as u64;
+    let kpanels = launches * panels_k as u64;
+
+    let mut s = Stats::default();
+    s.launches = launches;
+    // DMA bytes: valid regions only. A is read once per n-panel, B once
+    // per m-panel, C written once (and read once if beta != 0).
+    s.dma_get_bytes = (panels_n * dims.m * dims.k * 4 + panels_m * dims.k * dims.n * 4) as u64;
+    s.dma_put_bytes = (dims.m * dims.n * 4) as u64;
+    if beta != 0.0 {
+        s.dma_get_bytes += (dims.m * dims.n * 4) as u64;
+    }
+    // DMA request count: per CPE per k panel 2 loads, plus C store (and
+    // optional C load) — only CPEs with a non-empty valid region issue
+    // requests. We count full-mesh for simplicity of the headline number;
+    // the per-request startup already dominates edge effects.
+    let cpes = 64u64;
+    s.dma_requests = kpanels * 2 * cpes + launches * cpes * if beta != 0.0 { 2 } else { 1 };
+    // RLC: per k panel, 8 steps x (8 A-senders + 8 B-senders).
+    s.rlc_messages = kpanels * 8 * (8 + 8);
+    s.rlc_bytes = kpanels * 8 * 8 * ((mt * kt + kt * nt) * 8) as u64;
+    // Flops: padded tile products plus widen/convert charges.
+    let per_step = (2 * mt * nt * kt) as u64 * cpes;
+    let converts_per_kpanel = ((mt * kt) + (kt * nt)) as u64 * cpes;
+    let c_charges = 2 * (mt * nt) as u64 * cpes; // zero/preload + store convert
+    s.flops = kpanels * (8 * per_step + converts_per_kpanel) + launches * c_charges;
+    s
+}
+
+fn model_report(dims: GemmDims, beta: f32, plan: TilePlan) -> LaunchReport {
+    LaunchReport { elapsed: time_model(dims, beta, plan), stats: stats_model(dims, beta, plan) }
+}
+
+/// Effective flop rate of the *useful* (un-padded) work for a problem size:
+/// `2mnk / time`. This is the "Gflops" column of Table II.
+pub fn effective_gflops(dims: GemmDims, elapsed: SimTime) -> f64 {
+    dims.flops() as f64 / elapsed.seconds() / 1.0e9
+}
+
+// ---------------------------------------------------------------------
+// Ablation: GEMM without register communication (Principle 4 control)
+// ---------------------------------------------------------------------
+
+/// Time model of a GEMM where each CPE DMA-loads the full A row-panel and
+/// B column-panel itself instead of sharing tiles over the register buses.
+/// Same compute, ~8x the B/A traffic — the Principle 4 ablation.
+pub fn time_model_no_rlc(dims: GemmDims, plan: TilePlan) -> SimTime {
+    let TilePlan { mt, nt, kt } = plan;
+    let panels_m = dims.m.div_ceil(plan.panel_m());
+    let panels_n = dims.n.div_ceil(plan.panel_n());
+    let panels_k = dims.k.div_ceil(plan.panel_k());
+
+    // Per k panel each CPE loads an mt x (8kt) strip of A (contiguous
+    // rows of 8kt) and an (8kt) x nt strip of B.
+    let t_load_a = dma::strided_time(8 * kt * 4, mt, 64).seconds()
+        + cycles_to_time(flop_cycles((mt * 8 * kt) as u64)).seconds();
+    let t_load_b = dma::strided_time(nt * 4, 8 * kt, 64).seconds()
+        + cycles_to_time(flop_cycles((8 * kt * nt) as u64)).seconds();
+    let comp = flop_cycles((2 * mt * nt * 8 * kt) as u64);
+    let t_panel = t_load_a + t_load_b + cycles_to_time(comp).seconds();
+    let t_launch = sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
+        + panels_k as f64 * t_panel
+        + cycles_to_time(flop_cycles((mt * nt) as u64)).seconds()
+        + dma::strided_time(nt * 4, mt, 64).seconds();
+    SimTime::from_seconds((panels_m * panels_n) as f64 * t_launch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sw26010::ExecMode;
+
+    fn pattern(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                ((x >> 33) % 1000) as f32 / 250.0 - 2.0
+            })
+            .collect()
+    }
+
+    fn check_gemm(m: usize, n: usize, k: usize, ta: Trans, tb: Trans, beta: f32) {
+        let dims = GemmDims::new(m, n, k);
+        let a = pattern(m * k, 1);
+        let b = pattern(k * n, 2);
+        let c0 = pattern(m * n, 3);
+
+        let mut expected = c0.clone();
+        reference::gemm(dims, ta, tb, &a, &b, beta, &mut expected);
+
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        let mut c = c0.clone();
+        gemm(&mut cg, dims, ta, tb, beta, Some(GemmOperands { a: &a, b: &b, c: &mut c }));
+
+        for (i, (got, want)) in c.iter().zip(&expected).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                "({m},{n},{k},{ta:?},{tb:?},beta={beta}) mismatch at {i}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_matches_reference_small() {
+        check_gemm(8, 8, 8, Trans::No, Trans::No, 0.0);
+    }
+
+    #[test]
+    fn mesh_matches_reference_unaligned() {
+        check_gemm(13, 17, 9, Trans::No, Trans::No, 0.0);
+    }
+
+    #[test]
+    fn mesh_matches_reference_multi_panel() {
+        // Forces panels_m = panels_n = panels_k = 2 with tiny tiles.
+        check_gemm(20, 23, 19, Trans::No, Trans::No, 0.0);
+    }
+
+    #[test]
+    fn mesh_matches_reference_beta_one() {
+        check_gemm(16, 16, 16, Trans::No, Trans::No, 1.0);
+    }
+
+    #[test]
+    fn mesh_matches_reference_trans_a() {
+        check_gemm(12, 10, 14, Trans::Yes, Trans::No, 0.0);
+    }
+
+    #[test]
+    fn mesh_matches_reference_trans_b() {
+        check_gemm(12, 10, 14, Trans::No, Trans::Yes, 0.0);
+    }
+
+    #[test]
+    fn mesh_matches_reference_trans_both() {
+        check_gemm(11, 9, 13, Trans::Yes, Trans::Yes, 1.0);
+    }
+
+    #[test]
+    fn mesh_matches_reference_larger() {
+        check_gemm(96, 80, 72, Trans::No, Trans::No, 0.0);
+    }
+
+    #[test]
+    fn tiny_dims_work() {
+        check_gemm(1, 1, 1, Trans::No, Trans::No, 0.0);
+        check_gemm(3, 1, 5, Trans::No, Trans::No, 1.0);
+    }
+
+    #[test]
+    fn plan_fits_ldm() {
+        for dims in [
+            GemmDims::new(1, 1, 1),
+            GemmDims::new(4096, 4096, 4096),
+            GemmDims::new(64, 25088, 4096),
+        ] {
+            let plan = TilePlan::choose(dims);
+            assert!(plan.ldm_bytes() <= sw26010::arch::LDM_BYTES, "{dims:?} -> {plan:?}");
+        }
+    }
+
+    #[test]
+    fn timing_model_matches_mesh_execution() {
+        // Ground truth: the mesh run in timing-only mode. The analytic
+        // model must agree closely; counters must agree exactly.
+        for (m, n, k) in [(256, 256, 256), (256, 128, 512), (64, 320, 192)] {
+            let dims = GemmDims::new(m, n, k);
+            let plan = TilePlan::choose(dims);
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            let a = pattern(m * k, 1);
+            let b = pattern(k * n, 2);
+            let mut c = vec![0.0; m * n];
+            let mesh =
+                gemm(&mut cg, dims, Trans::No, Trans::No, 0.0, Some(GemmOperands { a: &a, b: &b, c: &mut c }));
+            let model_t = time_model(dims, 0.0, plan);
+            let rel = (mesh.elapsed.seconds() - model_t.seconds()).abs() / mesh.elapsed.seconds();
+            assert!(
+                rel < 0.05,
+                "({m},{n},{k}): mesh {:.3}us vs model {:.3}us (rel {rel:.3})",
+                mesh.elapsed.micros(),
+                model_t.micros()
+            );
+            let model_s = stats_model(dims, 0.0, plan);
+            assert_eq!(mesh.stats.flops, model_s.flops, "flops ({m},{n},{k})");
+            assert_eq!(mesh.stats.rlc_bytes, model_s.rlc_bytes, "rlc bytes");
+            assert_eq!(mesh.stats.rlc_messages, model_s.rlc_messages, "rlc msgs");
+            assert_eq!(mesh.stats.dma_put_bytes, model_s.dma_put_bytes, "put bytes");
+            assert_eq!(mesh.stats.dma_get_bytes, model_s.dma_get_bytes, "get bytes");
+        }
+    }
+
+    #[test]
+    fn timing_only_mode_charges_model() {
+        let dims = GemmDims::new(512, 512, 512);
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        let r = gemm(&mut cg, dims, Trans::No, Trans::No, 0.0, None);
+        assert!((cg.elapsed().seconds() - r.elapsed.seconds()).abs() < 1e-12);
+        assert_eq!(r.elapsed, time_model(dims, 0.0, TilePlan::choose(dims)));
+    }
+
+    #[test]
+    fn large_gemm_approaches_table_ii_rates() {
+        // Paper Table II reports 300-416 Gflops on the large VGG GEMMs.
+        // A square 2048 problem should land in that neighbourhood
+        // (roughly 40-60% of the 742 Gflops peak).
+        let dims = GemmDims::new(2048, 2048, 2048);
+        let t = time_model(dims, 0.0, TilePlan::choose(dims));
+        let gflops = effective_gflops(dims, t);
+        assert!(
+            (250.0..=550.0).contains(&gflops),
+            "large GEMM at {gflops:.0} Gflops is outside the plausible band"
+        );
+    }
+
+    #[test]
+    fn small_k_degrades_throughput() {
+        // The paper notes m (and generally the shared dimension) must be
+        // large for compute-bound GEMM; k = 27 (conv1_1) is memory-bound.
+        let big = GemmDims::new(512, 1024, 512);
+        let small_k = GemmDims::new(512, 1024, 27);
+        let g_big = effective_gflops(big, time_model(big, 0.0, TilePlan::choose(big)));
+        let g_small =
+            effective_gflops(small_k, time_model(small_k, 0.0, TilePlan::choose(small_k)));
+        assert!(g_small < 0.5 * g_big, "small-k {g_small:.0} vs big {g_big:.0}");
+    }
+
+    #[test]
+    fn rlc_beats_no_rlc_ablation() {
+        // Principle 4: register communication must clearly beat per-CPE
+        // DMA replication for compute-heavy shapes.
+        let dims = GemmDims::new(1024, 1024, 1024);
+        let plan = TilePlan::choose(dims);
+        let with = time_model(dims, 0.0, plan).seconds();
+        let without = time_model_no_rlc(dims, plan).seconds();
+        assert!(without > 1.3 * with, "with={with} without={without}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Design-space probe: double-buffered tile loads
+// ---------------------------------------------------------------------
+
+/// Time model of a GEMM whose next-panel tile DMA overlaps the current
+/// panel's broadcast-and-accumulate steps (double buffering via the async
+/// DMA engine).
+///
+/// This is a *design-space probe*, not the default plan: the paper's
+/// measured kernels land at the synchronous model's rates (Table II), so
+/// the default stays synchronous; this model quantifies what the extra
+/// ~16 KB of LDM staging would buy. The prefetched tiles still pay their
+/// f64 widening at panel start. [`gemm_double_buffered`] is the matching
+/// functional mesh kernel, validated against this model and the scalar
+/// oracle.
+pub fn time_model_double_buffered(dims: GemmDims, beta: f32, plan: TilePlan) -> SimTime {
+    let TilePlan { mt, nt, kt } = plan;
+    let panels_m = dims.m.div_ceil(plan.panel_m());
+    let panels_n = dims.n.div_ceil(plan.panel_n());
+    let panels_k = dims.k.div_ceil(plan.panel_k());
+
+    let t_dma = dma::strided_time(kt * 4, mt, 64).seconds()
+        + dma::strided_time(nt * 4, kt, 64).seconds();
+    let t_convert = cycles_to_time(flop_cycles((mt * kt) as u64)).seconds()
+        + cycles_to_time(flop_cycles((kt * nt) as u64)).seconds();
+    let sa = transfer_cycles(mt * kt * 8);
+    let sb = transfer_cycles(kt * nt * 8);
+    let comp = flop_cycles((2 * mt * nt * kt) as u64);
+    let t_steps =
+        MESH_DIM as f64 * cycles_to_time(2.0 * sa + 2.0 * sb + 2.0 * RLC_HOP_CYCLES + comp).seconds();
+    // First panel loads synchronously; the rest hide their DMA behind the
+    // previous panel's steps.
+    let t_first = t_dma + t_convert + t_steps;
+    let t_rest = t_convert + t_steps.max(t_dma);
+
+    let t_cload = if beta != 0.0 {
+        dma::strided_time(nt * 4, mt, 64).seconds()
+            + cycles_to_time(flop_cycles((mt * nt) as u64)).seconds()
+    } else {
+        cycles_to_time(flop_cycles((mt * nt) as u64)).seconds()
+    };
+    let t_cstore = cycles_to_time(flop_cycles((mt * nt) as u64)).seconds()
+        + dma::strided_time(nt * 4, mt, 64).seconds();
+    let t_launch = sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
+        + t_cload
+        + t_first
+        + (panels_k.saturating_sub(1)) as f64 * t_rest
+        + t_cstore;
+    SimTime::from_seconds((panels_m * panels_n) as f64 * t_launch)
+}
+
+#[cfg(test)]
+mod db_tests {
+    use super::*;
+
+    #[test]
+    fn double_buffering_helps_but_is_bounded() {
+        for (m, n, k) in [(1024, 1024, 1024), (512, 3136, 1152), (64, 50176, 27)] {
+            let dims = GemmDims::new(m, n, k);
+            let plan = TilePlan::choose(dims);
+            let sync = time_model(dims, 0.0, plan).seconds();
+            let db = time_model_double_buffered(dims, 0.0, plan).seconds();
+            assert!(db <= sync * 1.0001, "({m},{n},{k}): db {db} > sync {sync}");
+            // It can hide DMA, not compute: never below the pure-compute bound.
+            let comp_only = (dims.m.div_ceil(plan.panel_m())
+                * dims.n.div_ceil(plan.panel_n())
+                * dims.k.div_ceil(plan.panel_k())) as f64
+                * MESH_DIM as f64
+                * cycles_to_time(flop_cycles((2 * plan.mt * plan.nt * plan.kt) as u64)).seconds();
+            assert!(db > comp_only, "({m},{n},{k}): db {db} below compute bound {comp_only}");
+        }
+    }
+
+    #[test]
+    fn ldm_still_fits_with_double_buffers() {
+        // The probe needs two extra f32 staging pairs.
+        let plan = TilePlan { mt: 32, nt: 32, kt: 32 };
+        let extra = 2 * (plan.mt * plan.kt + plan.kt * plan.nt) * 4;
+        assert!(plan.ldm_bytes() + extra <= sw26010::arch::LDM_BYTES);
+    }
+}
+
+/// Tile-fetch plan shared by the double-buffered path: where the valid
+/// region of a logical tile lives and how to stage it.
+#[derive(Clone, Copy)]
+struct TileFetch {
+    base: usize,
+    block: usize,
+    stride: usize,
+    rows: usize,
+    /// Valid logical extents (vr rows x vc cols) and transpose flag.
+    vr: usize,
+    vc: usize,
+    transpose: bool,
+}
+
+impl TileFetch {
+    /// Addressing for a logical `vr x vc` tile of a row-major matrix of
+    /// `rows_total x cols_total` (stored transposed when `trans`).
+    fn plan(trans: Trans, rows_total: usize, cols_total: usize, r0: usize, c0: usize, vr: usize, vc: usize) -> TileFetch {
+        match trans {
+            Trans::No => TileFetch { base: r0 * cols_total + c0, block: vc, stride: cols_total, rows: vr, vr, vc, transpose: false },
+            Trans::Yes => TileFetch { base: c0 * rows_total + r0, block: vr, stride: rows_total, rows: vc, vr, vc, transpose: true },
+        }
+    }
+
+    fn issue(&self, cpe: &mut sw26010::Cpe, src: MemView<'_>, stage: &mut [f32]) -> Option<sw26010::DmaHandle> {
+        if self.rows == 0 || self.block == 0 {
+            return None;
+        }
+        Some(cpe.dma_get_strided_async(src, self.base, self.block, self.stride, self.rows, stage))
+    }
+
+    /// Widen the staged f32 data into the zero-padded f64 tile.
+    fn widen(&self, cpe: &mut sw26010::Cpe, stage: &[f32], tr: usize, tc: usize, tile: &mut [f64]) {
+        let (vr, vc, transpose) = (self.vr, self.vc, self.transpose);
+        cpe.compute((tr * tc) as u64, || {
+            tile.fill(0.0);
+            if transpose {
+                for r in 0..vr {
+                    for c in 0..vc {
+                        tile[r * tc + c] = stage[c * vr + r] as f64;
+                    }
+                }
+            } else {
+                for r in 0..vr {
+                    for c in 0..vc {
+                        tile[r * tc + c] = stage[r * vc + c] as f64;
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Double-buffered GEMM: identical math to [`gemm`], but the next K
+/// panel's A/B tiles stream in (async DMA) while the current panel's
+/// broadcast-and-accumulate steps run. Costs two extra f32 staging pairs
+/// of LDM. Timing-only mode charges [`time_model_double_buffered`].
+pub fn gemm_double_buffered(
+    cg: &mut CoreGroup,
+    dims: GemmDims,
+    ta: Trans,
+    tb: Trans,
+    beta: f32,
+    ops: Option<GemmOperands<'_>>,
+) -> LaunchReport {
+    let plan = TilePlan::choose(dims);
+    if !cg.mode().is_functional() {
+        let report = LaunchReport {
+            elapsed: time_model_double_buffered(dims, beta, plan),
+            stats: stats_model(dims, beta, plan),
+        };
+        cg.charge(report.elapsed);
+        return report;
+    }
+    let ops = ops.expect("functional GEMM requires operands");
+    assert_eq!(ops.a.len(), dims.m * dims.k, "A size");
+    assert_eq!(ops.b.len(), dims.k * dims.n, "B size");
+    assert_eq!(ops.c.len(), dims.m * dims.n, "C size");
+
+    let GemmDims { m, n, k } = dims;
+    let TilePlan { mt, nt, kt } = plan;
+    let panels_m = m.div_ceil(plan.panel_m());
+    let panels_n = n.div_ceil(plan.panel_n());
+    let panels_k = k.div_ceil(plan.panel_k());
+
+    let a_view = MemView::new(ops.a);
+    let b_view = MemView::new(ops.b);
+    let c_view = MemViewMut::new(ops.c);
+
+    let mut total = LaunchReport::default();
+    for pm in 0..panels_m {
+        for pn in 0..panels_n {
+            let report = cg.run(64, |cpe| {
+                let (i, j) = (cpe.row(), cpe.col());
+                let ci0 = pm * plan.panel_m() + i * mt;
+                let cj0 = pn * plan.panel_n() + j * nt;
+                let vm = m.saturating_sub(ci0).min(mt);
+                let vn = n.saturating_sub(cj0).min(nt);
+
+                let mut a64 = cpe.ldm.alloc_f64(mt * kt);
+                let mut b64 = cpe.ldm.alloc_f64(kt * nt);
+                let mut c64 = cpe.ldm.alloc_f64(mt * nt);
+                let mut abuf = cpe.ldm.alloc_f64(mt * kt);
+                let mut bbuf = cpe.ldm.alloc_f64(kt * nt);
+                // Two staging pairs for the double buffer.
+                let mut stage_a = [cpe.ldm.alloc_f32(mt * kt), cpe.ldm.alloc_f32(mt * kt)];
+                let mut stage_b = [cpe.ldm.alloc_f32(kt * nt), cpe.ldm.alloc_f32(kt * nt)];
+                let mut cstage = cpe.ldm.alloc_f32(mt * nt);
+
+                if beta != 0.0 && vm > 0 && vn > 0 {
+                    cpe.dma_get_strided(c_view.as_view(), ci0 * n + cj0, vn, n, vm, &mut cstage);
+                    cpe.compute((mt * nt) as u64, || {
+                        for r in 0..vm {
+                            for cc in 0..vn {
+                                c64[r * nt + cc] = (beta * cstage[r * vn + cc]) as f64;
+                            }
+                        }
+                    });
+                } else {
+                    cpe.charge_flops((mt * nt) as u64);
+                }
+
+                // Fetch plan for K panel `pk`.
+                let fetch = |pk: usize| -> (TileFetch, TileFetch) {
+                    let k0 = pk * plan.panel_k();
+                    let aj0 = k0 + j * kt;
+                    let vak = k.saturating_sub(aj0).min(kt);
+                    let bi0 = k0 + i * kt;
+                    let vbk = k.saturating_sub(bi0).min(kt);
+                    (
+                        TileFetch::plan(ta, m, k, ci0, aj0, vm, vak),
+                        TileFetch::plan(tb, k, n, bi0, cj0, vbk, vn),
+                    )
+                };
+
+                // Prefetch panel 0.
+                let (fa0, fb0) = fetch(0);
+                let mut handles = [
+                    (fa0.issue(cpe, a_view, &mut stage_a[0]), fb0.issue(cpe, b_view, &mut stage_b[0]), fa0, fb0),
+                    (None, None, fa0, fb0),
+                ];
+                let mut cur = 0usize;
+                for pk in 0..panels_k {
+                    let (ha, hb, fa, fb) = handles[cur];
+                    if let Some(h) = ha {
+                        cpe.dma_wait(h);
+                    }
+                    if let Some(h) = hb {
+                        cpe.dma_wait(h);
+                    }
+                    fa.widen(cpe, &stage_a[cur], mt, kt, &mut a64);
+                    fb.widen(cpe, &stage_b[cur], kt, nt, &mut b64);
+                    // Kick off the next panel's fetch before computing.
+                    let nxt = 1 - cur;
+                    if pk + 1 < panels_k {
+                        let (fan, fbn) = fetch(pk + 1);
+                        handles[nxt] = (
+                            fan.issue(cpe, a_view, &mut stage_a[nxt]),
+                            fbn.issue(cpe, b_view, &mut stage_b[nxt]),
+                            fan,
+                            fbn,
+                        );
+                    }
+                    for t in 0..MESH_DIM {
+                        if j == t {
+                            cpe.rlc_row_bcast(&a64);
+                        } else {
+                            cpe.rlc_row_recv(t, &mut abuf);
+                        }
+                        if i == t {
+                            cpe.rlc_col_bcast(&b64);
+                        } else {
+                            cpe.rlc_col_recv(t, &mut bbuf);
+                        }
+                        let at: &[f64] = if j == t { &a64 } else { &abuf };
+                        let bt: &[f64] = if i == t { &b64 } else { &bbuf };
+                        cpe.compute((2 * mt * nt * kt) as u64, || {
+                            for r in 0..mt {
+                                for tt in 0..kt {
+                                    let av = at[r * kt + tt];
+                                    if av == 0.0 {
+                                        continue;
+                                    }
+                                    for cc in 0..nt {
+                                        c64[r * nt + cc] += av * bt[tt * nt + cc];
+                                    }
+                                }
+                            }
+                        });
+                    }
+                    cur = nxt;
+                }
+
+                if vm > 0 && vn > 0 {
+                    cpe.compute((mt * nt) as u64, || {
+                        for r in 0..vm {
+                            for cc in 0..vn {
+                                cstage[r * vn + cc] = c64[r * nt + cc] as f32;
+                            }
+                        }
+                    });
+                    cpe.dma_put_strided(c_view, ci0 * n + cj0, vn, n, vm, &cstage);
+                } else {
+                    cpe.charge_flops((mt * nt) as u64);
+                }
+            });
+            total.merge(&report);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod db_mesh_tests {
+    use super::*;
+    use crate::reference;
+    use sw26010::ExecMode;
+
+    fn pattern(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                ((x >> 33) % 1000) as f32 / 250.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn double_buffered_mesh_matches_reference() {
+        for (m, n, k, ta, tb, beta) in [
+            (24, 20, 40, Trans::No, Trans::No, 0.0f32),
+            (17, 9, 70, Trans::Yes, Trans::No, 1.0),
+            (33, 41, 19, Trans::No, Trans::Yes, 0.0),
+        ] {
+            let dims = GemmDims::new(m, n, k);
+            let a = pattern(m * k, 1);
+            let b = pattern(k * n, 2);
+            let c0 = pattern(m * n, 3);
+            let mut want = c0.clone();
+            reference::gemm(dims, ta, tb, &a, &b, beta, &mut want);
+            let mut got = c0;
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            gemm_double_buffered(&mut cg, dims, ta, tb, beta, Some(GemmOperands { a: &a, b: &b, c: &mut got }));
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() <= 1e-3 * w.abs().max(1.0),
+                    "db ({m},{n},{k}) elem {i}: {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffered_mesh_is_faster_than_sync() {
+        // Multi-K-panel problem: prefetch must hide tile DMA.
+        let dims = GemmDims::new(128, 128, 1024);
+        let a = pattern(dims.m * dims.k, 1);
+        let b = pattern(dims.k * dims.n, 2);
+        let run_sync = {
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            let mut c = vec![0.0f32; dims.m * dims.n];
+            gemm(&mut cg, dims, Trans::No, Trans::No, 0.0, Some(GemmOperands { a: &a, b: &b, c: &mut c }))
+        };
+        let run_db = {
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            let mut c = vec![0.0f32; dims.m * dims.n];
+            gemm_double_buffered(&mut cg, dims, Trans::No, Trans::No, 0.0, Some(GemmOperands { a: &a, b: &b, c: &mut c }))
+        };
+        assert!(
+            run_db.elapsed.seconds() < run_sync.elapsed.seconds(),
+            "db {} !< sync {}",
+            run_db.elapsed.micros(),
+            run_sync.elapsed.micros()
+        );
+    }
+
+    #[test]
+    fn double_buffered_model_tracks_mesh() {
+        let dims = GemmDims::new(256, 256, 512);
+        let plan = TilePlan::choose(dims);
+        let a = pattern(dims.m * dims.k, 5);
+        let b = pattern(dims.k * dims.n, 6);
+        let mut c = vec![0.0f32; dims.m * dims.n];
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        let mesh = gemm_double_buffered(
+            &mut cg, dims, Trans::No, Trans::No, 0.0,
+            Some(GemmOperands { a: &a, b: &b, c: &mut c }),
+        );
+        let model = time_model_double_buffered(dims, 0.0, plan);
+        let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
+        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+    }
+}

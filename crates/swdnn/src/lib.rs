@@ -1,0 +1,37 @@
+//! # swdnn — DNN kernels for the (simulated) SW26010 CPE cluster
+//!
+//! Rust reproduction of the layer-kernel library behind swCaffe
+//! (Section IV of the paper, building on swDNN \[4\]): register-communication
+//! GEMM, explicit (im2col/col2im) and implicit convolution with a mixed
+//! autotuning strategy, tensor layout transformation, pooling, and the
+//! element-wise / normalisation kernels the five benchmark networks need.
+//!
+//! Every kernel has two faces kept in lock-step by tests:
+//! a *functional* mesh execution on the `sw26010` simulator (checked
+//! against the scalar oracles in [`mod@reference`]) and an *analytic timing
+//! model* used when the core group runs in timing-only mode.
+
+pub mod bn;
+pub mod conv;
+pub mod conv_explicit;
+pub mod conv_implicit;
+pub mod elementwise;
+pub mod gemm;
+pub mod im2col;
+pub mod lrn;
+pub mod pool;
+pub mod reference;
+pub mod shapes;
+pub mod softmax;
+pub mod transform;
+
+pub use shapes::{ConvShape, GemmDims, PoolMethod, PoolShape, Trans};
+
+use sw26010::arch::{CPE_DP_FLOPS_PER_CYCLE, KERNEL_COMPUTE_EFFICIENCY};
+use sw26010::SimTime;
+
+/// Duration of `flops` vector operations at the tuned-kernel rate — the
+/// unit the per-kernel timing models are built from.
+pub fn gemm_flop_time(flops: u64) -> SimTime {
+    SimTime::from_cycles(flops as f64 / (CPE_DP_FLOPS_PER_CYCLE * KERNEL_COMPUTE_EFFICIENCY))
+}

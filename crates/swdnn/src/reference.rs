@@ -1,0 +1,503 @@
+//! Scalar reference implementations.
+//!
+//! These are the oracles for unit and property tests: straightforward,
+//! obviously-correct loops with no blocking, no LDM and no mesh. Every
+//! accelerated kernel in this crate must agree with its reference
+//! implementation to within floating-point reassociation error.
+//!
+//! To mirror the hardware (which computes single-precision work in double
+//! precision — the SW26010 has no native f32 arithmetic), accumulations
+//! here are carried out in f64, which also makes the oracles a tight
+//! comparison target.
+
+use crate::shapes::{ConvShape, GemmDims, PoolMethod, PoolShape, Trans};
+
+/// `C = A * B + beta * C` on row-major matrices with optional transposes.
+pub fn gemm(
+    dims: GemmDims,
+    ta: Trans,
+    tb: Trans,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    let GemmDims { m, n, k } = dims;
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for t in 0..k {
+                let av = if ta.is_trans() { a[t * m + i] } else { a[i * k + t] };
+                let bv = if tb.is_trans() { b[j * k + t] } else { b[t * n + j] };
+                acc += av as f64 * bv as f64;
+            }
+            c[i * n + j] = (acc + (beta * c[i * n + j]) as f64) as f32;
+        }
+    }
+}
+
+/// im2col for one image: input `(N_i, R_i, C_i)` to a column matrix of
+/// shape `(K*K*N_i, R_o*C_o)`, zero-padding applied implicitly.
+pub fn im2col(shape: &ConvShape, image: &[f32], cols: &mut [f32]) {
+    let (ih, iw) = (shape.in_h, shape.in_w);
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    assert_eq!(image.len(), shape.in_c * ih * iw);
+    assert_eq!(cols.len(), shape.col_rows() * shape.col_cols());
+    let mut row = 0usize;
+    for c in 0..shape.in_c {
+        for ky in 0..shape.k {
+            for kx in 0..shape.k {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let y = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                        let x = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                        let v = if y >= 0 && x >= 0 && (y as usize) < ih && (x as usize) < iw {
+                            image[(c * ih + y as usize) * iw + x as usize]
+                        } else {
+                            0.0
+                        };
+                        cols[row * (oh * ow) + oy * ow + ox] = v;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// col2im for one image: scatter-add the column matrix back into image
+/// layout (the adjoint of [`im2col`]).
+pub fn col2im(shape: &ConvShape, cols: &[f32], image: &mut [f32]) {
+    let (ih, iw) = (shape.in_h, shape.in_w);
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    assert_eq!(image.len(), shape.in_c * ih * iw);
+    assert_eq!(cols.len(), shape.col_rows() * shape.col_cols());
+    image.fill(0.0);
+    let mut row = 0usize;
+    for c in 0..shape.in_c {
+        for ky in 0..shape.k {
+            for kx in 0..shape.k {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let y = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                        let x = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                        if y >= 0 && x >= 0 && (y as usize) < ih && (x as usize) < iw {
+                            image[(c * ih + y as usize) * iw + x as usize] +=
+                                cols[row * (oh * ow) + oy * ow + ox];
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Direct convolution forward for the whole batch:
+/// `output(b, o, y, x) = sum_{c,ky,kx} input(b, c, ...) * w(o, c, ky, kx)`.
+pub fn conv_forward(shape: &ConvShape, input: &[f32], weights: &[f32], output: &mut [f32]) {
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let (ih, iw) = (shape.in_h, shape.in_w);
+    assert_eq!(input.len(), shape.input_len());
+    assert_eq!(weights.len(), shape.weight_len());
+    assert_eq!(output.len(), shape.output_len());
+    for b in 0..shape.batch {
+        for o in 0..shape.out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f64;
+                    for c in 0..shape.in_c {
+                        for ky in 0..shape.k {
+                            for kx in 0..shape.k {
+                                let y = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                                let x = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                                if y >= 0 && x >= 0 && (y as usize) < ih && (x as usize) < iw {
+                                    let iv = input
+                                        [((b * shape.in_c + c) * ih + y as usize) * iw + x as usize];
+                                    let wv =
+                                        weights[((o * shape.in_c + c) * shape.k + ky) * shape.k + kx];
+                                    acc += iv as f64 * wv as f64;
+                                }
+                            }
+                        }
+                    }
+                    output[((b * shape.out_c + o) * oh + oy) * ow + ox] = acc as f32;
+                }
+            }
+        }
+    }
+}
+
+/// Direct convolution backward: gradients w.r.t. input and weights.
+pub fn conv_backward(
+    shape: &ConvShape,
+    input: &[f32],
+    weights: &[f32],
+    out_grad: &[f32],
+    in_grad: &mut [f32],
+    w_grad: &mut [f32],
+) {
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let (ih, iw) = (shape.in_h, shape.in_w);
+    in_grad.fill(0.0);
+    w_grad.fill(0.0);
+    for b in 0..shape.batch {
+        for o in 0..shape.out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = out_grad[((b * shape.out_c + o) * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for c in 0..shape.in_c {
+                        for ky in 0..shape.k {
+                            for kx in 0..shape.k {
+                                let y = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                                let x = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                                if y >= 0 && x >= 0 && (y as usize) < ih && (x as usize) < iw {
+                                    let ii =
+                                        ((b * shape.in_c + c) * ih + y as usize) * iw + x as usize;
+                                    let wi =
+                                        ((o * shape.in_c + c) * shape.k + ky) * shape.k + kx;
+                                    in_grad[ii] += g * weights[wi];
+                                    w_grad[wi] += g * input[ii];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pooling forward; for max pooling also records the argmax index (into the
+/// per-channel image) used by the backward pass.
+pub fn pool_forward(
+    shape: &PoolShape,
+    input: &[f32],
+    output: &mut [f32],
+    argmax: Option<&mut [usize]>,
+) {
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let (ih, iw) = (shape.in_h, shape.in_w);
+    assert_eq!(input.len(), shape.input_len());
+    assert_eq!(output.len(), shape.output_len());
+    let mut argmax = argmax;
+    for b in 0..shape.batch {
+        for c in 0..shape.channels {
+            let img = &input[(b * shape.channels + c) * ih * iw..][..ih * iw];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let y0 = (oy * shape.stride) as isize - shape.pad as isize;
+                    let x0 = (ox * shape.stride) as isize - shape.pad as isize;
+                    let oi = ((b * shape.channels + c) * oh + oy) * ow + ox;
+                    match shape.method {
+                        PoolMethod::Max => {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_i = 0usize;
+                            for ky in 0..shape.k {
+                                for kx in 0..shape.k {
+                                    let y = y0 + ky as isize;
+                                    let x = x0 + kx as isize;
+                                    if y >= 0 && x >= 0 && (y as usize) < ih && (x as usize) < iw {
+                                        let i = y as usize * iw + x as usize;
+                                        if img[i] > best {
+                                            best = img[i];
+                                            best_i = i;
+                                        }
+                                    }
+                                }
+                            }
+                            output[oi] = if best == f32::NEG_INFINITY { 0.0 } else { best };
+                            if let Some(am) = argmax.as_deref_mut() {
+                                am[oi] = best_i;
+                            }
+                        }
+                        PoolMethod::Average => {
+                            let mut sum = 0.0f64;
+                            let mut count = 0usize;
+                            for ky in 0..shape.k {
+                                for kx in 0..shape.k {
+                                    let y = y0 + ky as isize;
+                                    let x = x0 + kx as isize;
+                                    if y >= 0 && x >= 0 && (y as usize) < ih && (x as usize) < iw {
+                                        sum += img[y as usize * iw + x as usize] as f64;
+                                        count += 1;
+                                    }
+                                }
+                            }
+                            output[oi] = if count > 0 { (sum / count as f64) as f32 } else { 0.0 };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pooling backward.
+pub fn pool_backward(
+    shape: &PoolShape,
+    out_grad: &[f32],
+    argmax: Option<&[usize]>,
+    in_grad: &mut [f32],
+) {
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let (ih, iw) = (shape.in_h, shape.in_w);
+    in_grad.fill(0.0);
+    for b in 0..shape.batch {
+        for c in 0..shape.channels {
+            let grad_img =
+                &mut in_grad[(b * shape.channels + c) * ih * iw..][..ih * iw];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let oi = ((b * shape.channels + c) * oh + oy) * ow + ox;
+                    let g = out_grad[oi];
+                    match shape.method {
+                        PoolMethod::Max => {
+                            let am = argmax.expect("max pooling backward needs argmax");
+                            grad_img[am[oi]] += g;
+                        }
+                        PoolMethod::Average => {
+                            let y0 = (oy * shape.stride) as isize - shape.pad as isize;
+                            let x0 = (ox * shape.stride) as isize - shape.pad as isize;
+                            let mut count = 0usize;
+                            for ky in 0..shape.k {
+                                for kx in 0..shape.k {
+                                    let y = y0 + ky as isize;
+                                    let x = x0 + kx as isize;
+                                    if y >= 0 && x >= 0 && (y as usize) < ih && (x as usize) < iw {
+                                        count += 1;
+                                    }
+                                }
+                            }
+                            if count > 0 {
+                                let share = g / count as f32;
+                                for ky in 0..shape.k {
+                                    for kx in 0..shape.k {
+                                        let y = y0 + ky as isize;
+                                        let x = x0 + kx as isize;
+                                        if y >= 0
+                                            && x >= 0
+                                            && (y as usize) < ih
+                                            && (x as usize) < iw
+                                        {
+                                            grad_img[y as usize * iw + x as usize] += share;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_identity() {
+        // A * I = A.
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let eye = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]; // 3x3
+        let mut c = vec![0.0; 6];
+        gemm(GemmDims::new(2, 3, 3), Trans::No, Trans::No, &a, &eye, 0.0, &mut c);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn gemm_transposes_agree() {
+        // (A^T stored) x B must equal A x B.
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let a_t = vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]; // stored 3x2
+        let b = vec![1.0, -1.0, 0.5, 2.0, 3.0, -2.0]; // 3x2
+        let mut c1 = vec![0.0; 4];
+        let mut c2 = vec![0.0; 4];
+        gemm(GemmDims::new(2, 2, 3), Trans::No, Trans::No, &a, &b, 0.0, &mut c1);
+        gemm(GemmDims::new(2, 2, 3), Trans::Yes, Trans::No, &a_t, &b, 0.0, &mut c2);
+        assert_eq!(c1, c2);
+
+        let b_t = vec![1.0, 0.5, 3.0, -1.0, 2.0, -2.0]; // stored 2x3
+        let mut c3 = vec![0.0; 4];
+        gemm(GemmDims::new(2, 2, 3), Trans::No, Trans::Yes, &a, &b_t, 0.0, &mut c3);
+        assert_eq!(c1, c3);
+    }
+
+    #[test]
+    fn gemm_beta_accumulates() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 0.0, 0.0, 2.0];
+        let mut c = vec![10.0, 0.0, 0.0, 10.0];
+        gemm(GemmDims::new(2, 2, 2), Trans::No, Trans::No, &a, &b, 1.0, &mut c);
+        assert_eq!(c, vec![12.0, 0.0, 0.0, 12.0]);
+    }
+
+    fn small_shape() -> ConvShape {
+        ConvShape { batch: 2, in_c: 3, in_h: 5, in_w: 5, out_c: 4, k: 3, stride: 1, pad: 1 }
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        let shape = small_shape();
+        let input: Vec<f32> = (0..shape.input_len()).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let weights: Vec<f32> =
+            (0..shape.weight_len()).map(|i| ((i * 3) % 5) as f32 * 0.5 - 1.0).collect();
+        let mut direct = vec![0.0; shape.output_len()];
+        conv_forward(&shape, &input, &weights, &mut direct);
+
+        // Explicit plan: per image, im2col then GEMM (N_o x colrows) * cols.
+        let per_img_in = shape.in_c * shape.in_h * shape.in_w;
+        let per_img_out = shape.out_c * shape.out_h() * shape.out_w();
+        let mut cols = vec![0.0; shape.col_rows() * shape.col_cols()];
+        for b in 0..shape.batch {
+            im2col(&shape, &input[b * per_img_in..][..per_img_in], &mut cols);
+            let mut out = vec![0.0; per_img_out];
+            gemm(
+                GemmDims::new(shape.out_c, shape.col_cols(), shape.col_rows()),
+                Trans::No,
+                Trans::No,
+                &weights,
+                &cols,
+                0.0,
+                &mut out,
+            );
+            for (i, v) in out.iter().enumerate() {
+                assert!(
+                    (direct[b * per_img_out + i] - v).abs() < 1e-4,
+                    "mismatch at image {b} element {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining property of the
+        // adjoint, which is exactly what backprop relies on.
+        let shape = ConvShape {
+            batch: 1,
+            in_c: 2,
+            in_h: 4,
+            in_w: 4,
+            out_c: 1,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let x: Vec<f32> = (0..shape.in_c * 16).map(|i| (i as f32) * 0.25 - 2.0).collect();
+        let y: Vec<f32> =
+            (0..shape.col_rows() * shape.col_cols()).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let mut cols = vec![0.0; y.len()];
+        im2col(&shape, &x, &mut cols);
+        let lhs: f64 = cols.iter().zip(&y).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let mut img = vec![0.0; x.len()];
+        col2im(&shape, &y, &mut img);
+        let rhs: f64 = x.iter().zip(&img).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn conv_backward_finite_difference() {
+        // Check d(loss)/d(w) where loss = sum(output) against finite
+        // differences for a few weights.
+        let shape = ConvShape {
+            batch: 1,
+            in_c: 2,
+            in_h: 4,
+            in_w: 4,
+            out_c: 2,
+            k: 3,
+            stride: 1,
+            pad: 0,
+        };
+        let input: Vec<f32> = (0..shape.input_len()).map(|i| ((i % 5) as f32) * 0.3).collect();
+        let mut weights: Vec<f32> =
+            (0..shape.weight_len()).map(|i| ((i % 3) as f32) * 0.2 - 0.2).collect();
+        let out_grad = vec![1.0f32; shape.output_len()];
+        let mut in_grad = vec![0.0; shape.input_len()];
+        let mut w_grad = vec![0.0; shape.weight_len()];
+        conv_backward(&shape, &input, &weights, &out_grad, &mut in_grad, &mut w_grad);
+
+        let loss = |w: &[f32]| -> f64 {
+            let mut out = vec![0.0; shape.output_len()];
+            conv_forward(&shape, &input, w, &mut out);
+            out.iter().map(|v| *v as f64).sum()
+        };
+        let eps = 1e-2f32;
+        for wi in [0usize, 5, 11, 17] {
+            let orig = weights[wi];
+            weights[wi] = orig + eps;
+            let up = loss(&weights);
+            weights[wi] = orig - eps;
+            let down = loss(&weights);
+            weights[wi] = orig;
+            let fd = (up - down) / (2.0 * eps as f64);
+            assert!(
+                (fd - w_grad[wi] as f64).abs() < 1e-2,
+                "weight {wi}: fd={fd} analytic={}",
+                w_grad[wi]
+            );
+        }
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward() {
+        let shape = PoolShape {
+            batch: 1,
+            channels: 1,
+            in_h: 4,
+            in_w: 4,
+            k: 2,
+            stride: 2,
+            pad: 0,
+            method: PoolMethod::Max,
+        };
+        #[rustfmt::skip]
+        let input = vec![
+            1.0, 2.0, 5.0, 1.0,
+            3.0, 4.0, 2.0, 0.0,
+            0.0, 1.0, 1.0, 1.0,
+            9.0, 0.0, 1.0, 2.0,
+        ];
+        let mut out = vec![0.0; 4];
+        let mut am = vec![0usize; 4];
+        pool_forward(&shape, &input, &mut out, Some(&mut am));
+        assert_eq!(out, vec![4.0, 5.0, 9.0, 2.0]);
+        let mut in_grad = vec![0.0; 16];
+        pool_backward(&shape, &[1.0, 1.0, 1.0, 1.0], Some(&am), &mut in_grad);
+        assert_eq!(in_grad[5], 1.0); // position of 4.0
+        assert_eq!(in_grad[2], 1.0); // position of 5.0
+        assert_eq!(in_grad[12], 1.0); // position of 9.0
+        assert_eq!(in_grad[15], 1.0); // position of 2.0
+        assert_eq!(in_grad.iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_is_mean() {
+        let shape = PoolShape {
+            batch: 1,
+            channels: 1,
+            in_h: 2,
+            in_w: 2,
+            k: 2,
+            stride: 2,
+            pad: 0,
+            method: PoolMethod::Average,
+        };
+        let input = vec![1.0, 2.0, 3.0, 6.0];
+        let mut out = vec![0.0; 1];
+        pool_forward(&shape, &input, &mut out, None);
+        assert_eq!(out[0], 3.0);
+        let mut in_grad = vec![0.0; 4];
+        pool_backward(&shape, &[4.0], None, &mut in_grad);
+        assert_eq!(in_grad, vec![1.0; 4]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Synthetic ImageNet (substitution for the real dataset, which this
+//! environment does not have).
+//!
+//! Images are deterministic pseudo-random tensors derived from their
+//! index, with a class-dependent bias so that training signal exists;
+//! labels cover the 1000 ImageNet classes. Record sizes mirror the
+//! paper's arithmetic: a 256-image mini-batch is ~192 MB, i.e. ~0.75 MB
+//! per decoded image.
+
+/// Bytes of one decoded training record (0.75 MB, per Sec. V-B's
+/// "mini-batch of 256 is around 192 MB").
+pub const RECORD_BYTES: usize = 768 * 1024;
+
+/// ImageNet class count.
+pub const CLASSES: usize = 1000;
+
+/// A deterministic synthetic ImageNet-like dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticImageNet {
+    /// Number of training records (ImageNet-1k: ~1.28 M).
+    pub images: usize,
+}
+
+impl SyntheticImageNet {
+    pub fn new(images: usize) -> Self {
+        SyntheticImageNet { images }
+    }
+
+    /// ImageNet-1k sized instance.
+    pub fn imagenet_1k() -> Self {
+        SyntheticImageNet { images: 1_281_167 }
+    }
+
+    /// Total dataset size on disk, in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.images * RECORD_BYTES
+    }
+
+    /// Label of a record.
+    pub fn label(&self, idx: usize) -> usize {
+        // Deterministic but scrambled so adjacent records differ in class.
+        (splitmix(idx as u64) % CLASSES as u64) as usize
+    }
+
+    /// Fill `data` (one image of `c*h*w` floats) for a record, with a
+    /// class-correlated stripe so learning is possible.
+    pub fn fill_image(&self, idx: usize, c: usize, h: usize, w: usize, data: &mut [f32]) {
+        assert_eq!(data.len(), c * h * w);
+        let label = self.label(idx);
+        let len = data.len();
+        let mut s = splitmix(idx as u64 ^ 0xDEADBEEF);
+        for (i, v) in data.iter_mut().enumerate() {
+            s = splitmix(s);
+            let noise = (s % 2048) as f32 / 2048.0 - 0.5;
+            let stripe = (i * CLASSES / len) == label;
+            *v = noise * 0.3 + if stripe { 1.0 } else { 0.0 };
+        }
+    }
+
+    /// Sample a mini-batch (uniform with replacement, seeded) into flat
+    /// NCHW data + label buffers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fill_batch(
+        &self,
+        seed: u64,
+        batch: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        data: &mut [f32],
+        labels: &mut [f32],
+    ) {
+        assert_eq!(data.len(), batch * c * h * w);
+        assert_eq!(labels.len(), batch);
+        let per = c * h * w;
+        let mut s = splitmix(seed ^ 0x5EED);
+        for b in 0..batch {
+            s = splitmix(s);
+            let idx = (s % self.images as u64) as usize;
+            self.fill_image(idx, c, h, w, &mut data[b * per..][..per]);
+            labels[b] = self.label(idx) as f32;
+        }
+    }
+
+    /// Bytes a node reads per iteration for a sub-mini-batch.
+    pub fn batch_bytes(&self, sub_batch: usize) -> usize {
+        sub_batch * RECORD_BYTES
+    }
+}
+
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod sampler_tests {
+    use super::*;
+
+    #[test]
+    fn epoch_sampler_visits_each_record_once() {
+        let ds = SyntheticImageNet::new(64);
+        let mut seen = std::collections::HashSet::new();
+        // 4 workers x 16 records each must cover all 64 exactly once.
+        for rank in 0..4 {
+            let mut s = EpochSampler::new(&ds, 4, rank);
+            for _ in 0..16 {
+                assert!(seen.insert(s.next_index()), "duplicate within an epoch");
+            }
+            assert_eq!(s.epoch(), 0);
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn epoch_sampler_reshuffles_between_epochs() {
+        let ds = SyntheticImageNet::new(32);
+        let mut s = EpochSampler::new(&ds, 1, 0);
+        let first: Vec<usize> = (0..32).map(|_| s.next_index()).collect();
+        let second: Vec<usize> = (0..32).map(|_| s.next_index()).collect();
+        assert_eq!(s.epoch(), 1);
+        assert_ne!(first, second, "epochs must reshuffle");
+        let mut a = first.clone();
+        let mut b = second.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "both epochs cover the same records");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_of_256_is_about_192mb() {
+        let ds = SyntheticImageNet::imagenet_1k();
+        let mb = ds.batch_bytes(256) as f64 / (1 << 20) as f64;
+        assert_eq!(mb, 192.0);
+    }
+
+    #[test]
+    fn images_are_deterministic_and_distinct() {
+        let ds = SyntheticImageNet::new(1000);
+        let mut a = vec![0.0f32; 3 * 8 * 8];
+        let mut b = vec![0.0f32; 3 * 8 * 8];
+        ds.fill_image(7, 3, 8, 8, &mut a);
+        ds.fill_image(7, 3, 8, 8, &mut b);
+        assert_eq!(a, b);
+        ds.fill_image(8, 3, 8, 8, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn labels_cover_many_classes() {
+        let ds = SyntheticImageNet::new(100_000);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5000 {
+            let l = ds.label(i);
+            assert!(l < CLASSES);
+            seen.insert(l);
+        }
+        assert!(seen.len() > 900, "only {} classes in 5000 samples", seen.len());
+    }
+
+    #[test]
+    fn batches_are_seed_deterministic() {
+        let ds = SyntheticImageNet::new(1000);
+        let mut d1 = vec![0.0f32; 4 * 3 * 4 * 4];
+        let mut l1 = vec![0.0f32; 4];
+        let mut d2 = d1.clone();
+        let mut l2 = l1.clone();
+        ds.fill_batch(42, 4, 3, 4, 4, &mut d1, &mut l1);
+        ds.fill_batch(42, 4, 3, 4, 4, &mut d2, &mut l2);
+        assert_eq!(d1, d2);
+        assert_eq!(l1, l2);
+        ds.fill_batch(43, 4, 3, 4, 4, &mut d2, &mut l2);
+        assert_ne!(d1, d2);
+    }
+}
+
+/// Epoch-based sampler: a seeded permutation of the dataset, partitioned
+/// across distributed workers (each record visited exactly once per epoch,
+/// each worker sees a disjoint shard — the sampling discipline real
+/// ImageNet training uses, vs. the paper's simpler random sampling).
+#[derive(Debug)]
+pub struct EpochSampler {
+    images: usize,
+    workers: usize,
+    rank: usize,
+    epoch: u64,
+    perm: Vec<u32>,
+    cursor: usize,
+}
+
+impl EpochSampler {
+    pub fn new(dataset: &SyntheticImageNet, workers: usize, rank: usize) -> Self {
+        assert!(rank < workers);
+        let mut s = EpochSampler {
+            images: dataset.images,
+            workers,
+            rank,
+            epoch: 0,
+            perm: Vec::new(),
+            cursor: 0,
+        };
+        s.reshuffle();
+        s
+    }
+
+    fn reshuffle(&mut self) {
+        // Seeded Fisher-Yates so every worker derives the same permutation.
+        self.perm = (0..self.images as u32).collect();
+        let mut state = splitmix(self.epoch ^ 0xE90C4_5EED);
+        for i in (1..self.perm.len()).rev() {
+            state = splitmix(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            self.perm.swap(i, j);
+        }
+        self.cursor = 0;
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Next record index for this worker; advances the epoch when the
+    /// shard is exhausted.
+    pub fn next_index(&mut self) -> usize {
+        let shard = self.images / self.workers;
+        if self.cursor >= shard {
+            self.epoch += 1;
+            self.reshuffle();
+        }
+        let idx = self.perm[self.rank * shard + self.cursor] as usize;
+        self.cursor += 1;
+        idx
+    }
+}

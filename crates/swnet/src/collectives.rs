@@ -1,0 +1,501 @@
+//! All-reduce algorithms (Sec. V-A).
+//!
+//! * [`Algorithm::Ring`] — bandwidth-optimal ring (Patarasuk & Yuan \[15\]);
+//!   rejected by the paper for its `p * alpha` latency term on the
+//!   high-latency Sunway network.
+//! * [`Algorithm::Binomial`] — reduce-to-root + broadcast; the latency-
+//!   optimal strawman, terrible for large gradients.
+//! * [`Algorithm::RecursiveHalvingDoubling`] — the MPICH algorithm
+//!   (Thakur et al. \[14\]): reduce-scatter by recursive halving, allgather
+//!   by recursive doubling. With the *natural* rank map its big early
+//!   steps cross supernodes and pay the over-subscribed beta2.
+//! * The paper's contribution is the same algorithm under the
+//!   [`RankMap::RoundRobin`] placement, which pins the big steps inside
+//!   supernodes and leaves only the small tail on the central switch.
+//!
+//! Every algorithm runs functionally over per-node buffers (tests assert
+//! all algorithms produce identical sums) while the cost machinery in
+//! [`crate::cost`] accumulates simulated time step by step.
+
+use sw26010::SimTime;
+
+use crate::cost::{step_time, NetParams, Transfer};
+use crate::topology::{RankMap, Topology};
+
+/// All-reduce algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    Ring,
+    Binomial,
+    RecursiveHalvingDoubling,
+}
+
+/// Outcome of one all-reduce.
+#[derive(Debug, Clone, Copy)]
+pub struct AllreduceReport {
+    pub elapsed: SimTime,
+    pub steps: usize,
+    /// Bytes that crossed the central switch (sum over transfers).
+    pub cross_bytes: u64,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+}
+
+/// Balanced block partition of `n` elements into `p` blocks.
+fn block_range(n: usize, p: usize, b: usize) -> (usize, usize) {
+    let base = n / p;
+    let rem = n % p;
+    let lo = b * base + b.min(rem);
+    let hi = lo + base + usize::from(b < rem);
+    (lo, hi)
+}
+
+fn blocks_span(n: usize, p: usize, lo_b: usize, hi_b: usize) -> (usize, usize) {
+    (block_range(n, p, lo_b).0, block_range(n, p, hi_b - 1).1)
+}
+
+/// In-simulation all-reduce (sum) over `p = topo.nodes` buffers of `elems`
+/// f32 each. `data`, when provided, is indexed by *physical* rank.
+pub fn allreduce(
+    topo: &Topology,
+    params: &NetParams,
+    map: RankMap,
+    algo: Algorithm,
+    elems: usize,
+    mut data: Option<&mut [Vec<f32>]>,
+) -> AllreduceReport {
+    let p = topo.nodes;
+    if let Some(d) = data.as_deref() {
+        assert_eq!(d.len(), p, "one buffer per node");
+        assert!(d.iter().all(|v| v.len() == elems));
+    }
+    if p == 1 {
+        return AllreduceReport {
+            elapsed: SimTime::ZERO,
+            steps: 0,
+            cross_bytes: 0,
+            total_bytes: 0,
+        };
+    }
+    match algo {
+        Algorithm::Ring => ring(topo, params, map, elems, data.as_deref_mut()),
+        Algorithm::Binomial => binomial(topo, params, map, elems, data.as_deref_mut()),
+        Algorithm::RecursiveHalvingDoubling => rhd(topo, params, map, elems, data),
+    }
+}
+
+struct StepAccum<'a> {
+    topo: &'a Topology,
+    params: &'a NetParams,
+    elapsed: SimTime,
+    steps: usize,
+    cross_bytes: u64,
+    total_bytes: u64,
+}
+
+impl<'a> StepAccum<'a> {
+    fn new(topo: &'a Topology, params: &'a NetParams) -> Self {
+        StepAccum { topo, params, elapsed: SimTime::ZERO, steps: 0, cross_bytes: 0, total_bytes: 0 }
+    }
+
+    fn step(&mut self, transfers: &[Transfer]) {
+        self.elapsed += step_time(self.topo, self.params, transfers);
+        self.steps += 1;
+        for t in transfers {
+            self.total_bytes += t.bytes as u64;
+            if self.topo.crosses(t.src, t.dst) {
+                self.cross_bytes += t.bytes as u64;
+            }
+        }
+    }
+
+    fn finish(self) -> AllreduceReport {
+        AllreduceReport {
+            elapsed: self.elapsed,
+            steps: self.steps,
+            cross_bytes: self.cross_bytes,
+            total_bytes: self.total_bytes,
+        }
+    }
+}
+
+/// Apply a batch of (dst_phys, range, payload, reduce) messages.
+type Msg = (usize, std::ops::Range<usize>, Vec<f32>, bool);
+
+fn deliver(data: &mut [Vec<f32>], msgs: Vec<Msg>) {
+    for (dst, range, payload, reduce) in msgs {
+        let target = &mut data[dst][range];
+        if reduce {
+            for (t, v) in target.iter_mut().zip(&payload) {
+                *t += v;
+            }
+        } else {
+            target.copy_from_slice(&payload);
+        }
+    }
+}
+
+fn rhd(
+    topo: &Topology,
+    params: &NetParams,
+    map: RankMap,
+    elems: usize,
+    mut data: Option<&mut [Vec<f32>]>,
+) -> AllreduceReport {
+    let p = topo.nodes;
+    assert!(p.is_power_of_two(), "recursive halving/doubling needs a power-of-two node count");
+    let mut acc = StepAccum::new(topo, params);
+    // Per logical rank: current block range [lo, hi).
+    let mut range: Vec<(usize, usize)> = vec![(0, p); p];
+
+    // Reduce-scatter by recursive halving.
+    let mut mask = p / 2;
+    while mask >= 1 {
+        let mut transfers = Vec::with_capacity(p);
+        let mut msgs: Vec<Msg> = Vec::new();
+        for r in 0..p {
+            let partner = r ^ mask;
+            let (lo, hi) = range[r];
+            let mid = lo + (hi - lo) / 2;
+            // Lower-half ranks keep [lo, mid) and send [mid, hi).
+            let (keep, send) = if r & mask == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
+            let (slo, shi) = blocks_span(elems, p, send.0, send.1);
+            let bytes = (shi - slo) * 4;
+            let src_phys = map.physical(topo, r);
+            let dst_phys = map.physical(topo, partner);
+            transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: bytes });
+            if let Some(d) = data.as_deref() {
+                msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), true));
+            }
+            range[r] = keep;
+        }
+        acc.step(&transfers);
+        if let Some(d) = data.as_deref_mut() {
+            deliver(d, msgs);
+        }
+        mask /= 2;
+    }
+
+    // Allgather by recursive doubling.
+    let mut mask = 1;
+    while mask < p {
+        let snap = range.clone();
+        let mut transfers = Vec::with_capacity(p);
+        let mut msgs: Vec<Msg> = Vec::new();
+        for r in 0..p {
+            let partner = r ^ mask;
+            let (lo, hi) = snap[r];
+            let (slo, shi) = blocks_span(elems, p, lo, hi);
+            let bytes = (shi - slo) * 4;
+            let src_phys = map.physical(topo, r);
+            let dst_phys = map.physical(topo, partner);
+            transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: 0 });
+            if let Some(d) = data.as_deref() {
+                msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), false));
+            }
+            // Union with the partner's (adjacent, equal-sized) range.
+            range[r] = (lo.min(snap[partner].0), hi.max(snap[partner].1));
+        }
+        acc.step(&transfers);
+        if let Some(d) = data.as_deref_mut() {
+            deliver(d, msgs);
+        }
+        mask *= 2;
+    }
+    debug_assert!(range.iter().all(|&(lo, hi)| lo == 0 && hi == p));
+    acc.finish()
+}
+
+fn ring(
+    topo: &Topology,
+    params: &NetParams,
+    map: RankMap,
+    elems: usize,
+    mut data: Option<&mut [Vec<f32>]>,
+) -> AllreduceReport {
+    let p = topo.nodes;
+    let mut acc = StepAccum::new(topo, params);
+    // Reduce-scatter: at step k, rank r sends block (r - k) mod p to r+1.
+    for k in 0..p - 1 {
+        let mut transfers = Vec::with_capacity(p);
+        let mut msgs: Vec<Msg> = Vec::new();
+        for r in 0..p {
+            let b = (r + p - k) % p;
+            let (lo, hi) = block_range(elems, p, b);
+            let bytes = (hi - lo) * 4;
+            let src_phys = map.physical(topo, r);
+            let dst_phys = map.physical(topo, (r + 1) % p);
+            transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: bytes });
+            if let Some(d) = data.as_deref() {
+                msgs.push((dst_phys, lo..hi, d[src_phys][lo..hi].to_vec(), true));
+            }
+        }
+        acc.step(&transfers);
+        if let Some(d) = data.as_deref_mut() {
+            deliver(d, msgs);
+        }
+    }
+    // Allgather: rank r now owns block (r + 1) mod p fully reduced.
+    for k in 0..p - 1 {
+        let mut transfers = Vec::with_capacity(p);
+        let mut msgs: Vec<Msg> = Vec::new();
+        for r in 0..p {
+            let b = (r + 1 + p - k) % p;
+            let (lo, hi) = block_range(elems, p, b);
+            let bytes = (hi - lo) * 4;
+            let src_phys = map.physical(topo, r);
+            let dst_phys = map.physical(topo, (r + 1) % p);
+            transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: 0 });
+            if let Some(d) = data.as_deref() {
+                msgs.push((dst_phys, lo..hi, d[src_phys][lo..hi].to_vec(), false));
+            }
+        }
+        acc.step(&transfers);
+        if let Some(d) = data.as_deref_mut() {
+            deliver(d, msgs);
+        }
+    }
+    acc.finish()
+}
+
+fn binomial(
+    topo: &Topology,
+    params: &NetParams,
+    map: RankMap,
+    elems: usize,
+    mut data: Option<&mut [Vec<f32>]>,
+) -> AllreduceReport {
+    let p = topo.nodes;
+    assert!(p.is_power_of_two(), "binomial tree needs a power-of-two node count");
+    let bytes = elems * 4;
+    let mut acc = StepAccum::new(topo, params);
+    // Reduce to logical rank 0.
+    let mut mask = 1;
+    while mask < p {
+        let mut transfers = Vec::new();
+        let mut msgs: Vec<Msg> = Vec::new();
+        for r in 0..p {
+            if r & mask != 0 && r % mask == 0 {
+                let dst = r - mask;
+                let src_phys = map.physical(topo, r);
+                let dst_phys = map.physical(topo, dst);
+                transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: bytes });
+                if let Some(d) = data.as_deref() {
+                    msgs.push((dst_phys, 0..elems, d[src_phys].clone(), true));
+                }
+            }
+        }
+        acc.step(&transfers);
+        if let Some(d) = data.as_deref_mut() {
+            deliver(d, msgs);
+        }
+        mask *= 2;
+    }
+    // Broadcast from rank 0.
+    let mut mask = p / 2;
+    while mask >= 1 {
+        let mut transfers = Vec::new();
+        let mut msgs: Vec<Msg> = Vec::new();
+        for r in 0..p {
+            if r % (mask * 2) == 0 {
+                let dst = r + mask;
+                if dst < p {
+                    let src_phys = map.physical(topo, r);
+                    let dst_phys = map.physical(topo, dst);
+                    transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: 0 });
+                    if let Some(d) = data.as_deref() {
+                        msgs.push((dst_phys, 0..elems, d[src_phys].clone(), false));
+                    }
+                }
+            }
+        }
+        acc.step(&transfers);
+        if let Some(d) = data.as_deref_mut() {
+            deliver(d, msgs);
+        }
+        mask /= 2;
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ReduceEngine;
+
+    fn make_data(p: usize, elems: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let data: Vec<Vec<f32>> = (0..p)
+            .map(|r| (0..elems).map(|i| ((r * 31 + i * 7) % 23) as f32 - 11.0).collect())
+            .collect();
+        let mut want = vec![0.0f32; elems];
+        for row in &data {
+            for (w, v) in want.iter_mut().zip(row) {
+                *w += v;
+            }
+        }
+        (data, want)
+    }
+
+    fn check_correct(algo: Algorithm, map: RankMap, p: usize, elems: usize) {
+        let topo = Topology::with_supernode(p, (p / 2).max(1));
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let (mut data, want) = make_data(p, elems);
+        let report = allreduce(&topo, &params, map, algo, elems, Some(&mut data));
+        for (r, row) in data.iter().enumerate() {
+            for (i, (g, w)) in row.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() < 1e-3,
+                    "{algo:?}/{map:?} p={p}: node {r} elem {i}: {g} vs {w}"
+                );
+            }
+        }
+        assert!(report.elapsed.seconds() > 0.0);
+    }
+
+    #[test]
+    fn rhd_is_correct() {
+        for p in [2, 4, 8, 16] {
+            check_correct(Algorithm::RecursiveHalvingDoubling, RankMap::Natural, p, 37);
+            check_correct(Algorithm::RecursiveHalvingDoubling, RankMap::RoundRobin, p, 64);
+        }
+    }
+
+    #[test]
+    fn ring_is_correct() {
+        for p in [2, 3, 5, 8] {
+            check_correct(Algorithm::Ring, RankMap::Natural, p, 41);
+        }
+    }
+
+    #[test]
+    fn binomial_is_correct() {
+        for p in [2, 4, 8] {
+            check_correct(Algorithm::Binomial, RankMap::Natural, p, 29);
+        }
+    }
+
+    #[test]
+    fn rhd_beats_binomial_wall_time() {
+        // Aggregate bytes are equal (2(p-1)n in both), but binomial moves
+        // whole vectors on a single link per step while RHD halves sizes
+        // with all links busy — the wall-clock gap the paper exploits.
+        let topo = Topology::with_supernode(8, 4);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let n = 1 << 20;
+        let rhd = allreduce(
+            &topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, n, None,
+        );
+        let bin = allreduce(&topo, &params, RankMap::Natural, Algorithm::Binomial, n, None);
+        assert_eq!(rhd.steps, bin.steps);
+        assert!(
+            rhd.elapsed.seconds() < 0.8 * bin.elapsed.seconds(),
+            "rhd {} vs binomial {}",
+            rhd.elapsed.seconds(),
+            bin.elapsed.seconds()
+        );
+        // With the round-robin mapping the gap widens decisively.
+        let rr = allreduce(
+            &topo, &params, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, n, None,
+        );
+        assert!(
+            rr.elapsed.seconds() < 0.5 * bin.elapsed.seconds(),
+            "rr-rhd {} vs binomial {}",
+            rr.elapsed.seconds(),
+            bin.elapsed.seconds()
+        );
+    }
+
+    #[test]
+    fn round_robin_cuts_cross_traffic() {
+        // The headline claim: the remap reduces the bytes crossing the
+        // central switch from (p - q)n/p to (p/q - 1)n/p.
+        let topo = Topology::with_supernode(16, 4); // p=16, q=4, 4 supernodes
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let n = 1 << 18;
+        let nat = allreduce(
+            &topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, n, None,
+        );
+        let rr = allreduce(
+            &topo, &params, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, n, None,
+        );
+        // Expected ratio: (p-q) : (p/q - 1) = 12 : 3 = 4.
+        let ratio = nat.cross_bytes as f64 / rr.cross_bytes as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "cross-byte ratio {ratio}");
+        assert!(rr.elapsed.seconds() < nat.elapsed.seconds());
+    }
+
+    #[test]
+    fn ring_pays_latency_rhd_pays_less() {
+        // Small message on many nodes: ring's (p-1) steps lose to RHD's
+        // 2 log p — the paper's argument for the binomial-based choice.
+        let topo = Topology::with_supernode(64, 64);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let n = 1024; // 4 KB of gradients
+        let ring = allreduce(&topo, &params, RankMap::Natural, Algorithm::Ring, n, None);
+        let rhd = allreduce(
+            &topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, n, None,
+        );
+        assert!(ring.steps > rhd.steps * 5);
+        assert!(ring.elapsed.seconds() > rhd.elapsed.seconds());
+    }
+
+    #[test]
+    fn single_node_is_free() {
+        let topo = Topology::new(1);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let r = allreduce(
+            &topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, 100, None,
+        );
+        assert_eq!(r.elapsed, SimTime::ZERO);
+    }
+}
+
+/// All-reduce with automatic algorithm choice for arbitrary node counts:
+/// recursive halving/doubling (with the topology-aware map) when the node
+/// count is a power of two, ring otherwise. Real jobs are scheduled at
+/// power-of-two scales on TaihuLight, but a library should not panic on
+/// 96 nodes.
+pub fn allreduce_any(
+    topo: &Topology,
+    params: &NetParams,
+    map: RankMap,
+    elems: usize,
+    data: Option<&mut [Vec<f32>]>,
+) -> AllreduceReport {
+    let algo = if topo.nodes.is_power_of_two() {
+        Algorithm::RecursiveHalvingDoubling
+    } else {
+        Algorithm::Ring
+    };
+    let map = if topo.nodes.is_power_of_two() { map } else { RankMap::Natural };
+    allreduce(topo, params, map, algo, elems, data)
+}
+
+#[cfg(test)]
+mod any_tests {
+    use super::*;
+    use crate::cost::ReduceEngine;
+
+    #[test]
+    fn allreduce_any_handles_odd_node_counts() {
+        for p in [3usize, 5, 6, 7, 12, 8, 16] {
+            let topo = Topology::with_supernode(p, (p / 2).max(1));
+            let params = NetParams::sunway(ReduceEngine::CpeClusters);
+            let mut data: Vec<Vec<f32>> =
+                (0..p).map(|r| (0..17).map(|i| (r + i) as f32).collect()).collect();
+            let mut want = vec![0.0f32; 17];
+            for row in &data {
+                for (w, v) in want.iter_mut().zip(row) {
+                    *w += v;
+                }
+            }
+            let r = allreduce_any(&topo, &params, RankMap::RoundRobin, 17, Some(&mut data));
+            assert!(r.elapsed.seconds() > 0.0, "p={p}");
+            for row in &data {
+                for (g, w) in row.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-3, "p={p}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! TaihuLight interconnect topology (Sec. II-B).
+//!
+//! Two levels: supernodes of 256 nodes with full intra-supernode
+//! bandwidth, and a central switching network between supernodes
+//! provisioned at **one quarter** of the aggregate — the over-subscription
+//! at the heart of the paper's all-reduce redesign.
+
+/// Nodes per supernode on the real machine.
+pub const SUPERNODE_SIZE: usize = 256;
+
+/// Over-subscription factor of the central switching network.
+pub const OVERSUBSCRIPTION: usize = 4;
+
+/// A job allocation: `nodes` ranks spread over supernodes of `supernode_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    pub nodes: usize,
+    pub supernode_size: usize,
+}
+
+impl Topology {
+    /// Standard allocation: contiguous ranks, 256-node supernodes.
+    pub fn new(nodes: usize) -> Self {
+        Topology { nodes, supernode_size: SUPERNODE_SIZE }
+    }
+
+    /// Test-friendly allocation with a custom supernode size.
+    pub fn with_supernode(nodes: usize, supernode_size: usize) -> Self {
+        assert!(supernode_size >= 1);
+        Topology { nodes, supernode_size }
+    }
+
+    /// Supernode housing a physical rank.
+    pub fn supernode_of(&self, rank: usize) -> usize {
+        rank / self.supernode_size
+    }
+
+    /// Number of (partially) occupied supernodes.
+    pub fn supernodes(&self) -> usize {
+        self.nodes.div_ceil(self.supernode_size)
+    }
+
+    /// Nodes co-located in one supernode (the paper's `q`), for full
+    /// supernodes.
+    pub fn q(&self) -> usize {
+        self.supernode_size.min(self.nodes)
+    }
+
+    /// Whether a physical pair communicates across the central switch.
+    pub fn crosses(&self, a: usize, b: usize) -> bool {
+        self.supernode_of(a) != self.supernode_of(b)
+    }
+}
+
+/// Rank mapping between the collective's logical numbering and physical
+/// node placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankMap {
+    /// MPI default: logical == physical (supernodes hold contiguous
+    /// logical ranks).
+    Natural,
+    /// The paper's improvement: logical ranks assigned to supernodes
+    /// round-robin, so large-message (large-distance) exchanges stay
+    /// inside a supernode and only the small tail crosses the switch.
+    RoundRobin,
+}
+
+impl RankMap {
+    /// Physical node of a logical rank.
+    pub fn physical(&self, topo: &Topology, logical: usize) -> usize {
+        match self {
+            RankMap::Natural => logical,
+            RankMap::RoundRobin => {
+                let s = topo.supernodes();
+                if s <= 1 {
+                    return logical;
+                }
+                let per = topo.nodes / s; // benchmark scales use equal fills
+                let sn = logical % s;
+                let idx = logical / s;
+                sn * topo.supernode_size.min(per) + idx
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supernode_membership() {
+        let t = Topology::new(1024);
+        assert_eq!(t.supernodes(), 4);
+        assert_eq!(t.supernode_of(0), 0);
+        assert_eq!(t.supernode_of(255), 0);
+        assert_eq!(t.supernode_of(256), 1);
+        assert!(t.crosses(10, 300));
+        assert!(!t.crosses(10, 200));
+    }
+
+    #[test]
+    fn round_robin_spreads_adjacent_logicals() {
+        // Paper example: 4 supernodes; logical 0,4,8,... in supernode 0,
+        // logical 1,5,9,... in supernode 1, etc.
+        let t = Topology::with_supernode(16, 4);
+        let m = RankMap::RoundRobin;
+        for l in 0..16 {
+            assert_eq!(t.supernode_of(m.physical(&t, l)), l % 4, "logical {l}");
+        }
+        // Bijective.
+        let mut seen: Vec<usize> = (0..16).map(|l| m.physical(&t, l)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn natural_is_identity() {
+        let t = Topology::new(512);
+        for l in [0, 100, 511] {
+            assert_eq!(RankMap::Natural.physical(&t, l), l);
+        }
+    }
+
+    #[test]
+    fn round_robin_keeps_large_distances_local() {
+        // Fig. 7's point: with round-robin mapping, logical distance p/2
+        // stays inside a supernode.
+        let t = Topology::with_supernode(8, 4);
+        let m = RankMap::RoundRobin;
+        for l in 0..4 {
+            let a = m.physical(&t, l);
+            let b = m.physical(&t, l + 4);
+            assert!(!t.crosses(a, b), "distance-4 pair ({l}) must be intra-supernode");
+        }
+        // And distance 1 crosses.
+        let a = m.physical(&t, 0);
+        let b = m.physical(&t, 1);
+        assert!(t.crosses(a, b));
+    }
+}

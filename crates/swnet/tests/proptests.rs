@@ -1,0 +1,147 @@
+//! Property-based tests of the collectives: every algorithm must compute
+//! the exact same sums for arbitrary node counts, payload sizes and
+//! topologies, and the structural traffic invariants must hold.
+
+use proptest::prelude::*;
+use swnet::{allreduce, Algorithm, NetParams, RankMap, ReduceEngine, Topology};
+
+fn node_data(p: usize, elems: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let data: Vec<Vec<f32>> = (0..p)
+        .map(|r| {
+            (0..elems)
+                .map(|i| {
+                    let x = ((r * 1000 + i) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    ((x >> 40) % 100) as f32 / 10.0 - 5.0
+                })
+                .collect()
+        })
+        .collect();
+    let mut want = vec![0.0f32; elems];
+    for row in &data {
+        for (w, v) in want.iter_mut().zip(row) {
+            *w += v;
+        }
+    }
+    (data, want)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_algorithms_compute_the_same_sum(
+        log_p in 1u32..5,
+        elems in 1usize..200,
+        q_div in 1usize..3,
+        round_robin in prop::bool::ANY,
+    ) {
+        let p = 1usize << log_p;
+        let q = (p / (1 << q_div)).max(1);
+        let topo = Topology::with_supernode(p, q);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let map = if round_robin { RankMap::RoundRobin } else { RankMap::Natural };
+        let (_, want) = node_data(p, elems);
+        for algo in [
+            Algorithm::RecursiveHalvingDoubling,
+            Algorithm::Ring,
+            Algorithm::Binomial,
+        ] {
+            let (mut data, _) = node_data(p, elems);
+            allreduce(&topo, &params, map, algo, elems, Some(&mut data));
+            for (r, row) in data.iter().enumerate() {
+                for (i, (g, w)) in row.iter().zip(&want).enumerate() {
+                    prop_assert!(
+                        (g - w).abs() < 1e-3 * w.abs().max(1.0),
+                        "{algo:?}/{map:?} p={p} q={q}: node {r} elem {i}: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_works_for_any_node_count(p in 2usize..12, elems in 1usize..100) {
+        let topo = Topology::with_supernode(p, (p / 2).max(1));
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let (mut data, want) = node_data(p, elems);
+        allreduce(&topo, &params, RankMap::Natural, Algorithm::Ring, elems, Some(&mut data));
+        for row in &data {
+            for (g, w) in row.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-3 * w.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_never_increases_cross_traffic(
+        log_p in 2u32..6,
+        q_div in 1usize..3,
+        elems in 64usize..10_000,
+    ) {
+        let p = 1usize << log_p;
+        let q = (p / (1 << q_div)).max(2);
+        let topo = Topology::with_supernode(p, q);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let nat = allreduce(
+            &topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, elems, None,
+        );
+        let rr = allreduce(
+            &topo, &params, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, elems, None,
+        );
+        prop_assert!(
+            rr.cross_bytes <= nat.cross_bytes,
+            "remap increased cross traffic: {} vs {}",
+            rr.cross_bytes,
+            nat.cross_bytes
+        );
+        prop_assert_eq!(rr.total_bytes, nat.total_bytes);
+        prop_assert_eq!(rr.steps, nat.steps);
+    }
+
+    #[test]
+    fn allreduce_time_is_monotone_in_payload(
+        log_p in 1u32..6,
+        elems in 64usize..100_000,
+    ) {
+        let p = 1usize << log_p;
+        let topo = Topology::new(p);
+        let params = NetParams::sunway_allreduce(ReduceEngine::CpeClusters);
+        let t1 = allreduce(
+            &topo, &params, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, elems, None,
+        )
+        .elapsed
+        .seconds();
+        let t2 = allreduce(
+            &topo, &params, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, 2 * elems, None,
+        )
+        .elapsed
+        .seconds();
+        prop_assert!(t2 >= t1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn broadcast_and_reduce_are_duals(
+        log_p in 1u32..5,
+        elems in 1usize..100,
+    ) {
+        use swnet::{broadcast, reduce};
+        let p = 1usize << log_p;
+        let topo = Topology::with_supernode(p, (p / 2).max(1));
+        let params = NetParams::sunway(ReduceEngine::Mpe);
+        let (mut data, want) = node_data(p, elems);
+        reduce(&topo, &params, RankMap::Natural, elems, Some(&mut data));
+        for (g, w) in data[0].iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-3 * w.abs().max(1.0));
+        }
+        broadcast(&topo, &params, RankMap::Natural, elems, Some(&mut data));
+        for row in &data {
+            for (g, w) in row.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-3 * w.abs().max(1.0));
+            }
+        }
+    }
+}

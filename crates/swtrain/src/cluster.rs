@@ -1,0 +1,331 @@
+//! Multi-node synchronous SGD: Algorithm 1's all-reduce step over the
+//! simulated TaihuLight interconnect.
+//!
+//! Functional mode instantiates every node in-process (used by tests at
+//! small scale to prove the distributed gradient math is exact); the
+//! 1024-node sweeps of Figs. 10/11 use [`crate::scaling`] instead, which
+//! reuses one representative node (all nodes are statistically identical
+//! under synchronous data parallelism).
+
+use sw26010::arch::CORE_GROUPS;
+use sw26010::{ExecMode, SimTime};
+use swcaffe_core::{NetDef, SolverConfig};
+use swnet::{allreduce, Algorithm, NetParams, RankMap, Topology};
+
+use crate::ssgd::{ChipIteration, ChipTrainer};
+
+/// Cluster-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    pub nodes: usize,
+    pub supernode_size: usize,
+    pub rank_map: RankMap,
+    pub algorithm: Algorithm,
+    pub net: NetParams,
+    /// Optional shared-filesystem model and per-node mini-batch bytes:
+    /// prefetch hides disk time behind compute, the excess stalls the
+    /// iteration (Sec. V-B).
+    pub io: Option<(swio::IoModel, usize)>,
+}
+
+impl ClusterConfig {
+    /// The paper's configuration: topology-aware halving/doubling with
+    /// CPE-cluster sums.
+    pub fn swcaffe(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            supernode_size: swnet::SUPERNODE_SIZE,
+            rank_map: RankMap::RoundRobin,
+            algorithm: Algorithm::RecursiveHalvingDoubling,
+            net: NetParams::sunway(swnet::ReduceEngine::CpeClusters),
+            io: None,
+        }
+    }
+
+    pub fn topology(&self) -> Topology {
+        Topology::with_supernode(self.nodes, self.supernode_size)
+    }
+}
+
+/// Per-iteration cluster report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterIteration {
+    pub loss: f32,
+    pub compute: SimTime,
+    pub comm: SimTime,
+    pub intra: SimTime,
+    pub update: SimTime,
+    pub io_stall: SimTime,
+}
+
+impl ClusterIteration {
+    pub fn total(&self) -> SimTime {
+        self.compute + self.comm + self.intra + self.update + self.io_stall
+    }
+
+    /// Fig. 11's metric.
+    pub fn comm_fraction(&self) -> f64 {
+        self.comm.seconds() / self.total().seconds()
+    }
+}
+
+/// A fully-materialised multi-node trainer (small scales, tests).
+pub struct ClusterTrainer {
+    pub config: ClusterConfig,
+    pub chips: Vec<ChipTrainer>,
+}
+
+impl ClusterTrainer {
+    pub fn new(
+        def: &NetDef,
+        solver: SolverConfig,
+        config: ClusterConfig,
+        mode: ExecMode,
+    ) -> Result<Self, String> {
+        let chips: Result<Vec<_>, _> =
+            (0..config.nodes).map(|_| ChipTrainer::new(def, solver, mode)).collect();
+        Ok(ClusterTrainer { config, chips: chips? })
+    }
+
+    /// One synchronous iteration across all nodes. `inputs[node][cg]` are
+    /// the per-CG (data, labels) pairs; `None` in timing mode.
+    pub fn iteration(
+        &mut self,
+        inputs: Option<&[Vec<(Vec<f32>, Vec<f32>)>]>,
+    ) -> ClusterIteration {
+        let n = self.config.nodes;
+        let functional = inputs.is_some();
+        // Phase 1-3 on every node.
+        let mut reports: Vec<ChipIteration> = Vec::with_capacity(n);
+        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(n);
+        for (i, chip) in self.chips.iter_mut().enumerate() {
+            let (r, g) = chip.compute_gradients(inputs.map(|inp| &inp[i][..]));
+            reports.push(r);
+            grads.push(g);
+        }
+        // Synchronous step: the iteration advances at the slowest node.
+        let compute = reports.iter().map(|r| r.compute).fold(SimTime::ZERO, SimTime::max);
+        let intra_pre = reports.iter().map(|r| r.intra).fold(SimTime::ZERO, SimTime::max);
+
+        // All-reduce the packed gradients.
+        let topo = self.config.topology();
+        let elems = self.chips[0].param_elems();
+        let comm = allreduce(
+            &topo,
+            &self.config.net,
+            self.config.rank_map,
+            self.config.algorithm,
+            elems,
+            functional.then_some(&mut grads[..]),
+        )
+        .elapsed;
+
+        // Phase 4-5 on every node.
+        let scale = 1.0 / (CORE_GROUPS * n) as f32;
+        let mut update = SimTime::ZERO;
+        let mut intra_post = SimTime::ZERO;
+        for (chip, g) in self.chips.iter_mut().zip(&mut grads) {
+            let (u, b) = chip.apply_update(g, scale);
+            update = update.max(u);
+            intra_post = intra_post.max(b);
+        }
+        let loss = reports.iter().map(|r| r.loss).sum::<f32>() / n as f32;
+        let io_stall = match self.config.io {
+            Some((model, bytes)) => swio::io_stall(model.batch_read_time(n, bytes), compute),
+            None => SimTime::ZERO,
+        };
+        ClusterIteration { loss, compute, comm, intra: intra_pre + intra_post, update, io_stall }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packing::pack_params;
+    use swcaffe_core::models;
+
+    fn synth_cluster_inputs(
+        nodes: usize,
+        cg_batch: usize,
+        classes: usize,
+        img: usize,
+        seed: usize,
+    ) -> Vec<Vec<(Vec<f32>, Vec<f32>)>> {
+        (0..nodes)
+            .map(|node| {
+                (0..CORE_GROUPS)
+                    .map(|cgi| {
+                        let mut data = vec![0.0f32; cg_batch * img];
+                        let mut labels = vec![0.0f32; cg_batch];
+                        for b in 0..cg_batch {
+                            let class = (b + cgi + node * 2 + seed) % classes;
+                            labels[b] = class as f32;
+                            for i in 0..img {
+                                let noise = (((b * 31 + i * 17 + node * 5 + cgi * 3 + seed * 7)
+                                    % 83) as f32
+                                    / 83.0
+                                    - 0.5)
+                                    * 0.2;
+                                let stripe = (i * classes / img) == class;
+                                data[b * img + i] = noise + if stripe { 1.0 } else { 0.0 };
+                            }
+                        }
+                        (data, labels)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cluster_nodes_stay_synchronous() {
+        let def = models::tiny_cnn(1, 3);
+        let mut cluster = ClusterTrainer::new(
+            &def,
+            SolverConfig::default(),
+            ClusterConfig {
+                supernode_size: 2,
+                ..ClusterConfig::swcaffe(4)
+            },
+            ExecMode::Functional,
+        )
+        .unwrap();
+        let img = 3 * 16 * 16;
+        for it in 0..3 {
+            let inputs = synth_cluster_inputs(4, 1, 3, img, it);
+            let r = cluster.iteration(Some(&inputs));
+            assert!(r.loss.is_finite());
+            assert!(r.comm.seconds() > 0.0);
+            // Every node must hold the same weights afterwards.
+            let reference = pack_params(cluster.chips[0].net());
+            for (i, chip) in cluster.chips.iter().enumerate().skip(1) {
+                assert_eq!(pack_params(chip.net()), reference, "node {i} diverged");
+            }
+        }
+    }
+
+    /// A BN-free CNN: batch-norm statistics are not batch-size
+    /// associative, so the exact distributed-vs-centralised equivalence
+    /// only holds without them (as in real data-parallel training).
+    fn plain_cnn(batch: usize, classes: usize) -> swcaffe_core::NetDef {
+        models::NetBuilder::new("plain_cnn", batch, 3, 16)
+            .force_nchw()
+            .conv("conv1", 8, 3, 1, 1)
+            .relu("relu1")
+            .pool("pool1", 2, 2, 0, swcaffe_core::PoolKind::Max)
+            .fc("fc", classes)
+            .loss()
+    }
+
+    #[test]
+    fn distributed_equals_single_node_large_batch() {
+        // 2 nodes x chip-batch 4 must produce exactly the same update as
+        // 1 node x chip-batch 8 over the same 8 samples (synchronous SGD
+        // is batch-size associative).
+        let img = 3 * 16 * 16;
+        let classes = 3;
+        let solver = SolverConfig { base_lr: 0.1, momentum: 0.0, weight_decay: 0.0, ..Default::default() };
+
+        // Build one deterministic pool of 8 (data, label) samples.
+        let pool = synth_cluster_inputs(2, 1, classes, img, 9);
+
+        let def_small = plain_cnn(1, classes);
+        let mut cluster = ClusterTrainer::new(
+            &def_small,
+            solver,
+            ClusterConfig { supernode_size: 2, ..ClusterConfig::swcaffe(2) },
+            ExecMode::Functional,
+        )
+        .unwrap();
+        cluster.iteration(Some(&pool));
+        let distributed = pack_params(cluster.chips[0].net());
+
+        // Single node with per-CG batch 2 sees the same 8 samples.
+        let def_big = plain_cnn(2, classes);
+        let mut single =
+            ChipTrainer::new(&def_big, solver, ExecMode::Functional).unwrap();
+        let merged: Vec<(Vec<f32>, Vec<f32>)> = (0..CORE_GROUPS)
+            .map(|cgi| {
+                // CG cgi of the big node takes node0.cg and node1.cg
+                // samples cgi (two samples of batch 1 each).
+                let (d0, l0) = &pool[0][cgi];
+                let (d1, l1) = &pool[1][cgi];
+                let mut d = d0.clone();
+                d.extend_from_slice(d1);
+                let mut l = l0.clone();
+                l.extend_from_slice(l1);
+                (d, l)
+            })
+            .collect();
+        single.iteration(Some(&merged));
+        let centralized = pack_params(single.net());
+
+        assert_eq!(distributed.len(), centralized.len());
+        for (i, (a, b)) in distributed.iter().zip(&centralized).enumerate() {
+            assert!(
+                (a - b).abs() < 2e-4 * b.abs().max(1.0),
+                "param {i}: distributed {a} vs centralized {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn timing_mode_cluster_reports() {
+        let def = models::tiny_cnn(4, 10);
+        let mut cluster = ClusterTrainer::new(
+            &def,
+            SolverConfig::default(),
+            ClusterConfig { supernode_size: 4, ..ClusterConfig::swcaffe(8) },
+            ExecMode::TimingOnly,
+        )
+        .unwrap();
+        let r = cluster.iteration(None);
+        assert!(r.compute.seconds() > 0.0);
+        assert!(r.comm.seconds() > 0.0);
+        assert!(r.comm_fraction() > 0.0 && r.comm_fraction() < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod io_tests {
+    use super::*;
+    use swcaffe_core::models;
+    use swio::{IoModel, Layout};
+
+    #[test]
+    fn io_stall_appears_under_single_split_layout() {
+        // With the degenerate single-split layout and many readers, the
+        // disk cannot keep up with compute and the iteration stalls;
+        // striping removes the stall.
+        let def = models::tiny_cnn(8, 10);
+        let batch_bytes = 192 << 20;
+        let run = |layout: Layout| {
+            let mut cluster = ClusterTrainer::new(
+                &def,
+                SolverConfig::default(),
+                ClusterConfig {
+                    supernode_size: 16,
+                    io: Some((IoModel::taihulight(layout), batch_bytes)),
+                    ..ClusterConfig::swcaffe(32)
+                },
+                ExecMode::TimingOnly,
+            )
+            .unwrap();
+            cluster.iteration(None)
+        };
+        let single = run(Layout::SingleSplit);
+        let striped = run(Layout::paper_striped());
+        assert!(
+            single.io_stall.seconds() > 1.0,
+            "single-split must stall: {}",
+            single.io_stall.seconds()
+        );
+        assert!(
+            striped.io_stall.seconds() < single.io_stall.seconds() / 5.0,
+            "striping must remove most of the stall: {} vs {}",
+            striped.io_stall.seconds(),
+            single.io_stall.seconds()
+        );
+        assert!(striped.total().seconds() < single.total().seconds());
+    }
+}

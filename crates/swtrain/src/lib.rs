@@ -1,0 +1,26 @@
+//! # swtrain — scaling swCaffe across the (simulated) TaihuLight
+//!
+//! Section V of the paper: Algorithm 1's four-core-group synchronous SGD
+//! with the handshake barrier (Fig. 5), gradient packing, the
+//! topology-aware all-reduce across nodes, and the scaling analytics
+//! behind Figs. 10 and 11.
+//!
+//! Functional mode runs every core group (and every node, at small
+//! scales) with real threads and real gradients — tests prove the
+//! distributed update is bit-for-bit the large-batch centralised update.
+//! Timing mode drives the same code paths against the cost models for the
+//! 1024-node sweeps.
+
+pub mod cluster;
+pub mod packing;
+pub mod scaling;
+pub mod ssgd;
+pub mod sync;
+pub mod trainer;
+
+pub use cluster::{ClusterConfig, ClusterIteration, ClusterTrainer};
+pub use packing::{pack_gradients, pack_params, unpack_gradients, unpack_params};
+pub use scaling::{ScalingModel, ScalingPoint};
+pub use ssgd::{evaluate, ChipIteration, ChipTrainer};
+pub use sync::HandshakeBarrier;
+pub use trainer::{TrainConfig, TrainRecord, Trainer};

@@ -1,0 +1,56 @@
+//! The mixed convolution strategy in action (Sec. VI-A): swCaffe runs
+//! both convolution plans for the first training iterations, measures
+//! them, and locks in the faster one per layer — reproduced here with the
+//! simulator as the measurement device.
+//!
+//! Run with: `cargo run --release -p swcaffe-bench --example conv_autotune`
+
+use sw26010::{CoreGroup, ExecMode};
+use swdnn::conv::{AutoTuner, Strategy};
+use swdnn::{conv_explicit, conv_implicit, ConvShape};
+
+fn measure(cg: &mut CoreGroup, shape: &ConvShape, s: Strategy) -> sw26010::SimTime {
+    match s {
+        Strategy::Explicit => conv_explicit::forward(cg, shape, None).elapsed,
+        Strategy::Implicit => conv_implicit::forward(cg, shape, None).elapsed,
+    }
+}
+
+fn main() {
+    let layers = [
+        ("conv1_1", 3usize, 64usize, 224usize),
+        ("conv1_2", 64, 64, 224),
+        ("conv3_1", 128, 256, 56),
+        ("conv5_1", 512, 512, 14),
+    ];
+    let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+    println!("online autotuning of VGG-16 layers, batch 128 (2 trial iterations each):");
+    for (name, ni, no, hw) in layers {
+        let shape = ConvShape {
+            batch: 128,
+            in_c: ni,
+            in_h: hw,
+            in_w: hw,
+            out_c: no,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut tuner = AutoTuner::new(2, conv_implicit::supports_forward(&shape));
+        let mut iters = 0;
+        while tuner.locked().is_none() {
+            let s = tuner.next_strategy();
+            let elapsed = measure(&mut cg, &shape, s);
+            tuner.record(s, elapsed);
+            iters += 1;
+        }
+        let choice = tuner.locked().unwrap();
+        let t = measure(&mut cg, &shape, choice);
+        println!(
+            "  {name}: {ni:>3} -> {no:>3} ch @ {hw:>3}px  =>  {:?} after {iters} trials \
+             ({:.2} s/iteration forward)",
+            choice,
+            t.seconds(),
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Single-node ImageNet training the way the paper runs it (Sec. VI-B):
+//! one SW26010 processor, four core groups splitting the mini-batch
+//! (Algorithm 1), timing-only mode at the paper's batch sizes.
+//!
+//! Prints the per-layer breakdown behind Fig. 8 plus the Table III
+//! throughput for the chosen network.
+//!
+//! Run with:
+//!   cargo run --release -p swcaffe-bench --example imagenet_single_node [alexnet|vgg16|resnet50|googlenet]
+
+use sw26010::{CoreGroup, ExecMode};
+use swcaffe_core::{models, Net, NetDef, SolverConfig};
+use swtrain::ChipTrainer;
+
+fn pick(name: &str) -> (NetDef, NetDef, usize) {
+    match name {
+        "alexnet" => (models::alexnet_bn(64), models::alexnet_bn(256), 256),
+        "vgg16" => (models::vgg16(16), models::vgg16(64), 64),
+        "resnet50" => (models::resnet50(8), models::resnet50(32), 32),
+        "googlenet" => (models::googlenet(32), models::googlenet(128), 128),
+        other => panic!("unknown network '{other}'"),
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "alexnet".into());
+    let (cg_def, _full_def, chip_batch) = pick(&name);
+    println!("{name}: chip batch {chip_batch} (per core group: {})", chip_batch / 4);
+
+    // Per-layer breakdown on one core group.
+    let mut net = Net::from_def(&cg_def, false).expect("valid net");
+    let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+    let (_, fwd) = net.forward_with_times(&mut cg);
+    let bwd = net.backward_with_times(&mut cg);
+    println!("\nper-layer time on one core group (ms):");
+    println!("{:<20}{:>10}{:>10}", "layer", "forward", "backward");
+    for (lname, t) in &fwd.entries {
+        let b = bwd
+            .entries
+            .iter()
+            .find(|(n, _)| n == lname)
+            .map(|(_, t)| t.seconds())
+            .unwrap_or(0.0);
+        if t.seconds() + b > 1e-6 {
+            println!("{:<20}{:>10.2}{:>10.2}", lname, t.seconds() * 1e3, b * 1e3);
+        }
+    }
+
+    // Whole-chip iteration via Algorithm 1 (4 CGs + gradient sum + SGD).
+    let mut trainer = ChipTrainer::new(&cg_def, SolverConfig::default(), ExecMode::TimingOnly)
+        .expect("valid net");
+    let report = trainer.iteration(None);
+    let iter = ChipTrainer::iteration_time(&report);
+    println!("\nwhole-chip iteration:");
+    println!("  compute (slowest CG):   {:.3} s", report.compute.seconds());
+    println!("  intra-chip gather/bcast:{:.3} s", report.intra.seconds());
+    println!("  SGD update:             {:.3} s", report.update.seconds());
+    println!("  total:                  {:.3} s", iter.seconds());
+    println!("  throughput:             {:.2} img/s (Table III, SW column)", chip_batch as f64 / iter.seconds());
+    println!("  gradient size:          {:.1} MB", trainer.param_bytes() as f64 / 1e6);
+}

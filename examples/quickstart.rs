@@ -1,0 +1,63 @@
+//! Quickstart: build a small CNN with the swCaffe API, train it
+//! functionally on the simulated SW26010 core group, and inspect both the
+//! learning curve and the hardware counters the simulator collected.
+//!
+//! Run with: `cargo run --release -p swcaffe-bench --example quickstart`
+
+use sw26010::{CoreGroup, ExecMode};
+use swcaffe_core::{models, Net, SgdSolver, SolverConfig};
+use swio::SyntheticImageNet;
+
+fn main() {
+    // A conv-bn-relu-pool x2 + fc classifier on 16x16 images, 10 classes.
+    let classes = 4;
+    let batch = 8;
+    let def = models::tiny_cnn(batch, classes);
+    println!("network '{}' ({} layers):", def.name, def.layers.len());
+    for l in &def.layers {
+        println!("  {:<8} <- {:?}", l.name, l.bottoms);
+    }
+
+    let mut net = Net::from_def(&def, true).expect("valid net");
+    println!("\nparameters: {} floats ({:.1} KB)", net.param_len(), net.param_len() as f64 * 4.0 / 1024.0);
+
+    // One simulated core group, functional mode: the math really runs.
+    let mut cg = CoreGroup::new(ExecMode::Functional);
+    let mut solver = SgdSolver::new(SolverConfig {
+        base_lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        ..Default::default()
+    });
+
+    // Synthetic dataset (stands in for ImageNet; see DESIGN.md).
+    let dataset = SyntheticImageNet::new(4096);
+    let mut data = vec![0.0f32; batch * 3 * 16 * 16];
+    let mut labels = vec![0.0f32; batch];
+
+    println!("\ntraining:");
+    for iter in 0..60 {
+        // Cap labels at the model's class count for this small demo.
+        dataset.fill_batch((iter % 4) as u64, batch, 3, 16, 16, &mut data, &mut labels);
+        for l in labels.iter_mut() {
+            *l %= classes as f32;
+        }
+        net.set_input("data", &data);
+        net.set_input("label", &labels);
+        net.zero_param_diffs();
+        let loss = net.forward(&mut cg);
+        net.backward(&mut cg);
+        solver.step(&mut cg, &mut net);
+        if iter % 10 == 0 || iter == 59 {
+            let acc = net.blob("accuracy").data()[0];
+            println!("  iter {iter:>3}: loss {loss:.4}  accuracy {acc:.2}");
+        }
+    }
+
+    println!("\nsimulated hardware activity:");
+    println!("{}", cg.stats());
+    println!(
+        "total simulated time: {:.3} ms  (the chip needs 26.5 flops/B to be compute-bound)",
+        cg.elapsed().seconds() * 1e3
+    );
+}
