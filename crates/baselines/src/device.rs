@@ -12,6 +12,24 @@ pub struct DeviceSpec {
     pub double_tflops: f64,
 }
 
+impl DeviceSpec {
+    /// Peak single-precision rate in flops/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.float_tflops * 1e12
+    }
+
+    /// Memory bandwidth in bytes/s.
+    pub fn mem_bandwidth(&self) -> f64 {
+        self.bandwidth_gbs * 1e9
+    }
+
+    /// Machine balance in flops per byte — the roofline knee: work with a
+    /// lower arithmetic intensity is bandwidth-bound on this device.
+    pub fn machine_balance(&self) -> f64 {
+        self.peak_flops() / self.mem_bandwidth()
+    }
+}
+
 /// Table I, column SW26010.
 pub fn sw26010_spec() -> DeviceSpec {
     DeviceSpec {
@@ -124,9 +142,7 @@ impl Device {
     pub fn conv_backward(&self, shape: &ConvShape, input_grad_needed: bool) -> f64 {
         let passes = if input_grad_needed { 2.0 } else { 1.0 };
         let flops = passes * shape.forward_flops() as f64;
-        let bytes = (1.0 + passes)
-            * 4.0
-            * (shape.input_len() + shape.output_len()) as f64;
+        let bytes = (1.0 + passes) * 4.0 * (shape.input_len() + shape.output_len()) as f64;
         self.layer_overhead
             + (flops / (self.peak_flops * self.conv_eff(shape))).max(bytes / self.mem_bw)
     }
@@ -158,13 +174,29 @@ mod tests {
     use super::*;
 
     fn vgg_conv(ni: usize, no: usize, hw: usize, b: usize) -> ConvShape {
-        ConvShape { batch: b, in_c: ni, in_h: hw, in_w: hw, out_c: no, k: 3, stride: 1, pad: 1 }
+        ConvShape {
+            batch: b,
+            in_c: ni,
+            in_h: hw,
+            in_w: hw,
+            out_c: no,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     #[test]
     fn table_i_specs() {
         let sw = sw26010_spec();
-        assert_eq!(sw.float_tflops, sw.double_tflops, "SW26010 has no native SP");
+        assert_eq!(
+            sw.float_tflops, sw.double_tflops,
+            "SW26010 has no native SP"
+        );
+        // The SW26010's defining imbalance (Sec. II-A): ~23.6 flops/byte
+        // against DRAM, an order past contemporary GPUs.
+        assert!((sw.machine_balance() - 3.02e12 / 128.0e9).abs() < 1e-9);
+        assert!(sw.machine_balance() > 20.0);
         let gpu = k40m_spec();
         assert!(gpu.float_tflops > 3.0 * gpu.double_tflops / 1.1);
         let knl = intel_knl_spec();

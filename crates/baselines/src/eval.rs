@@ -18,9 +18,13 @@ pub struct LayerTime {
 
 fn conv_shape_of(op: &LayerOp) -> ConvShape {
     let (num_output, kernel, stride, pad) = match op.kind {
-        LayerKind::Convolution { num_output, kernel, stride, pad, .. } => {
-            (num_output, kernel, stride, pad)
-        }
+        LayerKind::Convolution {
+            num_output,
+            kernel,
+            stride,
+            pad,
+            ..
+        } => (num_output, kernel, stride, pad),
         _ => unreachable!("not a convolution"),
     };
     let s = &op.in_shapes[0];
@@ -42,15 +46,26 @@ pub fn network_times(net: &Net, device: &Device) -> Vec<LayerTime> {
     net.ops()
         .iter()
         .map(|op| {
-            let out_elems: usize = op.out_shapes.first().map(|s| s.iter().product()).unwrap_or(0);
-            let in_elems: usize = op.in_shapes.first().map(|s| s.iter().product()).unwrap_or(0);
+            let out_elems: usize = op
+                .out_shapes
+                .first()
+                .map(|s| s.iter().product())
+                .unwrap_or(0);
+            let in_elems: usize = op
+                .in_shapes
+                .first()
+                .map(|s| s.iter().product())
+                .unwrap_or(0);
             let (forward, backward) = match &op.kind {
                 LayerKind::Input { shape, .. } => (device.input_pipeline(shape[0]), 0.0),
                 LayerKind::Convolution { .. } => {
                     let shape = conv_shape_of(op);
                     // The first convolution never needs an input gradient.
                     let needs_dx = shape.in_c > 3;
-                    (device.conv_forward(&shape), device.conv_backward(&shape, needs_dx))
+                    (
+                        device.conv_forward(&shape),
+                        device.conv_backward(&shape, needs_dx),
+                    )
                 }
                 LayerKind::InnerProduct { num_output, .. } => {
                     let batch = op.in_shapes[0][0];
@@ -61,9 +76,10 @@ pub fn network_times(net: &Net, device: &Device) -> Vec<LayerTime> {
                         + device.gemm(batch, features, *num_output);
                     (fwd, bwd)
                 }
-                LayerKind::Pooling { .. } => {
-                    (device.streaming(in_elems + out_elems, 1), device.streaming(in_elems + out_elems, 1))
-                }
+                LayerKind::Pooling { .. } => (
+                    device.streaming(in_elems + out_elems, 1),
+                    device.streaming(in_elems + out_elems, 1),
+                ),
                 LayerKind::ReLU | LayerKind::Dropout { .. } | LayerKind::EltwiseSum => {
                     (device.streaming(in_elems, 2), device.streaming(in_elems, 3))
                 }
@@ -77,18 +93,28 @@ pub fn network_times(net: &Net, device: &Device) -> Vec<LayerTime> {
                 LayerKind::SoftmaxWithLoss | LayerKind::Accuracy { .. } => {
                     (device.streaming(in_elems, 2), device.streaming(in_elems, 2))
                 }
-                LayerKind::Concat => (device.streaming(out_elems, 2), device.streaming(out_elems, 2)),
+                LayerKind::Concat => (
+                    device.streaming(out_elems, 2),
+                    device.streaming(out_elems, 2),
+                ),
                 // Baseline frameworks keep a single layout.
                 LayerKind::TensorTransform { .. } => (0.0, 0.0),
             };
-            LayerTime { name: op.name.clone(), forward, backward }
+            LayerTime {
+                name: op.name.clone(),
+                forward,
+                backward,
+            }
         })
         .collect()
 }
 
 /// Whole-iteration time on a device (forward + backward + input pipeline).
 pub fn iteration_time(net: &Net, device: &Device) -> f64 {
-    network_times(net, device).iter().map(|l| l.forward + l.backward).sum()
+    network_times(net, device)
+        .iter()
+        .map(|l| l.forward + l.backward)
+        .sum()
 }
 
 /// Table III's img/sec metric.

@@ -14,5 +14,7 @@
 pub mod device;
 pub mod eval;
 
-pub use device::{cpu_e5_2680v3, gpu_k40m, intel_knl_spec, sw26010_spec, Device, DeviceSpec};
+pub use device::{
+    cpu_e5_2680v3, gpu_k40m, intel_knl_spec, k40m_spec, sw26010_spec, Device, DeviceSpec,
+};
 pub use eval::{network_times, throughput_img_per_sec, LayerTime};

@@ -1,97 +1,6 @@
-//! Ablations of the design choices DESIGN.md calls out:
-//!  1. register-communication GEMM vs per-CPE DMA replication (Principle 4)
-//!  2. topology-aware vs natural vs ring vs binomial all-reduce
-//!  3. CPE-cluster vs MPE reduction arithmetic
-//!  4. packed vs per-layer gradient all-reduce
-//!  5. striped vs single-split training-set layout
-//!  6. continuous-DMA chunk size (Principle 3)
-
-use swdnn::gemm::{time_model, time_model_double_buffered, time_model_no_rlc, TilePlan};
-use swdnn::GemmDims;
-use swio::{IoModel, Layout};
-use swnet::{allreduce, Algorithm, NetParams, RankMap, ReduceEngine, Topology};
+//! Thin wrapper over `scenarios::ablations`; `--json <path>` writes the
+//! structured report alongside the text table.
 
 fn main() {
-    println!("=== Ablation 1: GEMM with vs without register communication ===");
-    println!("    (plus the double-buffered design-space probe)");
-    for (m, n, k) in [(512, 512, 512), (1024, 1024, 1024), (4096, 4096, 1024)] {
-        let dims = GemmDims::new(m, n, k);
-        let plan = TilePlan::choose(dims);
-        let with = time_model(dims, 0.0, plan).seconds();
-        let without = time_model_no_rlc(dims, plan).seconds();
-        let db = time_model_double_buffered(dims, 0.0, plan).seconds();
-        println!(
-            "  {m}x{n}x{k}: RLC {:.3} ms, no-RLC {:.3} ms ({:.2}x from Principle 4),              double-buffered {:.3} ms ({:.2}x further)",
-            with * 1e3,
-            without * 1e3,
-            without / with,
-            db * 1e3,
-            with / db
-        );
-    }
-
-    println!();
-    println!("=== Ablation 2: all-reduce algorithm (1024 nodes, 232.6 MB) ===");
-    let topo = Topology::new(1024);
-    let params = NetParams::sunway_allreduce(ReduceEngine::CpeClusters);
-    let elems = 58_150_000;
-    for (label, map, algo) in [
-        ("topology-aware RHD (swCaffe)", RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling),
-        ("natural RHD (stock MPICH)", RankMap::Natural, Algorithm::RecursiveHalvingDoubling),
-        ("ring", RankMap::Natural, Algorithm::Ring),
-        ("binomial tree", RankMap::Natural, Algorithm::Binomial),
-    ] {
-        let r = allreduce(&topo, &params, map, algo, elems, None);
-        println!(
-            "  {label:<30} {:>8.3} s  ({} steps, {:.1} GB across the switch)",
-            r.elapsed.seconds(),
-            r.steps,
-            r.cross_bytes as f64 / 1e9
-        );
-    }
-    let ps = swnet::parameter_server_round(&topo, &params, 0, elems);
-    println!(
-        "  {:<30} {:>8.3} s  (one port serialises all traffic; Sec. V-A's rejected design)",
-        "parameter server", ps.elapsed.seconds()
-    );
-
-    println!();
-    println!("=== Ablation 3: reduction arithmetic engine (1024 nodes, 232.6 MB) ===");
-    for (label, engine) in [("CPE clusters", ReduceEngine::CpeClusters), ("MPE", ReduceEngine::Mpe)] {
-        let p = NetParams::sunway_allreduce(engine);
-        let r = allreduce(&topo, &p, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, elems, None);
-        println!("  {label:<14} {:>8.3} s", r.elapsed.seconds());
-    }
-
-    println!();
-    println!("=== Ablation 4: packed vs per-layer gradient all-reduce (64 nodes, VGG-16) ===");
-    let vgg_layers: Vec<usize> = vec![
-        1_728, 36_864, 73_728, 147_456, 294_912, 589_824, 589_824, 1_179_648, 2_359_296,
-        2_359_296, 2_359_296, 2_359_296, 2_359_296, 102_760_448, 16_777_216, 4_096_000,
-    ];
-    let topo64 = Topology::with_supernode(64, 32);
-    let (per_layer, packed) =
-        swtrain::packing::per_layer_vs_packed(&topo64, &params, RankMap::RoundRobin, &vgg_layers);
-    println!("  per-layer: {:.3} s   packed: {:.3} s   -> {:.2}x", per_layer, packed, per_layer / packed);
-
-    println!();
-    println!("=== Ablation 5: file layout (192 MB mini-batch per node) ===");
-    let batch = 192 << 20;
-    for n in [8usize, 64, 256, 1024] {
-        let single = IoModel::taihulight(Layout::SingleSplit).batch_read_time(n, batch).seconds();
-        let striped = IoModel::taihulight(Layout::paper_striped()).batch_read_time(n, batch).seconds();
-        println!(
-            "  {n:>4} readers: single-split {:>8.2} s/batch, striped {:>6.2} s/batch ({:.0}x)",
-            single,
-            striped,
-            single / striped
-        );
-    }
-
-    println!();
-    println!("=== Ablation 6: DMA transfer granularity (Principle 3) ===");
-    for size in [256usize, 1024, 4096, 16384] {
-        let bw = sw26010::dma::continuous_aggregate_bandwidth(size, 64) / 1e9;
-        println!("  {size:>6} B per CPE: {bw:>6.2} GB/s aggregate");
-    }
+    swcaffe_bench::runner::scenario_main("ablations");
 }

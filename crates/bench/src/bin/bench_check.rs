@@ -1,0 +1,170 @@
+//! Regression gate over the structured benchmark reports.
+//!
+//! Runs the registered scenarios in-process, compares each fresh
+//! [`swprof::Report`] against the checked-in baseline under
+//! `docs/results/baseline/<name>.json`, and exits non-zero on any drift:
+//! counter-class metrics (DMA bytes, RLC messages, flops, all-reduce
+//! steps) are compared exactly; timing-class metrics with a relative
+//! tolerance (`swprof::DEFAULT_TIMING_REL_TOL`).
+//!
+//! Usage:
+//!   bench-check [--fast] [--bless] [--dir <baseline-dir>] [name...]
+//!
+//! `--bless` regenerates the baselines from the current build instead of
+//! comparing; commit the result. Positional names restrict the run to
+//! those scenarios (default: all, or the fast subset with `--fast`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use swcaffe_bench::scenarios::{self, Scenario};
+use swprof::{compare, Report, Tolerance};
+
+/// Default baseline directory: `docs/results/baseline` at the repo root,
+/// located relative to this crate so the tool works from any cwd.
+fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/results/baseline")
+}
+
+struct Options {
+    bless: bool,
+    fast: bool,
+    dir: PathBuf,
+    names: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        bless: false,
+        fast: false,
+        dir: default_dir(),
+        names: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bless" => opts.bless = true,
+            "--fast" => opts.fast = true,
+            "--dir" => {
+                opts.dir = PathBuf::from(it.next().ok_or("--dir requires a path")?);
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: bench-check [--fast] [--bless] [--dir <baseline-dir>] [name...]\n\
+                     scenarios: {}",
+                    scenarios::SCENARIOS
+                        .iter()
+                        .map(|s| s.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            name => {
+                if scenarios::find(name).is_none() {
+                    return Err(format!("unknown scenario '{name}' (try --help)"));
+                }
+                opts.names.push(name.to_string());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn selected(opts: &Options) -> Vec<&'static Scenario> {
+    scenarios::SCENARIOS
+        .iter()
+        .filter(|s| {
+            if !opts.names.is_empty() {
+                opts.names.iter().any(|n| n == s.name)
+            } else {
+                !opts.fast || s.fast
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let tol = Tolerance::default();
+    let mut failures = 0usize;
+
+    if opts.bless {
+        if let Err(e) = std::fs::create_dir_all(&opts.dir) {
+            eprintln!("cannot create {}: {e}", opts.dir.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for scenario in selected(&opts) {
+        let (_text, fresh) = (scenario.run)(&[]);
+        let path = opts.dir.join(format!("{}.json", scenario.name));
+        if opts.bless {
+            if let Err(e) = std::fs::write(&path, fresh.to_json_string()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "blessed  {} ({} metrics)",
+                path.display(),
+                fresh.metrics.len()
+            );
+            continue;
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "FAIL {}: no baseline at {} ({e}); run `bench-check --bless`",
+                    scenario.name,
+                    path.display()
+                );
+                failures += 1;
+                continue;
+            }
+        };
+        let baseline = match Report::from_json_str(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("FAIL {}: unreadable baseline: {e}", scenario.name);
+                failures += 1;
+                continue;
+            }
+        };
+        let drifts = compare(&baseline, &fresh, &tol);
+        if drifts.is_empty() {
+            println!(
+                "ok       {} ({} metrics)",
+                scenario.name,
+                fresh.metrics.len()
+            );
+        } else {
+            println!(
+                "FAIL     {} ({} drifting metrics)",
+                scenario.name,
+                drifts.len()
+            );
+            for d in &drifts {
+                println!("  {d}");
+            }
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "{failures} scenario(s) drifted from the baselines; if intentional, \
+             regenerate with `cargo run --release --bin bench-check -- --bless`"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,54 +1,6 @@
-//! Fig. 10: weak-scaling speedup of swCaffe to 1024 nodes for AlexNet
-//! (sub-mini-batch 64/128/256) and ResNet-50 (32/64).
-
-use sw26010::ExecMode;
-use swcaffe_core::{models, NetDef, SolverConfig};
-use swnet::{Algorithm, NetParams, RankMap, ReduceEngine};
-use swtrain::{ChipTrainer, ScalingModel};
-
-fn node_model(cg_def: &NetDef) -> (f64, usize) {
-    let mut t = ChipTrainer::new(cg_def, SolverConfig::default(), ExecMode::TimingOnly)
-        .expect("net build");
-    let r = t.iteration(None);
-    (ChipTrainer::iteration_time(&r).seconds(), t.param_elems())
-}
+//! Thin wrapper over `scenarios::fig10_scalability`; `--json <path>` writes the
+//! structured report alongside the text table.
 
 fn main() {
-    println!("Fig. 10: scalability of swCaffe (speedup over one node)");
-    // (label, per-CG def (chip batch / 4), paper speedup at 1024)
-    let configs: Vec<(&str, NetDef, f64)> = vec![
-        ("AlexNet B=64", models::alexnet_bn(16), 409.50),
-        ("AlexNet B=128", models::alexnet_bn(32), 561.58),
-        ("AlexNet B=256", models::alexnet_bn(64), 715.45),
-        ("ResNet50 B=32", models::resnet50(8), 928.15),
-        ("ResNet50 B=64", models::resnet50(16), 828.32),
-    ];
-    let scales = [2usize, 8, 32, 128, 512, 1024];
-    print!("{:<16}", "config");
-    for s in scales {
-        print!("{s:>9}");
-    }
-    println!("{:>14}", "paper@1024");
-    for (label, def, paper) in configs {
-        let (node_time, params) = node_model(&def);
-        let model = ScalingModel {
-            node_time: sw26010::SimTime::from_seconds(node_time),
-            param_elems: params,
-            net: NetParams::sunway_allreduce(ReduceEngine::CpeClusters),
-            rank_map: RankMap::RoundRobin,
-            algorithm: Algorithm::RecursiveHalvingDoubling,
-            io: None,
-        };
-        print!("{label:<16}");
-        for s in scales {
-            print!("{:>9.1}", model.point(s).speedup);
-        }
-        println!("{paper:>14.1}");
-    }
-    println!();
-    println!(
-        "Shape checks: larger sub-mini-batches scale better (more compute per \
-         gradient byte); ResNet-50 scales best (97.7 MB of parameters vs \
-         AlexNet's 232.6 MB, far more compute per image)."
-    );
+    swcaffe_bench::runner::scenario_main("fig10_scalability");
 }

@@ -1,56 +1,6 @@
-//! Fig. 11: communication time as a percentage of the iteration, for the
-//! Fig. 10 configurations, from 2 to 1024 nodes.
-
-use sw26010::ExecMode;
-use swcaffe_core::{models, NetDef, SolverConfig};
-use swnet::{Algorithm, NetParams, RankMap, ReduceEngine};
-use swtrain::{ChipTrainer, ScalingModel};
-
-fn node_model(cg_def: &NetDef) -> (f64, usize) {
-    let mut t = ChipTrainer::new(cg_def, SolverConfig::default(), ExecMode::TimingOnly)
-        .expect("net build");
-    let r = t.iteration(None);
-    (ChipTrainer::iteration_time(&r).seconds(), t.param_elems())
-}
+//! Thin wrapper over `scenarios::fig11_comm_fraction`; `--json <path>` writes the
+//! structured report alongside the text table.
 
 fn main() {
-    println!("Fig. 11: communication time share (%) per iteration");
-    let configs: Vec<(&str, NetDef, f64)> = vec![
-        ("AlexNet B=64", models::alexnet_bn(16), 60.01),
-        ("AlexNet B=128", models::alexnet_bn(32), 45.15),
-        ("AlexNet B=256", models::alexnet_bn(64), 30.13),
-        ("ResNet50 B=32", models::resnet50(8), 10.65),
-        ("ResNet50 B=64", models::resnet50(16), 19.11),
-    ];
-    let scales = [2usize, 8, 32, 128, 512, 1024];
-    print!("{:<16}", "config");
-    for s in scales {
-        print!("{s:>8}");
-    }
-    println!("{:>13}", "paper@1024");
-    for (label, def, paper) in configs {
-        let (node_time, params) = node_model(&def);
-        let model = ScalingModel {
-            node_time: sw26010::SimTime::from_seconds(node_time),
-            param_elems: params,
-            net: NetParams::sunway_allreduce(ReduceEngine::CpeClusters),
-            rank_map: RankMap::RoundRobin,
-            algorithm: Algorithm::RecursiveHalvingDoubling,
-            io: None,
-        };
-        print!("{label:<16}");
-        for s in scales {
-            print!("{:>8.2}", 100.0 * model.point(s).comm_fraction);
-        }
-        println!("{paper:>13.2}");
-    }
-    println!();
-    println!(
-        "Shape checks: the share grows with node count; AlexNet's smaller \
-         sub-mini-batches communicate proportionally more; ResNet-50 stays \
-         low (high compute-to-communication ratio). Note the paper reports \
-         ResNet-50 B=64 (19.11%) above B=32 (10.65%) at 1024 nodes, which is \
-         inconsistent with its own speedups (928x for B=32 > 828x for B=64); \
-         this model reproduces the speedup-consistent direction."
-    );
+    swcaffe_bench::runner::scenario_main("fig11_comm_fraction");
 }

@@ -1,55 +1,6 @@
-//! Fig. 2: DMA get/put bandwidth for continuous and strided access
-//! patterns, as a function of per-CPE data size / block size and the
-//! number of CPEs issuing concurrently.
-
-use sw26010::dma;
-
-const GB: f64 = 1.0e9;
-const CPE_COUNTS: [usize; 5] = [1, 8, 16, 32, 64];
+//! Thin wrapper over `scenarios::fig2_dma`; `--json <path>` writes the
+//! structured report alongside the text table.
 
 fn main() {
-    println!("Fig. 2 (left): continuous DMA, aggregate bandwidth (GB/s)");
-    print!("{:>10}", "size");
-    for n in CPE_COUNTS {
-        print!("{:>9}", format!("{n}CPE"));
-    }
-    println!();
-    for size in [128, 256, 512, 1024, 2048, 4096, 8192, 16384, 24576, 32768, 49152] {
-        print!("{:>10}", human(size));
-        for n in CPE_COUNTS {
-            print!("{:>9.2}", dma::continuous_aggregate_bandwidth(size, n) / GB);
-        }
-        println!();
-    }
-
-    println!();
-    println!("Fig. 2 (right): strided DMA (32 KB total per CPE), aggregate bandwidth (GB/s)");
-    print!("{:>10}", "block");
-    for n in CPE_COUNTS {
-        print!("{:>9}", format!("{n}CPE"));
-    }
-    println!();
-    let total = 32 * 1024;
-    for block in [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384] {
-        print!("{:>10}", human(block));
-        for n in CPE_COUNTS {
-            print!("{:>9.2}", dma::strided_aggregate_bandwidth(block, total, n) / GB);
-        }
-        println!();
-    }
-    println!();
-    println!(
-        "Reference points: 64-CPE continuous saturates at {:.1} GB/s (paper: ~28); \
-         MPE memcpy path: {:.1} GB/s (paper: 9.9).",
-        dma::continuous_aggregate_bandwidth(32768, 64) / GB,
-        1.0 / dma::mpe_memcpy_time(1_000_000_000).seconds(),
-    );
-}
-
-fn human(bytes: usize) -> String {
-    if bytes >= 1024 {
-        format!("{}K", bytes / 1024)
-    } else {
-        format!("{bytes}")
-    }
+    swcaffe_bench::runner::scenario_main("fig2_dma");
 }

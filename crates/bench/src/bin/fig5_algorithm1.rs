@@ -1,60 +1,6 @@
-//! Fig. 5 / Algorithm 1 demonstration: the control flow of one parallel
-//! SSGD iteration on one SW26010 processor — four core-group threads,
-//! handshake synchronisation, gradient gather at CG0, SGD update and
-//! weight re-broadcast — with the per-phase simulated times.
-
-use sw26010::ExecMode;
-use swcaffe_core::{models, SolverConfig};
-use swtrain::ChipTrainer;
+//! Thin wrapper over `scenarios::fig5_algorithm1`; `--json <path>` writes the
+//! structured report alongside the text table.
 
 fn main() {
-    let net = std::env::args().nth(1).unwrap_or_else(|| "alexnet".into());
-    let (def, chip_batch) = match net.as_str() {
-        "alexnet" => (models::alexnet_bn(64), 256),
-        "vgg16" => (models::vgg16(16), 64),
-        "resnet50" => (models::resnet50(8), 32),
-        other => panic!("unknown network '{other}'"),
-    };
-    println!("Algorithm 1 on one SW26010 processor — {net}, chip batch {chip_batch}");
-    println!();
-    println!("  pthread_create()                 # 4 threads, one per core group");
-    println!("  for each CG i in parallel:");
-    println!("      sample b/4 = {} images", chip_batch / 4);
-    println!("      forward + backward on CG i's CPE cluster");
-    println!("  Simple_Sync()                    # handshake semaphore barrier");
-    println!("  CG0: gather + sum gradients      # NoC transfer + CPE-cluster AXPY");
-    println!("  (all-reduce across nodes)        # topology-aware halving/doubling");
-    println!("  CG0: SGD update, re-broadcast weights");
-    println!("  pthread_join()");
-    println!();
-
-    let mut trainer = ChipTrainer::new(&def, SolverConfig::default(), ExecMode::TimingOnly)
-        .expect("valid net");
-    let report = trainer.iteration(None);
-    let total = ChipTrainer::iteration_time(&report);
-    println!("measured (simulated) phase times:");
-    println!(
-        "  per-CG forward/backward (max of 4): {:>9.3} s  ({:.1}%)",
-        report.compute.seconds(),
-        100.0 * report.compute.seconds() / total.seconds()
-    );
-    println!(
-        "  gradient gather + weight bcast:     {:>9.3} s  ({:.1}%)",
-        report.intra.seconds(),
-        100.0 * report.intra.seconds() / total.seconds()
-    );
-    println!(
-        "  SGD update:                         {:>9.3} s  ({:.1}%)",
-        report.update.seconds(),
-        100.0 * report.update.seconds() / total.seconds()
-    );
-    println!("  total:                              {:>9.3} s", total.seconds());
-    println!(
-        "  => single-node throughput {:.2} img/s (Table III SW column)",
-        chip_batch as f64 / total.seconds()
-    );
-    println!(
-        "  gradient payload for the cross-node all-reduce: {:.1} MB",
-        trainer.param_bytes() as f64 / 1e6
-    );
+    swcaffe_bench::runner::scenario_main("fig5_algorithm1");
 }

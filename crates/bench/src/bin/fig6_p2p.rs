@@ -1,59 +1,6 @@
-//! Fig. 6: MPI P2P bandwidth and latency, Sunway network vs Infiniband
-//! FDR, including the over-subscribed cross-supernode case.
-
-use swnet::{NetParams, ReduceEngine};
-
-const GB: f64 = 1.0e9;
+//! Thin wrapper over `scenarios::fig6_p2p`; `--json <path>` writes the
+//! structured report alongside the text table.
 
 fn main() {
-    let sw = NetParams::sunway(ReduceEngine::Mpe);
-    let ib = NetParams::infiniband();
-
-    println!("Fig. 6 (left): P2P bandwidth (GB/s) vs message size");
-    println!(
-        "{:>8} {:>10} {:>14} {:>12}",
-        "size", "SW", "SW oversub", "Infiniband"
-    );
-    let mut size = 1usize;
-    while size <= 4 << 20 {
-        println!(
-            "{:>8} {:>10.3} {:>14.3} {:>12.3}",
-            human(size),
-            sw.p2p_bandwidth(size, false) / GB,
-            sw.p2p_bandwidth(size, true) / GB,
-            ib.p2p_bandwidth(size, false) / GB,
-        );
-        size *= 4;
-    }
-
-    println!();
-    println!("Fig. 6 (right): P2P latency (us) vs message size");
-    println!("{:>8} {:>10} {:>12}", "size", "SW", "Infiniband");
-    let mut size = 2usize;
-    while size <= 2 << 20 {
-        println!(
-            "{:>8} {:>10.1} {:>12.1}",
-            human(size),
-            sw.p2p_latency(size).micros(),
-            ib.p2p_latency(size).micros(),
-        );
-        size *= 4;
-    }
-    println!();
-    println!(
-        "Shape checks: SW saturates at {:.1} GB/s (paper: 12 of 16 theoretical); \
-         over-subscribed is ~1/4; SW latency exceeds IB beyond the {} B eager limit.",
-        sw.p2p_bandwidth(4 << 20, false) / GB,
-        sw.eager_limit,
-    );
-}
-
-fn human(bytes: usize) -> String {
-    if bytes >= 1 << 20 {
-        format!("{}M", bytes >> 20)
-    } else if bytes >= 1024 {
-        format!("{}K", bytes >> 10)
-    } else {
-        format!("{bytes}")
-    }
+    swcaffe_bench::runner::scenario_main("fig6_p2p");
 }

@@ -1,59 +1,6 @@
-//! Fig. 7: the 8-node / 2-supernode all-reduce example — original
-//! (natural rank order) vs improved (round-robin) halving/doubling, both
-//! as the paper's closed-form costs and as measured by the step-level
-//! simulator.
-
-use swnet::analysis::{allreduce_closed_form, fig7_example, EqInputs};
-use swnet::{allreduce, Algorithm, NetParams, RankMap, ReduceEngine, Topology};
+//! Thin wrapper over `scenarios::fig7_allreduce`; `--json <path>` writes the
+//! structured report alongside the text table.
 
 fn main() {
-    let n_elems = 1 << 20; // 4 MB of gradients
-    let n = n_elems * 4;
-    let params = NetParams::sunway(ReduceEngine::CpeClusters);
-    let topo = Topology::with_supernode(8, 4);
-
-    println!("Fig. 7: 8 nodes in 2 supernodes, all-reduce of {} MB", n >> 20);
-    println!();
-    println!("Symbolic costs (paper, right side of the figure):");
-    println!("  original:  6a + 7/8 n*gamma + 3/4 n*beta1 +     n*beta2");
-    println!("  improved:  6a + 7/8 n*gamma + 3/2 n*beta1 + 1/4 n*beta2");
-    let (orig_cf, imp_cf) = fig7_example(n, params.alpha_rendezvous, params.beta1, params.beta2(), params.gamma());
-    println!("  evaluated: original {:.3} ms, improved {:.3} ms", orig_cf * 1e3, imp_cf * 1e3);
-    println!();
-
-    let nat = allreduce(&topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, n_elems, None);
-    let rr = allreduce(&topo, &params, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, n_elems, None);
-    println!("Step-level simulation:");
-    println!(
-        "  original:  {:.3} ms over {} steps, {:.1} MB crossed the switch",
-        nat.elapsed.seconds() * 1e3,
-        nat.steps,
-        nat.cross_bytes as f64 / 1e6
-    );
-    println!(
-        "  improved:  {:.3} ms over {} steps, {:.1} MB crossed the switch",
-        rr.elapsed.seconds() * 1e3,
-        rr.steps,
-        rr.cross_bytes as f64 / 1e6
-    );
-    println!(
-        "  improvement: {:.2}x less wall time, {:.1}x less cross-supernode traffic",
-        nat.elapsed.seconds() / rr.elapsed.seconds(),
-        nat.cross_bytes as f64 / rr.cross_bytes as f64
-    );
-    println!();
-
-    // Large-scale closed forms (Eq. 2-6) for the production topology.
-    println!("Closed-form Eq. 2 at production scale (232.6 MB AlexNet gradients):");
-    for p in [256usize, 512, 1024] {
-        let i = EqInputs { p, q: 256.min(p), n: 232 << 20 };
-        let orig = allreduce_closed_form(i, &params, false);
-        let imp = allreduce_closed_form(i, &params, true);
-        println!(
-            "  p = {p:4}: original {:.3} s, improved {:.3} s ({:.2}x)",
-            orig,
-            imp,
-            orig / imp
-        );
-    }
+    swcaffe_bench::runner::scenario_main("fig7_allreduce");
 }

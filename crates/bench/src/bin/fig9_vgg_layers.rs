@@ -1,60 +1,6 @@
-//! Fig. 9: per-layer forward and backward time of VGG-16 on the simulated
-//! SW26010 vs the K40m model, batch 64 (per core group: 16).
-
-use baselines::{gpu_k40m, network_times};
-use sw26010::{CoreGroup, ExecMode};
-use swcaffe_core::{models, Net};
+//! Thin wrapper over `scenarios::fig9_vgg_layers`; `--json <path>` writes the
+//! structured report alongside the text table.
 
 fn main() {
-    let cg_def = models::vgg16(16);
-    let mut sw_net = Net::from_def(&cg_def, false).unwrap();
-    let mut cg = CoreGroup::new(ExecMode::TimingOnly);
-    let (_, fwd) = sw_net.forward_with_times(&mut cg);
-    let bwd = sw_net.backward_with_times(&mut cg);
-
-    let full_def = models::vgg16(64);
-    let gpu_net = Net::from_def(&full_def, false).unwrap();
-    let gpu = network_times(&gpu_net, &gpu_k40m());
-
-    println!("Fig. 9: VGG-16 per-layer time (seconds), batch 64");
-    println!("{:<16} {:>12} {:>12} | {:>12} {:>12}", "layer", "SW fwd", "GPU fwd", "SW bwd", "GPU bwd");
-    let mut sw_conv_fwd = 0.0;
-    let mut gpu_conv_fwd = 0.0;
-    for (name, t) in &fwd.entries {
-        let bwd_t = bwd
-            .entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, t)| t.seconds())
-            .unwrap_or(0.0);
-        let g = gpu.iter().find(|l| &l.name == name);
-        let (gf, gb) = g.map(|l| (l.forward, l.backward)).unwrap_or((0.0, 0.0));
-        if t.seconds() == 0.0 && gf == 0.0 {
-            continue;
-        }
-        if name.starts_with("conv") {
-            sw_conv_fwd += t.seconds();
-            gpu_conv_fwd += gf;
-        }
-        println!(
-            "{:<16} {:>12.6} {:>12.6} | {:>12.6} {:>12.6}",
-            name,
-            t.seconds(),
-            gf,
-            bwd_t,
-            gb
-        );
-    }
-    let sw_total = fwd.total().seconds() + bwd.total().seconds();
-    let gpu_total: f64 = gpu.iter().map(|l| l.forward + l.backward).sum();
-    println!();
-    println!(
-        "Totals: SW {:.3} s vs GPU {:.3} s per iteration -> SW at {:.2}x GPU speed \
-         (paper Table III: 0.45). Convolution forward share: SW {:.1}%, GPU {:.1}%.",
-        sw_total,
-        gpu_total,
-        gpu_total / sw_total,
-        100.0 * sw_conv_fwd / fwd.total().seconds(),
-        100.0 * gpu_conv_fwd / gpu.iter().map(|l| l.forward).sum::<f64>(),
-    );
+    swcaffe_bench::runner::scenario_main("fig9_vgg_layers");
 }

@@ -1,33 +1,6 @@
-//! Table I: comparison of SW26010, NVIDIA K40m and Intel KNL.
-
-use baselines::{gpu_k40m, intel_knl_spec, sw26010_spec};
+//! Thin wrapper over `scenarios::table1_specs`; `--json <path>` writes the
+//! structured report alongside the text table.
 
 fn main() {
-    println!("Table I: Comparison of SW, Intel KNL and NVIDIA K40m processors");
-    println!("{:<22}{:>10}{:>12}{:>10}", "Specifications", "SW26010", "Nvidia K40m", "Intel KNL");
-    let sw = sw26010_spec();
-    let gpu = baselines::device::k40m_spec();
-    let knl = intel_knl_spec();
-    println!("{:<22}{:>10}{:>12}{:>10}", "Release Year", sw.release_year, gpu.release_year, knl.release_year);
-    println!(
-        "{:<22}{:>10}{:>12}{:>10}",
-        "Bandwidth (GB/s)", sw.bandwidth_gbs, gpu.bandwidth_gbs, knl.bandwidth_gbs
-    );
-    println!(
-        "{:<22}{:>10}{:>12}{:>10}",
-        "float perf. (TFlops)", sw.float_tflops, gpu.float_tflops, knl.float_tflops
-    );
-    println!(
-        "{:<22}{:>10}{:>12}{:>10}",
-        "double perf. (TFlops)", sw.double_tflops, gpu.double_tflops, knl.double_tflops
-    );
-    println!();
-    println!(
-        "Derived: SW26010 flop-per-byte ratio = {:.1} (paper: 26.5 at the 28 GB/s \
-         measured DMA peak; K40m {:.2}, KNL {:.2})",
-        sw26010::arch::flop_per_byte_ratio(),
-        gpu.float_tflops * 1e3 / gpu.bandwidth_gbs,
-        knl.float_tflops * 1e3 / knl.bandwidth_gbs,
-    );
-    let _ = gpu_k40m();
+    swcaffe_bench::runner::scenario_main("table1_specs");
 }

@@ -1,8 +1,18 @@
 //! # swcaffe-bench — regenerators for every table and figure in the paper
 //!
-//! One binary per experiment (see DESIGN.md's experiment index). Binaries
-//! print paper-style tables/series to stdout; Criterion benches under
-//! `benches/` measure the simulator itself.
+//! One binary per experiment (see DESIGN.md's experiment index). Each
+//! binary is a thin wrapper over a scenario in [`scenarios`]: the
+//! scenario produces the paper-style text table *and* a structured
+//! [`swprof::Report`]; the shared [`runner`] prints the text and, with
+//! `--json <path>`, writes the report for regression gating by the
+//! `bench-check` binary. Plain benches under `benches/` measure the
+//! simulator itself.
+
+pub mod runner;
+pub mod scenarios;
+
+pub use runner::scenario_main;
+pub use scenarios::{find, Scenario, SCENARIOS};
 
 /// Format a seconds value the way the paper's tables do.
 pub fn fmt_s(t: f64) -> String {

@@ -1,0 +1,121 @@
+//! Fig. 5 / Algorithm 1 demonstration: the control flow of one parallel
+//! SSGD iteration on one SW26010 processor — four core-group threads,
+//! handshake synchronisation, gradient gather at CG0, SGD update and
+//! weight re-broadcast — with the per-phase simulated times.
+
+use std::fmt::Write as _;
+
+use baselines::sw26010_spec;
+use sw26010::ExecMode;
+use swcaffe_core::{models, SolverConfig};
+use swprof::{KernelRecord, Report};
+use swtrain::{profile, ChipTrainer};
+
+pub fn run(args: &[String]) -> (String, Report) {
+    let net = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("alexnet")
+        .to_string();
+    let (def, chip_batch) = match net.as_str() {
+        "alexnet" => (models::alexnet_bn(64), 256),
+        "vgg16" => (models::vgg16(16), 64),
+        "resnet50" => (models::resnet50(8), 32),
+        other => panic!("unknown network '{other}'"),
+    };
+    let mut out = String::new();
+    let mut report = Report::new("fig5_algorithm1");
+    report
+        .config("network", &net)
+        .config("chip_batch", chip_batch);
+
+    writeln!(
+        out,
+        "Algorithm 1 on one SW26010 processor — {net}, chip batch {chip_batch}"
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "  pthread_create()                 # 4 threads, one per core group"
+    )
+    .unwrap();
+    writeln!(out, "  for each CG i in parallel:").unwrap();
+    writeln!(out, "      sample b/4 = {} images", chip_batch / 4).unwrap();
+    writeln!(out, "      forward + backward on CG i's CPE cluster").unwrap();
+    writeln!(
+        out,
+        "  Simple_Sync()                    # handshake semaphore barrier"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  CG0: gather + sum gradients      # NoC transfer + CPE-cluster AXPY"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  (all-reduce across nodes)        # topology-aware halving/doubling"
+    )
+    .unwrap();
+    writeln!(out, "  CG0: SGD update, re-broadcast weights").unwrap();
+    writeln!(out, "  pthread_join()").unwrap();
+    writeln!(out).unwrap();
+
+    let mut trainer =
+        ChipTrainer::new(&def, SolverConfig::default(), ExecMode::TimingOnly).expect("valid net");
+    let iter = trainer.iteration(None);
+    let total = ChipTrainer::iteration_time(&iter);
+    writeln!(out, "measured (simulated) phase times:").unwrap();
+    writeln!(
+        out,
+        "  per-CG forward/backward (max of 4): {:>9.3} s  ({:.1}%)",
+        iter.compute.seconds(),
+        100.0 * iter.compute.seconds() / total.seconds()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  gradient gather + weight bcast:     {:>9.3} s  ({:.1}%)",
+        iter.intra.seconds(),
+        100.0 * iter.intra.seconds() / total.seconds()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  SGD update:                         {:>9.3} s  ({:.1}%)",
+        iter.update.seconds(),
+        100.0 * iter.update.seconds() / total.seconds()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  total:                              {:>9.3} s",
+        total.seconds()
+    )
+    .unwrap();
+    let throughput = chip_batch as f64 / total.seconds();
+    writeln!(
+        out,
+        "  => single-node throughput {throughput:.2} img/s (Table III SW column)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  gradient payload for the cross-node all-reduce: {:.1} MB",
+        trainer.param_bytes() as f64 / 1e6
+    )
+    .unwrap();
+
+    report.phase_with_metrics(profile::chip_phase(&iter));
+    report.real("throughput_img_per_sec", throughput);
+    report.count("param_bytes", trainer.param_bytes() as u64);
+    // Chip-wide hardware counters of the iteration, roofline-classified
+    // against the SW26010 peaks (measured DMA bandwidth, Sec. II-A).
+    let spec = sw26010_spec();
+    report.kernel_with_metrics(
+        KernelRecord::new("chip_iteration", (&trainer.stats()).into())
+            .with_roofline(spec.peak_flops(), sw26010::arch::DMA_PEAK_BANDWIDTH),
+    );
+    (out, report)
+}

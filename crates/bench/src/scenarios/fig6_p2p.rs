@@ -1,0 +1,75 @@
+//! Fig. 6: MPI P2P bandwidth and latency, Sunway network vs Infiniband
+//! FDR, including the over-subscribed cross-supernode case.
+
+use std::fmt::Write as _;
+
+use swnet::{NetParams, ReduceEngine};
+use swprof::Report;
+
+const GB: f64 = 1.0e9;
+
+pub fn run(_args: &[String]) -> (String, Report) {
+    let sw = NetParams::sunway(ReduceEngine::Mpe);
+    let ib = NetParams::infiniband();
+    let mut out = String::new();
+    let mut report = Report::new("fig6_p2p");
+
+    writeln!(out, "Fig. 6 (left): P2P bandwidth (GB/s) vs message size").unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>10} {:>14} {:>12}",
+        "size", "SW", "SW oversub", "Infiniband"
+    )
+    .unwrap();
+    let mut size = 1usize;
+    while size <= 4 << 20 {
+        let (bw_sw, bw_os, bw_ib) = (
+            sw.p2p_bandwidth(size, false) / GB,
+            sw.p2p_bandwidth(size, true) / GB,
+            ib.p2p_bandwidth(size, false) / GB,
+        );
+        writeln!(
+            out,
+            "{:>8} {bw_sw:>10.3} {bw_os:>14.3} {bw_ib:>12.3}",
+            human(size)
+        )
+        .unwrap();
+        report.real(&format!("bw_gbs.sw.{size}B"), bw_sw);
+        report.real(&format!("bw_gbs.sw_oversub.{size}B"), bw_os);
+        report.real(&format!("bw_gbs.ib.{size}B"), bw_ib);
+        size *= 4;
+    }
+
+    writeln!(out).unwrap();
+    writeln!(out, "Fig. 6 (right): P2P latency (us) vs message size").unwrap();
+    writeln!(out, "{:>8} {:>10} {:>12}", "size", "SW", "Infiniband").unwrap();
+    let mut size = 2usize;
+    while size <= 2 << 20 {
+        let (lat_sw, lat_ib) = (sw.p2p_latency(size).micros(), ib.p2p_latency(size).micros());
+        writeln!(out, "{:>8} {lat_sw:>10.1} {lat_ib:>12.1}", human(size)).unwrap();
+        report.real(&format!("lat_us.sw.{size}B"), lat_sw);
+        report.real(&format!("lat_us.ib.{size}B"), lat_ib);
+        size *= 4;
+    }
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "Shape checks: SW saturates at {:.1} GB/s (paper: 12 of 16 theoretical); \
+         over-subscribed is ~1/4; SW latency exceeds IB beyond the {} B eager limit.",
+        sw.p2p_bandwidth(4 << 20, false) / GB,
+        sw.eager_limit,
+    )
+    .unwrap();
+    report.count("sw.eager_limit_bytes", sw.eager_limit as u64);
+    (out, report)
+}
+
+fn human(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1024 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}

@@ -1,0 +1,84 @@
+//! Fig. 9: per-layer forward and backward time of VGG-16 on the simulated
+//! SW26010 vs the K40m model, batch 64 (per core group: 16).
+
+use std::fmt::Write as _;
+
+use baselines::{gpu_k40m, network_times};
+use sw26010::{CoreGroup, ExecMode};
+use swcaffe_core::{models, Net};
+use swprof::Report;
+
+use super::fig8_alexnet_layers::layer_phase;
+
+pub fn run(_args: &[String]) -> (String, Report) {
+    let cg_def = models::vgg16(16);
+    let mut sw_net = Net::from_def(&cg_def, false).unwrap();
+    let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+    let (_, fwd) = sw_net.forward_with_times(&mut cg);
+    let bwd = sw_net.backward_with_times(&mut cg);
+
+    let full_def = models::vgg16(64);
+    let gpu_net = Net::from_def(&full_def, false).unwrap();
+    let gpu = network_times(&gpu_net, &gpu_k40m());
+
+    let mut out = String::new();
+    let mut report = Report::new("fig9_vgg_layers");
+    report.config("network", "vgg16").config("chip_batch", 64);
+
+    writeln!(out, "Fig. 9: VGG-16 per-layer time (seconds), batch 64").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>12} {:>12} | {:>12} {:>12}",
+        "layer", "SW fwd", "GPU fwd", "SW bwd", "GPU bwd"
+    )
+    .unwrap();
+    let mut sw_conv_fwd = 0.0;
+    let mut gpu_conv_fwd = 0.0;
+    for (name, t) in &fwd.entries {
+        let bwd_t = bwd
+            .entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.seconds())
+            .unwrap_or(0.0);
+        let g = gpu.iter().find(|l| &l.name == name);
+        let (gf, gb) = g.map(|l| (l.forward, l.backward)).unwrap_or((0.0, 0.0));
+        if t.seconds() == 0.0 && gf == 0.0 {
+            continue;
+        }
+        if name.starts_with("conv") {
+            sw_conv_fwd += t.seconds();
+            gpu_conv_fwd += gf;
+        }
+        writeln!(
+            out,
+            "{:<16} {:>12.6} {:>12.6} | {:>12.6} {:>12.6}",
+            name,
+            t.seconds(),
+            gf,
+            bwd_t,
+            gb
+        )
+        .unwrap();
+    }
+    let sw_total = fwd.total().seconds() + bwd.total().seconds();
+    let gpu_total: f64 = gpu.iter().map(|l| l.forward + l.backward).sum();
+    let sw_conv_share = 100.0 * sw_conv_fwd / fwd.total().seconds();
+    let gpu_conv_share = 100.0 * gpu_conv_fwd / gpu.iter().map(|l| l.forward).sum::<f64>();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "Totals: SW {sw_total:.3} s vs GPU {gpu_total:.3} s per iteration -> SW at {:.2}x GPU speed \
+         (paper Table III: 0.45). Convolution forward share: SW {sw_conv_share:.1}%, GPU {gpu_conv_share:.1}%.",
+        gpu_total / sw_total,
+    )
+    .unwrap();
+
+    report.phase_with_metrics(layer_phase("forward", &fwd.entries, fwd.total().seconds()));
+    report.phase_with_metrics(layer_phase("backward", &bwd.entries, bwd.total().seconds()));
+    report.real("sw_total_s", sw_total);
+    report.real("gpu_total_s", gpu_total);
+    report.real("sw_conv_fwd_share_pct", sw_conv_share);
+    report.real("gpu_conv_fwd_share_pct", gpu_conv_share);
+    (out, report)
+}

@@ -1,0 +1,78 @@
+//! Table I: comparison of SW26010, NVIDIA K40m and Intel KNL.
+
+use std::fmt::Write as _;
+
+use baselines::{intel_knl_spec, k40m_spec, sw26010_spec, DeviceSpec};
+use swprof::Report;
+
+pub fn run(_args: &[String]) -> (String, Report) {
+    let mut out = String::new();
+    let mut report = Report::new("table1_specs");
+    let sw = sw26010_spec();
+    let gpu = k40m_spec();
+    let knl = intel_knl_spec();
+
+    writeln!(
+        out,
+        "Table I: Comparison of SW, Intel KNL and NVIDIA K40m processors"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22}{:>10}{:>12}{:>10}",
+        "Specifications", "SW26010", "Nvidia K40m", "Intel KNL"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22}{:>10}{:>12}{:>10}",
+        "Release Year", sw.release_year, gpu.release_year, knl.release_year
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22}{:>10}{:>12}{:>10}",
+        "Bandwidth (GB/s)", sw.bandwidth_gbs, gpu.bandwidth_gbs, knl.bandwidth_gbs
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22}{:>10}{:>12}{:>10}",
+        "float perf. (TFlops)", sw.float_tflops, gpu.float_tflops, knl.float_tflops
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22}{:>10}{:>12}{:>10}",
+        "double perf. (TFlops)", sw.double_tflops, gpu.double_tflops, knl.double_tflops
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "Derived: SW26010 flop-per-byte ratio = {:.1} (paper: 26.5 at the 28 GB/s \
+         measured DMA peak; K40m {:.2}, KNL {:.2})",
+        sw26010::arch::flop_per_byte_ratio(),
+        gpu.float_tflops * 1e3 / gpu.bandwidth_gbs,
+        knl.float_tflops * 1e3 / knl.bandwidth_gbs,
+    )
+    .unwrap();
+
+    for spec in [&sw, &gpu, &knl] {
+        record_spec(&mut report, spec);
+    }
+    report.real(
+        "sw26010.measured_flop_per_byte",
+        sw26010::arch::flop_per_byte_ratio(),
+    );
+    (out, report)
+}
+
+fn record_spec(report: &mut Report, spec: &DeviceSpec) {
+    let key = spec.name.to_lowercase().replace(' ', "_");
+    report.count(&format!("{key}.release_year"), spec.release_year as u64);
+    report.real(&format!("{key}.bandwidth_gbs"), spec.bandwidth_gbs);
+    report.real(&format!("{key}.float_tflops"), spec.float_tflops);
+    report.real(&format!("{key}.double_tflops"), spec.double_tflops);
+    report.real(&format!("{key}.machine_balance"), spec.machine_balance());
+}

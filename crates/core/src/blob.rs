@@ -18,12 +18,22 @@ impl Blob {
     /// A materialised (functional-mode) blob, zero-filled.
     pub fn new(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Blob { shape: shape.to_vec(), data: vec![0.0; len], diff: vec![0.0; len], materialized: true }
+        Blob {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+            diff: vec![0.0; len],
+            materialized: true,
+        }
     }
 
     /// A shape-only (timing-mode) blob.
     pub fn shell(shape: &[usize]) -> Self {
-        Blob { shape: shape.to_vec(), data: Vec::new(), diff: Vec::new(), materialized: false }
+        Blob {
+            shape: shape.to_vec(),
+            data: Vec::new(),
+            diff: Vec::new(),
+            materialized: false,
+        }
     }
 
     pub fn with_mode(shape: &[usize], materialize: bool) -> Self {

@@ -1,8 +1,6 @@
 //! Weight initialisers (Caffe "fillers").
 
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::rng::SplitMix64;
 
 /// Initialisation policy for a parameter blob.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,14 +18,13 @@ impl Filler {
     /// Fill `data` in place. `fan_in` is the receptive-field size
     /// (`in_channels * k * k` for convolutions, input features for FC).
     pub fn fill(&self, data: &mut [f32], fan_in: usize, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         match self {
             Filler::Constant(v) => data.fill(*v),
             Filler::Xavier => {
                 let scale = (3.0 / fan_in.max(1) as f64).sqrt();
-                let dist = rand::distributions::Uniform::new_inclusive(-scale, scale);
                 for v in data.iter_mut() {
-                    *v = dist.sample(&mut rng) as f32;
+                    *v = rng.uniform(-scale, scale) as f32;
                 }
             }
             Filler::Msra => {
@@ -41,13 +38,12 @@ impl Filler {
     }
 }
 
-fn gaussian_fill(data: &mut [f32], std: f64, rng: &mut StdRng) {
-    // Box-Muller; avoids pulling in rand_distr.
-    let uni = rand::distributions::Uniform::new(f64::MIN_POSITIVE, 1.0f64);
+fn gaussian_fill(data: &mut [f32], std: f64, rng: &mut SplitMix64) {
+    // Box-Muller on (0, 1] deviates; u1 > 0 keeps ln() finite.
     let mut i = 0;
     while i < data.len() {
-        let u1: f64 = uni.sample(rng);
-        let u2: f64 = uni.sample(rng);
+        let u1: f64 = rng.next_f64_open0();
+        let u2: f64 = rng.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         data[i] = (r * theta.cos() * std) as f32;
@@ -86,8 +82,7 @@ mod tests {
         let mut d = vec![0.0; 20_000];
         Filler::Msra.fill(&mut d, 200, 7);
         let mean: f64 = d.iter().map(|v| *v as f64).sum::<f64>() / d.len() as f64;
-        let var: f64 =
-            d.iter().map(|v| (*v as f64 - mean).powi(2)).sum::<f64>() / d.len() as f64;
+        let var: f64 = d.iter().map(|v| (*v as f64 - mean).powi(2)).sum::<f64>() / d.len() as f64;
         let want = 2.0 / 200.0;
         assert!(mean.abs() < 0.005, "mean {mean}");
         assert!((var - want).abs() / want < 0.1, "var {var} vs {want}");

@@ -48,8 +48,15 @@ impl ConvLayer {
             shape: None,
             weights: Blob::default(),
             bias: bias.then(Blob::default),
-            seed: name.bytes().map(u64::from).sum(),
+            seed: crate::rng::layer_seed(0, name),
         }
+    }
+
+    /// Re-derive the filler seed from an explicit run-level base seed
+    /// (see [`crate::rng::layer_seed`]). Must be called before `setup`.
+    pub fn with_base_seed(mut self, base: u64) -> Self {
+        self.seed = crate::rng::layer_seed(base, &self.name);
+        self
     }
 
     pub fn conv_shape(&self) -> ConvShape {
@@ -70,7 +77,11 @@ impl Layer for ConvLayer {
         "Convolution"
     }
 
-    fn setup(&mut self, bottoms: &[Vec<usize>], materialize: bool) -> Result<Vec<Vec<usize>>, String> {
+    fn setup(
+        &mut self,
+        bottoms: &[Vec<usize>],
+        materialize: bool,
+    ) -> Result<Vec<Vec<usize>>, String> {
         let (b, c, h, w) = expect_4d(&bottoms[0], "Convolution")?;
         let shape = ConvShape {
             batch: b,
@@ -138,7 +149,13 @@ impl Layer for ConvLayer {
         }
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         let shape = self.conv_shape();
         let functional = cg.mode().is_functional();
         let spatial = shape.out_h() * shape.out_w();

@@ -31,8 +31,15 @@ impl InnerProductLayer {
             batch: 0,
             weights: Blob::default(),
             bias: bias.then(Blob::default),
-            seed: name.bytes().map(u64::from).sum::<u64>() ^ 0xF00D,
+            seed: crate::rng::layer_seed(0, name),
         }
+    }
+
+    /// Re-derive the filler seed from an explicit run-level base seed
+    /// (see [`crate::rng::layer_seed`]). Must be called before `setup`.
+    pub fn with_base_seed(mut self, base: u64) -> Self {
+        self.seed = crate::rng::layer_seed(base, &self.name);
+        self
     }
 }
 
@@ -45,7 +52,11 @@ impl Layer for InnerProductLayer {
         "InnerProduct"
     }
 
-    fn setup(&mut self, bottoms: &[Vec<usize>], materialize: bool) -> Result<Vec<Vec<usize>>, String> {
+    fn setup(
+        &mut self,
+        bottoms: &[Vec<usize>],
+        materialize: bool,
+    ) -> Result<Vec<Vec<usize>>, String> {
         let shape = &bottoms[0];
         if shape.is_empty() {
             return Err("InnerProduct bottom must have at least one axis".into());
@@ -87,7 +98,13 @@ impl Layer for InnerProductLayer {
         }
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         let functional = cg.mode().is_functional();
         if let Some(bias) = &mut self.bias {
             let io = functional.then(|| (tops[0].diff(), bias.diff_mut()));
@@ -104,7 +121,11 @@ impl Layer for InnerProductLayer {
                 Trans::Yes,
                 Trans::No,
                 0.0,
-                Some(GemmOperands { a: tops[0].diff(), b: x_data, c: w_diff }),
+                Some(GemmOperands {
+                    a: tops[0].diff(),
+                    b: x_data,
+                    c: w_diff,
+                }),
             );
             if pd[0] {
                 // dX (B x D) = dY (B x out) x W (out x D).
@@ -114,7 +135,11 @@ impl Layer for InnerProductLayer {
                     Trans::No,
                     Trans::No,
                     0.0,
-                    Some(GemmOperands { a: tops[0].diff(), b: w_data, c: x_diff }),
+                    Some(GemmOperands {
+                        a: tops[0].diff(),
+                        b: w_data,
+                        c: x_diff,
+                    }),
                 );
             }
         } else {

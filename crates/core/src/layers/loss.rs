@@ -18,7 +18,13 @@ pub struct SoftmaxLossLayer {
 
 impl SoftmaxLossLayer {
     pub fn new(name: &str) -> Self {
-        SoftmaxLossLayer { name: name.into(), batch: 0, classes: 0, probs: Vec::new(), losses: Vec::new() }
+        SoftmaxLossLayer {
+            name: name.into(),
+            batch: 0,
+            classes: 0,
+            probs: Vec::new(),
+            losses: Vec::new(),
+        }
     }
 
     /// Class probabilities of the last forward pass (for inspection).
@@ -40,7 +46,11 @@ impl Layer for SoftmaxLossLayer {
         true
     }
 
-    fn setup(&mut self, bottoms: &[Vec<usize>], materialize: bool) -> Result<Vec<Vec<usize>>, String> {
+    fn setup(
+        &mut self,
+        bottoms: &[Vec<usize>],
+        materialize: bool,
+    ) -> Result<Vec<Vec<usize>>, String> {
         if bottoms.len() != 2 {
             return Err("SoftmaxWithLoss needs [logits, labels]".into());
         }
@@ -79,7 +89,13 @@ impl Layer for SoftmaxLossLayer {
         }
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, _tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        _tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         if !pd[0] {
             return;
         }
@@ -114,7 +130,12 @@ pub struct AccuracyLayer {
 
 impl AccuracyLayer {
     pub fn new(name: &str, top_k: usize) -> Self {
-        AccuracyLayer { name: name.into(), top_k: top_k.max(1), batch: 0, classes: 0 }
+        AccuracyLayer {
+            name: name.into(),
+            top_k: top_k.max(1),
+            batch: 0,
+            classes: 0,
+        }
     }
 }
 

@@ -55,7 +55,11 @@ impl Layer for BatchNormLayer {
         "BatchNorm"
     }
 
-    fn setup(&mut self, bottoms: &[Vec<usize>], materialize: bool) -> Result<Vec<Vec<usize>>, String> {
+    fn setup(
+        &mut self,
+        bottoms: &[Vec<usize>],
+        materialize: bool,
+    ) -> Result<Vec<Vec<usize>>, String> {
         let (b, c, h, w) = expect_4d(&bottoms[0], "BatchNorm")?;
         self.dims = (b, c, h * w);
         self.gamma = Blob::with_mode(&[c], materialize);
@@ -126,7 +130,13 @@ impl Layer for BatchNormLayer {
         }
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         let (b, c, s) = self.dims;
         if cg.mode().is_functional() {
             let (x, dx) = bottoms[0].data_and_diff_mut();
@@ -185,7 +195,12 @@ impl LrnLayer {
     pub fn new(name: &str, local_size: usize, alpha: f32, beta: f32, k: f32) -> Self {
         LrnLayer {
             name: name.into(),
-            params: LrnParams { local_size, alpha, beta, k },
+            params: LrnParams {
+                local_size,
+                alpha,
+                beta,
+                k,
+            },
             dims: (0, 0, 0, 0),
         }
     }
@@ -215,7 +230,13 @@ impl Layer for LrnLayer {
         lrn::forward(cg, b, c, h, w, self.params, io);
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         if !pd[0] {
             return;
         }

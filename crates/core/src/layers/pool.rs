@@ -21,7 +21,15 @@ pub struct PoolLayer {
 
 impl PoolLayer {
     pub fn new(name: &str, kernel: usize, stride: usize, pad: usize, method: PoolKind) -> Self {
-        PoolLayer { name: name.into(), kernel, stride, pad, method, shape: None, argmax: Vec::new() }
+        PoolLayer {
+            name: name.into(),
+            kernel,
+            stride,
+            pad,
+            method,
+            shape: None,
+            argmax: Vec::new(),
+        }
     }
 
     fn pool_shape(&self) -> PoolShape {
@@ -38,7 +46,11 @@ impl Layer for PoolLayer {
         "Pooling"
     }
 
-    fn setup(&mut self, bottoms: &[Vec<usize>], materialize: bool) -> Result<Vec<Vec<usize>>, String> {
+    fn setup(
+        &mut self,
+        bottoms: &[Vec<usize>],
+        materialize: bool,
+    ) -> Result<Vec<Vec<usize>>, String> {
         let (b, c, h, w) = expect_4d(&bottoms[0], "Pooling")?;
         let shape = PoolShape {
             batch: b,
@@ -78,7 +90,13 @@ impl Layer for PoolLayer {
         }
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         if !pd[0] {
             return;
         }

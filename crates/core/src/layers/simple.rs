@@ -21,7 +21,11 @@ pub struct InputLayer {
 
 impl InputLayer {
     pub fn new(name: &str, shape: Vec<usize>, with_labels: bool) -> Self {
-        InputLayer { name: name.into(), shape, with_labels }
+        InputLayer {
+            name: name.into(),
+            shape,
+            with_labels,
+        }
     }
 }
 
@@ -34,7 +38,11 @@ impl Layer for InputLayer {
         "Input"
     }
 
-    fn setup(&mut self, bottoms: &[Vec<usize>], _materialize: bool) -> Result<Vec<Vec<usize>>, String> {
+    fn setup(
+        &mut self,
+        bottoms: &[Vec<usize>],
+        _materialize: bool,
+    ) -> Result<Vec<Vec<usize>>, String> {
         if !bottoms.is_empty() {
             return Err("Input layer takes no bottoms".into());
         }
@@ -60,7 +68,10 @@ pub struct ReluLayer {
 
 impl ReluLayer {
     pub fn new(name: &str) -> Self {
-        ReluLayer { name: name.into(), len: 0 }
+        ReluLayer {
+            name: name.into(),
+            len: 0,
+        }
     }
 }
 
@@ -86,7 +97,13 @@ impl Layer for ReluLayer {
         ew::relu_forward(cg, self.len, io);
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         if !pd[0] {
             return;
         }
@@ -114,7 +131,10 @@ pub struct DropoutLayer {
 
 impl DropoutLayer {
     pub fn new(name: &str, ratio: f32) -> Self {
-        assert!((0.0..1.0).contains(&ratio), "dropout ratio must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&ratio),
+            "dropout ratio must be in [0, 1)"
+        );
         DropoutLayer {
             name: name.into(),
             ratio,
@@ -149,7 +169,11 @@ impl Layer for DropoutLayer {
         "Dropout"
     }
 
-    fn setup(&mut self, bottoms: &[Vec<usize>], materialize: bool) -> Result<Vec<Vec<usize>>, String> {
+    fn setup(
+        &mut self,
+        bottoms: &[Vec<usize>],
+        materialize: bool,
+    ) -> Result<Vec<Vec<usize>>, String> {
         self.len = bottoms[0].iter().product();
         if materialize {
             self.mask = vec![0.0; self.len];
@@ -187,12 +211,22 @@ impl Layer for DropoutLayer {
         }
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         if !pd[0] {
             return;
         }
         if cg.mode().is_functional() {
-            ew::apply_mask(cg, self.len, Some((tops[0].diff(), &self.mask, bottoms[0].diff_mut())));
+            ew::apply_mask(
+                cg,
+                self.len,
+                Some((tops[0].diff(), &self.mask, bottoms[0].diff_mut())),
+            );
         } else {
             ew::apply_mask(cg, self.len, None);
         }
@@ -213,7 +247,10 @@ pub struct EltwiseSumLayer {
 
 impl EltwiseSumLayer {
     pub fn new(name: &str) -> Self {
-        EltwiseSumLayer { name: name.into(), len: 0 }
+        EltwiseSumLayer {
+            name: name.into(),
+            len: 0,
+        }
     }
 }
 
@@ -228,7 +265,9 @@ impl Layer for EltwiseSumLayer {
 
     fn setup(&mut self, bottoms: &[Vec<usize>], _m: bool) -> Result<Vec<Vec<usize>>, String> {
         if bottoms.len() != 2 || bottoms[0] != bottoms[1] {
-            return Err(format!("EltwiseSum needs two equal-shaped bottoms, got {bottoms:?}"));
+            return Err(format!(
+                "EltwiseSum needs two equal-shaped bottoms, got {bottoms:?}"
+            ));
         }
         self.len = bottoms[0].iter().product();
         Ok(vec![bottoms[0].clone()])
@@ -242,7 +281,13 @@ impl Layer for EltwiseSumLayer {
         ew::add(cg, self.len, io);
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         // d/d(a) = d/d(b) = dy: plain copies.
         for i in 0..2 {
             if !pd[i] {
@@ -274,7 +319,12 @@ pub struct ConcatLayer {
 
 impl ConcatLayer {
     pub fn new(name: &str) -> Self {
-        ConcatLayer { name: name.into(), batch: 0, spatial: 0, channels: Vec::new() }
+        ConcatLayer {
+            name: name.into(),
+            batch: 0,
+            spatial: 0,
+            channels: Vec::new(),
+        }
     }
 }
 
@@ -332,7 +382,13 @@ impl Layer for ConcatLayer {
         }
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         let total: usize = self.channels.iter().sum();
         let mut c_off = 0;
         for (i, &c) in self.channels.iter().enumerate() {
@@ -377,7 +433,12 @@ impl TransformLayer {
         TransformLayer {
             name: name.into(),
             dir,
-            shape: TransShape { batch: 0, channels: 0, height: 0, width: 0 },
+            shape: TransShape {
+                batch: 0,
+                channels: 0,
+                height: 0,
+                width: 0,
+            },
         }
     }
 }
@@ -393,7 +454,12 @@ impl Layer for TransformLayer {
 
     fn setup(&mut self, bottoms: &[Vec<usize>], _m: bool) -> Result<Vec<Vec<usize>>, String> {
         let (b, c, h, w) = expect_4d(&bottoms[0], "TensorTransform")?;
-        self.shape = TransShape { batch: b, channels: c, height: h, width: w };
+        self.shape = TransShape {
+            batch: b,
+            channels: c,
+            height: h,
+            width: w,
+        };
         Ok(vec![bottoms[0].clone()])
     }
 
@@ -408,7 +474,13 @@ impl Layer for TransformLayer {
         };
     }
 
-    fn backward(&mut self, cg: &mut CoreGroup, tops: &[&Blob], bottoms: &mut [&mut Blob], pd: &[bool]) {
+    fn backward(
+        &mut self,
+        cg: &mut CoreGroup,
+        tops: &[&Blob],
+        bottoms: &mut [&mut Blob],
+        pd: &[bool],
+    ) {
         if !pd[0] {
             return;
         }

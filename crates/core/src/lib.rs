@@ -6,7 +6,7 @@
 //! blobs, and the SGD solver exposes the hooks the distributed trainer
 //! (`swtrain`) uses for synchronous data-parallel training.
 //!
-//! Networks are declared as serde-serialisable [`netdef::NetDef`] values;
+//! Networks are declared as JSON-serialisable [`netdef::NetDef`] values;
 //! [`models`] provides the five networks the paper evaluates (AlexNet-BN,
 //! VGG-16, VGG-19, ResNet-50, GoogLeNet) with their Table III batch sizes.
 
@@ -17,6 +17,7 @@ pub mod layers;
 pub mod models;
 pub mod net;
 pub mod netdef;
+pub mod rng;
 pub mod snapshot;
 pub mod solver;
 

@@ -56,7 +56,12 @@ fn inception(
     let pool = format!("{name}/pool");
     let def = def.layer(
         &pool,
-        LayerKind::Pooling { kernel: 3, stride: 1, pad: 1, method: PoolKind::Max },
+        LayerKind::Pooling {
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            method: PoolKind::Max,
+        },
         &[bottom],
         &[&pool],
     );
@@ -70,7 +75,10 @@ fn inception(
 pub fn googlenet(batch: usize) -> NetDef {
     let def = NetDef::new("googlenet").layer(
         "data",
-        LayerKind::Input { shape: vec![batch, 3, 224, 224], with_labels: true },
+        LayerKind::Input {
+            shape: vec![batch, 3, 224, 224],
+            with_labels: true,
+        },
         &[],
         &["data", "label"],
     );
@@ -78,13 +86,23 @@ pub fn googlenet(batch: usize) -> NetDef {
     let def = def
         .layer(
             "pool1/3x3_s2",
-            LayerKind::Pooling { kernel: 3, stride: 2, pad: 0, method: PoolKind::Max },
+            LayerKind::Pooling {
+                kernel: 3,
+                stride: 2,
+                pad: 0,
+                method: PoolKind::Max,
+            },
             &[&top],
             &["pool1/3x3_s2"],
         )
         .layer(
             "pool1/norm1",
-            LayerKind::Lrn { local_size: 5, alpha: 1e-4, beta: 0.75, k: 1.0 },
+            LayerKind::Lrn {
+                local_size: 5,
+                alpha: 1e-4,
+                beta: 0.75,
+                k: 1.0,
+            },
             &["pool1/3x3_s2"],
             &["pool1/norm1"],
         );
@@ -93,13 +111,23 @@ pub fn googlenet(batch: usize) -> NetDef {
     let def = def
         .layer(
             "conv2/norm2",
-            LayerKind::Lrn { local_size: 5, alpha: 1e-4, beta: 0.75, k: 1.0 },
+            LayerKind::Lrn {
+                local_size: 5,
+                alpha: 1e-4,
+                beta: 0.75,
+                k: 1.0,
+            },
             &[&top],
             &["conv2/norm2"],
         )
         .layer(
             "pool2/3x3_s2",
-            LayerKind::Pooling { kernel: 3, stride: 2, pad: 0, method: PoolKind::Max },
+            LayerKind::Pooling {
+                kernel: 3,
+                stride: 2,
+                pad: 0,
+                method: PoolKind::Max,
+            },
             &["conv2/norm2"],
             &["pool2/3x3_s2"],
         );
@@ -108,37 +136,85 @@ pub fn googlenet(batch: usize) -> NetDef {
     let (def, top) = inception(def, "inception_3b", &top, 128, 128, 192, 32, 96, 64);
     let def = def.layer(
         "pool3/3x3_s2",
-        LayerKind::Pooling { kernel: 3, stride: 2, pad: 0, method: PoolKind::Max },
+        LayerKind::Pooling {
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+            method: PoolKind::Max,
+        },
         &[&top],
         &["pool3/3x3_s2"],
     );
-    let (def, top) = inception(def, "inception_4a", "pool3/3x3_s2", 192, 96, 208, 16, 48, 64);
+    let (def, top) = inception(
+        def,
+        "inception_4a",
+        "pool3/3x3_s2",
+        192,
+        96,
+        208,
+        16,
+        48,
+        64,
+    );
     let (def, top) = inception(def, "inception_4b", &top, 160, 112, 224, 24, 64, 64);
     let (def, top) = inception(def, "inception_4c", &top, 128, 128, 256, 24, 64, 64);
     let (def, top) = inception(def, "inception_4d", &top, 112, 144, 288, 32, 64, 64);
     let (def, top) = inception(def, "inception_4e", &top, 256, 160, 320, 32, 128, 128);
     let def = def.layer(
         "pool4/3x3_s2",
-        LayerKind::Pooling { kernel: 3, stride: 2, pad: 0, method: PoolKind::Max },
+        LayerKind::Pooling {
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+            method: PoolKind::Max,
+        },
         &[&top],
         &["pool4/3x3_s2"],
     );
-    let (def, top) = inception(def, "inception_5a", "pool4/3x3_s2", 256, 160, 320, 32, 128, 128);
+    let (def, top) = inception(
+        def,
+        "inception_5a",
+        "pool4/3x3_s2",
+        256,
+        160,
+        320,
+        32,
+        128,
+        128,
+    );
     let (def, top) = inception(def, "inception_5b", &top, 384, 192, 384, 48, 128, 128);
     def.layer(
         "pool5/7x7_s1",
-        LayerKind::Pooling { kernel: 7, stride: 1, pad: 0, method: PoolKind::Average },
+        LayerKind::Pooling {
+            kernel: 7,
+            stride: 1,
+            pad: 0,
+            method: PoolKind::Average,
+        },
         &[&top],
         &["pool5/7x7_s1"],
     )
-    .layer("pool5/drop", LayerKind::Dropout { ratio: 0.4 }, &["pool5/7x7_s1"], &["pool5/drop"])
+    .layer(
+        "pool5/drop",
+        LayerKind::Dropout { ratio: 0.4 },
+        &["pool5/7x7_s1"],
+        &["pool5/drop"],
+    )
     .layer(
         "loss3/classifier",
-        LayerKind::InnerProduct { num_output: IMAGENET_CLASSES, bias: true },
+        LayerKind::InnerProduct {
+            num_output: IMAGENET_CLASSES,
+            bias: true,
+        },
         &["pool5/drop"],
         &["loss3/classifier"],
     )
-    .layer("loss", LayerKind::SoftmaxWithLoss, &["loss3/classifier", "label"], &["loss"])
+    .layer(
+        "loss",
+        LayerKind::SoftmaxWithLoss,
+        &["loss3/classifier", "label"],
+        &["loss"],
+    )
     .layer(
         "accuracy",
         LayerKind::Accuracy { top_k: 1 },

@@ -46,7 +46,10 @@ impl NetBuilder {
     pub fn new(name: &str, batch: usize, channels: usize, hw: usize) -> Self {
         let def = NetDef::new(name).layer(
             "data",
-            LayerKind::Input { shape: vec![batch, channels, hw, hw], with_labels: true },
+            LayerKind::Input {
+                shape: vec![batch, channels, hw, hw],
+                with_labels: true,
+            },
             &[],
             &["data", "label"],
         );
@@ -138,7 +141,9 @@ impl NetBuilder {
             let bottom = self.top.clone();
             self.push(
                 &name.clone(),
-                LayerKind::TensorTransform { dir: TransDir::RcnbToNchw },
+                LayerKind::TensorTransform {
+                    dir: TransDir::RcnbToNchw,
+                },
                 vec![bottom],
                 &name,
             );
@@ -153,7 +158,9 @@ impl NetBuilder {
             let bottom = self.top.clone();
             self.push(
                 &name.clone(),
-                LayerKind::TensorTransform { dir: TransDir::NchwToRcnb },
+                LayerKind::TensorTransform {
+                    dir: TransDir::NchwToRcnb,
+                },
                 vec![bottom],
                 &name,
             );
@@ -162,9 +169,20 @@ impl NetBuilder {
     }
 
     /// Convolution (+ bias), layout chosen automatically.
-    pub fn conv(mut self, name: &str, num_output: usize, k: usize, stride: usize, pad: usize) -> Self {
+    pub fn conv(
+        mut self,
+        name: &str,
+        num_output: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         let shape = self.conv_shape(num_output, k, stride, pad);
-        let format = if self.wants_rcnb(&shape) { ConvFormat::Rcnb } else { ConvFormat::Nchw };
+        let format = if self.wants_rcnb(&shape) {
+            ConvFormat::Rcnb
+        } else {
+            ConvFormat::Nchw
+        };
         match format {
             ConvFormat::Rcnb => self.ensure_rcnb(),
             ConvFormat::Nchw => self.ensure_nchw(),
@@ -172,7 +190,14 @@ impl NetBuilder {
         let bottom = self.top.clone();
         self.push(
             name,
-            LayerKind::Convolution { num_output, kernel: k, stride, pad, bias: true, format },
+            LayerKind::Convolution {
+                num_output,
+                kernel: k,
+                stride,
+                pad,
+                bias: true,
+                format,
+            },
             vec![bottom],
             name,
         );
@@ -191,7 +216,15 @@ impl NetBuilder {
     pub fn bn(mut self, name: &str) -> Self {
         self.ensure_nchw();
         let bottom = self.top.clone();
-        self.push(name, LayerKind::BatchNorm { eps: 1e-5, momentum: 0.9 }, vec![bottom], name);
+        self.push(
+            name,
+            LayerKind::BatchNorm {
+                eps: 1e-5,
+                momentum: 0.9,
+            },
+            vec![bottom],
+            name,
+        );
         self
     }
 
@@ -201,7 +234,12 @@ impl NetBuilder {
         let bottom = self.top.clone();
         self.push(
             name,
-            LayerKind::Lrn { local_size: 5, alpha: 1e-4, beta: 0.75, k: 1.0 },
+            LayerKind::Lrn {
+                local_size: 5,
+                alpha: 1e-4,
+                beta: 0.75,
+                k: 1.0,
+            },
             vec![bottom],
             name,
         );
@@ -209,10 +247,27 @@ impl NetBuilder {
     }
 
     /// Pooling (NCHW).
-    pub fn pool(mut self, name: &str, k: usize, stride: usize, pad: usize, method: PoolKind) -> Self {
+    pub fn pool(
+        mut self,
+        name: &str,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        method: PoolKind,
+    ) -> Self {
         self.ensure_nchw();
         let bottom = self.top.clone();
-        self.push(name, LayerKind::Pooling { kernel: k, stride, pad, method }, vec![bottom], name);
+        self.push(
+            name,
+            LayerKind::Pooling {
+                kernel: k,
+                stride,
+                pad,
+                method,
+            },
+            vec![bottom],
+            name,
+        );
         let (b, c, h, w) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
         let p = swdnn::PoolShape {
             batch: b,
@@ -232,7 +287,15 @@ impl NetBuilder {
     pub fn fc(mut self, name: &str, num_output: usize) -> Self {
         self.ensure_nchw();
         let bottom = self.top.clone();
-        self.push(name, LayerKind::InnerProduct { num_output, bias: true }, vec![bottom], name);
+        self.push(
+            name,
+            LayerKind::InnerProduct {
+                num_output,
+                bias: true,
+            },
+            vec![bottom],
+            name,
+        );
         self.shape = vec![self.shape[0], num_output];
         self
     }
@@ -248,14 +311,24 @@ impl NetBuilder {
         self.ensure_nchw();
         let scores = self.top.clone();
         let def = std::mem::replace(&mut self.def, NetDef::new(""));
-        def.layer("loss", LayerKind::SoftmaxWithLoss, &[&scores, "label"], &["loss"])
-            .layer("accuracy", LayerKind::Accuracy { top_k: 1 }, &[&scores, "label"], &["accuracy"])
-            .layer(
-                "accuracy_top5",
-                LayerKind::Accuracy { top_k: 5 },
-                &[&scores, "label"],
-                &["accuracy_top5"],
-            )
+        def.layer(
+            "loss",
+            LayerKind::SoftmaxWithLoss,
+            &[&scores, "label"],
+            &["loss"],
+        )
+        .layer(
+            "accuracy",
+            LayerKind::Accuracy { top_k: 1 },
+            &[&scores, "label"],
+            &["accuracy"],
+        )
+        .layer(
+            "accuracy_top5",
+            LayerKind::Accuracy { top_k: 5 },
+            &[&scores, "label"],
+            &["accuracy_top5"],
+        )
     }
 
     /// Access the raw definition for DAG-structured models (ResNet /
@@ -294,9 +367,13 @@ mod tests {
 
     #[test]
     fn builder_tracks_shapes() {
-        let b = NetBuilder::new("t", 2, 3, 32)
-            .conv("c1", 8, 3, 1, 1)
-            .pool("p1", 2, 2, 0, PoolKind::Max);
+        let b = NetBuilder::new("t", 2, 3, 32).conv("c1", 8, 3, 1, 1).pool(
+            "p1",
+            2,
+            2,
+            0,
+            PoolKind::Max,
+        );
         assert_eq!(b.shape(), &[2, 8, 16, 16]);
     }
 }

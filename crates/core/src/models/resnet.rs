@@ -10,6 +10,7 @@ use crate::netdef::{ConvFormat, LayerKind, NetDef, PoolKind};
 
 use super::IMAGENET_CLASSES;
 
+#[allow(clippy::too_many_arguments)]
 fn conv_bn_relu(
     def: NetDef,
     name: &str,
@@ -36,7 +37,15 @@ fn conv_bn_relu(
             &[bottom],
             &[&conv],
         )
-        .layer(&bn, LayerKind::BatchNorm { eps: 1e-5, momentum: 0.9 }, &[&conv], &[&bn]);
+        .layer(
+            &bn,
+            LayerKind::BatchNorm {
+                eps: 1e-5,
+                momentum: 0.9,
+            },
+            &[&conv],
+            &[&bn],
+        );
     let mut top = bn.clone();
     if relu {
         let r = format!("{name}/relu");
@@ -57,11 +66,29 @@ fn bottleneck(
     stride: usize,
     project: bool,
 ) -> (NetDef, String) {
-    let (def, a) = conv_bn_relu(def, &format!("{name}/conv1"), bottom, mid, 1, stride, 0, true);
+    let (def, a) = conv_bn_relu(
+        def,
+        &format!("{name}/conv1"),
+        bottom,
+        mid,
+        1,
+        stride,
+        0,
+        true,
+    );
     let (def, b) = conv_bn_relu(def, &format!("{name}/conv2"), &a, mid, 3, 1, 1, true);
     let (def, c) = conv_bn_relu(def, &format!("{name}/conv3"), &b, out, 1, 1, 0, false);
     let (def, shortcut) = if project {
-        conv_bn_relu(def, &format!("{name}/proj"), bottom, out, 1, stride, 0, false)
+        conv_bn_relu(
+            def,
+            &format!("{name}/proj"),
+            bottom,
+            out,
+            1,
+            stride,
+            0,
+            false,
+        )
     } else {
         (def, bottom.to_string())
     };
@@ -77,22 +104,34 @@ fn bottleneck(
 pub fn resnet50(batch: usize) -> NetDef {
     let def = NetDef::new("resnet50").layer(
         "data",
-        LayerKind::Input { shape: vec![batch, 3, 224, 224], with_labels: true },
+        LayerKind::Input {
+            shape: vec![batch, 3, 224, 224],
+            with_labels: true,
+        },
         &[],
         &["data", "label"],
     );
     let (def, top) = conv_bn_relu(def, "conv1", "data", 64, 7, 2, 3, true);
     let def = def.layer(
         "pool1",
-        LayerKind::Pooling { kernel: 3, stride: 2, pad: 0, method: PoolKind::Max },
+        LayerKind::Pooling {
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+            method: PoolKind::Max,
+        },
         &[&top],
         &["pool1"],
     );
     let mut top = "pool1".to_string();
     let mut def = def;
     // (blocks, mid, out, stride of first block)
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(3, 64, 256, 1), (4, 128, 512, 2), (6, 256, 1024, 2), (3, 512, 2048, 2)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
     for (si, &(blocks, mid, out, stride)) in stages.iter().enumerate() {
         for b in 0..blocks {
             let name = format!("res{}{}", si + 2, (b'a' + b as u8) as char);
@@ -111,18 +150,36 @@ pub fn resnet50(batch: usize) -> NetDef {
     }
     def.layer(
         "pool5",
-        LayerKind::Pooling { kernel: 7, stride: 1, pad: 0, method: PoolKind::Average },
+        LayerKind::Pooling {
+            kernel: 7,
+            stride: 1,
+            pad: 0,
+            method: PoolKind::Average,
+        },
         &[&top],
         &["pool5"],
     )
     .layer(
         "fc1000",
-        LayerKind::InnerProduct { num_output: IMAGENET_CLASSES, bias: true },
+        LayerKind::InnerProduct {
+            num_output: IMAGENET_CLASSES,
+            bias: true,
+        },
         &["pool5"],
         &["fc1000"],
     )
-    .layer("loss", LayerKind::SoftmaxWithLoss, &["fc1000", "label"], &["loss"])
-    .layer("accuracy", LayerKind::Accuracy { top_k: 1 }, &["fc1000", "label"], &["accuracy"])
+    .layer(
+        "loss",
+        LayerKind::SoftmaxWithLoss,
+        &["fc1000", "label"],
+        &["loss"],
+    )
+    .layer(
+        "accuracy",
+        LayerKind::Accuracy { top_k: 1 },
+        &["fc1000", "label"],
+        &["accuracy"],
+    )
     .layer(
         "accuracy_top5",
         LayerKind::Accuracy { top_k: 5 },
@@ -146,7 +203,10 @@ mod tests {
         // Paper Sec. VI-C: ResNet-50's parameters total 97.7 MB (~25.5M).
         let net = Net::from_def(&resnet50(32), false).unwrap();
         let mb = net.param_len() as f64 * 4.0 / 1e6;
-        assert!((90.0..110.0).contains(&mb), "ResNet-50 parameters = {mb:.1} MB");
+        assert!(
+            (90.0..110.0).contains(&mb),
+            "ResNet-50 parameters = {mb:.1} MB"
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ use super::{NetBuilder, IMAGENET_CLASSES};
 fn vgg_block(mut b: NetBuilder, stage: usize, convs: usize, channels: usize) -> NetBuilder {
     for i in 1..=convs {
         let name = format!("conv{stage}_{i}");
-        b = b.conv(&name, channels, 3, 1, 1).relu(&format!("relu{stage}_{i}"));
+        b = b
+            .conv(&name, channels, 3, 1, 1)
+            .relu(&format!("relu{stage}_{i}"));
     }
     b.pool(&format!("pool{stage}"), 2, 2, 0, PoolKind::Max)
 }

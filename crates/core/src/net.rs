@@ -46,6 +46,14 @@ impl Net {
     /// functional (true) or timing-only (false) blobs; it must match the
     /// mode of the core group the net later runs on.
     pub fn from_def(def: &NetDef, materialize: bool) -> Result<Net, String> {
+        Self::from_def_seeded(def, materialize, 0)
+    }
+
+    /// Like [`Net::from_def`] with an explicit base seed for every
+    /// filler-initialised parameter blob: two nets built from the same
+    /// definition and seed are bit-identical, and the seed can be varied
+    /// per replica/run without touching the definition.
+    pub fn from_def_seeded(def: &NetDef, materialize: bool, base_seed: u64) -> Result<Net, String> {
         def.validate()?;
         let mut net = Net {
             name: def.name.clone(),
@@ -60,7 +68,7 @@ impl Net {
             loss_blob: None,
         };
         for ldef in &def.layers {
-            let mut layer = layers::build(ldef);
+            let mut layer = layers::build_seeded(ldef, base_seed);
             let bottom_ids: Vec<usize> = ldef
                 .bottoms
                 .iter()
@@ -85,7 +93,8 @@ impl Net {
             let mut top_ids = Vec::new();
             for (name, shape) in ldef.tops.iter().zip(&top_shapes) {
                 let id = net.blobs.len();
-                net.blobs.push(RefCell::new(Blob::with_mode(shape, materialize)));
+                net.blobs
+                    .push(RefCell::new(Blob::with_mode(shape, materialize)));
                 net.blob_index.insert(name.clone(), id);
                 net.needs_grad.push(!is_input);
                 top_ids.push(id);
@@ -128,7 +137,10 @@ impl Net {
 
     /// All learnable parameter blobs, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Blob> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     pub fn params(&self) -> Vec<&Blob> {
@@ -158,11 +170,15 @@ impl Net {
     }
 
     fn run_layer_forward(&mut self, cg: &mut CoreGroup, i: usize) {
-        let bottoms: Vec<std::cell::Ref<'_, Blob>> =
-            self.layer_bottoms[i].iter().map(|&b| self.blobs[b].borrow()).collect();
+        let bottoms: Vec<std::cell::Ref<'_, Blob>> = self.layer_bottoms[i]
+            .iter()
+            .map(|&b| self.blobs[b].borrow())
+            .collect();
         let bottom_refs: Vec<&Blob> = bottoms.iter().map(|r| &**r).collect();
-        let mut tops: Vec<std::cell::RefMut<'_, Blob>> =
-            self.layer_tops[i].iter().map(|&t| self.blobs[t].borrow_mut()).collect();
+        let mut tops: Vec<std::cell::RefMut<'_, Blob>> = self.layer_tops[i]
+            .iter()
+            .map(|&t| self.blobs[t].borrow_mut())
+            .collect();
         let mut top_refs: Vec<&mut Blob> = tops.iter_mut().map(|r| &mut **r).collect();
         self.layers[i].forward(cg, &bottom_refs, &mut top_refs);
     }
@@ -202,8 +218,10 @@ impl Net {
         if !originates && !receives {
             return;
         }
-        let pd: Vec<bool> =
-            self.layer_bottoms[i].iter().map(|&b| self.needs_grad[b]).collect();
+        let pd: Vec<bool> = self.layer_bottoms[i]
+            .iter()
+            .map(|&b| self.needs_grad[b])
+            .collect();
 
         // Gradient fan-in: if some bottom's diff was already written by a
         // later consumer, stash it, let this layer overwrite, then add the
@@ -211,18 +229,23 @@ impl Net {
         let mut stashes: Vec<(usize, Option<Vec<f32>>)> = Vec::new();
         for (slot, &b) in self.layer_bottoms[i].iter().enumerate() {
             if pd[slot] && diff_written[b] {
-                let stash =
-                    self.materialize.then(|| self.blobs[b].borrow().diff().to_vec());
+                let stash = self
+                    .materialize
+                    .then(|| self.blobs[b].borrow().diff().to_vec());
                 stashes.push((b, stash));
             }
         }
 
         {
-            let tops: Vec<std::cell::Ref<'_, Blob>> =
-                self.layer_tops[i].iter().map(|&t| self.blobs[t].borrow()).collect();
+            let tops: Vec<std::cell::Ref<'_, Blob>> = self.layer_tops[i]
+                .iter()
+                .map(|&t| self.blobs[t].borrow())
+                .collect();
             let top_refs: Vec<&Blob> = tops.iter().map(|r| &**r).collect();
-            let mut bottoms: Vec<std::cell::RefMut<'_, Blob>> =
-                self.layer_bottoms[i].iter().map(|&b| self.blobs[b].borrow_mut()).collect();
+            let mut bottoms: Vec<std::cell::RefMut<'_, Blob>> = self.layer_bottoms[i]
+                .iter()
+                .map(|&b| self.blobs[b].borrow_mut())
+                .collect();
             let mut bottom_refs: Vec<&mut Blob> = bottoms.iter_mut().map(|r| &mut **r).collect();
             self.layers[i].backward(cg, &top_refs, &mut bottom_refs, &pd);
         }
@@ -269,15 +292,32 @@ impl Net {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "network '{}' — {} layers, {} parameters", self.name, self.layers.len(), self.param_len());
-        let _ = writeln!(out, "{:<24}{:<16}{:>20}{:>12}", "layer", "type", "output shape", "params");
+        let _ = writeln!(
+            out,
+            "network '{}' — {} layers, {} parameters",
+            self.name,
+            self.layers.len(),
+            self.param_len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<24}{:<16}{:>20}{:>12}",
+            "layer", "type", "output shape", "params"
+        );
         for (i, layer) in self.layers.iter().enumerate() {
             let shape = self.layer_tops[i]
                 .first()
                 .map(|&t| format!("{:?}", self.blobs[t].borrow().shape()))
                 .unwrap_or_default();
             let params: usize = layer.params().iter().map(|p| p.len()).sum();
-            let _ = writeln!(out, "{:<24}{:<16}{:>20}{:>12}", layer.name(), layer.layer_type(), shape, params);
+            let _ = writeln!(
+                out,
+                "{:<24}{:<16}{:>20}{:>12}",
+                layer.name(),
+                layer.layer_type(),
+                shape,
+                params
+            );
         }
         out
     }
@@ -329,4 +369,41 @@ pub struct LayerOp {
     pub kind: LayerKind,
     pub in_shapes: Vec<Vec<usize>>,
     pub out_shapes: Vec<Vec<usize>>,
+}
+
+#[cfg(test)]
+mod seed_tests {
+    use super::*;
+    use crate::models;
+
+    fn weights(net: &Net) -> Vec<f32> {
+        net.params()
+            .iter()
+            .flat_map(|p| p.data().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_builds_identical_weights() {
+        let def = models::alexnet_bn(2);
+        let a = Net::from_def_seeded(&def, true, 42).unwrap();
+        let b = Net::from_def_seeded(&def, true, 42).unwrap();
+        assert_eq!(weights(&a), weights(&b));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let def = models::alexnet_bn(2);
+        let a = Net::from_def_seeded(&def, true, 1).unwrap();
+        let b = Net::from_def_seeded(&def, true, 2).unwrap();
+        assert_ne!(weights(&a), weights(&b));
+    }
+
+    #[test]
+    fn from_def_is_seed_zero() {
+        let def = models::vgg16(1);
+        let a = Net::from_def(&def, true).unwrap();
+        let b = Net::from_def_seeded(&def, true, 0).unwrap();
+        assert_eq!(weights(&a), weights(&b));
+    }
 }

@@ -1,0 +1,99 @@
+//! Deterministic pseudo-random numbers for weight initialisation.
+//!
+//! A tiny SplitMix64 generator — the same family `swio`'s synthetic
+//! dataset uses — so every filler draw is reproducible from an explicit
+//! `u64` seed with no external dependencies. Not cryptographic; it only
+//! has to be well-distributed and byte-stable across runs and platforms.
+
+/// SplitMix64 (Steele, Lea & Flood 2014). Passes BigCrush, one `u64` of
+/// state, trivially seedable.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `(0, 1]` — safe to feed into `ln()`.
+    pub fn next_f64_open0(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// Uniform in `[lo, hi]`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+/// Derive a per-layer filler seed from a run-level base seed and the
+/// layer name: FNV-1a over the name, one SplitMix64 scramble to mix in
+/// the base. Distinct names get uncorrelated streams (unlike a byte sum,
+/// which collides on anagrams like `conv12`/`conv21`), and the whole
+/// initialisation is reproducible from the one base seed.
+pub fn layer_seed(base: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SplitMix64::new(h ^ base).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_sequence() {
+        // First outputs for seed 1234567 from the published reference
+        // implementation; pins cross-platform byte-stability.
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn unit_interval_bounds() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            let o = r.next_f64_open0();
+            assert!(o > 0.0 && o <= 1.0);
+        }
+    }
+
+    #[test]
+    fn layer_seeds_separate_names_and_bases() {
+        // Anagram names must not collide (the old byte-sum did).
+        assert_ne!(layer_seed(0, "conv12"), layer_seed(0, "conv21"));
+        // The base seed shifts every layer's stream.
+        assert_ne!(layer_seed(0, "conv1"), layer_seed(1, "conv1"));
+        // And the derivation is pure.
+        assert_eq!(layer_seed(7, "fc6"), layer_seed(7, "fc6"));
+    }
+
+    #[test]
+    fn uniform_spread() {
+        let mut r = SplitMix64::new(3);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.uniform(-1.0, 1.0)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+}

@@ -46,12 +46,18 @@ pub fn read_weights<R: Read>(net: &mut Net, mut r: R) -> Result<(), String> {
     let count = read_u64(&mut r)? as usize;
     let mut params = net.params_mut();
     if count != params.len() {
-        return Err(format!("snapshot has {count} blobs, network has {}", params.len()));
+        return Err(format!(
+            "snapshot has {count} blobs, network has {}",
+            params.len()
+        ));
     }
     for (i, p) in params.iter_mut().enumerate() {
         let len = read_u64(&mut r)? as usize;
         if len != p.len() {
-            return Err(format!("blob {i}: snapshot {len} elements, network {}", p.len()));
+            return Err(format!(
+                "blob {i}: snapshot {len} elements, network {}",
+                p.len()
+            ));
         }
         let mut bytes = vec![0u8; len * 4];
         r.read_exact(&mut bytes).map_err(|e| e.to_string())?;
@@ -63,12 +69,18 @@ pub fn read_weights<R: Read>(net: &mut Net, mut r: R) -> Result<(), String> {
     let state_count = read_u64(&mut r)? as usize;
     let mut state = net.state_mut();
     if state_count != state.len() {
-        return Err(format!("snapshot has {state_count} state vectors, network has {}", state.len()));
+        return Err(format!(
+            "snapshot has {state_count} state vectors, network has {}",
+            state.len()
+        ));
     }
     for (i, sv) in state.iter_mut().enumerate() {
         let len = read_u64(&mut r)? as usize;
         if len != sv.len() {
-            return Err(format!("state {i}: snapshot {len} elements, network {}", sv.len()));
+            return Err(format!(
+                "state {i}: snapshot {len} elements, network {}",
+                sv.len()
+            ));
         }
         let mut bytes = vec![0u8; len * 4];
         r.read_exact(&mut bytes).map_err(|e| e.to_string())?;
@@ -140,12 +152,16 @@ mod tests {
         let mut net = Net::from_def(&def, true).unwrap();
         // Run a forward pass so the BN running stats move off their init.
         let mut cg = CoreGroup::new(ExecMode::Functional);
-        let data: Vec<f32> = (0..2 * 3 * 16 * 16).map(|i| (i % 11) as f32 * 0.3).collect();
+        let data: Vec<f32> = (0..2 * 3 * 16 * 16)
+            .map(|i| (i % 11) as f32 * 0.3)
+            .collect();
         net.set_input("data", &data);
         net.set_input("label", &[0.0, 1.0]);
         net.forward(&mut cg);
         let state_before: Vec<Vec<f32>> = net.state().iter().map(|s| s.to_vec()).collect();
-        assert!(state_before.iter().any(|s| s.iter().any(|v| *v != 0.0 && *v != 1.0)));
+        assert!(state_before
+            .iter()
+            .any(|s| s.iter().any(|v| *v != 0.0 && *v != 1.0)));
 
         let mut bytes = Vec::new();
         write_weights(&net, &mut bytes).unwrap();

@@ -13,11 +13,20 @@ use crate::net::Net;
 pub enum LrPolicy {
     Fixed,
     /// `base * gamma^(iter / step)`.
-    Step { gamma: f32, step: usize },
+    Step {
+        gamma: f32,
+        step: usize,
+    },
     /// `base * (1 + gamma * iter)^(-power)`.
-    Inv { gamma: f32, power: f32 },
+    Inv {
+        gamma: f32,
+        power: f32,
+    },
     /// `base * (1 - iter/max_iter)^power`.
-    Poly { power: f32, max_iter: usize },
+    Poly {
+        power: f32,
+        max_iter: usize,
+    },
 }
 
 /// Solver hyper-parameters.
@@ -80,7 +89,11 @@ pub struct SgdSolver {
 
 impl SgdSolver {
     pub fn new(config: SolverConfig) -> Self {
-        SgdSolver { config, iter: 0, history: Vec::new() }
+        SgdSolver {
+            config,
+            iter: 0,
+            history: Vec::new(),
+        }
     }
 
     pub fn iter(&self) -> usize {
@@ -104,7 +117,13 @@ impl SgdSolver {
         if self.history.is_empty() {
             self.history = params
                 .iter()
-                .map(|p| if p.materialized() { vec![0.0; p.len()] } else { Vec::new() })
+                .map(|p| {
+                    if p.materialized() {
+                        vec![0.0; p.len()]
+                    } else {
+                        Vec::new()
+                    }
+                })
                 .collect();
         }
         assert_eq!(self.history.len(), params.len(), "parameter set changed");
@@ -192,7 +211,10 @@ mod tests {
                 }
             }
             solver.step(&mut cg, &mut net);
-            net.params().iter().flat_map(|p| p.data().to_vec().into_iter()).collect()
+            net.params()
+                .iter()
+                .flat_map(|p| p.data().to_vec().into_iter())
+                .collect()
         };
         let plain = run(None);
         let lars = run(Some(0.01));
@@ -221,7 +243,10 @@ mod tests {
                 }
                 solver.step(&mut cg, &mut net);
             }
-            net.params().iter().flat_map(|p| p.data().to_vec().into_iter()).collect()
+            net.params()
+                .iter()
+                .flat_map(|p| p.data().to_vec().into_iter())
+                .collect()
         };
         let plain = run(false);
         let nest = run(true);
@@ -231,17 +256,29 @@ mod tests {
 
     #[test]
     fn lr_policies() {
-        let mut c = SolverConfig { base_lr: 1.0, ..Default::default() };
+        let mut c = SolverConfig {
+            base_lr: 1.0,
+            ..Default::default()
+        };
         c.policy = LrPolicy::Fixed;
         assert_eq!(c.lr_at(100), 1.0);
-        c.policy = LrPolicy::Step { gamma: 0.1, step: 10 };
+        c.policy = LrPolicy::Step {
+            gamma: 0.1,
+            step: 10,
+        };
         assert!((c.lr_at(0) - 1.0).abs() < 1e-6);
         assert!((c.lr_at(10) - 0.1).abs() < 1e-6);
         assert!((c.lr_at(25) - 0.01).abs() < 1e-6);
-        c.policy = LrPolicy::Poly { power: 1.0, max_iter: 100 };
+        c.policy = LrPolicy::Poly {
+            power: 1.0,
+            max_iter: 100,
+        };
         assert!((c.lr_at(50) - 0.5).abs() < 1e-6);
         assert!((c.lr_at(200) - 0.0).abs() < 1e-6);
-        c.policy = LrPolicy::Inv { gamma: 1.0, power: 1.0 };
+        c.policy = LrPolicy::Inv {
+            gamma: 1.0,
+            power: 1.0,
+        };
         assert!((c.lr_at(1) - 0.5).abs() < 1e-6);
     }
 }

@@ -3,9 +3,7 @@
 //! finite-difference oracles, plus phase (train/test) behaviour.
 
 use sw26010::{CoreGroup, ExecMode};
-use swcaffe_core::{
-    ConvFormat, LayerKind, Net, NetDef, Phase, PoolKind, TransDir,
-};
+use swcaffe_core::{ConvFormat, LayerKind, Net, NetDef, Phase, PoolKind, TransDir};
 
 fn cg() -> CoreGroup {
     CoreGroup::new(ExecMode::Functional)
@@ -13,7 +11,15 @@ fn cg() -> CoreGroup {
 
 fn single_layer_net(kind: LayerKind, in_shape: Vec<usize>) -> Net {
     let def = NetDef::new("t")
-        .layer("data", LayerKind::Input { shape: in_shape, with_labels: false }, &[], &["data"])
+        .layer(
+            "data",
+            LayerKind::Input {
+                shape: in_shape,
+                with_labels: false,
+            },
+            &[],
+            &["data"],
+        )
         .layer("l", kind, &["data"], &["out"]);
     Net::from_def(&def, true).unwrap()
 }
@@ -29,7 +35,12 @@ fn relu_layer_forward() {
 #[test]
 fn pooling_layer_forward() {
     let mut net = single_layer_net(
-        LayerKind::Pooling { kernel: 2, stride: 2, pad: 0, method: PoolKind::Max },
+        LayerKind::Pooling {
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+            method: PoolKind::Max,
+        },
         vec![1, 1, 2, 2],
     );
     net.set_input("data", &[1.0, 3.0, 2.0, 0.0]);
@@ -42,7 +53,15 @@ fn conv_layer_1x1_is_channel_mix() {
     // A 1x1 convolution with hand-set weights is a per-pixel matrix
     // multiply over channels.
     let def = NetDef::new("t")
-        .layer("data", LayerKind::Input { shape: vec![1, 2, 2, 2], with_labels: false }, &[], &["data"])
+        .layer(
+            "data",
+            LayerKind::Input {
+                shape: vec![1, 2, 2, 2],
+                with_labels: false,
+            },
+            &[],
+            &["data"],
+        )
         .layer(
             "conv",
             LayerKind::Convolution {
@@ -68,8 +87,24 @@ fn conv_layer_1x1_is_channel_mix() {
 #[test]
 fn eltwise_and_concat_layers() {
     let def = NetDef::new("t")
-        .layer("data", LayerKind::Input { shape: vec![1, 1, 2, 2], with_labels: false }, &[], &["a"])
-        .layer("data2", LayerKind::Input { shape: vec![1, 1, 2, 2], with_labels: false }, &[], &["b"])
+        .layer(
+            "data",
+            LayerKind::Input {
+                shape: vec![1, 1, 2, 2],
+                with_labels: false,
+            },
+            &[],
+            &["a"],
+        )
+        .layer(
+            "data2",
+            LayerKind::Input {
+                shape: vec![1, 1, 2, 2],
+                with_labels: false,
+            },
+            &[],
+            &["b"],
+        )
         .layer("sum", LayerKind::EltwiseSum, &["a", "b"], &["sum"])
         .layer("cat", LayerKind::Concat, &["a", "sum"], &["cat"]);
     let mut net = Net::from_def(&def, true).unwrap();
@@ -78,15 +113,40 @@ fn eltwise_and_concat_layers() {
     net.forward(&mut cg());
     assert_eq!(net.blob("sum").data(), &[11.0, 12.0, 13.0, 14.0]);
     assert_eq!(net.blob("cat").shape(), &[1, 2, 2, 2]);
-    assert_eq!(net.blob("cat").data(), &[1.0, 2.0, 3.0, 4.0, 11.0, 12.0, 13.0, 14.0]);
+    assert_eq!(
+        net.blob("cat").data(),
+        &[1.0, 2.0, 3.0, 4.0, 11.0, 12.0, 13.0, 14.0]
+    );
 }
 
 #[test]
 fn transform_layer_roundtrip_through_net() {
     let def = NetDef::new("t")
-        .layer("data", LayerKind::Input { shape: vec![2, 3, 2, 2], with_labels: false }, &[], &["data"])
-        .layer("to", LayerKind::TensorTransform { dir: TransDir::NchwToRcnb }, &["data"], &["rcnb"])
-        .layer("back", LayerKind::TensorTransform { dir: TransDir::RcnbToNchw }, &["rcnb"], &["out"]);
+        .layer(
+            "data",
+            LayerKind::Input {
+                shape: vec![2, 3, 2, 2],
+                with_labels: false,
+            },
+            &[],
+            &["data"],
+        )
+        .layer(
+            "to",
+            LayerKind::TensorTransform {
+                dir: TransDir::NchwToRcnb,
+            },
+            &["data"],
+            &["rcnb"],
+        )
+        .layer(
+            "back",
+            LayerKind::TensorTransform {
+                dir: TransDir::RcnbToNchw,
+            },
+            &["rcnb"],
+            &["out"],
+        );
     let mut net = Net::from_def(&def, true).unwrap();
     let input: Vec<f32> = (0..24).map(|i| i as f32).collect();
     net.set_input("data", &input);
@@ -108,17 +168,28 @@ fn dropout_respects_phase() {
     let zeros = train_out.iter().filter(|v| **v == 0.0).count();
     assert!(zeros > 20 && zeros < 80, "dropout zeroed {zeros}/100");
     // Survivors are scaled by 1/(1-p) = 2.
-    assert!(train_out.iter().all(|v| *v == 0.0 || (*v - 2.0).abs() < 1e-6));
+    assert!(train_out
+        .iter()
+        .all(|v| *v == 0.0 || (*v - 2.0).abs() < 1e-6));
 
     net.set_phase(Phase::Test);
     net.forward(&mut c);
-    assert_eq!(net.blob("out").data(), &input[..], "inference must be the identity");
+    assert_eq!(
+        net.blob("out").data(),
+        &input[..],
+        "inference must be the identity"
+    );
 }
 
 #[test]
 fn batchnorm_respects_phase() {
-    let mut net =
-        single_layer_net(LayerKind::BatchNorm { eps: 1e-5, momentum: 0.5 }, vec![2, 1, 2, 2]);
+    let mut net = single_layer_net(
+        LayerKind::BatchNorm {
+            eps: 1e-5,
+            momentum: 0.5,
+        },
+        vec![2, 1, 2, 2],
+    );
     let mut c = cg();
     // Train on a biased batch so running stats move away from (0, 1).
     let input = vec![5.0f32, 5.0, 5.0, 5.0, 7.0, 7.0, 7.0, 7.0];
@@ -137,7 +208,10 @@ fn batchnorm_respects_phase() {
     net.forward(&mut c);
     let test_out: Vec<f32> = net.blob("out").data().to_vec();
     let tmean: f32 = test_out.iter().sum::<f32>() / 8.0;
-    assert!(tmean > 1.0, "test-phase output mean {tmean} should reflect running stats");
+    assert!(
+        tmean > 1.0,
+        "test-phase output mean {tmean} should reflect running stats"
+    );
     assert_ne!(train_out, test_out);
 }
 
@@ -196,7 +270,12 @@ fn inner_product_gradient_check() {
 #[test]
 fn lrn_layer_runs_in_net() {
     let mut net = single_layer_net(
-        LayerKind::Lrn { local_size: 3, alpha: 1e-4, beta: 0.75, k: 1.0 },
+        LayerKind::Lrn {
+            local_size: 3,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 1.0,
+        },
         vec![1, 4, 2, 2],
     );
     let input: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
@@ -233,13 +312,33 @@ fn branched_dag_gradient_fan_in() {
             &["relu1"],
             &["conv2"],
         )
-        .layer("join", LayerKind::EltwiseSum, &["conv2", "relu1"], &["join"])
-        .layer("fc", LayerKind::InnerProduct { num_output: 3, bias: false }, &["join"], &["fc"])
-        .layer("loss", LayerKind::SoftmaxWithLoss, &["fc", "label"], &["loss"])
+        .layer(
+            "join",
+            LayerKind::EltwiseSum,
+            &["conv2", "relu1"],
+            &["join"],
+        )
+        .layer(
+            "fc",
+            LayerKind::InnerProduct {
+                num_output: 3,
+                bias: false,
+            },
+            &["join"],
+            &["fc"],
+        )
+        .layer(
+            "loss",
+            LayerKind::SoftmaxWithLoss,
+            &["fc", "label"],
+            &["loss"],
+        )
     };
     def.validate().unwrap();
 
-    let input: Vec<f32> = (0..2 * 2 * 36).map(|i| ((i * 7) % 13) as f32 * 0.1 - 0.6).collect();
+    let input: Vec<f32> = (0..2 * 2 * 36)
+        .map(|i| ((i * 7) % 13) as f32 * 0.1 - 0.6)
+        .collect();
     let labels = [0.0f32, 2.0];
 
     let loss_of = |data: &[f32]| -> f64 {
@@ -300,26 +399,59 @@ fn inception_module_trains_functionally() {
         format: ConvFormat::Nchw,
     };
     let def = NetDef::new("mini_inception")
-        .layer("data", LayerKind::Input { shape: vec![4, 6, 6, 6], with_labels: true }, &[], &["data", "label"])
+        .layer(
+            "data",
+            LayerKind::Input {
+                shape: vec![4, 6, 6, 6],
+                with_labels: true,
+            },
+            &[],
+            &["data", "label"],
+        )
         .layer("b1", mk_conv(3), &["data"], &["b1"])
         .layer("b3r", mk_conv(2), &["data"], &["b3r"])
         .layer(
             "b3",
-            LayerKind::Convolution { num_output: 4, kernel: 3, stride: 1, pad: 1, bias: true, format: ConvFormat::Nchw },
+            LayerKind::Convolution {
+                num_output: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                bias: true,
+                format: ConvFormat::Nchw,
+            },
             &["b3r"],
             &["b3"],
         )
         .layer(
             "pool",
-            LayerKind::Pooling { kernel: 3, stride: 1, pad: 1, method: PoolKind::Max },
+            LayerKind::Pooling {
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                method: PoolKind::Max,
+            },
             &["data"],
             &["pool"],
         )
         .layer("bp", mk_conv(2), &["pool"], &["bp"])
         .layer("cat", LayerKind::Concat, &["b1", "b3", "bp"], &["cat"])
         .layer("relu", LayerKind::ReLU, &["cat"], &["relu"])
-        .layer("fc", LayerKind::InnerProduct { num_output: 3, bias: true }, &["relu"], &["fc"])
-        .layer("loss", LayerKind::SoftmaxWithLoss, &["fc", "label"], &["loss"]);
+        .layer(
+            "fc",
+            LayerKind::InnerProduct {
+                num_output: 3,
+                bias: true,
+            },
+            &["relu"],
+            &["fc"],
+        )
+        .layer(
+            "loss",
+            LayerKind::SoftmaxWithLoss,
+            &["fc", "label"],
+            &["loss"],
+        );
     def.validate().unwrap();
 
     let mut net = Net::from_def(&def, true).unwrap();
@@ -354,5 +486,8 @@ fn inception_module_trains_functionally() {
             assert!(p.diff().iter().all(|v| v.is_finite()), "param {i} NaN");
         }
     }
-    assert!(last < 0.5 * first, "inception module failed to learn: {first} -> {last}");
+    assert!(
+        last < 0.5 * first,
+        "inception module failed to learn: {first} -> {last}"
+    );
 }

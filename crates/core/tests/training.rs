@@ -7,7 +7,12 @@ use swcaffe_core::{Net, SgdSolver, SolverConfig};
 
 /// Deterministic, linearly-separable-ish synthetic dataset: class k images
 /// have elevated intensity in stripe k.
-fn synth_batch(batch: usize, classes: usize, len_per_img: usize, seed: usize) -> (Vec<f32>, Vec<f32>) {
+fn synth_batch(
+    batch: usize,
+    classes: usize,
+    len_per_img: usize,
+    seed: usize,
+) -> (Vec<f32>, Vec<f32>) {
     let mut data = vec![0.0f32; batch * len_per_img];
     let mut labels = vec![0.0f32; batch];
     for b in 0..batch {
@@ -41,7 +46,10 @@ fn tiny_cnn_trains_to_lower_loss() {
     net.set_input("data", &data);
     net.set_input("label", &labels);
     let first_loss = net.forward(&mut cg);
-    assert!(first_loss.is_finite() && first_loss > 0.5, "initial loss {first_loss}");
+    assert!(
+        first_loss.is_finite() && first_loss > 0.5,
+        "initial loss {first_loss}"
+    );
 
     let mut last_loss = first_loss;
     for iter in 0..25 {
@@ -80,8 +88,14 @@ fn gradients_flow_to_every_parameter() {
     net.forward(&mut cg);
     net.backward(&mut cg);
     for (i, p) in net.params().iter().enumerate() {
-        assert!(p.asum_diff() > 0.0, "parameter blob {i} received no gradient");
-        assert!(p.diff().iter().all(|v| v.is_finite()), "parameter blob {i} has NaN grads");
+        assert!(
+            p.asum_diff() > 0.0,
+            "parameter blob {i} received no gradient"
+        );
+        assert!(
+            p.diff().iter().all(|v| v.is_finite()),
+            "parameter blob {i} has NaN grads"
+        );
     }
 }
 
@@ -106,7 +120,10 @@ fn timing_mode_runs_all_five_networks() {
         assert!(f > 0.0 && f.is_finite(), "{name}: bad forward time {f}");
         assert!(b > 0.0 && b.is_finite(), "{name}: bad backward time {b}");
         // Backward is roughly 1.5-3x forward for conv nets.
-        assert!(b > 0.8 * f, "{name}: backward {b} implausibly small vs forward {f}");
+        assert!(
+            b > 0.8 * f,
+            "{name}: backward {b} implausibly small vs forward {f}"
+        );
         assert_eq!(fwd.entries.len(), net.layer_count());
     }
 }
@@ -118,7 +135,11 @@ fn functional_and_timing_modes_charge_identically() {
     let def = models::tiny_cnn(4, 3);
 
     let run = |materialize: bool| -> f64 {
-        let mode = if materialize { ExecMode::Functional } else { ExecMode::TimingOnly };
+        let mode = if materialize {
+            ExecMode::Functional
+        } else {
+            ExecMode::TimingOnly
+        };
         let mut net = Net::from_def(&def, materialize).unwrap();
         let mut cg = CoreGroup::new(mode);
         if materialize {

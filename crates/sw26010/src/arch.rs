@@ -36,8 +36,7 @@ pub const CPE_DP_FLOPS_PER_CYCLE: f64 = 8.0;
 
 /// Peak double-precision performance of the whole 8x8 CPE cluster of one
 /// core group: 64 * 8 flops/cycle * 1.45 GHz = 742.4 GFlops.
-pub const CPE_CLUSTER_PEAK_FLOPS: f64 =
-    CPES_PER_CG as f64 * CPE_DP_FLOPS_PER_CYCLE * CLOCK_HZ;
+pub const CPE_CLUSTER_PEAK_FLOPS: f64 = CPES_PER_CG as f64 * CPE_DP_FLOPS_PER_CYCLE * CLOCK_HZ;
 
 /// Peak performance of the management processing element (11.6 GFlops).
 pub const MPE_PEAK_FLOPS: f64 = 11.6e9;

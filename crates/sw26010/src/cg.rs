@@ -28,7 +28,11 @@ impl Default for CoreGroup {
 
 impl CoreGroup {
     pub fn new(mode: ExecMode) -> Self {
-        CoreGroup { mode, stats: Stats::default(), elapsed: SimTime::ZERO }
+        CoreGroup {
+            mode,
+            stats: Stats::default(),
+            elapsed: SimTime::ZERO,
+        }
     }
 
     pub fn mode(&self) -> ExecMode {

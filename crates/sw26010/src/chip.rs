@@ -22,7 +22,9 @@ pub struct Chip {
 
 impl Chip {
     pub fn new(mode: ExecMode) -> Self {
-        Chip { cgs: (0..CORE_GROUPS).map(|_| CoreGroup::new(mode)).collect() }
+        Chip {
+            cgs: (0..CORE_GROUPS).map(|_| CoreGroup::new(mode)).collect(),
+        }
     }
 
     /// Time to move `bytes` from one CG's memory space to another's.
@@ -42,7 +44,10 @@ impl Chip {
     /// The chip's critical-path time: the slowest core group (the CGs run
     /// concurrently in Algorithm 1).
     pub fn max_elapsed(&self) -> SimTime {
-        self.cgs.iter().map(|c| c.elapsed()).fold(SimTime::ZERO, SimTime::max)
+        self.cgs
+            .iter()
+            .map(|c| c.elapsed())
+            .fold(SimTime::ZERO, SimTime::max)
     }
 
     pub fn reset(&mut self) {

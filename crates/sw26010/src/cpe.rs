@@ -165,7 +165,12 @@ impl<'l> Cpe<'l> {
         if self.functional() {
             src.read(offset, dst);
         }
-        self.charge_dma(bytes, 0, dma::continuous_time(bytes, self.n_active), dma::DmaDir::Get)
+        self.charge_dma(
+            bytes,
+            0,
+            dma::continuous_time(bytes, self.n_active),
+            dma::DmaDir::Get,
+        )
     }
 
     /// Synchronous continuous DMA put: `src` into `dst[offset..]`.
@@ -180,7 +185,12 @@ impl<'l> Cpe<'l> {
         if self.functional() {
             dst.write(offset, src);
         }
-        self.charge_dma(0, bytes, dma::continuous_time(bytes, self.n_active), dma::DmaDir::Put)
+        self.charge_dma(
+            0,
+            bytes,
+            dma::continuous_time(bytes, self.n_active),
+            dma::DmaDir::Put,
+        )
     }
 
     /// DMA put that *accumulates* into main memory (`dst += src`).
@@ -194,7 +204,12 @@ impl<'l> Cpe<'l> {
             dst.accumulate(offset, src);
         }
         let t = dma::continuous_time(bytes, self.n_active);
-        let h1 = self.charge_dma(bytes, bytes, SimTime::from_seconds(2.0 * t.seconds()), dma::DmaDir::Put);
+        let h1 = self.charge_dma(
+            bytes,
+            bytes,
+            SimTime::from_seconds(2.0 * t.seconds()),
+            dma::DmaDir::Put,
+        );
         self.charge_flops(src.len() as u64);
         self.dma_wait(h1);
     }
@@ -211,7 +226,10 @@ impl<'l> Cpe<'l> {
         nblocks: usize,
         dst: &mut [f32],
     ) -> DmaHandle {
-        assert!(dst.len() >= block_elems * nblocks, "strided get dst too small");
+        assert!(
+            dst.len() >= block_elems * nblocks,
+            "strided get dst too small"
+        );
         assert!(stride_elems >= block_elems, "strided get blocks overlap");
         if self.functional() {
             for b in 0..nblocks {
@@ -251,7 +269,10 @@ impl<'l> Cpe<'l> {
         nblocks: usize,
         src: &[f32],
     ) {
-        assert!(src.len() >= block_elems * nblocks, "strided put src too small");
+        assert!(
+            src.len() >= block_elems * nblocks,
+            "strided put src too small"
+        );
         assert!(stride_elems >= block_elems, "strided put blocks overlap");
         if self.functional() {
             for b in 0..nblocks {
@@ -297,7 +318,10 @@ impl<'l> Cpe<'l> {
     pub fn rlc_row_send(&mut self, dst_col: usize, data: &[f64]) {
         let bytes = std::mem::size_of_val(data);
         self.rlc_charge_send(bytes);
-        let msg = RlcMsg { sent_at: self.clock, data: self.payload(data) };
+        let msg = RlcMsg {
+            sent_at: self.clock,
+            data: self.payload(data),
+        };
         self.fabric.send_row(self.row, self.col, dst_col, msg);
     }
 
@@ -305,7 +329,10 @@ impl<'l> Cpe<'l> {
     pub fn rlc_col_send(&mut self, dst_row: usize, data: &[f64]) {
         let bytes = std::mem::size_of_val(data);
         self.rlc_charge_send(bytes);
-        let msg = RlcMsg { sent_at: self.clock, data: self.payload(data) };
+        let msg = RlcMsg {
+            sent_at: self.clock,
+            data: self.payload(data),
+        };
         self.fabric.send_col(self.col, self.row, dst_row, msg);
     }
 
@@ -319,7 +346,10 @@ impl<'l> Cpe<'l> {
         let row_width = self.active_row_width();
         for dst_col in 0..row_width {
             if dst_col != self.col {
-                let msg = RlcMsg { sent_at: self.clock, data: self.payload(data) };
+                let msg = RlcMsg {
+                    sent_at: self.clock,
+                    data: self.payload(data),
+                };
                 self.fabric.send_row(self.row, self.col, dst_col, msg);
             }
         }
@@ -332,7 +362,10 @@ impl<'l> Cpe<'l> {
         let col_height = self.active_col_height();
         for dst_row in 0..col_height {
             if dst_row != self.row {
-                let msg = RlcMsg { sent_at: self.clock, data: self.payload(data) };
+                let msg = RlcMsg {
+                    sent_at: self.clock,
+                    data: self.payload(data),
+                };
                 self.fabric.send_col(self.col, self.row, dst_row, msg);
             }
         }
@@ -340,13 +373,17 @@ impl<'l> Cpe<'l> {
 
     /// Receive from `(self.row, src_col)` on the row bus into `buf`.
     pub fn rlc_row_recv(&mut self, src_col: usize, buf: &mut [f64]) {
-        let msg = self.ports.row[src_col].recv().expect("RLC sender dropped mid-kernel");
+        let msg = self.ports.row[src_col]
+            .recv()
+            .expect("RLC sender dropped mid-kernel");
         self.finish_recv(msg, buf);
     }
 
     /// Receive from `(src_row, self.col)` on the column bus into `buf`.
     pub fn rlc_col_recv(&mut self, src_row: usize, buf: &mut [f64]) {
-        let msg = self.ports.col[src_row].recv().expect("RLC sender dropped mid-kernel");
+        let msg = self.ports.col[src_row]
+            .recv()
+            .expect("RLC sender dropped mid-kernel");
         self.finish_recv(msg, buf);
     }
 

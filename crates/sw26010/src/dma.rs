@@ -114,13 +114,22 @@ mod tests {
         // Principle 3: <2 KB per CPE cannot hide the start-up latency.
         let small = continuous_aggregate_bandwidth(128, 64);
         let large = continuous_aggregate_bandwidth(4096, 64);
-        assert!(small < 0.45 * large, "small={} large={}", small / GB, large / GB);
+        assert!(
+            small < 0.45 * large,
+            "small={} large={}",
+            small / GB,
+            large / GB
+        );
     }
 
     #[test]
     fn single_cpe_limited_by_link() {
         let bw = continuous_aggregate_bandwidth(48 * 1024, 1);
-        assert!(bw < 6.0 * GB, "single CPE must be link-limited, got {}", bw / GB);
+        assert!(
+            bw < 6.0 * GB,
+            "single CPE must be link-limited, got {}",
+            bw / GB
+        );
         assert!(bw > 4.0 * GB);
     }
 

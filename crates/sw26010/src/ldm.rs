@@ -80,7 +80,11 @@ impl Ldm {
         );
         self.used.set(used + bytes);
         self.high_water.set(self.high_water.get().max(used + bytes));
-        LdmBuf { data: vec![zero; n], bytes, used: Rc::clone(&self.used) }
+        LdmBuf {
+            data: vec![zero; n],
+            bytes,
+            used: Rc::clone(&self.used),
+        }
     }
 
     /// True if a hypothetical working set of `bytes` fits alongside what is

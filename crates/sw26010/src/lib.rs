@@ -53,6 +53,7 @@ pub mod cpe;
 pub mod dma;
 pub mod ldm;
 pub mod mesh;
+pub mod phase;
 pub mod rlc;
 pub mod stats;
 pub mod time;
@@ -63,6 +64,7 @@ pub use chip::Chip;
 pub use cpe::{Cpe, DmaHandle};
 pub use ldm::{Ldm, LdmBuf};
 pub use mesh::run_mesh;
+pub use phase::{PhaseRecorder, ScopeRecord};
 pub use stats::{LaunchReport, Stats};
 pub use time::{ExecMode, SimTime};
 pub use view::{MemView, MemViewMut};

@@ -98,8 +98,8 @@ mod tests {
                 cpe.charge_flops(10);
             }
         });
-        let heavy = 1_000_000.0 / (8.0 * crate::arch::KERNEL_COMPUTE_EFFICIENCY)
-            / crate::arch::CLOCK_HZ;
+        let heavy =
+            1_000_000.0 / (8.0 * crate::arch::KERNEL_COMPUTE_EFFICIENCY) / crate::arch::CLOCK_HZ;
         assert!(r.elapsed.seconds() >= heavy);
         assert_eq!(r.stats.flops, 1_000_000 + 63 * 10);
     }
@@ -115,8 +115,8 @@ mod tests {
             // work strictly extends the launch.
             cpe.charge_flops(800);
         });
-        let straggler = 800_000.0 / (8.0 * crate::arch::KERNEL_COMPUTE_EFFICIENCY)
-            / crate::arch::CLOCK_HZ;
+        let straggler =
+            800_000.0 / (8.0 * crate::arch::KERNEL_COMPUTE_EFFICIENCY) / crate::arch::CLOCK_HZ;
         let tail = 800.0 / (8.0 * crate::arch::KERNEL_COMPUTE_EFFICIENCY) / crate::arch::CLOCK_HZ;
         assert!(r.elapsed.seconds() >= straggler + tail);
     }
@@ -135,9 +135,9 @@ mod tests {
             cpe.rlc_row_recv(src, &mut buf);
             cpe.dma_put(out, cpe.col(), &[buf[0] as f32]);
         });
-        for c in 0..8 {
+        for (c, r) in results.iter().enumerate() {
             let src = (c + 7) % 8;
-            assert_eq!(results[c], src as f32 * 10.0);
+            assert_eq!(*r, src as f32 * 10.0);
         }
     }
 
@@ -156,8 +156,8 @@ mod tests {
                 cpe.dma_put(out, cpe.idx(), &[buf[0] as f32]);
             }
         });
-        for idx in 0..64 {
-            assert_eq!(results[idx], (idx / 8) as f32 * 100.0);
+        for (idx, r) in results.iter().enumerate() {
+            assert_eq!(*r, (idx / 8) as f32 * 100.0);
         }
     }
 
@@ -175,8 +175,8 @@ mod tests {
                 cpe.dma_put(out, cpe.idx(), &[buf[0] as f32]);
             }
         });
-        for idx in 0..64 {
-            assert_eq!(results[idx], (idx % 8) as f32 + 0.5);
+        for (idx, r) in results.iter().enumerate() {
+            assert_eq!(*r, (idx % 8) as f32 + 0.5);
         }
     }
 
@@ -191,7 +191,10 @@ mod tests {
             cpe.dma_get(src, 0, &mut buf);
             cpe.dma_put(dst, 0, &buf);
         });
-        assert!(dst_data.iter().all(|&v| v == 0.0), "timing-only must not move data");
+        assert!(
+            dst_data.iter().all(|&v| v == 0.0),
+            "timing-only must not move data"
+        );
         assert_eq!(r.stats.dma_get_bytes, 4096);
         assert_eq!(r.stats.dma_put_bytes, 4096);
         assert!(r.elapsed.seconds() > 0.0);

@@ -1,0 +1,120 @@
+//! Scoped attribution of simulated time and hardware counters.
+//!
+//! A [`PhaseRecorder`] brackets sections of work on a [`CoreGroup`] and
+//! records, per named scope, exactly the time and [`Stats`] that accrued
+//! inside it ([`Stats::delta`] of before/after snapshots). The profiling
+//! layer (`swprof`) turns these records into per-kernel roofline
+//! attribution without the kernels having to know they are being
+//! measured.
+
+use crate::cg::CoreGroup;
+use crate::stats::Stats;
+use crate::time::SimTime;
+
+/// What one scope accumulated on its core group.
+#[derive(Debug, Clone)]
+pub struct ScopeRecord {
+    pub name: String,
+    /// Counters accrued strictly inside the scope.
+    pub stats: Stats,
+    /// Simulated time accrued strictly inside the scope.
+    pub elapsed: SimTime,
+}
+
+/// Collects [`ScopeRecord`]s across a run. Scopes with the same name stay
+/// separate records (call sites decide whether to aggregate).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseRecorder {
+    records: Vec<ScopeRecord>,
+}
+
+impl PhaseRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` against `cg` and attribute everything it accrues to a
+    /// scope called `name`. Returns `f`'s result.
+    pub fn scope<R>(
+        &mut self,
+        name: &str,
+        cg: &mut CoreGroup,
+        f: impl FnOnce(&mut CoreGroup) -> R,
+    ) -> R {
+        let stats_before = *cg.stats();
+        let t_before = cg.elapsed();
+        let out = f(cg);
+        self.records.push(ScopeRecord {
+            name: name.to_string(),
+            stats: cg.stats().delta(&stats_before),
+            elapsed: cg.elapsed() - t_before,
+        });
+        out
+    }
+
+    pub fn records(&self) -> &[ScopeRecord] {
+        &self.records
+    }
+
+    /// Sum the records of every scope with the given name.
+    pub fn total(&self, name: &str) -> Option<ScopeRecord> {
+        let mut found = None;
+        for r in self.records.iter().filter(|r| r.name == name) {
+            let acc = found.get_or_insert_with(|| ScopeRecord {
+                name: name.to_string(),
+                stats: Stats::default(),
+                elapsed: SimTime::ZERO,
+            });
+            acc.stats.merge(&r.stats);
+            acc.elapsed += r.elapsed;
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::ExecMode;
+
+    #[test]
+    fn scope_captures_only_inner_work() {
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        // Work before the scope must not be attributed to it.
+        cg.run(64, |cpe| cpe.charge_flops(500));
+        let mut rec = PhaseRecorder::new();
+        rec.scope("gemm", &mut cg, |cg| {
+            cg.run(64, |cpe| cpe.charge_flops(1000));
+        });
+        let r = &rec.records()[0];
+        assert_eq!(r.name, "gemm");
+        assert_eq!(r.stats.flops, 64 * 1000);
+        assert_eq!(r.stats.launches, 1);
+        assert!(r.elapsed.seconds() > 0.0);
+        assert!(r.elapsed < cg.elapsed());
+    }
+
+    #[test]
+    fn repeated_scopes_aggregate_via_total() {
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        let mut rec = PhaseRecorder::new();
+        for _ in 0..3 {
+            rec.scope("relu", &mut cg, |cg| {
+                cg.run(64, |cpe| cpe.charge_flops(10));
+            });
+        }
+        assert_eq!(rec.records().len(), 3);
+        let total = rec.total("relu").unwrap();
+        assert_eq!(total.stats.flops, 3 * 64 * 10);
+        assert_eq!(total.stats.launches, 3);
+        assert!(rec.total("missing").is_none());
+    }
+
+    #[test]
+    fn scope_passes_through_return_value() {
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        let mut rec = PhaseRecorder::new();
+        let v = rec.scope("x", &mut cg, |_| 42);
+        assert_eq!(v, 42);
+    }
+}

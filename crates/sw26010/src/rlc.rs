@@ -5,9 +5,9 @@
 //! with bounded FIFOs: sends are asynchronous but stall when the receiving
 //! FIFO is full, receives stall when it is empty (paper, Principle 4).
 //!
-//! We model the fabric with bounded crossbeam channels — one FIFO per
-//! (receiver, axis, sender-position) — so the blocking semantics (and the
-//! deadlocks a wrong communication schedule would produce on silicon!)
+//! We model the fabric with bounded `std::sync::mpsc` channels — one FIFO
+//! per (receiver, axis, sender-position) — so the blocking semantics (and
+//! the deadlocks a wrong communication schedule would produce on silicon!)
 //! are reproduced faithfully. Payloads are `f64` because SW26010's
 //! instruction set has no single-precision RLC: single-precision data must
 //! be widened before transfer, which the GEMM kernels in `swdnn` do
@@ -20,7 +20,8 @@
 //! receiver's port once, reproducing the ~1.75x broadcast/P2P aggregate
 //! bandwidth ratio of the published microbenchmarks.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Mutex;
 
 use crate::arch::{MESH_DIM, RLC_FIFO_DEPTH, RLC_PACKET_BYTES};
 use crate::time::SimTime;
@@ -62,10 +63,10 @@ pub struct CpePorts {
 /// The per-launch communication fabric for one 8x8 mesh.
 pub struct RlcFabric {
     /// `row_tx[receiver_idx][sender_col]`
-    row_tx: Vec<Vec<Sender<RlcMsg>>>,
+    row_tx: Vec<Vec<SyncSender<RlcMsg>>>,
     /// `col_tx[receiver_idx][sender_row]`
-    col_tx: Vec<Vec<Sender<RlcMsg>>>,
-    ports: Vec<parking_lot::Mutex<Option<CpePorts>>>,
+    col_tx: Vec<Vec<SyncSender<RlcMsg>>>,
+    ports: Vec<Mutex<Option<CpePorts>>>,
 }
 
 impl Default for RlcFabric {
@@ -86,24 +87,32 @@ impl RlcFabric {
             let mut col_s = Vec::with_capacity(MESH_DIM);
             let mut col_r = Vec::with_capacity(MESH_DIM);
             for _ in 0..MESH_DIM {
-                let (ts, tr) = bounded(RLC_FIFO_DEPTH);
+                let (ts, tr) = sync_channel(RLC_FIFO_DEPTH);
                 row_s.push(ts);
                 row_r.push(tr);
-                let (ts, tr) = bounded(RLC_FIFO_DEPTH);
+                let (ts, tr) = sync_channel(RLC_FIFO_DEPTH);
                 col_s.push(ts);
                 col_r.push(tr);
             }
             row_tx.push(row_s);
             col_tx.push(col_s);
-            ports.push(parking_lot::Mutex::new(Some(CpePorts { row: row_r, col: col_r })));
+            ports.push(Mutex::new(Some(CpePorts {
+                row: row_r,
+                col: col_r,
+            })));
         }
-        RlcFabric { row_tx, col_tx, ports }
+        RlcFabric {
+            row_tx,
+            col_tx,
+            ports,
+        }
     }
 
     /// Take the receive ports for CPE `idx`. Each CPE thread calls this once.
     pub fn take_ports(&self, idx: usize) -> CpePorts {
         self.ports[idx]
             .lock()
+            .expect("RLC port registry poisoned")
             .take()
             .expect("CPE ports already taken — duplicate CPE index in launch")
     }
@@ -115,14 +124,18 @@ impl RlcFabric {
     pub fn send_row(&self, row: usize, src_col: usize, dst_col: usize, msg: RlcMsg) {
         assert!(src_col != dst_col, "RLC send to self");
         let dst = row * MESH_DIM + dst_col;
-        self.row_tx[dst][src_col].send(msg).expect("RLC receiver dropped mid-kernel");
+        self.row_tx[dst][src_col]
+            .send(msg)
+            .expect("RLC receiver dropped mid-kernel");
     }
 
     /// Send on the column bus from `(src_row, col)` to `(dst_row, col)`.
     pub fn send_col(&self, col: usize, src_row: usize, dst_row: usize, msg: RlcMsg) {
         assert!(src_row != dst_row, "RLC send to self");
         let dst = dst_row * MESH_DIM + col;
-        self.col_tx[dst][src_row].send(msg).expect("RLC receiver dropped mid-kernel");
+        self.col_tx[dst][src_row]
+            .send(msg)
+            .expect("RLC receiver dropped mid-kernel");
     }
 }
 
@@ -147,7 +160,10 @@ mod tests {
             2,
             5,
             3,
-            RlcMsg { sent_at: SimTime::from_seconds(1.0), data: Some(vec![7.0].into()) },
+            RlcMsg {
+                sent_at: SimTime::from_seconds(1.0),
+                data: Some(vec![7.0].into()),
+            },
         );
         let msg = ports_2_3.row[5].recv().unwrap();
         assert_eq!(msg.sent_at.seconds(), 1.0);
@@ -163,7 +179,15 @@ mod tests {
     fn col_message_routing() {
         let fab = RlcFabric::new();
         let ports = fab.take_ports(6 * MESH_DIM + 1);
-        fab.send_col(1, 0, 6, RlcMsg { sent_at: SimTime::ZERO, data: Some(vec![1.0, 2.0].into()) });
+        fab.send_col(
+            1,
+            0,
+            6,
+            RlcMsg {
+                sent_at: SimTime::ZERO,
+                data: Some(vec![1.0, 2.0].into()),
+            },
+        );
         let msg = ports.col[0].recv().unwrap();
         assert_eq!(msg.data.unwrap().len(), 2);
     }
@@ -183,13 +207,19 @@ mod tests {
         for _ in 0..RLC_FIFO_DEPTH {
             // Fill the FIFO without blocking.
             let ok = fab.row_tx[3][0]
-                .try_send(RlcMsg { sent_at: SimTime::ZERO, data: None })
+                .try_send(RlcMsg {
+                    sent_at: SimTime::ZERO,
+                    data: None,
+                })
                 .is_ok();
             assert!(ok);
         }
         // One more must report full.
         let full = fab.row_tx[3][0]
-            .try_send(RlcMsg { sent_at: SimTime::ZERO, data: None })
+            .try_send(RlcMsg {
+                sent_at: SimTime::ZERO,
+                data: None,
+            })
             .is_err();
         assert!(full);
     }

@@ -43,6 +43,24 @@ impl Stats {
         self.busy += other.busy;
     }
 
+    /// Counters accumulated since `earlier` was snapshotted, i.e. the
+    /// inverse of [`Stats::merge`]: `earlier.merge(&d)` restores `self`
+    /// when `earlier` is a prefix of this scope. Saturates rather than
+    /// wrapping if a stale snapshot is passed after a reset.
+    pub fn delta(&self, earlier: &Stats) -> Stats {
+        Stats {
+            dma_get_bytes: self.dma_get_bytes.saturating_sub(earlier.dma_get_bytes),
+            dma_put_bytes: self.dma_put_bytes.saturating_sub(earlier.dma_put_bytes),
+            dma_requests: self.dma_requests.saturating_sub(earlier.dma_requests),
+            rlc_bytes: self.rlc_bytes.saturating_sub(earlier.rlc_bytes),
+            rlc_messages: self.rlc_messages.saturating_sub(earlier.rlc_messages),
+            flops: self.flops.saturating_sub(earlier.flops),
+            mpe_flops: self.mpe_flops.saturating_sub(earlier.mpe_flops),
+            launches: self.launches.saturating_sub(earlier.launches),
+            busy: self.busy - earlier.busy, // SimTime subtraction saturates
+        }
+    }
+
     /// Total DMA traffic in bytes.
     pub fn dma_bytes(&self) -> u64 {
         self.dma_get_bytes + self.dma_put_bytes
@@ -88,7 +106,11 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = Stats { dma_get_bytes: 10, flops: 100, ..Default::default() };
+        let mut a = Stats {
+            dma_get_bytes: 10,
+            flops: 100,
+            ..Default::default()
+        };
         let b = Stats {
             dma_get_bytes: 5,
             dma_put_bytes: 7,
@@ -105,8 +127,69 @@ mod tests {
     }
 
     #[test]
+    fn merge_then_delta_is_identity() {
+        let a = Stats {
+            dma_get_bytes: 11,
+            dma_put_bytes: 3,
+            dma_requests: 2,
+            rlc_bytes: 64,
+            rlc_messages: 2,
+            flops: 500,
+            mpe_flops: 9,
+            launches: 1,
+            busy: SimTime::from_seconds(0.25),
+        };
+        let b = Stats {
+            dma_get_bytes: 7,
+            dma_put_bytes: 1,
+            dma_requests: 1,
+            rlc_bytes: 32,
+            rlc_messages: 1,
+            flops: 100,
+            mpe_flops: 4,
+            launches: 1,
+            busy: SimTime::from_seconds(0.5),
+        };
+        let mut total = a;
+        total.merge(&b);
+        assert_eq!(total.delta(&a), b);
+        assert_eq!(total.delta(&b), a);
+        // Merge with the zero element is the identity.
+        let mut c = a;
+        c.merge(&Stats::default());
+        assert_eq!(c, a);
+        // Delta against a *later* snapshot saturates to zero.
+        assert_eq!(a.delta(&total), Stats::default());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Stats {
+            dma_get_bytes: 5,
+            flops: 7,
+            launches: 1,
+            ..Default::default()
+        };
+        let b = Stats {
+            dma_put_bytes: 9,
+            rlc_messages: 3,
+            ..Default::default()
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
     fn arithmetic_intensity() {
-        let s = Stats { dma_get_bytes: 50, dma_put_bytes: 50, flops: 2650, ..Default::default() };
+        let s = Stats {
+            dma_get_bytes: 50,
+            dma_put_bytes: 50,
+            flops: 2650,
+            ..Default::default()
+        };
         assert!((s.arithmetic_intensity().unwrap() - 26.5).abs() < 1e-12);
         assert!(Stats::default().arithmetic_intensity().is_none());
     }

@@ -28,7 +28,11 @@ unsafe impl Sync for MemView<'_> {}
 
 impl<'a> MemView<'a> {
     pub fn new(slice: &'a [f32]) -> Self {
-        MemView { ptr: slice.as_ptr(), len: slice.len(), _marker: PhantomData }
+        MemView {
+            ptr: slice.as_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
     }
 
     #[inline]
@@ -73,7 +77,11 @@ impl<'a> MemView<'a> {
     pub fn slice(&self, offset: usize, len: usize) -> MemView<'a> {
         assert!(offset + len <= self.len, "subview out of bounds");
         // SAFETY: in-bounds sub-range of a valid region.
-        MemView { ptr: unsafe { self.ptr.add(offset) }, len, _marker: PhantomData }
+        MemView {
+            ptr: unsafe { self.ptr.add(offset) },
+            len,
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -97,7 +105,11 @@ unsafe impl Sync for MemViewMut<'_> {}
 
 impl<'a> MemViewMut<'a> {
     pub fn new(slice: &'a mut [f32]) -> Self {
-        MemViewMut { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+        MemViewMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
     }
 
     #[inline]
@@ -133,7 +145,10 @@ impl<'a> MemViewMut<'a> {
     /// destination range it accumulates into.
     #[inline]
     pub fn accumulate(&self, offset: usize, src: &[f32]) {
-        assert!(offset + src.len() <= self.len, "DMA accumulate out of bounds");
+        assert!(
+            offset + src.len() <= self.len,
+            "DMA accumulate out of bounds"
+        );
         // SAFETY: bounds checked; exclusive ownership of the range is the
         // caller's contract.
         unsafe {
@@ -157,7 +172,11 @@ impl<'a> MemViewMut<'a> {
     /// Downgrade to a read-only view.
     #[inline]
     pub fn as_view(&self) -> MemView<'a> {
-        MemView { ptr: self.ptr, len: self.len, _marker: PhantomData }
+        MemView {
+            ptr: self.ptr,
+            len: self.len,
+            _marker: PhantomData,
+        }
     }
 
     /// Mutable sub-view.
@@ -165,7 +184,11 @@ impl<'a> MemViewMut<'a> {
     pub fn slice(&self, offset: usize, len: usize) -> MemViewMut<'a> {
         assert!(offset + len <= self.len, "subview out of bounds");
         // SAFETY: in-bounds sub-range.
-        MemViewMut { ptr: unsafe { self.ptr.add(offset) }, len, _marker: PhantomData }
+        MemViewMut {
+            ptr: unsafe { self.ptr.add(offset) },
+            len,
+            _marker: PhantomData,
+        }
     }
 }
 

@@ -1,57 +1,98 @@
-//! Property-based tests of the processor simulator: cost-model sanity
-//! (monotonicity, bounds) and functional correctness of mesh primitives
-//! under arbitrary shapes.
+//! Randomised-but-deterministic tests of the processor simulator:
+//! cost-model sanity (monotonicity, bounds) and functional correctness of
+//! mesh primitives under many shapes.
+//!
+//! Cases are drawn from a fixed-seed SplitMix64 stream instead of a
+//! property-testing framework so the suite runs with zero external
+//! dependencies and every failure reproduces exactly.
 
-use proptest::prelude::*;
 use sw26010::{dma, run_mesh, ExecMode, MemView, MemViewMut};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Deterministic case generator (SplitMix64).
+struct CaseRng {
+    state: u64,
+}
 
-    #[test]
-    fn continuous_bandwidth_bounded_and_monotone(
-        size in 16usize..64_000,
-        ncpes in 1usize..=64,
-    ) {
+impl CaseRng {
+    fn new(seed: u64) -> Self {
+        CaseRng { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+}
+
+#[test]
+fn continuous_bandwidth_bounded_and_monotone() {
+    let mut rng = CaseRng::new(0xC0FFEE);
+    for _ in 0..24 {
+        let size = rng.range(16, 64_000);
+        let ncpes = rng.range(1, 65);
         let bw = dma::continuous_aggregate_bandwidth(size, ncpes);
-        prop_assert!(bw > 0.0);
-        prop_assert!(bw <= sw26010::arch::DMA_PEAK_BANDWIDTH * 1.0001);
+        assert!(bw > 0.0);
+        assert!(bw <= sw26010::arch::DMA_PEAK_BANDWIDTH * 1.0001);
         // Larger transfers never lose bandwidth.
         let bw2 = dma::continuous_aggregate_bandwidth(size * 2, ncpes);
-        prop_assert!(bw2 >= bw * 0.999, "{bw} -> {bw2}");
+        assert!(bw2 >= bw * 0.999, "{bw} -> {bw2}");
         // More CPEs never lose aggregate bandwidth.
         if ncpes < 64 {
             let bw3 = dma::continuous_aggregate_bandwidth(size, ncpes + 1);
-            prop_assert!(bw3 >= bw * 0.999);
+            assert!(bw3 >= bw * 0.999);
         }
     }
+}
 
-    #[test]
-    fn strided_never_beats_continuous(
-        block in 4usize..4096,
-        total in 1024usize..32_768,
-        ncpes in 1usize..=64,
-    ) {
-        prop_assume!(block <= total);
+#[test]
+fn strided_never_beats_continuous() {
+    let mut rng = CaseRng::new(0xBEEF);
+    let mut cases = 0;
+    while cases < 24 {
+        let block = rng.range(4, 4096);
+        let total = rng.range(1024, 32_768);
+        let ncpes = rng.range(1, 65);
+        if block > total {
+            continue;
+        }
+        cases += 1;
         let strided = dma::strided_aggregate_bandwidth(block, total, ncpes);
         let continuous = dma::continuous_aggregate_bandwidth(total, ncpes);
-        prop_assert!(strided <= continuous * 1.0001, "strided {strided} > continuous {continuous}");
+        assert!(
+            strided <= continuous * 1.0001,
+            "strided {strided} > continuous {continuous}"
+        );
     }
+}
 
-    #[test]
-    fn dma_time_additive_in_requests(bytes in 64usize..32_768, ncpes in 1usize..=64) {
+#[test]
+fn dma_time_additive_in_requests() {
+    let mut rng = CaseRng::new(0xD17A);
+    for _ in 0..24 {
+        let bytes = rng.range(64, 32_768);
+        let ncpes = rng.range(1, 65);
         // Two requests cost strictly more than one request of double size
         // (the second start-up latency).
         let one = dma::continuous_time(2 * bytes, ncpes).seconds();
         let two = 2.0 * dma::continuous_time(bytes, ncpes).seconds();
-        prop_assert!(two > one);
+        assert!(two > one);
     }
+}
 
-    #[test]
-    fn mesh_scatter_gather_roundtrip(
-        ncpes in 1usize..=64,
-        per_cpe in 1usize..128,
-    ) {
+#[test]
+fn mesh_scatter_gather_roundtrip() {
+    let mut rng = CaseRng::new(0x5CA7);
+    for _ in 0..12 {
+        let ncpes = rng.range(1, 65);
+        let per_cpe = rng.range(1, 128);
         // Every CPE stages its slice, negates it, writes it back; the
         // result must be the exact negation regardless of mesh size.
         let input: Vec<f32> = (0..ncpes * per_cpe).map(|i| i as f32 - 17.0).collect();
@@ -69,12 +110,14 @@ proptest! {
             cpe.dma_put(dst, cpe.idx() * per_cpe, &buf);
         });
         for (o, i) in output.iter().zip(&input) {
-            prop_assert_eq!(*o, -i);
+            assert_eq!(*o, -i);
         }
     }
+}
 
-    #[test]
-    fn mesh_row_rotation_is_a_permutation(shift in 1usize..8) {
+#[test]
+fn mesh_row_rotation_is_a_permutation() {
+    for shift in 1usize..8 {
         // Rotate values around each row by `shift` hops over the register
         // buses; the multiset of values per row must be preserved.
         let mut out = vec![0.0f32; 64];
@@ -95,16 +138,18 @@ proptest! {
             let mut vals: Vec<i32> = out[row * 8..][..8].iter().map(|v| *v as i32).collect();
             vals.sort_unstable();
             let want: Vec<i32> = (0..8).map(|c| (row * 8 + c) as i32).collect();
-            prop_assert_eq!(vals, want, "row {} lost values", row);
+            assert_eq!(vals, want, "row {row} lost values");
         }
     }
+}
 
-    #[test]
-    fn timing_equals_between_modes_for_symmetric_kernels(
-        ncpes in 1usize..=64,
-        elems in 1usize..512,
-        flops in 1u64..10_000,
-    ) {
+#[test]
+fn timing_equals_between_modes_for_symmetric_kernels() {
+    let mut rng = CaseRng::new(0x71FE);
+    for _ in 0..12 {
+        let ncpes = rng.range(1, 65);
+        let elems = rng.range(1, 512);
+        let flops = rng.range(1, 10_000) as u64;
         let data = vec![1.0f32; ncpes * elems];
         let src = MemView::new(&data);
         let run = |mode| {
@@ -117,8 +162,8 @@ proptest! {
         };
         let f = run(ExecMode::Functional);
         let t = run(ExecMode::TimingOnly);
-        prop_assert!((f.elapsed.seconds() - t.elapsed.seconds()).abs() < 1e-15);
-        prop_assert_eq!(f.stats.flops, t.stats.flops);
-        prop_assert_eq!(f.stats.dma_get_bytes, t.stats.dma_get_bytes);
+        assert!((f.elapsed.seconds() - t.elapsed.seconds()).abs() < 1e-15);
+        assert_eq!(f.stats.flops, t.stats.flops);
+        assert_eq!(f.stats.dma_get_bytes, t.stats.dma_get_bytes);
     }
 }

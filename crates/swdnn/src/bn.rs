@@ -43,8 +43,10 @@ pub fn forward(
     ops: Option<BnFwdOperands<'_>>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report =
-            LaunchReport { elapsed: forward_time(batch, channels, spatial), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: forward_time(batch, channels, spatial),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -145,8 +147,10 @@ pub fn backward(
     ops: Option<BnBwdOperands<'_>>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report =
-            LaunchReport { elapsed: backward_time(batch, channels, spatial), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: backward_time(batch, channels, spatial),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -237,9 +241,7 @@ pub fn backward(
                     for i in 0..n {
                         let xhat = (xbuf[i] as f64 - mbuf[c] as f64) * ibuf[c] as f64;
                         let v = scale
-                            * (n_per_c * ybuf[i] as f64
-                                - dbb[c] as f64
-                                - xhat * dgb[c] as f64);
+                            * (n_per_c * ybuf[i] as f64 - dbb[c] as f64 - xhat * dgb[c] as f64);
                         ybuf[i] = v as f32;
                     }
                 });
@@ -281,8 +283,7 @@ pub fn backward_time(batch: usize, channels: usize, spatial: usize) -> SimTime {
     // chunks (two staging buffers share the LDM budget).
     let phase_b = launch
         + 5.0 * dma::continuous_time(channels * 4, 64).seconds()
-        + (batch * channels).div_ceil(64) as f64
-            * chunk_walk_time(spatial, CHUNK / 2, 3, 6);
+        + (batch * channels).div_ceil(64) as f64 * chunk_walk_time(spatial, CHUNK / 2, 3, 6);
     SimTime::from_seconds(phase_a + phase_b)
 }
 
@@ -292,7 +293,9 @@ mod tests {
     use sw26010::ExecMode;
 
     fn pattern(len: usize, seed: i64) -> Vec<f32> {
-        (0..len).map(|i| (((i as i64 * 31 + seed * 7) % 17) - 8) as f32 * 0.3).collect()
+        (0..len)
+            .map(|i| (((i as i64 * 31 + seed * 7) % 17) - 8) as f32 * 0.3)
+            .collect()
     }
 
     fn host_bn_forward(
@@ -321,8 +324,8 @@ mod tests {
             for bi in 0..b {
                 for si in 0..s {
                     let i = (bi * c + ch) * s + si;
-                    y[i] = (gamma[ch] as f64 * (x[i] as f64 - mean) * istd + beta[ch] as f64)
-                        as f32;
+                    y[i] =
+                        (gamma[ch] as f64 * (x[i] as f64 - mean) * istd + beta[ch] as f64) as f32;
                 }
             }
         }
@@ -356,7 +359,12 @@ mod tests {
             }),
         );
         for i in 0..x.len() {
-            assert!((y[i] - want_y[i]).abs() < 1e-4, "y[{i}]: {} vs {}", y[i], want_y[i]);
+            assert!(
+                (y[i] - want_y[i]).abs() < 1e-4,
+                "y[{i}]: {} vs {}",
+                y[i],
+                want_y[i]
+            );
         }
         for ch in 0..c {
             assert!((sm[ch] - want_m[ch]).abs() < 1e-5);
@@ -439,6 +447,17 @@ mod tests {
     }
 }
 
+/// Operands of [`forward_inference`]:
+/// `(input, gamma, beta, running_mean, running_var, output)`.
+pub type InferenceIo<'a> = (
+    &'a [f32],
+    &'a [f32],
+    &'a [f32],
+    &'a [f32],
+    &'a [f32],
+    &'a mut [f32],
+);
+
 /// BN inference forward: normalise with *running* statistics instead of
 /// batch statistics (the `Test`-phase path; single streaming pass).
 #[allow(clippy::too_many_arguments)]
@@ -448,7 +467,7 @@ pub fn forward_inference(
     channels: usize,
     spatial: usize,
     eps: f32,
-    io: Option<(&[f32], &[f32], &[f32], &[f32], &[f32], &mut [f32])>,
+    io: Option<InferenceIo<'_>>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
         let t = sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
@@ -460,8 +479,10 @@ pub fn forward_inference(
                 2,
                 3,
             );
-        let report =
-            LaunchReport { elapsed: SimTime::from_seconds(t), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: SimTime::from_seconds(t),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -530,7 +551,14 @@ mod inference_tests {
         let eps = 1e-5;
         let mut y = vec![0.0f32; x.len()];
         let mut cg = CoreGroup::new(ExecMode::Functional);
-        forward_inference(&mut cg, b, c, s, eps, Some((&x, &gamma, &beta, &mean, &var, &mut y)));
+        forward_inference(
+            &mut cg,
+            b,
+            c,
+            s,
+            eps,
+            Some((&x, &gamma, &beta, &mean, &var, &mut y)),
+        );
         for bi in 0..b {
             for ci in 0..c {
                 for si in 0..s {

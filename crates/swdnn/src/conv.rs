@@ -34,7 +34,8 @@ pub fn choose_forward(shape: &ConvShape) -> Strategy {
 /// Model-predicted best backward strategy (both gradients considered
 /// together, as swCaffe schedules them as one phase).
 pub fn choose_backward(shape: &ConvShape) -> Strategy {
-    if conv_implicit::supports_backward(shape) && implicit_backward_total(shape) < explicit_backward_total(shape)
+    if conv_implicit::supports_backward(shape)
+        && implicit_backward_total(shape) < explicit_backward_total(shape)
     {
         Strategy::Implicit
     } else {
@@ -87,7 +88,11 @@ impl AutoTuner {
             explicit_total: 0.0,
             implicit_total: 0.0,
             implicit_allowed,
-            locked: if implicit_allowed { None } else { Some(Strategy::Explicit) },
+            locked: if implicit_allowed {
+                None
+            } else {
+                Some(Strategy::Explicit)
+            },
         }
     }
 
@@ -117,12 +122,13 @@ impl AutoTuner {
         }
         self.seen += 1;
         if self.seen >= 2 * self.trial_iters {
-            self.locked = Some(if self.implicit_allowed && self.implicit_total < self.explicit_total
-            {
-                Strategy::Implicit
-            } else {
-                Strategy::Explicit
-            });
+            self.locked = Some(
+                if self.implicit_allowed && self.implicit_total < self.explicit_total {
+                    Strategy::Implicit
+                } else {
+                    Strategy::Explicit
+                },
+            );
         }
     }
 
@@ -137,7 +143,16 @@ mod tests {
     use super::*;
 
     fn vgg_layer(ni: usize, no: usize, hw: usize) -> ConvShape {
-        ConvShape { batch: 128, in_c: ni, in_h: hw, in_w: hw, out_c: no, k: 3, stride: 1, pad: 1 }
+        ConvShape {
+            batch: 128,
+            in_c: ni,
+            in_h: hw,
+            in_w: hw,
+            out_c: no,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     #[test]
@@ -151,7 +166,10 @@ mod tests {
     fn early_backward_layers_fall_back_to_explicit() {
         // conv1_2 and conv2_1 backward: implicit gated out below 128 ch.
         assert_eq!(choose_backward(&vgg_layer(64, 64, 224)), Strategy::Explicit);
-        assert_eq!(choose_backward(&vgg_layer(64, 128, 112)), Strategy::Explicit);
+        assert_eq!(
+            choose_backward(&vgg_layer(64, 128, 112)),
+            Strategy::Explicit
+        );
     }
 
     #[test]

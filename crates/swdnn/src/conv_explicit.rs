@@ -39,9 +39,16 @@ fn fwd_gemm_dims(shape: &ConvShape) -> GemmDims {
 }
 
 /// Forward convolution with the explicit plan.
-pub fn forward(cg: &mut CoreGroup, shape: &ConvShape, ops: Option<ConvFwdOperands<'_>>) -> LaunchReport {
+pub fn forward(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    ops: Option<ConvFwdOperands<'_>>,
+) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report = LaunchReport { elapsed: forward_time(shape), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: forward_time(shape),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -57,7 +64,10 @@ pub fn forward(cg: &mut CoreGroup, shape: &ConvShape, ops: Option<ConvFwdOperand
         total.merge(&im2col::im2col(
             cg,
             shape,
-            Some(Im2colOperands { image: &ops.input[b * per_in..][..per_in], cols: &mut cols }),
+            Some(Im2colOperands {
+                image: &ops.input[b * per_in..][..per_in],
+                cols: &mut cols,
+            }),
         ));
         total.merge(&gemm::gemm(
             cg,
@@ -76,7 +86,11 @@ pub fn forward(cg: &mut CoreGroup, shape: &ConvShape, ops: Option<ConvFwdOperand
 }
 
 /// Backward convolution with the explicit plan.
-pub fn backward(cg: &mut CoreGroup, shape: &ConvShape, ops: Option<ConvBwdOperands<'_>>) -> LaunchReport {
+pub fn backward(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    ops: Option<ConvBwdOperands<'_>>,
+) -> LaunchReport {
     if !cg.mode().is_functional() {
         // Timing mode has no operand optionality information; charge the
         // full backward (both gradients), the common case during training.
@@ -183,7 +197,9 @@ mod tests {
     fn pattern(len: usize, seed: u64) -> Vec<f32> {
         (0..len)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(2862933555777941757).wrapping_add(seed);
+                let x = (i as u64)
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(seed);
                 ((x >> 40) % 200) as f32 / 100.0 - 1.0
             })
             .collect()
@@ -203,16 +219,30 @@ mod tests {
         forward(
             &mut cg,
             &shape,
-            Some(ConvFwdOperands { input: &input, weights: &weights, output: &mut got_out }),
+            Some(ConvFwdOperands {
+                input: &input,
+                weights: &weights,
+                output: &mut got_out,
+            }),
         );
         for (i, (g, w)) in got_out.iter().zip(&want_out).enumerate() {
-            assert!((g - w).abs() < 1e-3 * w.abs().max(1.0), "fwd {shape:?} elem {i}: {g} vs {w}");
+            assert!(
+                (g - w).abs() < 1e-3 * w.abs().max(1.0),
+                "fwd {shape:?} elem {i}: {g} vs {w}"
+            );
         }
 
         // Backward.
         let mut want_ig = vec![0.0; shape.input_len()];
         let mut want_wg = vec![0.0; shape.weight_len()];
-        reference::conv_backward(&shape, &input, &weights, &out_grad, &mut want_ig, &mut want_wg);
+        reference::conv_backward(
+            &shape,
+            &input,
+            &weights,
+            &out_grad,
+            &mut want_ig,
+            &mut want_wg,
+        );
         let mut got_ig = vec![0.0; shape.input_len()];
         let mut got_wg = vec![0.0; shape.weight_len()];
         backward(
@@ -316,9 +346,7 @@ mod tests {
             b.elapsed,
             backward_weights_time(&shape) + backward_input_time(&shape)
         );
-        assert!(
-            (cg.elapsed().seconds() - (f.elapsed + b.elapsed).seconds()).abs() < 1e-12
-        );
+        assert!((cg.elapsed().seconds() - (f.elapsed + b.elapsed).seconds()).abs() < 1e-12);
     }
 
     #[test]
@@ -346,9 +374,8 @@ mod tests {
             stride: 1,
             pad: 1,
         };
-        let share = |s: &ConvShape| {
-            im2col::time_model_im2col(s).seconds() / forward_time(s).seconds()
-        };
+        let share =
+            |s: &ConvShape| im2col::time_model_im2col(s).seconds() / forward_time(s).seconds();
         let early = share(&conv1_1);
         let deep = share(&conv4_1);
         assert!(
@@ -359,6 +386,9 @@ mod tests {
         // reports single-digit Gflops there vs ~740 peak).
         let dims = fwd_gemm_dims(&conv1_1);
         let gflops = dims.flops() as f64 / forward_time(&conv1_1).seconds() / 1e9;
-        assert!(gflops < 120.0, "conv1_1 at {gflops:.0} Gflops is implausibly fast");
+        assert!(
+            gflops < 120.0,
+            "conv1_1 at {gflops:.0} Gflops is implausibly fast"
+        );
     }
 }

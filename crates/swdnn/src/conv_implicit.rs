@@ -31,7 +31,10 @@ fn pick_tile(d: usize) -> usize {
 /// divisor of the batch size not exceeding 32, so a tile never straddles
 /// two pixels' batch fibres.
 fn pick_nt(batch: usize) -> usize {
-    (1..=32.min(batch)).rev().find(|d| batch.is_multiple_of(*d)).unwrap_or(1)
+    (1..=32.min(batch))
+        .rev()
+        .find(|d| batch.is_multiple_of(*d))
+        .unwrap_or(1)
 }
 
 /// Strategy gate, forward: the paper's implicit plan needs >= 64 input
@@ -107,6 +110,7 @@ fn load_fibre_tile(
 }
 
 /// The 8-step broadcast-and-accumulate core shared by all three kernels.
+#[allow(clippy::too_many_arguments)]
 fn rlc_steps(
     cpe: &mut Cpe,
     a64: &[f64],
@@ -155,7 +159,10 @@ pub fn forward(
     ops: Option<ImplicitFwdOperands<'_>>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report = LaunchReport { elapsed: forward_time(shape), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: forward_time(shape),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -244,7 +251,9 @@ pub fn forward(
                                     &mut stage,
                                     &mut b64,
                                 );
-                                rlc_steps(cpe, &a64, &b64, &mut abuf, &mut bbuf, &mut c64, mt, nt, kt);
+                                rlc_steps(
+                                    cpe, &a64, &b64, &mut abuf, &mut bbuf, &mut c64, mt, nt, kt,
+                                );
                             }
                         }
                     }
@@ -293,10 +302,22 @@ pub fn backward(
     let mut ops = ops.expect("functional conv requires operands");
     let mut total = LaunchReport::default();
     if let Some(w_grad) = ops.w_grad.as_deref_mut() {
-        total.merge(&backward_weights_mesh(cg, shape, ops.input, ops.out_grad, w_grad));
+        total.merge(&backward_weights_mesh(
+            cg,
+            shape,
+            ops.input,
+            ops.out_grad,
+            w_grad,
+        ));
     }
     if let Some(in_grad) = ops.in_grad.as_deref_mut() {
-        total.merge(&backward_input_mesh(cg, shape, ops.weights, ops.out_grad, in_grad));
+        total.merge(&backward_input_mesh(
+            cg,
+            shape,
+            ops.weights,
+            ops.out_grad,
+            in_grad,
+        ));
     }
     total
 }
@@ -386,7 +407,11 @@ fn backward_input_mesh(
                                 load_fibre_tile(
                                     cpe,
                                     dy,
-                                    if ox_ok { ((oy * ow + ox) * no + ko0i) * b + b0 } else { 0 },
+                                    if ox_ok {
+                                        ((oy * ow + ox) * no + ko0i) * b + b0
+                                    } else {
+                                        0
+                                    },
                                     vn,
                                     b,
                                     rows,
@@ -396,7 +421,9 @@ fn backward_input_mesh(
                                     &mut stage,
                                     &mut b64,
                                 );
-                                rlc_steps(cpe, &a64, &b64, &mut abuf, &mut bbuf, &mut c64, mt, nt, kt);
+                                rlc_steps(
+                                    cpe, &a64, &b64, &mut abuf, &mut bbuf, &mut c64, mt, nt, kt,
+                                );
                             }
                         }
                     }
@@ -408,7 +435,14 @@ fn backward_input_mesh(
                                 }
                             }
                         });
-                        cpe.dma_put_strided(dx, ((y * iw + x_in) * ni + m0) * b + b0, vn, b, vm, &stage);
+                        cpe.dma_put_strided(
+                            dx,
+                            ((y * iw + x_in) * ni + m0) * b + b0,
+                            vn,
+                            b,
+                            vm,
+                            &stage,
+                        );
                     } else {
                         cpe.charge_flops((mt * nt) as u64);
                     }
@@ -479,7 +513,11 @@ fn backward_weights_mesh(
                                 load_fibre_tile(
                                     cpe,
                                     dy,
-                                    if xo_j < ow { ((oy * ow + xo_j) * no + m0) * b + b0_j } else { 0 },
+                                    if xo_j < ow {
+                                        ((oy * ow + xo_j) * no + m0) * b + b0_j
+                                    } else {
+                                        0
+                                    },
                                     kt,
                                     b,
                                     a_rows,
@@ -555,8 +593,7 @@ fn backward_weights_mesh(
 fn step_time(mt: usize, nt: usize, kt: usize) -> f64 {
     let sa = transfer_cycles(mt * kt * 8);
     let sb = transfer_cycles(kt * nt * 8);
-    let comp = crate::gemm_flop_time((2 * mt * nt * kt) as u64).seconds()
-        * sw26010::arch::CLOCK_HZ;
+    let comp = crate::gemm_flop_time((2 * mt * nt * kt) as u64).seconds() * sw26010::arch::CLOCK_HZ;
     SimTime::from_cycles(2.0 * sa + 2.0 * sb + 2.0 * RLC_HOP_CYCLES + comp).seconds()
 }
 
@@ -675,24 +712,38 @@ pub fn backward_weights_time(shape: &ConvShape) -> SimTime {
 mod tests {
     use super::*;
     use crate::reference;
-    use crate::transform::{filters_oikk_to_kkon, nchw_to_rcnb_host, rcnb_to_nchw_host, TransShape};
+    use crate::transform::{
+        filters_oikk_to_kkon, nchw_to_rcnb_host, rcnb_to_nchw_host, TransShape,
+    };
     use sw26010::ExecMode;
 
     fn pattern(len: usize, seed: u64) -> Vec<f32> {
         (0..len)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                let x = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed);
                 ((x >> 35) % 400) as f32 / 200.0 - 1.0
             })
             .collect()
     }
 
     fn in_trans(s: &ConvShape) -> TransShape {
-        TransShape { batch: s.batch, channels: s.in_c, height: s.in_h, width: s.in_w }
+        TransShape {
+            batch: s.batch,
+            channels: s.in_c,
+            height: s.in_h,
+            width: s.in_w,
+        }
     }
 
     fn out_trans(s: &ConvShape) -> TransShape {
-        TransShape { batch: s.batch, channels: s.out_c, height: s.out_h(), width: s.out_w() }
+        TransShape {
+            batch: s.batch,
+            channels: s.out_c,
+            height: s.out_h(),
+            width: s.out_w(),
+        }
     }
 
     fn check_forward(s: ConvShape) {
@@ -731,7 +782,14 @@ mod tests {
         let dy_nchw = pattern(s.output_len(), 5);
         let mut want_dx = vec![0.0; s.input_len()];
         let mut want_dw = vec![0.0; s.weight_len()];
-        reference::conv_backward(&s, &input_nchw, &weights_oikk, &dy_nchw, &mut want_dx, &mut want_dw);
+        reference::conv_backward(
+            &s,
+            &input_nchw,
+            &weights_oikk,
+            &dy_nchw,
+            &mut want_dx,
+            &mut want_dw,
+        );
 
         let mut input_rcnb = vec![0.0; s.input_len()];
         nchw_to_rcnb_host(&in_trans(&s), &input_nchw, &mut input_rcnb);
@@ -892,7 +950,10 @@ mod tests {
         let f = forward(&mut cg, &s, None);
         assert_eq!(f.elapsed, forward_time(&s));
         let b = backward(&mut cg, &s, None);
-        assert_eq!(b.elapsed, backward_weights_time(&s) + backward_input_time(&s));
+        assert_eq!(
+            b.elapsed,
+            backward_weights_time(&s) + backward_input_time(&s)
+        );
     }
 
     #[test]
@@ -914,11 +975,20 @@ mod tests {
         let mesh = forward(
             &mut cg,
             &s,
-            Some(ImplicitFwdOperands { input: &input, weights: &weights, output: &mut out }),
+            Some(ImplicitFwdOperands {
+                input: &input,
+                weights: &weights,
+                output: &mut out,
+            }),
         );
         let model = forward_time(&s);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
-        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+        assert!(
+            rel < 0.1,
+            "mesh {} vs model {}",
+            mesh.elapsed.micros(),
+            model.micros()
+        );
     }
 
     #[test]
@@ -935,7 +1005,11 @@ mod tests {
             stride: 1,
             pad: 1,
         };
-        let small = ConvShape { in_c: 16, out_c: 16, ..base };
+        let small = ConvShape {
+            in_c: 16,
+            out_c: 16,
+            ..base
+        };
         let rate = |s: &ConvShape| s.forward_flops() as f64 / forward_time(s).seconds();
         assert!(
             rate(&small) < 0.4 * rate(&base),
@@ -952,7 +1026,16 @@ mod model_validation {
     use sw26010::ExecMode;
 
     fn small() -> ConvShape {
-        ConvShape { batch: 8, in_c: 16, in_h: 6, in_w: 6, out_c: 16, k: 3, stride: 1, pad: 1 }
+        ConvShape {
+            batch: 8,
+            in_c: 16,
+            in_h: 6,
+            in_w: 6,
+            out_c: 16,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     #[test]
@@ -965,7 +1048,12 @@ mod model_validation {
         let mesh = backward_input_mesh(&mut cg, &s, &weights, &dy, &mut dx);
         let model = backward_input_time(&s);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
-        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+        assert!(
+            rel < 0.1,
+            "mesh {} vs model {}",
+            mesh.elapsed.micros(),
+            model.micros()
+        );
     }
 
     #[test]
@@ -978,7 +1066,12 @@ mod model_validation {
         let mesh = backward_weights_mesh(&mut cg, &s, &input, &dy, &mut dw);
         let model = backward_weights_time(&s);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
-        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+        assert!(
+            rel < 0.1,
+            "mesh {} vs model {}",
+            mesh.elapsed.micros(),
+            model.micros()
+        );
     }
 
     #[test]

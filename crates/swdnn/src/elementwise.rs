@@ -21,8 +21,10 @@ pub fn unary_map(
     f: impl Fn(f32) -> f32 + Sync,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report =
-            LaunchReport { elapsed: stream_time(len, 1, 1, flops_per_elem), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: stream_time(len, 1, 1, flops_per_elem),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -58,8 +60,10 @@ pub fn binary_map(
     f: impl Fn(f32, f32) -> f32 + Sync,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report =
-            LaunchReport { elapsed: stream_time(len, 2, 1, flops_per_elem), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: stream_time(len, 2, 1, flops_per_elem),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -134,7 +138,11 @@ pub fn chunk_walk_time(row_len: usize, chunk: usize, streams: usize, flops_per_e
 }
 
 /// ReLU forward: `y = max(0, x)`.
-pub fn relu_forward(cg: &mut CoreGroup, len: usize, io: Option<(&[f32], &mut [f32])>) -> LaunchReport {
+pub fn relu_forward(
+    cg: &mut CoreGroup,
+    len: usize,
+    io: Option<(&[f32], &mut [f32])>,
+) -> LaunchReport {
     unary_map(cg, len, 1, io, |v| v.max(0.0))
 }
 
@@ -174,7 +182,10 @@ pub fn axpy(
     io: Option<(&[f32], &mut [f32])>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report = LaunchReport { elapsed: stream_time(len, 2, 1, 2), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: stream_time(len, 2, 1, 2),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -218,7 +229,10 @@ pub fn bias_forward(
                 + dma::continuous_time(channels * 4, 64).seconds()
                 + row_stream_time(batch * channels, spatial, CHUNK, 2, 1),
         );
-        let report = LaunchReport { elapsed: t, stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: t,
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -268,8 +282,10 @@ pub fn bias_backward(
             + dma::continuous_time(4, 64).seconds();
         let t = sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
             + channels.div_ceil(64) as f64 * per_channel;
-        let report =
-            LaunchReport { elapsed: SimTime::from_seconds(t), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: SimTime::from_seconds(t),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -289,9 +305,8 @@ pub fn bias_backward(
                 while off < spatial {
                     let n = row_chunk.min(spatial - off);
                     cpe.dma_get(dyv, (b * channels + c) * spatial + off, &mut buf[..n]);
-                    acc += cpe.compute(n as u64, || {
-                        buf[..n].iter().map(|v| *v as f64).sum::<f64>()
-                    });
+                    acc +=
+                        cpe.compute(n as u64, || buf[..n].iter().map(|v| *v as f64).sum::<f64>());
                     off += n;
                 }
             }
@@ -307,7 +322,9 @@ mod tests {
     use sw26010::ExecMode;
 
     fn pattern(len: usize, seed: i64) -> Vec<f32> {
-        (0..len).map(|i| (((i as i64 * 37 + seed) % 21) - 10) as f32 * 0.5).collect()
+        (0..len)
+            .map(|i| (((i as i64 * 37 + seed) % 21) - 10) as f32 * 0.5)
+            .collect()
     }
 
     #[test]
@@ -353,10 +370,10 @@ mod tests {
         let mut cg = CoreGroup::new(ExecMode::Functional);
         bias_forward(&mut cg, batch, channels, spatial, Some((&bias, &mut data)));
         for b in 0..batch {
-            for c in 0..channels {
+            for (c, bc) in bias.iter().enumerate() {
                 for s in 0..spatial {
                     let i = (b * channels + c) * spatial + s;
-                    assert_eq!(data[i], x[i] + bias[c]);
+                    assert_eq!(data[i], x[i] + bc);
                 }
             }
         }
@@ -369,7 +386,11 @@ mod tests {
                     (0..spatial).map(move |s| data[(b * channels + c) * spatial + s])
                 })
                 .sum();
-            assert!((db[c] - want).abs() < 1e-3, "channel {c}: {} vs {want}", db[c]);
+            assert!(
+                (db[c] - want).abs() < 1e-3,
+                "channel {c}: {} vs {want}",
+                db[c]
+            );
         }
     }
 
@@ -390,13 +411,20 @@ mod tests {
         let mesh = relu_forward(&mut cg, len, Some((&x, &mut y)));
         let model = stream_time(len, 1, 1, 1);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
-        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+        assert!(
+            rel < 0.1,
+            "mesh {} vs model {}",
+            mesh.elapsed.micros(),
+            model.micros()
+        );
     }
 
     #[test]
     fn mask_apply() {
         let x = pattern(2000, 6);
-        let mask: Vec<f32> = (0..2000).map(|i| if i % 3 == 0 { 0.0 } else { 1.5 }).collect();
+        let mask: Vec<f32> = (0..2000)
+            .map(|i| if i % 3 == 0 { 0.0 } else { 1.5 })
+            .collect();
         let mut y = vec![0.0; 2000];
         let mut cg = CoreGroup::new(ExecMode::Functional);
         apply_mask(&mut cg, 2000, Some((&x, &mask, &mut y)));
@@ -420,7 +448,10 @@ pub fn bias_rows(
             sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
                 + row_stream_time(rows, row_len, CHUNK, 3, 1),
         );
-        let report = LaunchReport { elapsed: t, stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: t,
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -469,10 +500,12 @@ pub fn col_sums(
         let per_chunk = dma::strided_time(COL_CHUNK * 4, rows, 64).seconds()
             + crate::gemm_flop_time((rows * COL_CHUNK) as u64).seconds()
             + dma::continuous_time(COL_CHUNK * 4, 64).seconds();
-        let t = sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
-            + chunks.div_ceil(64) as f64 * per_chunk;
-        let report =
-            LaunchReport { elapsed: SimTime::from_seconds(t), stats: Default::default() };
+        let t =
+            sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS + chunks.div_ceil(64) as f64 * per_chunk;
+        let report = LaunchReport {
+            elapsed: SimTime::from_seconds(t),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -513,20 +546,25 @@ pub fn col_sums(
     })
 }
 
+/// Operands of [`copy_blocks`]:
+/// `(src, src_off, src_stride, dst, dst_off, dst_stride)`.
+pub type CopyBlocksIo<'a> = (&'a [f32], usize, usize, &'a mut [f32], usize, usize);
+
 /// Copy `nblocks` blocks of `block_len` elements from strided positions in
 /// `src` to strided positions in `dst` (concat / split plumbing).
-#[allow(clippy::too_many_arguments)]
 pub fn copy_blocks(
     cg: &mut CoreGroup,
     block_len: usize,
     nblocks: usize,
-    io: Option<(&[f32], usize, usize, &mut [f32], usize, usize)>,
+    io: Option<CopyBlocksIo<'_>>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
         let t = sw26010::arch::ATHREAD_LAUNCH_OVERHEAD_SECONDS
             + row_stream_time(nblocks, block_len, CHUNK, 2, 0);
-        let report =
-            LaunchReport { elapsed: SimTime::from_seconds(t), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: SimTime::from_seconds(t),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -575,13 +613,19 @@ mod tests_extra {
     #[test]
     fn col_sums_matches_host() {
         let (rows, cols) = (13, 150);
-        let m: Vec<f32> = (0..rows * cols).map(|i| ((i * 11) % 17) as f32 - 8.0).collect();
+        let m: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 11) % 17) as f32 - 8.0)
+            .collect();
         let mut out = vec![0.0f32; cols];
         let mut cg = CoreGroup::new(ExecMode::Functional);
         col_sums(&mut cg, rows, cols, Some((&m, &mut out)));
         for c in 0..cols {
             let want: f32 = (0..rows).map(|r| m[r * cols + c]).sum();
-            assert!((out[c] - want).abs() < 1e-4, "col {c}: {} vs {want}", out[c]);
+            assert!(
+                (out[c] - want).abs() < 1e-4,
+                "col {c}: {} vs {want}",
+                out[c]
+            );
         }
     }
 
@@ -613,7 +657,10 @@ mod tests_extra {
 /// In-place scale: `x *= alpha`.
 pub fn scale(cg: &mut CoreGroup, len: usize, alpha: f32, io: Option<&mut [f32]>) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report = LaunchReport { elapsed: stream_time(len, 1, 1, 1), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: stream_time(len, 1, 1, 1),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -641,8 +688,10 @@ pub fn scale(cg: &mut CoreGroup, len: usize, alpha: f32, io: Option<&mut [f32]>)
 /// (LARS norm computations, gradient diagnostics).
 pub fn sumsq(cg: &mut CoreGroup, len: usize, io: Option<&[f32]>) -> (f64, LaunchReport) {
     if !cg.mode().is_functional() {
-        let report =
-            LaunchReport { elapsed: stream_time(len, 1, 0, 2), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: stream_time(len, 1, 0, 2),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         cg.mpe_compute(64);
         return (0.0, report);

@@ -53,7 +53,11 @@ impl TilePlan {
     /// the mesh itself.
     pub fn choose(dims: GemmDims) -> TilePlan {
         let pick = |d: usize| d.div_ceil(MESH_DIM).clamp(1, MAX_TILE);
-        let plan = TilePlan { mt: pick(dims.m), nt: pick(dims.n), kt: pick(dims.k) };
+        let plan = TilePlan {
+            mt: pick(dims.m),
+            nt: pick(dims.n),
+            kt: pick(dims.k),
+        };
         debug_assert!(plan.ldm_bytes() <= sw26010::arch::LDM_BYTES);
         plan
     }
@@ -148,19 +152,11 @@ fn execute_mesh(
                 let mut c64 = cpe.ldm.alloc_f64(mt * nt);
                 let mut abuf = cpe.ldm.alloc_f64(mt * kt);
                 let mut bbuf = cpe.ldm.alloc_f64(kt * nt);
-                let mut stage =
-                    cpe.ldm.alloc_f32(mt.max(kt) * nt.max(kt));
+                let mut stage = cpe.ldm.alloc_f32(mt.max(kt) * nt.max(kt));
 
                 // Pre-load beta * C.
                 if beta != 0.0 && vm > 0 && vn > 0 {
-                    cpe.dma_get_strided(
-                        c_view.as_view(),
-                        ci0 * n + cj0,
-                        vn,
-                        n,
-                        vm,
-                        &mut stage,
-                    );
+                    cpe.dma_get_strided(c_view.as_view(), ci0 * n + cj0, vn, n, vm, &mut stage);
                     cpe.compute((mt * nt) as u64, || {
                         for r in 0..vm {
                             for cc in 0..vn {
@@ -354,34 +350,40 @@ pub fn stats_model(dims: GemmDims, beta: f32, plan: TilePlan) -> Stats {
     let launches = (panels_m * panels_n) as u64;
     let kpanels = launches * panels_k as u64;
 
-    let mut s = Stats::default();
-    s.launches = launches;
     // DMA bytes: valid regions only. A is read once per n-panel, B once
     // per m-panel, C written once (and read once if beta != 0).
-    s.dma_get_bytes = (panels_n * dims.m * dims.k * 4 + panels_m * dims.k * dims.n * 4) as u64;
-    s.dma_put_bytes = (dims.m * dims.n * 4) as u64;
+    let mut dma_get_bytes =
+        (panels_n * dims.m * dims.k * 4 + panels_m * dims.k * dims.n * 4) as u64;
     if beta != 0.0 {
-        s.dma_get_bytes += (dims.m * dims.n * 4) as u64;
+        dma_get_bytes += (dims.m * dims.n * 4) as u64;
     }
     // DMA request count: per CPE per k panel 2 loads, plus C store (and
     // optional C load) — only CPEs with a non-empty valid region issue
     // requests. We count full-mesh for simplicity of the headline number;
     // the per-request startup already dominates edge effects.
     let cpes = 64u64;
-    s.dma_requests = kpanels * 2 * cpes + launches * cpes * if beta != 0.0 { 2 } else { 1 };
-    // RLC: per k panel, 8 steps x (8 A-senders + 8 B-senders).
-    s.rlc_messages = kpanels * 8 * (8 + 8);
-    s.rlc_bytes = kpanels * 8 * 8 * ((mt * kt + kt * nt) * 8) as u64;
     // Flops: padded tile products plus widen/convert charges.
     let per_step = (2 * mt * nt * kt) as u64 * cpes;
     let converts_per_kpanel = ((mt * kt) + (kt * nt)) as u64 * cpes;
     let c_charges = 2 * (mt * nt) as u64 * cpes; // zero/preload + store convert
-    s.flops = kpanels * (8 * per_step + converts_per_kpanel) + launches * c_charges;
-    s
+    Stats {
+        launches,
+        dma_get_bytes,
+        dma_put_bytes: (dims.m * dims.n * 4) as u64,
+        dma_requests: kpanels * 2 * cpes + launches * cpes * if beta != 0.0 { 2 } else { 1 },
+        // RLC: per k panel, 8 steps x (8 A-senders + 8 B-senders).
+        rlc_messages: kpanels * 8 * (8 + 8),
+        rlc_bytes: kpanels * 8 * 8 * ((mt * kt + kt * nt) * 8) as u64,
+        flops: kpanels * (8 * per_step + converts_per_kpanel) + launches * c_charges,
+        ..Default::default()
+    }
 }
 
 fn model_report(dims: GemmDims, beta: f32, plan: TilePlan) -> LaunchReport {
-    LaunchReport { elapsed: time_model(dims, beta, plan), stats: stats_model(dims, beta, plan) }
+    LaunchReport {
+        elapsed: time_model(dims, beta, plan),
+        stats: stats_model(dims, beta, plan),
+    }
 }
 
 /// Effective flop rate of the *useful* (un-padded) work for a problem size:
@@ -427,7 +429,9 @@ mod tests {
     fn pattern(len: usize, seed: u64) -> Vec<f32> {
         (0..len)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed);
                 ((x >> 33) % 1000) as f32 / 250.0 - 2.0
             })
             .collect()
@@ -444,7 +448,18 @@ mod tests {
 
         let mut cg = CoreGroup::new(ExecMode::Functional);
         let mut c = c0.clone();
-        gemm(&mut cg, dims, ta, tb, beta, Some(GemmOperands { a: &a, b: &b, c: &mut c }));
+        gemm(
+            &mut cg,
+            dims,
+            ta,
+            tb,
+            beta,
+            Some(GemmOperands {
+                a: &a,
+                b: &b,
+                c: &mut c,
+            }),
+        );
 
         for (i, (got, want)) in c.iter().zip(&expected).enumerate() {
             assert!(
@@ -509,7 +524,10 @@ mod tests {
             GemmDims::new(64, 25088, 4096),
         ] {
             let plan = TilePlan::choose(dims);
-            assert!(plan.ldm_bytes() <= sw26010::arch::LDM_BYTES, "{dims:?} -> {plan:?}");
+            assert!(
+                plan.ldm_bytes() <= sw26010::arch::LDM_BYTES,
+                "{dims:?} -> {plan:?}"
+            );
         }
     }
 
@@ -524,8 +542,18 @@ mod tests {
             let a = pattern(m * k, 1);
             let b = pattern(k * n, 2);
             let mut c = vec![0.0; m * n];
-            let mesh =
-                gemm(&mut cg, dims, Trans::No, Trans::No, 0.0, Some(GemmOperands { a: &a, b: &b, c: &mut c }));
+            let mesh = gemm(
+                &mut cg,
+                dims,
+                Trans::No,
+                Trans::No,
+                0.0,
+                Some(GemmOperands {
+                    a: &a,
+                    b: &b,
+                    c: &mut c,
+                }),
+            );
             let model_t = time_model(dims, 0.0, plan);
             let rel = (mesh.elapsed.seconds() - model_t.seconds()).abs() / mesh.elapsed.seconds();
             assert!(
@@ -575,7 +603,10 @@ mod tests {
         let g_big = effective_gflops(big, time_model(big, 0.0, TilePlan::choose(big)));
         let g_small =
             effective_gflops(small_k, time_model(small_k, 0.0, TilePlan::choose(small_k)));
-        assert!(g_small < 0.5 * g_big, "small-k {g_small:.0} vs big {g_big:.0}");
+        assert!(
+            g_small < 0.5 * g_big,
+            "small-k {g_small:.0} vs big {g_big:.0}"
+        );
     }
 
     #[test]
@@ -611,15 +642,15 @@ pub fn time_model_double_buffered(dims: GemmDims, beta: f32, plan: TilePlan) -> 
     let panels_n = dims.n.div_ceil(plan.panel_n());
     let panels_k = dims.k.div_ceil(plan.panel_k());
 
-    let t_dma = dma::strided_time(kt * 4, mt, 64).seconds()
-        + dma::strided_time(nt * 4, kt, 64).seconds();
+    let t_dma =
+        dma::strided_time(kt * 4, mt, 64).seconds() + dma::strided_time(nt * 4, kt, 64).seconds();
     let t_convert = cycles_to_time(flop_cycles((mt * kt) as u64)).seconds()
         + cycles_to_time(flop_cycles((kt * nt) as u64)).seconds();
     let sa = transfer_cycles(mt * kt * 8);
     let sb = transfer_cycles(kt * nt * 8);
     let comp = flop_cycles((2 * mt * nt * kt) as u64);
-    let t_steps =
-        MESH_DIM as f64 * cycles_to_time(2.0 * sa + 2.0 * sb + 2.0 * RLC_HOP_CYCLES + comp).seconds();
+    let t_steps = MESH_DIM as f64
+        * cycles_to_time(2.0 * sa + 2.0 * sb + 2.0 * RLC_HOP_CYCLES + comp).seconds();
     // First panel loads synchronously; the rest hide their DMA behind the
     // previous panel's steps.
     let t_first = t_dma + t_convert + t_steps;
@@ -659,14 +690,21 @@ mod db_tests {
                 * dims.k.div_ceil(plan.panel_k())) as f64
                 * MESH_DIM as f64
                 * cycles_to_time(flop_cycles((2 * plan.mt * plan.nt * plan.kt) as u64)).seconds();
-            assert!(db > comp_only, "({m},{n},{k}): db {db} below compute bound {comp_only}");
+            assert!(
+                db > comp_only,
+                "({m},{n},{k}): db {db} below compute bound {comp_only}"
+            );
         }
     }
 
     #[test]
     fn ldm_still_fits_with_double_buffers() {
         // The probe needs two extra f32 staging pairs.
-        let plan = TilePlan { mt: 32, nt: 32, kt: 32 };
+        let plan = TilePlan {
+            mt: 32,
+            nt: 32,
+            kt: 32,
+        };
         let extra = 2 * (plan.mt * plan.kt + plan.kt * plan.nt) * 4;
         assert!(plan.ldm_bytes() + extra <= sw26010::arch::LDM_BYTES);
     }
@@ -689,14 +727,43 @@ struct TileFetch {
 impl TileFetch {
     /// Addressing for a logical `vr x vc` tile of a row-major matrix of
     /// `rows_total x cols_total` (stored transposed when `trans`).
-    fn plan(trans: Trans, rows_total: usize, cols_total: usize, r0: usize, c0: usize, vr: usize, vc: usize) -> TileFetch {
+    fn plan(
+        trans: Trans,
+        rows_total: usize,
+        cols_total: usize,
+        r0: usize,
+        c0: usize,
+        vr: usize,
+        vc: usize,
+    ) -> TileFetch {
         match trans {
-            Trans::No => TileFetch { base: r0 * cols_total + c0, block: vc, stride: cols_total, rows: vr, vr, vc, transpose: false },
-            Trans::Yes => TileFetch { base: c0 * rows_total + r0, block: vr, stride: rows_total, rows: vc, vr, vc, transpose: true },
+            Trans::No => TileFetch {
+                base: r0 * cols_total + c0,
+                block: vc,
+                stride: cols_total,
+                rows: vr,
+                vr,
+                vc,
+                transpose: false,
+            },
+            Trans::Yes => TileFetch {
+                base: c0 * rows_total + r0,
+                block: vr,
+                stride: rows_total,
+                rows: vc,
+                vr,
+                vc,
+                transpose: true,
+            },
         }
     }
 
-    fn issue(&self, cpe: &mut sw26010::Cpe, src: MemView<'_>, stage: &mut [f32]) -> Option<sw26010::DmaHandle> {
+    fn issue(
+        &self,
+        cpe: &mut sw26010::Cpe,
+        src: MemView<'_>,
+        stage: &mut [f32],
+    ) -> Option<sw26010::DmaHandle> {
         if self.rows == 0 || self.block == 0 {
             return None;
         }
@@ -810,7 +877,12 @@ pub fn gemm_double_buffered(
                 // Prefetch panel 0.
                 let (fa0, fb0) = fetch(0);
                 let mut handles = [
-                    (fa0.issue(cpe, a_view, &mut stage_a[0]), fb0.issue(cpe, b_view, &mut stage_b[0]), fa0, fb0),
+                    (
+                        fa0.issue(cpe, a_view, &mut stage_a[0]),
+                        fb0.issue(cpe, b_view, &mut stage_b[0]),
+                        fa0,
+                        fb0,
+                    ),
                     (None, None, fa0, fb0),
                 ];
                 let mut cur = 0usize;
@@ -893,7 +965,9 @@ mod db_mesh_tests {
     fn pattern(len: usize, seed: u64) -> Vec<f32> {
         (0..len)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed);
                 ((x >> 33) % 1000) as f32 / 250.0 - 2.0
             })
             .collect()
@@ -914,7 +988,18 @@ mod db_mesh_tests {
             reference::gemm(dims, ta, tb, &a, &b, beta, &mut want);
             let mut got = c0;
             let mut cg = CoreGroup::new(ExecMode::Functional);
-            gemm_double_buffered(&mut cg, dims, ta, tb, beta, Some(GemmOperands { a: &a, b: &b, c: &mut got }));
+            gemm_double_buffered(
+                &mut cg,
+                dims,
+                ta,
+                tb,
+                beta,
+                Some(GemmOperands {
+                    a: &a,
+                    b: &b,
+                    c: &mut got,
+                }),
+            );
             for (i, (g, w)) in got.iter().zip(&want).enumerate() {
                 assert!(
                     (g - w).abs() <= 1e-3 * w.abs().max(1.0),
@@ -933,12 +1018,34 @@ mod db_mesh_tests {
         let run_sync = {
             let mut cg = CoreGroup::new(ExecMode::Functional);
             let mut c = vec![0.0f32; dims.m * dims.n];
-            gemm(&mut cg, dims, Trans::No, Trans::No, 0.0, Some(GemmOperands { a: &a, b: &b, c: &mut c }))
+            gemm(
+                &mut cg,
+                dims,
+                Trans::No,
+                Trans::No,
+                0.0,
+                Some(GemmOperands {
+                    a: &a,
+                    b: &b,
+                    c: &mut c,
+                }),
+            )
         };
         let run_db = {
             let mut cg = CoreGroup::new(ExecMode::Functional);
             let mut c = vec![0.0f32; dims.m * dims.n];
-            gemm_double_buffered(&mut cg, dims, Trans::No, Trans::No, 0.0, Some(GemmOperands { a: &a, b: &b, c: &mut c }))
+            gemm_double_buffered(
+                &mut cg,
+                dims,
+                Trans::No,
+                Trans::No,
+                0.0,
+                Some(GemmOperands {
+                    a: &a,
+                    b: &b,
+                    c: &mut c,
+                }),
+            )
         };
         assert!(
             run_db.elapsed.seconds() < run_sync.elapsed.seconds(),
@@ -957,11 +1064,24 @@ mod db_mesh_tests {
         let mut c = vec![0.0f32; dims.m * dims.n];
         let mut cg = CoreGroup::new(ExecMode::Functional);
         let mesh = gemm_double_buffered(
-            &mut cg, dims, Trans::No, Trans::No, 0.0,
-            Some(GemmOperands { a: &a, b: &b, c: &mut c }),
+            &mut cg,
+            dims,
+            Trans::No,
+            Trans::No,
+            0.0,
+            Some(GemmOperands {
+                a: &a,
+                b: &b,
+                c: &mut c,
+            }),
         );
         let model = time_model_double_buffered(dims, 0.0, plan);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
-        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+        assert!(
+            rel < 0.1,
+            "mesh {} vs model {}",
+            mesh.elapsed.micros(),
+            model.micros()
+        );
     }
 }

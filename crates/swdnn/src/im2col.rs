@@ -44,10 +44,16 @@ pub struct Im2colOperands<'a> {
 }
 
 /// Mesh im2col for one image.
-pub fn im2col(cg: &mut CoreGroup, shape: &ConvShape, ops: Option<Im2colOperands<'_>>) -> LaunchReport {
+pub fn im2col(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    ops: Option<Im2colOperands<'_>>,
+) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report =
-            LaunchReport { elapsed: time_model_im2col(shape), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: time_model_im2col(shape),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -146,10 +152,16 @@ pub struct Col2imOperands<'a> {
 }
 
 /// Mesh col2im for one image.
-pub fn col2im(cg: &mut CoreGroup, shape: &ConvShape, ops: Option<Col2imOperands<'_>>) -> LaunchReport {
+pub fn col2im(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    ops: Option<Col2imOperands<'_>>,
+) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report =
-            LaunchReport { elapsed: time_model_col2im(shape), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: time_model_col2im(shape),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -291,7 +303,16 @@ mod tests {
     use sw26010::ExecMode;
 
     fn shape(batch: usize, ic: usize, h: usize, k: usize, s: usize, p: usize) -> ConvShape {
-        ConvShape { batch, in_c: ic, in_h: h, in_w: h, out_c: 4, k, stride: s, pad: p }
+        ConvShape {
+            batch,
+            in_c: ic,
+            in_h: h,
+            in_w: h,
+            out_c: 4,
+            k,
+            stride: s,
+            pad: p,
+        }
     }
 
     fn check_im2col(shape: ConvShape) {
@@ -302,7 +323,14 @@ mod tests {
         reference::im2col(&shape, &image, &mut want);
         let mut got = vec![f32::NAN; want.len()];
         let mut cg = CoreGroup::new(ExecMode::Functional);
-        im2col(&mut cg, &shape, Some(Im2colOperands { image: &image, cols: &mut got }));
+        im2col(
+            &mut cg,
+            &shape,
+            Some(Im2colOperands {
+                image: &image,
+                cols: &mut got,
+            }),
+        );
         assert_eq!(got, want, "{shape:?}");
     }
 
@@ -314,7 +342,14 @@ mod tests {
         reference::col2im(&shape, &cols, &mut want);
         let mut got = vec![f32::NAN; want.len()];
         let mut cg = CoreGroup::new(ExecMode::Functional);
-        col2im(&mut cg, &shape, Some(Col2imOperands { cols: &cols, image: &mut got }));
+        col2im(
+            &mut cg,
+            &shape,
+            Some(Col2imOperands {
+                cols: &cols,
+                image: &mut got,
+            }),
+        );
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
             assert!((g - w).abs() < 1e-4, "{shape:?} elem {i}: {g} vs {w}");
         }
@@ -376,16 +411,40 @@ mod tests {
         let image = vec![0.0f32; s.in_c * s.in_h * s.in_w];
         let mut cols = vec![0.0f32; s.col_rows() * s.col_cols()];
         let mut cg = CoreGroup::new(ExecMode::Functional);
-        let mesh = im2col(&mut cg, &s, Some(Im2colOperands { image: &image, cols: &mut cols }));
+        let mesh = im2col(
+            &mut cg,
+            &s,
+            Some(Im2colOperands {
+                image: &image,
+                cols: &mut cols,
+            }),
+        );
         let model = time_model_im2col(&s);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
-        assert!(rel < tol, "im2col {s:?}: mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+        assert!(
+            rel < tol,
+            "im2col {s:?}: mesh {} vs model {}",
+            mesh.elapsed.micros(),
+            model.micros()
+        );
 
         let mut image2 = vec![0.0f32; image.len()];
-        let mesh = col2im(&mut cg, &s, Some(Col2imOperands { cols: &cols, image: &mut image2 }));
+        let mesh = col2im(
+            &mut cg,
+            &s,
+            Some(Col2imOperands {
+                cols: &cols,
+                image: &mut image2,
+            }),
+        );
         let model = time_model_col2im(&s);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
-        assert!(rel < tol, "col2im {s:?}: mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+        assert!(
+            rel < tol,
+            "col2im {s:?}: mesh {} vs model {}",
+            mesh.elapsed.micros(),
+            model.micros()
+        );
     }
 
     #[test]

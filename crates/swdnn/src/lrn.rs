@@ -23,7 +23,12 @@ pub struct LrnParams {
 impl Default for LrnParams {
     fn default() -> Self {
         // Caffe / AlexNet defaults.
-        LrnParams { local_size: 5, alpha: 1e-4, beta: 0.75, k: 1.0 }
+        LrnParams {
+            local_size: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 1.0,
+        }
     }
 }
 
@@ -95,8 +100,7 @@ pub fn forward(
                         for c in 0..channels {
                             let get = |j: usize| xs[j * n + xi] as f64;
                             let scale = scale_at(&p, channels, &get, c);
-                            ys[c * n + xi] =
-                                (get(c) * scale.powf(-(p.beta as f64))) as f32;
+                            ys[c * n + xi] = (get(c) * scale.powf(-(p.beta as f64))) as f32;
                         }
                     }
                 });
@@ -155,24 +159,36 @@ pub fn backward(
             while x0 < width {
                 let n = wc.min(width - x0);
                 let base = (b * channels * height + row) * width + x0;
-                cpe.dma_get_strided(x, base, n, height * width, channels, &mut xs[..channels * n]);
-                cpe.dma_get_strided(dy, base, n, height * width, channels, &mut gs[..channels * n]);
+                cpe.dma_get_strided(
+                    x,
+                    base,
+                    n,
+                    height * width,
+                    channels,
+                    &mut xs[..channels * n],
+                );
+                cpe.dma_get_strided(
+                    dy,
+                    base,
+                    n,
+                    height * width,
+                    channels,
+                    &mut gs[..channels * n],
+                );
                 cpe.compute((channels * n * (2 * p.local_size + 15)) as u64, || {
                     let half = p.local_size / 2;
                     for xi in 0..n {
                         let get = |j: usize| xs[j * n + xi] as f64;
                         for c in 0..channels {
                             let scale_c = scale_at(&p, channels, &get, c);
-                            let mut v =
-                                gs[c * n + xi] as f64 * scale_c.powf(-(p.beta as f64));
+                            let mut v = gs[c * n + xi] as f64 * scale_c.powf(-(p.beta as f64));
                             // Cross terms: every j whose window contains c.
                             let lo = c.saturating_sub(half);
                             let hi = (c + half).min(channels - 1);
                             for j in lo..=hi {
                                 let scale_j = scale_at(&p, channels, &get, j);
                                 let yj = get(j) * scale_j.powf(-(p.beta as f64));
-                                v -= 2.0 * p.alpha as f64 * p.beta as f64
-                                    / p.local_size as f64
+                                v -= 2.0 * p.alpha as f64 * p.beta as f64 / p.local_size as f64
                                     * get(c)
                                     * gs[j * n + xi] as f64
                                     * yj
@@ -217,17 +233,12 @@ mod tests {
     use sw26010::ExecMode;
 
     fn pattern(len: usize, seed: i64) -> Vec<f32> {
-        (0..len).map(|i| (((i as i64 * 23 + seed) % 13) - 6) as f32 * 0.21).collect()
+        (0..len)
+            .map(|i| (((i as i64 * 23 + seed) % 13) - 6) as f32 * 0.21)
+            .collect()
     }
 
-    fn host_forward(
-        b: usize,
-        c: usize,
-        h: usize,
-        w: usize,
-        p: &LrnParams,
-        x: &[f32],
-    ) -> Vec<f32> {
+    fn host_forward(b: usize, c: usize, h: usize, w: usize, p: &LrnParams, x: &[f32]) -> Vec<f32> {
         let mut y = vec![0.0f32; x.len()];
         for bi in 0..b {
             for yi in 0..h {
@@ -254,14 +265,24 @@ mod tests {
         let mut cg = CoreGroup::new(ExecMode::Functional);
         forward(&mut cg, b, c, h, w, p, Some((&x, &mut got)));
         for i in 0..x.len() {
-            assert!((got[i] - want[i]).abs() < 1e-5, "elem {i}: {} vs {}", got[i], want[i]);
+            assert!(
+                (got[i] - want[i]).abs() < 1e-5,
+                "elem {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
         }
     }
 
     #[test]
     fn backward_matches_finite_difference() {
         let (b, c, h, w) = (1, 6, 2, 3);
-        let p = LrnParams { local_size: 3, alpha: 0.1, beta: 0.5, k: 2.0 };
+        let p = LrnParams {
+            local_size: 3,
+            alpha: 0.1,
+            beta: 0.5,
+            k: 2.0,
+        };
         let x = pattern(b * c * h * w, 3);
         let dy = pattern(x.len(), 5);
         let loss = |xv: &[f32]| -> f64 {

@@ -31,9 +31,16 @@ pub struct PoolBwdOperands<'a> {
 }
 
 /// Pooling forward.
-pub fn forward(cg: &mut CoreGroup, shape: &PoolShape, ops: Option<PoolFwdOperands<'_>>) -> LaunchReport {
+pub fn forward(
+    cg: &mut CoreGroup,
+    shape: &PoolShape,
+    ops: Option<PoolFwdOperands<'_>>,
+) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report = LaunchReport { elapsed: forward_time(shape), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: forward_time(shape),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -49,7 +56,10 @@ pub fn forward(cg: &mut CoreGroup, shape: &PoolShape, ops: Option<PoolFwdOperand
         MemViewMut::new(m)
     });
     if matches!(s.method, PoolMethod::Max) {
-        assert!(argmax.is_some(), "max pooling forward needs an argmax buffer");
+        assert!(
+            argmax.is_some(),
+            "max pooling forward needs an argmax buffer"
+        );
     }
     let items = s.batch * s.channels * oh;
 
@@ -110,7 +120,11 @@ pub fn forward(cg: &mut CoreGroup, shape: &PoolShape, ops: Option<PoolFwdOperand
                                     }
                                 }
                             }
-                            out_row[ox] = if count > 0 { (sum / count as f64) as f32 } else { 0.0 };
+                            out_row[ox] = if count > 0 {
+                                (sum / count as f64) as f32
+                            } else {
+                                0.0
+                            };
                         }
                     }
                 }
@@ -125,9 +139,16 @@ pub fn forward(cg: &mut CoreGroup, shape: &PoolShape, ops: Option<PoolFwdOperand
 }
 
 /// Pooling backward.
-pub fn backward(cg: &mut CoreGroup, shape: &PoolShape, ops: Option<PoolBwdOperands<'_>>) -> LaunchReport {
+pub fn backward(
+    cg: &mut CoreGroup,
+    shape: &PoolShape,
+    ops: Option<PoolBwdOperands<'_>>,
+) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report = LaunchReport { elapsed: backward_time(shape), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: backward_time(shape),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -271,7 +292,9 @@ mod tests {
     fn pattern(len: usize, seed: u64) -> Vec<f32> {
         (0..len)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(seed);
+                let x = (i as u64)
+                    .wrapping_mul(0x2545F4914F6CDD1D)
+                    .wrapping_add(seed);
                 ((x >> 40) % 97) as f32 - 48.0
             })
             .collect()
@@ -323,7 +346,10 @@ mod tests {
             }),
         );
         for (i, (g, w)) in got_dx.iter().zip(&want_dx).enumerate() {
-            assert!((g - w).abs() < 1e-4, "backward {shape:?} elem {i}: {g} vs {w}");
+            assert!(
+                (g - w).abs() < 1e-4,
+                "backward {shape:?} elem {i}: {g} vs {w}"
+            );
         }
     }
 
@@ -417,11 +443,20 @@ mod tests {
         let mesh = forward(
             &mut cg,
             &shape,
-            Some(PoolFwdOperands { input: &input, output: &mut out, argmax: Some(&mut am) }),
+            Some(PoolFwdOperands {
+                input: &input,
+                output: &mut out,
+                argmax: Some(&mut am),
+            }),
         );
         let model = forward_time(&shape);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
-        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+        assert!(
+            rel < 0.1,
+            "mesh {} vs model {}",
+            mesh.elapsed.micros(),
+            model.micros()
+        );
     }
 
     #[test]
@@ -472,17 +507,30 @@ mod model_validation {
         forward(
             &mut cg,
             &shape,
-            Some(PoolFwdOperands { input: &input, output: &mut out, argmax: Some(&mut am) }),
+            Some(PoolFwdOperands {
+                input: &input,
+                output: &mut out,
+                argmax: Some(&mut am),
+            }),
         );
         let dy = vec![1.0f32; shape.output_len()];
         let mut dx = vec![0.0f32; shape.input_len()];
         let mesh = backward(
             &mut cg,
             &shape,
-            Some(PoolBwdOperands { out_grad: &dy, argmax: Some(&am), in_grad: &mut dx }),
+            Some(PoolBwdOperands {
+                out_grad: &dy,
+                argmax: Some(&am),
+                in_grad: &mut dx,
+            }),
         );
         let model = backward_time(&shape);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
-        assert!(rel < 0.25, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+        assert!(
+            rel < 0.25,
+            "mesh {} vs model {}",
+            mesh.elapsed.micros(),
+            model.micros()
+        );
     }
 }

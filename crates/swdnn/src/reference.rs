@@ -13,15 +13,7 @@
 use crate::shapes::{ConvShape, GemmDims, PoolMethod, PoolShape, Trans};
 
 /// `C = A * B + beta * C` on row-major matrices with optional transposes.
-pub fn gemm(
-    dims: GemmDims,
-    ta: Trans,
-    tb: Trans,
-    a: &[f32],
-    b: &[f32],
-    beta: f32,
-    c: &mut [f32],
-) {
+pub fn gemm(dims: GemmDims, ta: Trans, tb: Trans, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
     let GemmDims { m, n, k } = dims;
     assert_eq!(a.len(), m * k, "A size");
     assert_eq!(b.len(), k * n, "B size");
@@ -30,8 +22,16 @@ pub fn gemm(
         for j in 0..n {
             let mut acc = 0.0f64;
             for t in 0..k {
-                let av = if ta.is_trans() { a[t * m + i] } else { a[i * k + t] };
-                let bv = if tb.is_trans() { b[j * k + t] } else { b[t * n + j] };
+                let av = if ta.is_trans() {
+                    a[t * m + i]
+                } else {
+                    a[i * k + t]
+                };
+                let bv = if tb.is_trans() {
+                    b[j * k + t]
+                } else {
+                    b[t * n + j]
+                };
                 acc += av as f64 * bv as f64;
             }
             c[i * n + j] = (acc + (beta * c[i * n + j]) as f64) as f32;
@@ -115,10 +115,10 @@ pub fn conv_forward(shape: &ConvShape, input: &[f32], weights: &[f32], output: &
                                 let y = (oy * shape.stride + ky) as isize - shape.pad as isize;
                                 let x = (ox * shape.stride + kx) as isize - shape.pad as isize;
                                 if y >= 0 && x >= 0 && (y as usize) < ih && (x as usize) < iw {
-                                    let iv = input
-                                        [((b * shape.in_c + c) * ih + y as usize) * iw + x as usize];
-                                    let wv =
-                                        weights[((o * shape.in_c + c) * shape.k + ky) * shape.k + kx];
+                                    let iv = input[((b * shape.in_c + c) * ih + y as usize) * iw
+                                        + x as usize];
+                                    let wv = weights
+                                        [((o * shape.in_c + c) * shape.k + ky) * shape.k + kx];
                                     acc += iv as f64 * wv as f64;
                                 }
                             }
@@ -160,8 +160,7 @@ pub fn conv_backward(
                                 if y >= 0 && x >= 0 && (y as usize) < ih && (x as usize) < iw {
                                     let ii =
                                         ((b * shape.in_c + c) * ih + y as usize) * iw + x as usize;
-                                    let wi =
-                                        ((o * shape.in_c + c) * shape.k + ky) * shape.k + kx;
+                                    let wi = ((o * shape.in_c + c) * shape.k + ky) * shape.k + kx;
                                     in_grad[ii] += g * weights[wi];
                                     w_grad[wi] += g * input[ii];
                                 }
@@ -230,7 +229,11 @@ pub fn pool_forward(
                                     }
                                 }
                             }
-                            output[oi] = if count > 0 { (sum / count as f64) as f32 } else { 0.0 };
+                            output[oi] = if count > 0 {
+                                (sum / count as f64) as f32
+                            } else {
+                                0.0
+                            };
                         }
                     }
                 }
@@ -251,8 +254,7 @@ pub fn pool_backward(
     in_grad.fill(0.0);
     for b in 0..shape.batch {
         for c in 0..shape.channels {
-            let grad_img =
-                &mut in_grad[(b * shape.channels + c) * ih * iw..][..ih * iw];
+            let grad_img = &mut in_grad[(b * shape.channels + c) * ih * iw..][..ih * iw];
             for oy in 0..oh {
                 for ox in 0..ow {
                     let oi = ((b * shape.channels + c) * oh + oy) * ow + ox;
@@ -309,7 +311,15 @@ mod tests {
         let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
         let eye = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]; // 3x3
         let mut c = vec![0.0; 6];
-        gemm(GemmDims::new(2, 3, 3), Trans::No, Trans::No, &a, &eye, 0.0, &mut c);
+        gemm(
+            GemmDims::new(2, 3, 3),
+            Trans::No,
+            Trans::No,
+            &a,
+            &eye,
+            0.0,
+            &mut c,
+        );
         assert_eq!(c, a);
     }
 
@@ -321,13 +331,37 @@ mod tests {
         let b = vec![1.0, -1.0, 0.5, 2.0, 3.0, -2.0]; // 3x2
         let mut c1 = vec![0.0; 4];
         let mut c2 = vec![0.0; 4];
-        gemm(GemmDims::new(2, 2, 3), Trans::No, Trans::No, &a, &b, 0.0, &mut c1);
-        gemm(GemmDims::new(2, 2, 3), Trans::Yes, Trans::No, &a_t, &b, 0.0, &mut c2);
+        gemm(
+            GemmDims::new(2, 2, 3),
+            Trans::No,
+            Trans::No,
+            &a,
+            &b,
+            0.0,
+            &mut c1,
+        );
+        gemm(
+            GemmDims::new(2, 2, 3),
+            Trans::Yes,
+            Trans::No,
+            &a_t,
+            &b,
+            0.0,
+            &mut c2,
+        );
         assert_eq!(c1, c2);
 
         let b_t = vec![1.0, 0.5, 3.0, -1.0, 2.0, -2.0]; // stored 2x3
         let mut c3 = vec![0.0; 4];
-        gemm(GemmDims::new(2, 2, 3), Trans::No, Trans::Yes, &a, &b_t, 0.0, &mut c3);
+        gemm(
+            GemmDims::new(2, 2, 3),
+            Trans::No,
+            Trans::Yes,
+            &a,
+            &b_t,
+            0.0,
+            &mut c3,
+        );
         assert_eq!(c1, c3);
     }
 
@@ -336,20 +370,40 @@ mod tests {
         let a = vec![1.0, 0.0, 0.0, 1.0];
         let b = vec![2.0, 0.0, 0.0, 2.0];
         let mut c = vec![10.0, 0.0, 0.0, 10.0];
-        gemm(GemmDims::new(2, 2, 2), Trans::No, Trans::No, &a, &b, 1.0, &mut c);
+        gemm(
+            GemmDims::new(2, 2, 2),
+            Trans::No,
+            Trans::No,
+            &a,
+            &b,
+            1.0,
+            &mut c,
+        );
         assert_eq!(c, vec![12.0, 0.0, 0.0, 12.0]);
     }
 
     fn small_shape() -> ConvShape {
-        ConvShape { batch: 2, in_c: 3, in_h: 5, in_w: 5, out_c: 4, k: 3, stride: 1, pad: 1 }
+        ConvShape {
+            batch: 2,
+            in_c: 3,
+            in_h: 5,
+            in_w: 5,
+            out_c: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     #[test]
     fn conv_via_im2col_matches_direct() {
         let shape = small_shape();
-        let input: Vec<f32> = (0..shape.input_len()).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
-        let weights: Vec<f32> =
-            (0..shape.weight_len()).map(|i| ((i * 3) % 5) as f32 * 0.5 - 1.0).collect();
+        let input: Vec<f32> = (0..shape.input_len())
+            .map(|i| ((i * 7) % 13) as f32 - 6.0)
+            .collect();
+        let weights: Vec<f32> = (0..shape.weight_len())
+            .map(|i| ((i * 3) % 5) as f32 * 0.5 - 1.0)
+            .collect();
         let mut direct = vec![0.0; shape.output_len()];
         conv_forward(&shape, &input, &weights, &mut direct);
 
@@ -392,15 +446,26 @@ mod tests {
             stride: 1,
             pad: 1,
         };
-        let x: Vec<f32> = (0..shape.in_c * 16).map(|i| (i as f32) * 0.25 - 2.0).collect();
-        let y: Vec<f32> =
-            (0..shape.col_rows() * shape.col_cols()).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let x: Vec<f32> = (0..shape.in_c * 16)
+            .map(|i| (i as f32) * 0.25 - 2.0)
+            .collect();
+        let y: Vec<f32> = (0..shape.col_rows() * shape.col_cols())
+            .map(|i| ((i % 7) as f32) - 3.0)
+            .collect();
         let mut cols = vec![0.0; y.len()];
         im2col(&shape, &x, &mut cols);
-        let lhs: f64 = cols.iter().zip(&y).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let lhs: f64 = cols
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         let mut img = vec![0.0; x.len()];
         col2im(&shape, &y, &mut img);
-        let rhs: f64 = x.iter().zip(&img).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = x
+            .iter()
+            .zip(&img)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
     }
 
@@ -418,13 +483,23 @@ mod tests {
             stride: 1,
             pad: 0,
         };
-        let input: Vec<f32> = (0..shape.input_len()).map(|i| ((i % 5) as f32) * 0.3).collect();
-        let mut weights: Vec<f32> =
-            (0..shape.weight_len()).map(|i| ((i % 3) as f32) * 0.2 - 0.2).collect();
+        let input: Vec<f32> = (0..shape.input_len())
+            .map(|i| ((i % 5) as f32) * 0.3)
+            .collect();
+        let mut weights: Vec<f32> = (0..shape.weight_len())
+            .map(|i| ((i % 3) as f32) * 0.2 - 0.2)
+            .collect();
         let out_grad = vec![1.0f32; shape.output_len()];
         let mut in_grad = vec![0.0; shape.input_len()];
         let mut w_grad = vec![0.0; shape.weight_len()];
-        conv_backward(&shape, &input, &weights, &out_grad, &mut in_grad, &mut w_grad);
+        conv_backward(
+            &shape,
+            &input,
+            &weights,
+            &out_grad,
+            &mut in_grad,
+            &mut w_grad,
+        );
 
         let loss = |w: &[f32]| -> f64 {
             let mut out = vec![0.0; shape.output_len()];

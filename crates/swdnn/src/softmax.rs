@@ -30,8 +30,10 @@ pub fn forward(
     ops: Option<SoftmaxFwdOperands<'_>>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report =
-            LaunchReport { elapsed: forward_time(batch, classes), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: forward_time(batch, classes),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -90,8 +92,10 @@ pub fn backward(
     ops: Option<SoftmaxBwdOperands<'_>>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report =
-            LaunchReport { elapsed: backward_time(batch, classes), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: backward_time(batch, classes),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -147,7 +151,9 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one_and_loss_is_correct() {
         let (b, c) = (70, 11);
-        let logits: Vec<f32> = (0..b * c).map(|i| ((i * 7) % 13) as f32 * 0.3 - 2.0).collect();
+        let logits: Vec<f32> = (0..b * c)
+            .map(|i| ((i * 7) % 13) as f32 * 0.3 - 2.0)
+            .collect();
         let labels: Vec<f32> = (0..b).map(|i| (i % c) as f32).collect();
         let mut probs = vec![0.0; b * c];
         let mut losses = vec![0.0; b];
@@ -198,7 +204,11 @@ mod tests {
             b,
             c,
             1.0 / b as f32,
-            Some(SoftmaxBwdOperands { probs: &probs, labels: &labels, in_grad: &mut dx }),
+            Some(SoftmaxBwdOperands {
+                probs: &probs,
+                labels: &labels,
+                in_grad: &mut dx,
+            }),
         );
         for bi in 0..b {
             for ci in 0..c {

@@ -47,7 +47,10 @@ pub fn nchw_to_rcnb(
     io: Option<(&[f32], &mut [f32])>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report = LaunchReport { elapsed: time_model(shape), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: time_model(shape),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -70,7 +73,14 @@ pub fn nchw_to_rcnb(
             while b0 < b_tot {
                 let cb = bc.min(b_tot - b0);
                 // Gather rows [b0..b0+cb][n][y][:] (stride N*H*W between images).
-                cpe.dma_get_strided(src, ((b0 * n_tot + n) * h + y) * w, w, n_tot * h * w, cb, &mut buf);
+                cpe.dma_get_strided(
+                    src,
+                    ((b0 * n_tot + n) * h + y) * w,
+                    w,
+                    n_tot * h * w,
+                    cb,
+                    &mut buf,
+                );
                 // Transpose (cb x w) -> (w x cb) in LDM (SIMD shuffles).
                 cpe.compute((w * cb) as u64, || {
                     for bi in 0..cb {
@@ -102,7 +112,10 @@ pub fn rcnb_to_nchw(
     io: Option<(&[f32], &mut [f32])>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
-        let report = LaunchReport { elapsed: time_model(shape), stats: Default::default() };
+        let report = LaunchReport {
+            elapsed: time_model(shape),
+            stats: Default::default(),
+        };
         cg.charge(report.elapsed);
         return report;
     }
@@ -244,7 +257,12 @@ mod tests {
 
     #[test]
     fn mesh_transform_matches_host() {
-        let shape = TransShape { batch: 6, channels: 5, height: 7, width: 9 };
+        let shape = TransShape {
+            batch: 6,
+            channels: 5,
+            height: 7,
+            width: 9,
+        };
         let input = pattern(shape.len());
         let mut want = vec![0.0; shape.len()];
         nchw_to_rcnb_host(&shape, &input, &mut want);
@@ -256,7 +274,12 @@ mod tests {
 
     #[test]
     fn mesh_inverse_matches_host() {
-        let shape = TransShape { batch: 6, channels: 5, height: 7, width: 9 };
+        let shape = TransShape {
+            batch: 6,
+            channels: 5,
+            height: 7,
+            width: 9,
+        };
         let rcnb = pattern(shape.len());
         let mut want = vec![0.0; shape.len()];
         rcnb_to_nchw_host(&shape, &rcnb, &mut want);
@@ -268,7 +291,12 @@ mod tests {
 
     #[test]
     fn roundtrip_is_identity() {
-        let shape = TransShape { batch: 3, channels: 4, height: 6, width: 6 };
+        let shape = TransShape {
+            batch: 3,
+            channels: 4,
+            height: 6,
+            width: 6,
+        };
         let input = pattern(shape.len());
         let mut mid = vec![0.0; shape.len()];
         let mut back = vec![0.0; shape.len()];
@@ -281,7 +309,12 @@ mod tests {
     #[test]
     fn chunking_handles_wide_rows() {
         // width*batch*4 > 16 KB forces multiple batch chunks.
-        let shape = TransShape { batch: 40, channels: 2, height: 3, width: 224 };
+        let shape = TransShape {
+            batch: 40,
+            channels: 2,
+            height: 3,
+            width: 224,
+        };
         assert!(batch_chunk(&shape) < shape.batch);
         let input = pattern(shape.len());
         let mut got = vec![f32::NAN; shape.len()];
@@ -299,24 +332,42 @@ mod tests {
         let kkon = filters_oikk_to_kkon(no, ni, k, &w);
         assert_eq!(filters_kkon_to_oikk(no, ni, k, &kkon), w);
         // Spot-check one element.
-        assert_eq!(kkon[((k + 2) * no + 4) * ni + 3], w[((4 * ni + 3) * k + 1) * k + 2]);
+        assert_eq!(
+            kkon[((k + 2) * no + 4) * ni + 3],
+            w[((4 * ni + 3) * k + 1) * k + 2]
+        );
     }
 
     #[test]
     fn model_matches_mesh() {
-        let shape = TransShape { batch: 16, channels: 32, height: 14, width: 14 };
+        let shape = TransShape {
+            batch: 16,
+            channels: 32,
+            height: 14,
+            width: 14,
+        };
         let input = pattern(shape.len());
         let mut out = vec![0.0; shape.len()];
         let mut cg = CoreGroup::new(ExecMode::Functional);
         let mesh = nchw_to_rcnb(&mut cg, &shape, Some((&input, &mut out)));
         let model = time_model(&shape);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
-        assert!(rel < 0.1, "mesh {} vs model {}", mesh.elapsed.micros(), model.micros());
+        assert!(
+            rel < 0.1,
+            "mesh {} vs model {}",
+            mesh.elapsed.micros(),
+            model.micros()
+        );
     }
 
     #[test]
     fn timing_mode_charges_model() {
-        let shape = TransShape { batch: 64, channels: 128, height: 56, width: 56 };
+        let shape = TransShape {
+            batch: 64,
+            channels: 128,
+            height: 56,
+            width: 56,
+        };
         let mut cg = CoreGroup::new(ExecMode::TimingOnly);
         let r = nchw_to_rcnb(&mut cg, &shape, None);
         assert_eq!(r.elapsed, time_model(&shape));

@@ -116,6 +116,17 @@ mod sampler_tests {
     }
 
     #[test]
+    fn epoch_sampler_seed_reproduces_and_varies() {
+        let ds = SyntheticImageNet::new(64);
+        let order = |seed: u64| {
+            let mut s = EpochSampler::with_seed(&ds, 1, 0, seed);
+            (0..64).map(|_| s.next_index()).collect::<Vec<_>>()
+        };
+        assert_eq!(order(7), order(7), "same seed must reproduce");
+        assert_ne!(order(7), order(8), "different seeds must reshuffle");
+    }
+
+    #[test]
     fn epoch_sampler_reshuffles_between_epochs() {
         let ds = SyntheticImageNet::new(32);
         let mut s = EpochSampler::new(&ds, 1, 0);
@@ -163,7 +174,11 @@ mod tests {
             assert!(l < CLASSES);
             seen.insert(l);
         }
-        assert!(seen.len() > 900, "only {} classes in 5000 samples", seen.len());
+        assert!(
+            seen.len() > 900,
+            "only {} classes in 5000 samples",
+            seen.len()
+        );
     }
 
     #[test]
@@ -192,18 +207,28 @@ pub struct EpochSampler {
     workers: usize,
     rank: usize,
     epoch: u64,
+    seed: u64,
     perm: Vec<u32>,
     cursor: usize,
 }
 
 impl EpochSampler {
     pub fn new(dataset: &SyntheticImageNet, workers: usize, rank: usize) -> Self {
+        Self::with_seed(dataset, workers, rank, 0)
+    }
+
+    /// Like [`EpochSampler::new`] with an explicit shuffle seed: all
+    /// workers of one run must share it (they derive the same epoch
+    /// permutation from it), and varying it re-randomises the epoch order
+    /// without touching the dataset.
+    pub fn with_seed(dataset: &SyntheticImageNet, workers: usize, rank: usize, seed: u64) -> Self {
         assert!(rank < workers);
         let mut s = EpochSampler {
             images: dataset.images,
             workers,
             rank,
             epoch: 0,
+            seed,
             perm: Vec::new(),
             cursor: 0,
         };
@@ -214,7 +239,7 @@ impl EpochSampler {
     fn reshuffle(&mut self) {
         // Seeded Fisher-Yates so every worker derives the same permutation.
         self.perm = (0..self.images as u32).collect();
-        let mut state = splitmix(self.epoch ^ 0xE90C4_5EED);
+        let mut state = splitmix(self.epoch ^ splitmix(self.seed) ^ 0x0E90_C45E_ED00);
         for i in (1..self.perm.len()).rev() {
             state = splitmix(state);
             let j = (state % (i as u64 + 1)) as usize;

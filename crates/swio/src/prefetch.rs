@@ -2,11 +2,12 @@
 //! reads the next mini-batch while the current iteration computes, hiding
 //! disk latency behind the forward/backward passes.
 //!
-//! The thread is real (crossbeam channel, double buffering); the *disk
-//! time* it would take comes from [`crate::stripefs::IoModel`], so the
-//! trainer can charge `max(0, io_time - compute_time)` per iteration.
+//! The thread is real (bounded `std::sync::mpsc` channel, double
+//! buffering); the *disk time* it would take comes from
+//! [`crate::stripefs::IoModel`], so the trainer can charge
+//! `max(0, io_time - compute_time)` per iteration.
 
-use crossbeam::channel::{bounded, Receiver};
+use std::sync::mpsc::{sync_channel, Receiver};
 use std::thread::JoinHandle;
 
 use sw26010::SimTime;
@@ -44,7 +45,7 @@ impl Prefetcher {
         w: usize,
         start_seed: u64,
     ) -> Self {
-        let (tx, rx) = bounded::<Batch>(1); // double buffering: 1 in flight + 1 building
+        let (tx, rx) = sync_channel::<Batch>(1); // double buffering: 1 in flight + 1 building
         let handle = std::thread::spawn(move || {
             let bytes = dataset.batch_bytes(batch);
             let mut seed = start_seed;
@@ -53,13 +54,24 @@ impl Prefetcher {
                 let mut labels = vec![0.0f32; batch];
                 dataset.fill_batch(seed, batch, c, h, w, &mut data, &mut labels);
                 let io_time = io.batch_read_time(nprocs, bytes);
-                if tx.send(Batch { data, labels, io_time, seed }).is_err() {
+                if tx
+                    .send(Batch {
+                        data,
+                        labels,
+                        io_time,
+                        seed,
+                    })
+                    .is_err()
+                {
                     return; // consumer dropped
                 }
                 seed += 1;
             }
         });
-        Prefetcher { rx, handle: Some(handle) }
+        Prefetcher {
+            rx,
+            handle: Some(handle),
+        }
     }
 
     /// Take the next mini-batch (blocks if the I/O thread is behind).
@@ -71,7 +83,7 @@ impl Prefetcher {
 impl Drop for Prefetcher {
     fn drop(&mut self) {
         // Close the channel, then join the thread.
-        let (_tx, rx) = bounded::<Batch>(0);
+        let (_tx, rx) = sync_channel::<Batch>(0);
         let old = std::mem::replace(&mut self.rx, rx);
         drop(old);
         if let Some(h) = self.handle.take() {
@@ -112,7 +124,10 @@ mod tests {
 
     #[test]
     fn stall_is_zero_when_compute_dominates() {
-        assert_eq!(io_stall(SimTime::from_seconds(0.1), SimTime::from_seconds(0.5)).seconds(), 0.0);
+        assert_eq!(
+            io_stall(SimTime::from_seconds(0.1), SimTime::from_seconds(0.5)).seconds(),
+            0.0
+        );
         assert!(
             (io_stall(SimTime::from_seconds(0.5), SimTime::from_seconds(0.1)).seconds() - 0.4)
                 .abs()

@@ -22,7 +22,10 @@ pub enum Layout {
 impl Layout {
     /// The paper's tuned layout.
     pub fn paper_striped() -> Layout {
-        Layout::Striped { stripes: 32, split_bytes: 256 << 20 }
+        Layout::Striped {
+            stripes: 32,
+            split_bytes: 256 << 20,
+        }
     }
 }
 
@@ -41,14 +44,22 @@ pub struct IoModel {
 impl IoModel {
     /// TaihuLight-like defaults: 32 arrays of 2.4 GB/s behind 12 GB/s NICs.
     pub fn taihulight(layout: Layout) -> Self {
-        IoModel { arrays: 32, array_bandwidth: 2.4e9, nic_bandwidth: 12.0e9, layout }
+        IoModel {
+            arrays: 32,
+            array_bandwidth: 2.4e9,
+            nic_bandwidth: 12.0e9,
+            layout,
+        }
     }
 
     /// Arrays a single contiguous read of `bytes` touches.
     pub fn arrays_touched(&self, bytes: usize) -> usize {
         match self.layout {
             Layout::SingleSplit => 1,
-            Layout::Striped { stripes, split_bytes } => {
+            Layout::Striped {
+                stripes,
+                split_bytes,
+            } => {
                 // A contiguous range of `bytes` spans at most
                 // ceil(bytes/split)+1 splits, each on a different array.
                 (bytes / split_bytes + 2).min(stripes)

@@ -22,7 +22,9 @@ pub struct EqInputs {
 /// `log p * alpha + (q-1) beta1 n/p + (p-q) beta2 n/p + (p-1)/p n gamma`.
 pub fn original_reduce_scatter(i: EqInputs, alpha: f64, beta1: f64, beta2: f64, gamma: f64) -> f64 {
     let (p, q, n) = (i.p as f64, i.q as f64, i.n as f64);
-    p.log2() * alpha + (q - 1.0) * beta1 * n / p + (p - q) * beta2 * n / p
+    p.log2() * alpha
+        + (q - 1.0) * beta1 * n / p
+        + (p - q) * beta2 * n / p
         + (p - 1.0) / p * n * gamma
 }
 
@@ -36,7 +38,9 @@ pub fn original_allgather(i: EqInputs, alpha: f64, beta1: f64, beta2: f64) -> f6
 /// `log p * alpha + (p - p/q) beta1 n/p + (p/q - 1) beta2 n/p + (p-1)/p n gamma`.
 pub fn improved_reduce_scatter(i: EqInputs, alpha: f64, beta1: f64, beta2: f64, gamma: f64) -> f64 {
     let (p, q, n) = (i.p as f64, i.q as f64, i.n as f64);
-    p.log2() * alpha + (p - p / q) * beta1 * n / p + (p / q - 1.0) * beta2 * n / p
+    p.log2() * alpha
+        + (p - p / q) * beta1 * n / p
+        + (p / q - 1.0) * beta2 * n / p
         + (p - 1.0) / p * n * gamma
 }
 
@@ -111,7 +115,11 @@ mod tests {
         for (p, q) in [(8, 4), (16, 4), (32, 8)] {
             let n_elems = 1 << 18; // 1 MB
             let params = NetParams::sunway(ReduceEngine::CpeClusters);
-            let i = EqInputs { p, q, n: n_elems * 4 };
+            let i = EqInputs {
+                p,
+                q,
+                n: n_elems * 4,
+            };
             let (b1, b2, g) = (params.beta1, params.beta2(), params.gamma());
 
             for (map, improved) in [(RankMap::Natural, false), (RankMap::RoundRobin, true)] {
@@ -135,7 +143,11 @@ mod tests {
     fn improvement_reduces_beta2_coefficient() {
         // From p - q to p/q - 1, e.g. 1024 nodes in 4 supernodes:
         // 768 -> 3.
-        let i = EqInputs { p: 1024, q: 256, n: 232 << 20 };
+        let i = EqInputs {
+            p: 1024,
+            q: 256,
+            n: 232 << 20,
+        };
         let params = NetParams::sunway(ReduceEngine::CpeClusters);
         let orig = allreduce_closed_form(i, &params, false);
         let imp = allreduce_closed_form(i, &params, true);

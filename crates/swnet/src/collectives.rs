@@ -95,7 +95,14 @@ struct StepAccum<'a> {
 
 impl<'a> StepAccum<'a> {
     fn new(topo: &'a Topology, params: &'a NetParams) -> Self {
-        StepAccum { topo, params, elapsed: SimTime::ZERO, steps: 0, cross_bytes: 0, total_bytes: 0 }
+        StepAccum {
+            topo,
+            params,
+            elapsed: SimTime::ZERO,
+            steps: 0,
+            cross_bytes: 0,
+            total_bytes: 0,
+        }
     }
 
     fn step(&mut self, transfers: &[Transfer]) {
@@ -143,7 +150,10 @@ fn rhd(
     mut data: Option<&mut [Vec<f32>]>,
 ) -> AllreduceReport {
     let p = topo.nodes;
-    assert!(p.is_power_of_two(), "recursive halving/doubling needs a power-of-two node count");
+    assert!(
+        p.is_power_of_two(),
+        "recursive halving/doubling needs a power-of-two node count"
+    );
     let mut acc = StepAccum::new(topo, params);
     // Per logical rank: current block range [lo, hi).
     let mut range: Vec<(usize, usize)> = vec![(0, p); p];
@@ -153,21 +163,30 @@ fn rhd(
     while mask >= 1 {
         let mut transfers = Vec::with_capacity(p);
         let mut msgs: Vec<Msg> = Vec::new();
-        for r in 0..p {
+        for (r, rng) in range.iter_mut().enumerate() {
             let partner = r ^ mask;
-            let (lo, hi) = range[r];
+            let (lo, hi) = *rng;
             let mid = lo + (hi - lo) / 2;
             // Lower-half ranks keep [lo, mid) and send [mid, hi).
-            let (keep, send) = if r & mask == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
+            let (keep, send) = if r & mask == 0 {
+                ((lo, mid), (mid, hi))
+            } else {
+                ((mid, hi), (lo, mid))
+            };
             let (slo, shi) = blocks_span(elems, p, send.0, send.1);
             let bytes = (shi - slo) * 4;
             let src_phys = map.physical(topo, r);
             let dst_phys = map.physical(topo, partner);
-            transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: bytes });
+            transfers.push(Transfer {
+                src: src_phys,
+                dst: dst_phys,
+                bytes,
+                reduce_bytes: bytes,
+            });
             if let Some(d) = data.as_deref() {
                 msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), true));
             }
-            range[r] = keep;
+            *rng = keep;
         }
         acc.step(&transfers);
         if let Some(d) = data.as_deref_mut() {
@@ -189,7 +208,12 @@ fn rhd(
             let bytes = (shi - slo) * 4;
             let src_phys = map.physical(topo, r);
             let dst_phys = map.physical(topo, partner);
-            transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: 0 });
+            transfers.push(Transfer {
+                src: src_phys,
+                dst: dst_phys,
+                bytes,
+                reduce_bytes: 0,
+            });
             if let Some(d) = data.as_deref() {
                 msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), false));
             }
@@ -225,7 +249,12 @@ fn ring(
             let bytes = (hi - lo) * 4;
             let src_phys = map.physical(topo, r);
             let dst_phys = map.physical(topo, (r + 1) % p);
-            transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: bytes });
+            transfers.push(Transfer {
+                src: src_phys,
+                dst: dst_phys,
+                bytes,
+                reduce_bytes: bytes,
+            });
             if let Some(d) = data.as_deref() {
                 msgs.push((dst_phys, lo..hi, d[src_phys][lo..hi].to_vec(), true));
             }
@@ -245,7 +274,12 @@ fn ring(
             let bytes = (hi - lo) * 4;
             let src_phys = map.physical(topo, r);
             let dst_phys = map.physical(topo, (r + 1) % p);
-            transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: 0 });
+            transfers.push(Transfer {
+                src: src_phys,
+                dst: dst_phys,
+                bytes,
+                reduce_bytes: 0,
+            });
             if let Some(d) = data.as_deref() {
                 msgs.push((dst_phys, lo..hi, d[src_phys][lo..hi].to_vec(), false));
             }
@@ -266,7 +300,10 @@ fn binomial(
     mut data: Option<&mut [Vec<f32>]>,
 ) -> AllreduceReport {
     let p = topo.nodes;
-    assert!(p.is_power_of_two(), "binomial tree needs a power-of-two node count");
+    assert!(
+        p.is_power_of_two(),
+        "binomial tree needs a power-of-two node count"
+    );
     let bytes = elems * 4;
     let mut acc = StepAccum::new(topo, params);
     // Reduce to logical rank 0.
@@ -279,7 +316,12 @@ fn binomial(
                 let dst = r - mask;
                 let src_phys = map.physical(topo, r);
                 let dst_phys = map.physical(topo, dst);
-                transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: bytes });
+                transfers.push(Transfer {
+                    src: src_phys,
+                    dst: dst_phys,
+                    bytes,
+                    reduce_bytes: bytes,
+                });
                 if let Some(d) = data.as_deref() {
                     msgs.push((dst_phys, 0..elems, d[src_phys].clone(), true));
                 }
@@ -302,7 +344,12 @@ fn binomial(
                 if dst < p {
                     let src_phys = map.physical(topo, r);
                     let dst_phys = map.physical(topo, dst);
-                    transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: 0 });
+                    transfers.push(Transfer {
+                        src: src_phys,
+                        dst: dst_phys,
+                        bytes,
+                        reduce_bytes: 0,
+                    });
                     if let Some(d) = data.as_deref() {
                         msgs.push((dst_phys, 0..elems, d[src_phys].clone(), false));
                     }
@@ -325,7 +372,11 @@ mod tests {
 
     fn make_data(p: usize, elems: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
         let data: Vec<Vec<f32>> = (0..p)
-            .map(|r| (0..elems).map(|i| ((r * 31 + i * 7) % 23) as f32 - 11.0).collect())
+            .map(|r| {
+                (0..elems)
+                    .map(|i| ((r * 31 + i * 7) % 23) as f32 - 11.0)
+                    .collect()
+            })
             .collect();
         let mut want = vec![0.0f32; elems];
         for row in &data {
@@ -356,7 +407,12 @@ mod tests {
     fn rhd_is_correct() {
         for p in [2, 4, 8, 16] {
             check_correct(Algorithm::RecursiveHalvingDoubling, RankMap::Natural, p, 37);
-            check_correct(Algorithm::RecursiveHalvingDoubling, RankMap::RoundRobin, p, 64);
+            check_correct(
+                Algorithm::RecursiveHalvingDoubling,
+                RankMap::RoundRobin,
+                p,
+                64,
+            );
         }
     }
 
@@ -383,9 +439,21 @@ mod tests {
         let params = NetParams::sunway(ReduceEngine::CpeClusters);
         let n = 1 << 20;
         let rhd = allreduce(
-            &topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, n, None,
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::RecursiveHalvingDoubling,
+            n,
+            None,
         );
-        let bin = allreduce(&topo, &params, RankMap::Natural, Algorithm::Binomial, n, None);
+        let bin = allreduce(
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::Binomial,
+            n,
+            None,
+        );
         assert_eq!(rhd.steps, bin.steps);
         assert!(
             rhd.elapsed.seconds() < 0.8 * bin.elapsed.seconds(),
@@ -395,7 +463,12 @@ mod tests {
         );
         // With the round-robin mapping the gap widens decisively.
         let rr = allreduce(
-            &topo, &params, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, n, None,
+            &topo,
+            &params,
+            RankMap::RoundRobin,
+            Algorithm::RecursiveHalvingDoubling,
+            n,
+            None,
         );
         assert!(
             rr.elapsed.seconds() < 0.5 * bin.elapsed.seconds(),
@@ -413,10 +486,20 @@ mod tests {
         let params = NetParams::sunway(ReduceEngine::CpeClusters);
         let n = 1 << 18;
         let nat = allreduce(
-            &topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, n, None,
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::RecursiveHalvingDoubling,
+            n,
+            None,
         );
         let rr = allreduce(
-            &topo, &params, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, n, None,
+            &topo,
+            &params,
+            RankMap::RoundRobin,
+            Algorithm::RecursiveHalvingDoubling,
+            n,
+            None,
         );
         // Expected ratio: (p-q) : (p/q - 1) = 12 : 3 = 4.
         let ratio = nat.cross_bytes as f64 / rr.cross_bytes as f64;
@@ -433,7 +516,12 @@ mod tests {
         let n = 1024; // 4 KB of gradients
         let ring = allreduce(&topo, &params, RankMap::Natural, Algorithm::Ring, n, None);
         let rhd = allreduce(
-            &topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, n, None,
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::RecursiveHalvingDoubling,
+            n,
+            None,
         );
         assert!(ring.steps > rhd.steps * 5);
         assert!(ring.elapsed.seconds() > rhd.elapsed.seconds());
@@ -444,7 +532,12 @@ mod tests {
         let topo = Topology::new(1);
         let params = NetParams::sunway(ReduceEngine::CpeClusters);
         let r = allreduce(
-            &topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, 100, None,
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::RecursiveHalvingDoubling,
+            100,
+            None,
         );
         assert_eq!(r.elapsed, SimTime::ZERO);
     }
@@ -467,7 +560,11 @@ pub fn allreduce_any(
     } else {
         Algorithm::Ring
     };
-    let map = if topo.nodes.is_power_of_two() { map } else { RankMap::Natural };
+    let map = if topo.nodes.is_power_of_two() {
+        map
+    } else {
+        RankMap::Natural
+    };
     allreduce(topo, params, map, algo, elems, data)
 }
 
@@ -481,8 +578,9 @@ mod any_tests {
         for p in [3usize, 5, 6, 7, 12, 8, 16] {
             let topo = Topology::with_supernode(p, (p / 2).max(1));
             let params = NetParams::sunway(ReduceEngine::CpeClusters);
-            let mut data: Vec<Vec<f32>> =
-                (0..p).map(|r| (0..17).map(|i| (r + i) as f32).collect()).collect();
+            let mut data: Vec<Vec<f32>> = (0..p)
+                .map(|r| (0..17).map(|i| (r + i) as f32).collect())
+                .collect();
             let mut want = vec![0.0f32; 17];
             for row in &data {
                 for (w, v) in want.iter_mut().zip(row) {

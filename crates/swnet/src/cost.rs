@@ -129,7 +129,11 @@ impl NetParams {
 
     /// Fig. 6 bandwidth curve (bytes/s) for a message size.
     pub fn p2p_bandwidth(&self, bytes: usize, oversubscribed: bool) -> f64 {
-        let share = if oversubscribed { OVERSUBSCRIPTION as f64 } else { 1.0 };
+        let share = if oversubscribed {
+            OVERSUBSCRIPTION as f64
+        } else {
+            1.0
+        };
         bytes as f64 / self.p2p(bytes, share).seconds()
     }
 
@@ -222,7 +226,12 @@ mod tests {
         let p = NetParams::sunway(ReduceEngine::Mpe);
         let n = 1 << 20;
         let transfers: Vec<Transfer> = (0..4)
-            .map(|i| Transfer { src: i, dst: i + 4, bytes: n, reduce_bytes: 0 })
+            .map(|i| Transfer {
+                src: i,
+                dst: i + 4,
+                bytes: n,
+                reduce_bytes: 0,
+            })
             .collect();
         let t = step_time(&topo, &p, &transfers).seconds();
         let want = p.alpha(n) + n as f64 * p.beta2();
@@ -237,7 +246,12 @@ mod tests {
         let t = step_time(
             &topo,
             &p,
-            &[Transfer { src: 0, dst: 5, bytes: n, reduce_bytes: 0 }],
+            &[Transfer {
+                src: 0,
+                dst: 5,
+                bytes: n,
+                reduce_bytes: 0,
+            }],
         )
         .seconds();
         let want = p.alpha(n) + n as f64 * p.beta1;
@@ -250,7 +264,12 @@ mod tests {
         let p = NetParams::sunway(ReduceEngine::Mpe);
         let n = 1 << 16;
         let transfers: Vec<Transfer> = (0..2)
-            .map(|i| Transfer { src: i, dst: i + 2, bytes: n, reduce_bytes: n })
+            .map(|i| Transfer {
+                src: i,
+                dst: i + 2,
+                bytes: n,
+                reduce_bytes: n,
+            })
             .collect();
         let t = step_time(&topo, &p, &transfers).seconds();
         let want = p.alpha(n) + n as f64 * (p.beta1 + p.gamma());

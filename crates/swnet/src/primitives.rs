@@ -25,7 +25,10 @@ pub fn broadcast(
     mut data: Option<&mut [Vec<f32>]>,
 ) -> CollectiveReport {
     let p = topo.nodes;
-    assert!(p.is_power_of_two(), "binomial broadcast needs a power-of-two node count");
+    assert!(
+        p.is_power_of_two(),
+        "binomial broadcast needs a power-of-two node count"
+    );
     if let Some(d) = data.as_deref() {
         assert_eq!(d.len(), p);
     }
@@ -41,7 +44,12 @@ pub fn broadcast(
             if dst < p {
                 let src_phys = map.physical(topo, r);
                 let dst_phys = map.physical(topo, dst);
-                transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: 0 });
+                transfers.push(Transfer {
+                    src: src_phys,
+                    dst: dst_phys,
+                    bytes,
+                    reduce_bytes: 0,
+                });
                 moves.push((src_phys, dst_phys));
             }
         }
@@ -67,7 +75,10 @@ pub fn reduce(
     mut data: Option<&mut [Vec<f32>]>,
 ) -> CollectiveReport {
     let p = topo.nodes;
-    assert!(p.is_power_of_two(), "binomial reduce needs a power-of-two node count");
+    assert!(
+        p.is_power_of_two(),
+        "binomial reduce needs a power-of-two node count"
+    );
     let bytes = elems * 4;
     let mut elapsed = SimTime::ZERO;
     let mut steps = 0;
@@ -80,7 +91,12 @@ pub fn reduce(
             if src < p {
                 let src_phys = map.physical(topo, src);
                 let dst_phys = map.physical(topo, r);
-                transfers.push(Transfer { src: src_phys, dst: dst_phys, bytes, reduce_bytes: bytes });
+                transfers.push(Transfer {
+                    src: src_phys,
+                    dst: dst_phys,
+                    bytes,
+                    reduce_bytes: bytes,
+                });
                 moves.push((src_phys, dst_phys));
             }
         }
@@ -117,7 +133,12 @@ pub fn parameter_server_round(
         elapsed += step_time(
             topo,
             params,
-            &[Transfer { src: (server_phys + 1) % p, dst: server_phys, bytes, reduce_bytes: bytes }],
+            &[Transfer {
+                src: (server_phys + 1) % p,
+                dst: server_phys,
+                bytes,
+                reduce_bytes: bytes,
+            }],
         );
     }
     // Outbound: p-1 sends of the fresh parameters.
@@ -125,10 +146,18 @@ pub fn parameter_server_round(
         elapsed += step_time(
             topo,
             params,
-            &[Transfer { src: server_phys, dst: (server_phys + 1) % p, bytes, reduce_bytes: 0 }],
+            &[Transfer {
+                src: server_phys,
+                dst: (server_phys + 1) % p,
+                bytes,
+                reduce_bytes: 0,
+            }],
         );
     }
-    CollectiveReport { elapsed, steps: 2 * (p - 1) }
+    CollectiveReport {
+        elapsed,
+        steps: 2 * (p - 1),
+    }
 }
 
 #[cfg(test)]
@@ -138,8 +167,9 @@ mod tests {
     use crate::cost::ReduceEngine;
 
     fn data(p: usize, elems: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
-        let d: Vec<Vec<f32>> =
-            (0..p).map(|r| (0..elems).map(|i| (r * 3 + i) as f32).collect()).collect();
+        let d: Vec<Vec<f32>> = (0..p)
+            .map(|r| (0..elems).map(|i| (r * 3 + i) as f32).collect())
+            .collect();
         let mut sum = vec![0.0f32; elems];
         for row in &d {
             for (s, v) in sum.iter_mut().zip(row) {
@@ -185,7 +215,14 @@ mod tests {
             }
         }
         let (mut d2, _) = data(8, 21);
-        allreduce(&topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, 21, Some(&mut d2));
+        allreduce(
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::RecursiveHalvingDoubling,
+            21,
+            Some(&mut d2),
+        );
         for (a, b) in d1.iter().zip(&d2) {
             for (x, y) in a.iter().zip(b) {
                 assert!((x - y).abs() < 1e-4);
@@ -202,7 +239,12 @@ mod tests {
         let elems = 10_000_000; // 40 MB
         let ps = parameter_server_round(&topo, &params, 0, elems);
         let ar = allreduce(
-            &topo, &params, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, elems, None,
+            &topo,
+            &params,
+            RankMap::RoundRobin,
+            Algorithm::RecursiveHalvingDoubling,
+            elems,
+            None,
         );
         assert!(
             ps.elapsed.seconds() > 10.0 * ar.elapsed.seconds(),

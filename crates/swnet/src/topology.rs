@@ -21,13 +21,19 @@ pub struct Topology {
 impl Topology {
     /// Standard allocation: contiguous ranks, 256-node supernodes.
     pub fn new(nodes: usize) -> Self {
-        Topology { nodes, supernode_size: SUPERNODE_SIZE }
+        Topology {
+            nodes,
+            supernode_size: SUPERNODE_SIZE,
+        }
     }
 
     /// Test-friendly allocation with a custom supernode size.
     pub fn with_supernode(nodes: usize, supernode_size: usize) -> Self {
         assert!(supernode_size >= 1);
-        Topology { nodes, supernode_size }
+        Topology {
+            nodes,
+            supernode_size,
+        }
     }
 
     /// Supernode housing a physical rank.
@@ -131,7 +137,10 @@ mod tests {
         for l in 0..4 {
             let a = m.physical(&t, l);
             let b = m.physical(&t, l + 4);
-            assert!(!t.crosses(a, b), "distance-4 pair ({l}) must be intra-supernode");
+            assert!(
+                !t.crosses(a, b),
+                "distance-4 pair ({l}) must be intra-supernode"
+            );
         }
         // And distance 1 crosses.
         let a = m.physical(&t, 0);

@@ -12,7 +12,7 @@ use sw26010::{ExecMode, SimTime};
 use swcaffe_core::{NetDef, SolverConfig};
 use swnet::{allreduce, Algorithm, NetParams, RankMap, Topology};
 
-use crate::ssgd::{ChipIteration, ChipTrainer};
+use crate::ssgd::{CgBatch, ChipIteration, ChipTrainer};
 
 /// Cluster-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -82,17 +82,18 @@ impl ClusterTrainer {
         config: ClusterConfig,
         mode: ExecMode,
     ) -> Result<Self, String> {
-        let chips: Result<Vec<_>, _> =
-            (0..config.nodes).map(|_| ChipTrainer::new(def, solver, mode)).collect();
-        Ok(ClusterTrainer { config, chips: chips? })
+        let chips: Result<Vec<_>, _> = (0..config.nodes)
+            .map(|_| ChipTrainer::new(def, solver, mode))
+            .collect();
+        Ok(ClusterTrainer {
+            config,
+            chips: chips?,
+        })
     }
 
     /// One synchronous iteration across all nodes. `inputs[node][cg]` are
     /// the per-CG (data, labels) pairs; `None` in timing mode.
-    pub fn iteration(
-        &mut self,
-        inputs: Option<&[Vec<(Vec<f32>, Vec<f32>)>]>,
-    ) -> ClusterIteration {
+    pub fn iteration(&mut self, inputs: Option<&[Vec<CgBatch>]>) -> ClusterIteration {
         let n = self.config.nodes;
         let functional = inputs.is_some();
         // Phase 1-3 on every node.
@@ -104,8 +105,14 @@ impl ClusterTrainer {
             grads.push(g);
         }
         // Synchronous step: the iteration advances at the slowest node.
-        let compute = reports.iter().map(|r| r.compute).fold(SimTime::ZERO, SimTime::max);
-        let intra_pre = reports.iter().map(|r| r.intra).fold(SimTime::ZERO, SimTime::max);
+        let compute = reports
+            .iter()
+            .map(|r| r.compute)
+            .fold(SimTime::ZERO, SimTime::max);
+        let intra_pre = reports
+            .iter()
+            .map(|r| r.intra)
+            .fold(SimTime::ZERO, SimTime::max);
 
         // All-reduce the packed gradients.
         let topo = self.config.topology();
@@ -134,7 +141,14 @@ impl ClusterTrainer {
             Some((model, bytes)) => swio::io_stall(model.batch_read_time(n, bytes), compute),
             None => SimTime::ZERO,
         };
-        ClusterIteration { loss, compute, comm, intra: intra_pre + intra_post, update, io_stall }
+        ClusterIteration {
+            loss,
+            compute,
+            comm,
+            intra: intra_pre + intra_post,
+            update,
+            io_stall,
+        }
     }
 }
 
@@ -150,7 +164,7 @@ mod tests {
         classes: usize,
         img: usize,
         seed: usize,
-    ) -> Vec<Vec<(Vec<f32>, Vec<f32>)>> {
+    ) -> Vec<Vec<CgBatch>> {
         (0..nodes)
             .map(|node| {
                 (0..CORE_GROUPS)
@@ -224,7 +238,12 @@ mod tests {
         // is batch-size associative).
         let img = 3 * 16 * 16;
         let classes = 3;
-        let solver = SolverConfig { base_lr: 0.1, momentum: 0.0, weight_decay: 0.0, ..Default::default() };
+        let solver = SolverConfig {
+            base_lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            ..Default::default()
+        };
 
         // Build one deterministic pool of 8 (data, label) samples.
         let pool = synth_cluster_inputs(2, 1, classes, img, 9);
@@ -233,7 +252,10 @@ mod tests {
         let mut cluster = ClusterTrainer::new(
             &def_small,
             solver,
-            ClusterConfig { supernode_size: 2, ..ClusterConfig::swcaffe(2) },
+            ClusterConfig {
+                supernode_size: 2,
+                ..ClusterConfig::swcaffe(2)
+            },
             ExecMode::Functional,
         )
         .unwrap();
@@ -242,8 +264,7 @@ mod tests {
 
         // Single node with per-CG batch 2 sees the same 8 samples.
         let def_big = plain_cnn(2, classes);
-        let mut single =
-            ChipTrainer::new(&def_big, solver, ExecMode::Functional).unwrap();
+        let mut single = ChipTrainer::new(&def_big, solver, ExecMode::Functional).unwrap();
         let merged: Vec<(Vec<f32>, Vec<f32>)> = (0..CORE_GROUPS)
             .map(|cgi| {
                 // CG cgi of the big node takes node0.cg and node1.cg
@@ -275,7 +296,10 @@ mod tests {
         let mut cluster = ClusterTrainer::new(
             &def,
             SolverConfig::default(),
-            ClusterConfig { supernode_size: 4, ..ClusterConfig::swcaffe(8) },
+            ClusterConfig {
+                supernode_size: 4,
+                ..ClusterConfig::swcaffe(8)
+            },
             ExecMode::TimingOnly,
         )
         .unwrap();

@@ -13,6 +13,7 @@
 
 pub mod cluster;
 pub mod packing;
+pub mod profile;
 pub mod scaling;
 pub mod ssgd;
 pub mod sync;
@@ -21,6 +22,6 @@ pub mod trainer;
 pub use cluster::{ClusterConfig, ClusterIteration, ClusterTrainer};
 pub use packing::{pack_gradients, pack_params, unpack_gradients, unpack_params};
 pub use scaling::{ScalingModel, ScalingPoint};
-pub use ssgd::{evaluate, ChipIteration, ChipTrainer};
+pub use ssgd::{evaluate, CgBatch, ChipIteration, ChipTrainer};
 pub use sync::HandshakeBarrier;
 pub use trainer::{TrainConfig, TrainRecord, Trainer};

@@ -123,8 +123,22 @@ mod tests {
     fn packed_allreduce_beats_per_layer() {
         // VGG-16-like distribution: one huge fc, many small convs.
         let layers: Vec<usize> = vec![
-            1_728, 36_864, 73_728, 147_456, 294_912, 589_824, 589_824, 1_179_648, 2_359_296,
-            2_359_296, 2_359_296, 2_359_296, 2_359_296, 102_760_448, 16_777_216, 4_096_000,
+            1_728,
+            36_864,
+            73_728,
+            147_456,
+            294_912,
+            589_824,
+            589_824,
+            1_179_648,
+            2_359_296,
+            2_359_296,
+            2_359_296,
+            2_359_296,
+            2_359_296,
+            102_760_448,
+            16_777_216,
+            4_096_000,
         ];
         let topo = Topology::with_supernode(64, 32);
         let params = NetParams::sunway_allreduce(ReduceEngine::CpeClusters);

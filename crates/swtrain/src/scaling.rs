@@ -47,8 +47,15 @@ impl ScalingModel {
     pub fn point(&self, nodes: usize) -> ScalingPoint {
         let topo = Topology::new(nodes);
         let comm = if nodes > 1 {
-            allreduce(&topo, &self.net, self.rank_map, self.algorithm, self.param_elems, None)
-                .elapsed
+            allreduce(
+                &topo,
+                &self.net,
+                self.rank_map,
+                self.algorithm,
+                self.param_elems,
+                None,
+            )
+            .elapsed
         } else {
             SimTime::ZERO
         };
@@ -115,7 +122,11 @@ mod tests {
         let mut last = 0.0;
         for p in &curve {
             assert!(p.speedup >= last, "speedup dipped at {}", p.nodes);
-            assert!(p.speedup <= p.nodes as f64 + 1e-9, "superlinear at {}", p.nodes);
+            assert!(
+                p.speedup <= p.nodes as f64 + 1e-9,
+                "superlinear at {}",
+                p.nodes
+            );
             last = p.speedup;
         }
         let p1024 = curve.last().unwrap();

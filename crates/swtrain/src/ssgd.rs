@@ -16,6 +16,9 @@ use swdnn::elementwise as ew;
 use crate::packing::{pack_gradients, pack_params, unpack_gradients, unpack_params};
 use crate::sync::{HandshakeBarrier, HANDSHAKE_SECONDS};
 
+/// One core group's `(data, labels)` input pair.
+pub type CgBatch = (Vec<f32>, Vec<f32>);
+
 /// Per-iteration timing breakdown of one chip.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ChipIteration {
@@ -44,8 +47,9 @@ impl ChipTrainer {
     /// `def` must be defined at the *per-CG* batch size (b/4).
     pub fn new(def: &NetDef, solver: SolverConfig, mode: ExecMode) -> Result<Self, String> {
         let materialize = mode.is_functional();
-        let nets: Result<Vec<Net>, String> =
-            (0..CORE_GROUPS).map(|_| Net::from_def(def, materialize)).collect();
+        let nets: Result<Vec<Net>, String> = (0..CORE_GROUPS)
+            .map(|_| Net::from_def(def, materialize))
+            .collect();
         let nets = nets?;
         let cg_batch = nets[0].blob("data").shape()[0];
         let param_elems = nets[0].param_len();
@@ -61,6 +65,15 @@ impl ChipTrainer {
 
     pub fn param_elems(&self) -> usize {
         self.param_elems
+    }
+
+    /// Hardware counters aggregated over all four core groups.
+    pub fn stats(&self) -> sw26010::Stats {
+        let mut s = sw26010::Stats::default();
+        for cg in &self.cgs {
+            s.merge(cg.stats());
+        }
+        s
     }
 
     /// Gradient bytes exchanged by the all-reduce.
@@ -121,7 +134,10 @@ impl ChipTrainer {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("CG thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("CG thread panicked"))
+                .collect()
         });
 
         let compute = self
@@ -135,12 +151,21 @@ impl ChipTrainer {
         // on its CPE cluster.
         let intra_before = self.cgs[0].elapsed();
         let noc = Chip::noc_transfer_time(self.param_bytes());
-        let mut packed = if functional { pack_gradients(&self.nets[0]) } else { Vec::new() };
+        let mut packed = if functional {
+            pack_gradients(&self.nets[0])
+        } else {
+            Vec::new()
+        };
         for i in 1..CORE_GROUPS {
             self.cgs[0].charge(noc);
             if functional {
                 let other = pack_gradients(&self.nets[i]);
-                ew::axpy(&mut self.cgs[0], self.param_elems, 1.0, Some((&other, &mut packed)));
+                ew::axpy(
+                    &mut self.cgs[0],
+                    self.param_elems,
+                    1.0,
+                    Some((&other, &mut packed)),
+                );
             } else {
                 ew::axpy(&mut self.cgs[0], self.param_elems, 1.0, None);
             }
@@ -148,18 +173,26 @@ impl ChipTrainer {
         let intra = self.cgs[0].elapsed() - intra_before;
 
         let loss = losses.iter().sum::<f32>() / CORE_GROUPS as f32;
-        (ChipIteration { loss, compute, intra, update: SimTime::ZERO }, packed)
+        (
+            ChipIteration {
+                loss,
+                compute,
+                intra,
+                update: SimTime::ZERO,
+            },
+            packed,
+        )
     }
 
     /// Phases 4-5: scale the summed gradient by `scale` (1/(4N) across the
     /// job), apply the SGD update on CG0, and re-broadcast the weights to
     /// the other core groups. Returns (update time, intra-chip broadcast
     /// time).
-    pub fn apply_update(&mut self, packed: &mut Vec<f32>, scale: f32) -> (SimTime, SimTime) {
+    pub fn apply_update(&mut self, packed: &mut [f32], scale: f32) -> (SimTime, SimTime) {
         let functional = self.mode.is_functional();
         let t0 = self.cgs[0].elapsed();
         if functional {
-            ew::scale(&mut self.cgs[0], self.param_elems, scale, Some(packed));
+            ew::scale(&mut self.cgs[0], self.param_elems, scale, Some(&mut *packed));
             unpack_gradients(&mut self.nets[0], packed);
         } else {
             ew::scale(&mut self.cgs[0], self.param_elems, scale, None);
@@ -205,7 +238,12 @@ mod tests {
     use super::*;
     use swcaffe_core::models;
 
-    fn synth_inputs(cg_batch: usize, classes: usize, img: usize, seed: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
+    fn synth_inputs(
+        cg_batch: usize,
+        classes: usize,
+        img: usize,
+        seed: usize,
+    ) -> Vec<(Vec<f32>, Vec<f32>)> {
         (0..CORE_GROUPS)
             .map(|cgi| {
                 let mut data = vec![0.0f32; cg_batch * img];
@@ -214,9 +252,9 @@ mod tests {
                     let class = (b + cgi + seed) % classes;
                     labels[b] = class as f32;
                     for i in 0..img {
-                        let noise =
-                            (((b * 131 + i * 31 + cgi * 7 + seed * 13) % 89) as f32 / 89.0 - 0.5)
-                                * 0.2;
+                        let noise = (((b * 131 + i * 31 + cgi * 7 + seed * 13) % 89) as f32 / 89.0
+                            - 0.5)
+                            * 0.2;
                         let stripe = (i * classes / img) == class;
                         data[b * img + i] = noise + if stripe { 1.0 } else { 0.0 };
                     }
@@ -231,7 +269,10 @@ mod tests {
         let def = models::tiny_cnn(2, 3); // per-CG batch 2 => chip batch 8
         let mut trainer = ChipTrainer::new(
             &def,
-            SolverConfig { base_lr: 0.05, ..Default::default() },
+            SolverConfig {
+                base_lr: 0.05,
+                ..Default::default()
+            },
             ExecMode::Functional,
         )
         .unwrap();
@@ -240,9 +281,14 @@ mod tests {
         let first = trainer.iteration(Some(&synth_inputs(2, 3, img, 0))).loss;
         let mut last = first;
         for it in 1..20 {
-            last = trainer.iteration(Some(&synth_inputs(2, 3, img, it % 3))).loss;
+            last = trainer
+                .iteration(Some(&synth_inputs(2, 3, img, it % 3)))
+                .loss;
         }
-        assert!(last < 0.7 * first, "chip SSGD failed to learn: {first} -> {last}");
+        assert!(
+            last < 0.7 * first,
+            "chip SSGD failed to learn: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -310,12 +356,12 @@ mod tests {
 /// Evaluate a trained chip on held-out batches: switches the primary
 /// replica to `Phase::Test` (running BN statistics, dropout off), runs
 /// forward passes on CG0, and reports mean loss and accuracy.
-pub fn evaluate(
-    trainer: &mut ChipTrainer,
-    batches: &[(Vec<f32>, Vec<f32>)],
-) -> (f32, f32) {
+pub fn evaluate(trainer: &mut ChipTrainer, batches: &[(Vec<f32>, Vec<f32>)]) -> (f32, f32) {
     use swcaffe_core::Phase;
-    assert!(trainer.mode.is_functional(), "evaluation needs functional mode");
+    assert!(
+        trainer.mode.is_functional(),
+        "evaluation needs functional mode"
+    );
     let net = &mut trainer.nets[0];
     net.set_phase(Phase::Test);
     let cg = &mut trainer.cgs[0];
@@ -345,7 +391,10 @@ mod eval_tests {
         let def = models::tiny_cnn(2, classes);
         let mut trainer = ChipTrainer::new(
             &def,
-            SolverConfig { base_lr: 0.05, ..Default::default() },
+            SolverConfig {
+                base_lr: 0.05,
+                ..Default::default()
+            },
             ExecMode::Functional,
         )
         .unwrap();
@@ -357,8 +406,7 @@ mod eval_tests {
                 let class = (b + seed) % classes;
                 labels[b] = class as f32;
                 for i in 0..img {
-                    let noise =
-                        (((b * 131 + i * 31 + seed * 13) % 89) as f32 / 89.0 - 0.5) * 0.2;
+                    let noise = (((b * 131 + i * 31 + seed * 13) % 89) as f32 / 89.0 - 0.5) * 0.2;
                     let stripe = (i * classes / img) == class;
                     data[b * img + i] = noise + if stripe { 1.0 } else { 0.0 };
                 }
@@ -368,8 +416,7 @@ mod eval_tests {
         let eval_set: Vec<(Vec<f32>, Vec<f32>)> = (0..4).map(make).collect();
         let (loss_before, _) = evaluate(&mut trainer, &eval_set);
         for it in 0..15 {
-            let inputs: Vec<(Vec<f32>, Vec<f32>)> =
-                (0..4).map(|cg| make(it + cg)).collect();
+            let inputs: Vec<(Vec<f32>, Vec<f32>)> = (0..4).map(|cg| make(it + cg)).collect();
             trainer.iteration(Some(&inputs));
         }
         let (loss_after, acc_after) = evaluate(&mut trainer, &eval_set);

@@ -21,7 +21,11 @@ pub struct HandshakeBarrier {
 impl HandshakeBarrier {
     pub fn new(parties: usize) -> Self {
         assert!(parties >= 1);
-        HandshakeBarrier { parties, arrived: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+        HandshakeBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
     }
 
     /// Enter the barrier; returns once all parties have arrived.
@@ -72,13 +76,13 @@ mod tests {
         std::thread::scope(|s| {
             for _ in 0..parties {
                 s.spawn(|| {
-                    for phase in 0..16 {
-                        phase_counts[phase].fetch_add(1, Ordering::SeqCst);
+                    for (phase, count) in phase_counts.iter().enumerate() {
+                        count.fetch_add(1, Ordering::SeqCst);
                         barrier.wait();
                         // After the barrier, everyone must have bumped
                         // this phase.
                         assert_eq!(
-                            phase_counts[phase].load(Ordering::SeqCst),
+                            count.load(Ordering::SeqCst),
                             parties as u64,
                             "phase {phase} incomplete after barrier"
                         );

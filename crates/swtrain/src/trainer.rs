@@ -62,13 +62,28 @@ impl Trainer {
         for i in 0..config.eval_batches {
             let mut data = vec![0.0f32; cg_batch * c * h * w];
             let mut labels = vec![0.0f32; cg_batch];
-            dataset.fill_batch(1_000_000 + i as u64, cg_batch, c, h, w, &mut data, &mut labels);
+            dataset.fill_batch(
+                1_000_000 + i as u64,
+                cg_batch,
+                c,
+                h,
+                w,
+                &mut data,
+                &mut labels,
+            );
             for l in labels.iter_mut() {
                 *l %= config.classes as f32;
             }
             eval_set.push((data, labels));
         }
-        Ok(Trainer { chip, dataset, prefetcher, config, input_chw: (c, h, w), eval_set })
+        Ok(Trainer {
+            chip,
+            dataset,
+            prefetcher,
+            config,
+            input_chw: (c, h, w),
+            eval_set,
+        })
     }
 
     /// Run `iters` iterations; returns the log.
@@ -136,7 +151,10 @@ mod tests {
         let classes = 4;
         let def = models::tiny_cnn(2, classes);
         let config = TrainConfig {
-            solver: SolverConfig { base_lr: 0.05, ..Default::default() },
+            solver: SolverConfig {
+                base_lr: 0.05,
+                ..Default::default()
+            },
             eval_every: 10,
             eval_batches: 3,
             classes,

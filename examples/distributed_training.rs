@@ -23,8 +23,14 @@ fn main() {
 
     let mut cluster = ClusterTrainer::new(
         &def,
-        SolverConfig { base_lr: 0.05, ..Default::default() },
-        ClusterConfig { supernode_size: 2, ..ClusterConfig::swcaffe(nodes) },
+        SolverConfig {
+            base_lr: 0.05,
+            ..Default::default()
+        },
+        ClusterConfig {
+            supernode_size: 2,
+            ..ClusterConfig::swcaffe(nodes)
+        },
         ExecMode::Functional,
     )
     .expect("valid net");
@@ -36,7 +42,12 @@ fn main() {
         .map(|n| Prefetcher::spawn(dataset, io, nodes, 4 * cg_batch, 3, 16, 16, n as u64 * 1000))
         .collect();
 
-    println!("training {} nodes x chip-batch {} = job batch {}:", nodes, 4 * cg_batch, nodes * 4 * cg_batch);
+    println!(
+        "training {} nodes x chip-batch {} = job batch {}:",
+        nodes,
+        4 * cg_batch,
+        nodes * 4 * cg_batch
+    );
     for iter in 0..10 {
         // Pull one chip mini-batch per node and slice it across the CGs.
         let per_img = 3 * 16 * 16;
@@ -46,7 +57,8 @@ fn main() {
                 let batch = p.next();
                 (0..4)
                     .map(|cg| {
-                        let d = batch.data[cg * cg_batch * per_img..][..cg_batch * per_img].to_vec();
+                        let d =
+                            batch.data[cg * cg_batch * per_img..][..cg_batch * per_img].to_vec();
                         let mut l = batch.labels[cg * cg_batch..][..cg_batch].to_vec();
                         for v in l.iter_mut() {
                             *v %= classes as f32;
@@ -76,7 +88,10 @@ fn main() {
         algorithm: Algorithm::RecursiveHalvingDoubling,
         io: Some((io, 192 << 20)),
     };
-    println!("{:>7} {:>10} {:>10} {:>10} {:>9}", "nodes", "iter (s)", "speedup", "comm %", "io stall");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10} {:>9}",
+        "nodes", "iter (s)", "speedup", "comm %", "io stall"
+    );
     for p in model.curve(1024) {
         println!(
             "{:>7} {:>10.3} {:>10.1} {:>10.1} {:>9.3}",

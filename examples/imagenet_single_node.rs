@@ -25,7 +25,10 @@ fn pick(name: &str) -> (NetDef, NetDef, usize) {
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "alexnet".into());
     let (cg_def, _full_def, chip_batch) = pick(&name);
-    println!("{name}: chip batch {chip_batch} (per core group: {})", chip_batch / 4);
+    println!(
+        "{name}: chip batch {chip_batch} (per core group: {})",
+        chip_batch / 4
+    );
 
     // Per-layer breakdown on one core group.
     let mut net = Net::from_def(&cg_def, false).expect("valid net");
@@ -52,10 +55,19 @@ fn main() {
     let report = trainer.iteration(None);
     let iter = ChipTrainer::iteration_time(&report);
     println!("\nwhole-chip iteration:");
-    println!("  compute (slowest CG):   {:.3} s", report.compute.seconds());
+    println!(
+        "  compute (slowest CG):   {:.3} s",
+        report.compute.seconds()
+    );
     println!("  intra-chip gather/bcast:{:.3} s", report.intra.seconds());
     println!("  SGD update:             {:.3} s", report.update.seconds());
     println!("  total:                  {:.3} s", iter.seconds());
-    println!("  throughput:             {:.2} img/s (Table III, SW column)", chip_batch as f64 / iter.seconds());
-    println!("  gradient size:          {:.1} MB", trainer.param_bytes() as f64 / 1e6);
+    println!(
+        "  throughput:             {:.2} img/s (Table III, SW column)",
+        chip_batch as f64 / iter.seconds()
+    );
+    println!(
+        "  gradient size:          {:.1} MB",
+        trainer.param_bytes() as f64 / 1e6
+    );
 }

@@ -19,7 +19,11 @@ fn main() {
     }
 
     let mut net = Net::from_def(&def, true).expect("valid net");
-    println!("\nparameters: {} floats ({:.1} KB)", net.param_len(), net.param_len() as f64 * 4.0 / 1024.0);
+    println!(
+        "\nparameters: {} floats ({:.1} KB)",
+        net.param_len(),
+        net.param_len() as f64 * 4.0 / 1024.0
+    );
 
     // One simulated core group, functional mode: the math really runs.
     let mut cg = CoreGroup::new(ExecMode::Functional);

@@ -31,20 +31,26 @@ fn main() {
     let def = models::tiny_cnn(cg_batch, classes);
     let mut trainer = ChipTrainer::new(
         &def,
-        SolverConfig { base_lr: 0.05, lars_trust: Some(0.02), ..Default::default() },
+        SolverConfig {
+            base_lr: 0.05,
+            lars_trust: Some(0.02),
+            ..Default::default()
+        },
         ExecMode::Functional,
     )
     .expect("valid net");
 
     println!("{}", trainer.net().summary());
 
-    let eval_set: Vec<(Vec<f32>, Vec<f32>)> = (0..6).map(|s| make_batch(cg_batch, classes, s)).collect();
+    let eval_set: Vec<(Vec<f32>, Vec<f32>)> =
+        (0..6).map(|s| make_batch(cg_batch, classes, s)).collect();
     let (loss0, acc0) = evaluate(&mut trainer, &eval_set);
     println!("before training: eval loss {loss0:.4}, accuracy {acc0:.2}");
 
     for it in 0..25 {
-        let inputs: Vec<(Vec<f32>, Vec<f32>)> =
-            (0..4).map(|cg| make_batch(cg_batch, classes, it + cg)).collect();
+        let inputs: Vec<(Vec<f32>, Vec<f32>)> = (0..4)
+            .map(|cg| make_batch(cg_batch, classes, it + cg))
+            .collect();
         let r = trainer.iteration(Some(&inputs));
         if it % 8 == 0 {
             println!("iter {it:>2}: train loss {:.4}", r.loss);
@@ -56,7 +62,11 @@ fn main() {
     // Snapshot to disk and restore into a brand-new network.
     let path = std::env::temp_dir().join("swcaffe_example_snapshot.bin");
     snapshot::save(trainer.net(), &path).expect("snapshot written");
-    println!("\nsnapshot: {} ({} bytes)", path.display(), std::fs::metadata(&path).unwrap().len());
+    println!(
+        "\nsnapshot: {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).unwrap().len()
+    );
 
     let mut restored = Net::from_def(&def, true).expect("valid net");
     snapshot::load(&mut restored, &path).expect("snapshot read");
@@ -69,5 +79,7 @@ fn main() {
     restored.set_input("data", data);
     restored.set_input("label", labels);
     let loss_restored = restored.forward(&mut cg);
-    println!("restored network eval-batch loss: {loss_restored:.4} (snapshots carry BN running stats)");
+    println!(
+        "restored network eval-batch loss: {loss_restored:.4} (snapshots carry BN running stats)"
+    );
 }

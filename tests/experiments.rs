@@ -95,7 +95,10 @@ fn table2_gflops_hierarchy() {
     let conv5_1 = rate(512, 512, 14);
     assert!(conv1_1 < 120.0, "conv1_1 at {conv1_1:.0} Gflops");
     assert!(conv3_1 > 250.0, "conv3_1 at {conv3_1:.0} Gflops");
-    assert!(conv5_1 > 300.0 && conv5_1 < 742.4, "conv5_1 at {conv5_1:.0}");
+    assert!(
+        conv5_1 > 300.0 && conv5_1 < 742.4,
+        "conv5_1 at {conv5_1:.0}"
+    );
     assert!(conv1_1 < conv3_1 && conv3_1 < conv5_1 * 1.2);
 }
 
@@ -108,7 +111,11 @@ fn table3_throughput_shape() {
     let gpu = gpu_k40m();
     let cpu = cpu_e5_2680v3();
     let ratios: Vec<(&str, f64, f64)> = vec![
-        ("alexnet", sw_img_per_sec(&models::alexnet_bn(64), 256), 256.0),
+        (
+            "alexnet",
+            sw_img_per_sec(&models::alexnet_bn(64), 256),
+            256.0,
+        ),
         ("vgg16", sw_img_per_sec(&models::vgg16(16), 64), 64.0),
         ("resnet50", sw_img_per_sec(&models::resnet50(8), 32), 32.0),
     ]
@@ -129,8 +136,14 @@ fn table3_throughput_shape() {
     let (alex_nv, alex_cpu) = (ratios[0].1, ratios[0].2);
     let (vgg_nv, _) = (ratios[1].1, ratios[1].2);
     let (res_nv, res_cpu) = (ratios[2].1, ratios[2].2);
-    assert!(alex_nv > 1.0, "SW must beat the K40m on AlexNet: {alex_nv:.2}");
-    assert!(vgg_nv < 1.0 && vgg_nv > 0.3, "VGG-16 SW/NV {vgg_nv:.2} (paper 0.45)");
+    assert!(
+        alex_nv > 1.0,
+        "SW must beat the K40m on AlexNet: {alex_nv:.2}"
+    );
+    assert!(
+        vgg_nv < 1.0 && vgg_nv > 0.3,
+        "VGG-16 SW/NV {vgg_nv:.2} (paper 0.45)"
+    );
     assert!(res_nv < vgg_nv, "ResNet must be SW's weakest vs GPU");
     assert!(alex_cpu > 3.0 && res_cpu > 1.5, "SW several times the CPU");
 }
@@ -143,19 +156,39 @@ fn fig7_improved_allreduce_wins() {
     let params = NetParams::sunway_allreduce(ReduceEngine::CpeClusters);
     let elems = 58_150_000; // AlexNet
     let nat = allreduce(
-        &topo, &params, RankMap::Natural, Algorithm::RecursiveHalvingDoubling, elems, None,
+        &topo,
+        &params,
+        RankMap::Natural,
+        Algorithm::RecursiveHalvingDoubling,
+        elems,
+        None,
     );
     let rr = allreduce(
-        &topo, &params, RankMap::RoundRobin, Algorithm::RecursiveHalvingDoubling, elems, None,
+        &topo,
+        &params,
+        RankMap::RoundRobin,
+        Algorithm::RecursiveHalvingDoubling,
+        elems,
+        None,
     );
-    let ring = allreduce(&topo, &params, RankMap::Natural, Algorithm::Ring, elems, None);
+    let ring = allreduce(
+        &topo,
+        &params,
+        RankMap::Natural,
+        Algorithm::Ring,
+        elems,
+        None,
+    );
     assert!(
         rr.elapsed.seconds() < 0.5 * nat.elapsed.seconds(),
         "remap {} vs natural {}",
         rr.elapsed.seconds(),
         nat.elapsed.seconds()
     );
-    assert!(ring.elapsed.seconds() > nat.elapsed.seconds(), "ring must lose at scale");
+    assert!(
+        ring.elapsed.seconds() > nat.elapsed.seconds(),
+        "ring must lose at scale"
+    );
     // Calibration anchor: ~1 s to all-reduce AlexNet over 1024 nodes
     // (back-derived from the paper's Fig. 11 fractions).
     assert!(
@@ -183,14 +216,30 @@ fn fig10_fig11_scaling_shape() {
     let a128 = model(1.29, alex).point(1024);
     let a256 = model(2.72, alex).point(1024);
     // Paper: 409.50, 561.58, 715.45.
-    assert!((a64.speedup - 409.5).abs() / 409.5 < 0.25, "B=64 {:.0}", a64.speedup);
-    assert!((a128.speedup - 561.6).abs() / 561.6 < 0.25, "B=128 {:.0}", a128.speedup);
-    assert!((a256.speedup - 715.5).abs() / 715.5 < 0.25, "B=256 {:.0}", a256.speedup);
+    assert!(
+        (a64.speedup - 409.5).abs() / 409.5 < 0.25,
+        "B=64 {:.0}",
+        a64.speedup
+    );
+    assert!(
+        (a128.speedup - 561.6).abs() / 561.6 < 0.25,
+        "B=128 {:.0}",
+        a128.speedup
+    );
+    assert!(
+        (a256.speedup - 715.5).abs() / 715.5 < 0.25,
+        "B=256 {:.0}",
+        a256.speedup
+    );
     // Fig. 11: comm fractions ordered by batch, ~30-60%.
     assert!(a64.comm_fraction > a128.comm_fraction && a128.comm_fraction > a256.comm_fraction);
     assert!((0.2..0.7).contains(&a64.comm_fraction));
     // ResNet-50 B=32 reaches ~928x with ~10% communication.
     let r32 = model(5.75, 25_600_000).point(1024);
-    assert!((r32.speedup - 928.0).abs() / 928.0 < 0.15, "ResNet {:.0}", r32.speedup);
+    assert!(
+        (r32.speedup - 928.0).abs() / 928.0 < 0.15,
+        "ResNet {:.0}",
+        r32.speedup
+    );
     assert!(r32.comm_fraction < 0.2);
 }

@@ -17,7 +17,10 @@ fn full_pipeline_single_node_training() {
     let def = models::tiny_cnn(cg_batch, classes);
     let mut trainer = ChipTrainer::new(
         &def,
-        SolverConfig { base_lr: 0.05, ..Default::default() },
+        SolverConfig {
+            base_lr: 0.05,
+            ..Default::default()
+        },
         ExecMode::Functional,
     )
     .unwrap();
@@ -62,7 +65,10 @@ fn timing_cluster_breakdown_is_coherent() {
     let mut cluster = ClusterTrainer::new(
         &def,
         SolverConfig::default(),
-        ClusterConfig { supernode_size: 8, ..ClusterConfig::swcaffe(16) },
+        ClusterConfig {
+            supernode_size: 8,
+            ..ClusterConfig::swcaffe(16)
+        },
         ExecMode::TimingOnly,
     )
     .unwrap();
@@ -70,7 +76,10 @@ fn timing_cluster_breakdown_is_coherent() {
     let total = r.total().seconds();
     assert!(total > 0.0 && total.is_finite());
     let parts = r.compute.seconds() + r.comm.seconds() + r.intra.seconds() + r.update.seconds();
-    assert!((parts - total).abs() < 1e-12, "breakdown does not sum to total");
+    assert!(
+        (parts - total).abs() < 1e-12,
+        "breakdown does not sum to total"
+    );
     assert!(r.comm_fraction() > 0.0 && r.comm_fraction() < 1.0);
 }
 
@@ -98,7 +107,10 @@ fn chip_iteration_mode_invariance() {
                 .collect()
         });
         let r = trainer.iteration(inputs.as_deref());
-        (r.compute.seconds(), ChipTrainer::iteration_time(&r).seconds())
+        (
+            r.compute.seconds(),
+            ChipTrainer::iteration_time(&r).seconds(),
+        )
     };
 
     let (fc, ft) = time_of(ExecMode::Functional);
@@ -120,7 +132,12 @@ fn netdef_roundtrips_through_disk() {
     let loaded = swcaffe_core::NetDef::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
     std::fs::remove_file(&path).ok();
     let net = swcaffe_core::Net::from_def(&loaded, false).unwrap();
-    assert_eq!(net.param_len(), swcaffe_core::Net::from_def(&def, false).unwrap().param_len());
+    assert_eq!(
+        net.param_len(),
+        swcaffe_core::Net::from_def(&def, false)
+            .unwrap()
+            .param_len()
+    );
 }
 
 /// All five model-zoo networks run a full timing-mode iteration through
