@@ -68,6 +68,7 @@ pub fn scaling_model(node_time: f64, params: usize) -> ScalingModel {
         net: NetParams::sunway_allreduce(ReduceEngine::CpeClusters),
         rank_map: RankMap::RoundRobin,
         algorithm: Algorithm::RecursiveHalvingDoubling,
+        supernode_size: swnet::SUPERNODE_SIZE,
         io: None,
     }
 }

@@ -6,6 +6,7 @@
 //! in-process (no subprocess plumbing) and the per-figure binaries stay
 //! one-line wrappers.
 
+pub mod ablation_overlap;
 pub mod ablations;
 pub mod fig10_scalability;
 pub mod fig11_comm_fraction;
@@ -31,9 +32,10 @@ pub struct Scenario {
     pub run: fn(&[String]) -> (String, swprof::Report),
 }
 
-/// Every scenario, in paper order. The `fast` subset covers the four
+/// Every scenario, in paper order. The `fast` subset covers the five
 /// pillars: the DMA model (fig2), Algorithm 1 on one chip (fig5), the
-/// topology-aware all-reduce (fig7) and the convolution engine (table2).
+/// topology-aware all-reduce (fig7), the convolution engine (table2) and
+/// the overlapped-communication mode (ablation_overlap).
 pub static SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "fig2_dma",
@@ -107,6 +109,12 @@ pub static SCENARIOS: &[Scenario] = &[
         fast: false,
         run: ablations::run,
     },
+    Scenario {
+        name: "ablation_overlap",
+        about: "serialized packed vs backward-overlapped bucketed all-reduce",
+        fast: true,
+        run: ablation_overlap::run,
+    },
 ];
 
 /// Look a scenario up by registry key.
@@ -144,7 +152,8 @@ mod tests {
                 "fig2_dma",
                 "fig5_algorithm1",
                 "fig7_allreduce",
-                "table2_conv"
+                "table2_conv",
+                "ablation_overlap"
             ]
         );
     }

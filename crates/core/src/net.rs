@@ -33,6 +33,20 @@ pub struct LayerTimes {
     pub entries: Vec<(String, SimTime)>,
 }
 
+/// A gradient-ready event: layer `layer`, whose parameters occupy `span`
+/// of the packed gradient vector (the `pack_gradients` layout), finished
+/// its backward step at simulated core-group time `ready`.
+///
+/// Events fire in backward execution order — last layers first — which is
+/// exactly the order an overlapped bucketed all-reduce wants to consume
+/// them in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradReady {
+    pub layer: String,
+    pub span: std::ops::Range<usize>,
+    pub ready: SimTime,
+}
+
 impl LayerTimes {
     pub fn total(&self) -> SimTime {
         self.entries
@@ -274,6 +288,55 @@ impl Net {
         }
     }
 
+    /// Per-layer spans of the packed parameter/gradient vector, in layer
+    /// (== `params()` / `pack_gradients`) order. Parameter-less layers
+    /// are omitted; the spans partition `0..param_len()`.
+    pub fn param_layout(&self) -> Vec<(String, std::ops::Range<usize>)> {
+        let mut offset = 0;
+        let mut out = Vec::new();
+        for l in &self.layers {
+            let len: usize = l.params().iter().map(|p| p.len()).sum();
+            if len > 0 {
+                out.push((l.name().to_string(), offset..offset + len));
+            }
+            offset += len;
+        }
+        out
+    }
+
+    /// Backward pass invoking `hook` whenever a parameterised layer's
+    /// gradient becomes ready, with the layer's packed span and the
+    /// simulated time on `cg` at that moment. The hook is observation
+    /// only — the pass itself is identical to [`Net::backward`].
+    pub fn backward_with_hook(&mut self, cg: &mut CoreGroup, mut hook: impl FnMut(GradReady)) {
+        let mut spans: Vec<Option<std::ops::Range<usize>>> = Vec::with_capacity(self.layers.len());
+        let mut offset = 0;
+        for l in &self.layers {
+            let len: usize = l.params().iter().map(|p| p.len()).sum();
+            spans.push((len > 0).then(|| offset..offset + len));
+            offset += len;
+        }
+        let mut diff_written = vec![false; self.blobs.len()];
+        for i in (0..self.layers.len()).rev() {
+            self.run_layer_backward(cg, i, &mut diff_written);
+            if let Some(span) = spans[i].clone() {
+                hook(GradReady {
+                    layer: self.layers[i].name().to_string(),
+                    span,
+                    ready: cg.elapsed(),
+                });
+            }
+        }
+    }
+
+    /// Backward pass collecting the gradient-ready events (emission
+    /// order: backward execution order, i.e. output layers first).
+    pub fn backward_with_events(&mut self, cg: &mut CoreGroup) -> Vec<GradReady> {
+        let mut events = Vec::new();
+        self.backward_with_hook(cg, |e| events.push(e));
+        events
+    }
+
     /// Backward pass with per-layer times (in execution order, i.e.
     /// reversed topological order).
     pub fn backward_with_times(&mut self, cg: &mut CoreGroup) -> LayerTimes {
@@ -369,6 +432,79 @@ pub struct LayerOp {
     pub kind: LayerKind,
     pub in_shapes: Vec<Vec<usize>>,
     pub out_shapes: Vec<Vec<usize>>,
+}
+
+#[cfg(test)]
+mod event_tests {
+    use super::*;
+    use crate::models;
+    use sw26010::ExecMode;
+
+    #[test]
+    fn param_layout_partitions_packed_vector() {
+        let def = models::alexnet_bn(2);
+        let net = Net::from_def(&def, false).unwrap();
+        let layout = net.param_layout();
+        assert!(!layout.is_empty());
+        let mut offset = 0;
+        for (name, span) in &layout {
+            assert_eq!(span.start, offset, "gap before layer {name}");
+            assert!(span.end > span.start, "empty span for layer {name}");
+            offset = span.end;
+        }
+        assert_eq!(offset, net.param_len());
+    }
+
+    #[test]
+    fn backward_events_cover_every_param_and_are_causally_ordered() {
+        let def = models::tiny_cnn(2, 4);
+        let mut net = Net::from_def(&def, true).unwrap();
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        let x: Vec<f32> = (0..net.blob("data").len())
+            .map(|i| ((i * 37 % 11) as f32 - 5.0) / 7.0)
+            .collect();
+        net.set_input("data", &x);
+        net.set_input("label", &[1.0, 2.0]);
+        net.forward(&mut cg);
+        let start = cg.elapsed();
+        let events = net.backward_with_events(&mut cg);
+        // Backward order: last parameterised layer's gradient first.
+        let layout = net.param_layout();
+        let reversed: Vec<&str> = layout.iter().rev().map(|(n, _)| n.as_str()).collect();
+        let emitted: Vec<&str> = events.iter().map(|e| e.layer.as_str()).collect();
+        assert_eq!(emitted, reversed);
+        // Spans match the packed layout and ready times never decrease.
+        let mut prev = start;
+        for e in &events {
+            let (_, span) = layout.iter().find(|(n, _)| *n == e.layer).unwrap();
+            assert_eq!(&e.span, span, "span mismatch for {}", e.layer);
+            assert!(e.ready.seconds() >= prev.seconds());
+            prev = e.ready;
+        }
+    }
+
+    #[test]
+    fn backward_with_events_matches_plain_backward() {
+        let def = models::tiny_cnn(2, 4);
+        let mut a = Net::from_def_seeded(&def, true, 7).unwrap();
+        let mut b = Net::from_def_seeded(&def, true, 7).unwrap();
+        let mut cga = CoreGroup::new(ExecMode::Functional);
+        let mut cgb = CoreGroup::new(ExecMode::Functional);
+        let x: Vec<f32> = (0..a.blob("data").len())
+            .map(|i| ((i * 13 % 23) as f32 - 11.0) / 9.0)
+            .collect();
+        for (net, cg) in [(&mut a, &mut cga), (&mut b, &mut cgb)] {
+            net.set_input("data", &x);
+            net.set_input("label", &[0.0, 3.0]);
+            net.forward(cg);
+        }
+        a.backward(&mut cga);
+        b.backward_with_events(&mut cgb);
+        for (pa, pb) in a.params().iter().zip(b.params()) {
+            assert_eq!(pa.diff(), pb.diff());
+        }
+        assert_eq!(cga.elapsed().seconds(), cgb.elapsed().seconds());
+    }
 }
 
 #[cfg(test)]

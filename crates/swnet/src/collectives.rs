@@ -54,6 +54,14 @@ fn blocks_span(n: usize, p: usize, lo_b: usize, hi_b: usize) -> (usize, usize) {
     (block_range(n, p, lo_b).0, block_range(n, p, hi_b - 1).1)
 }
 
+/// Intersect a half-open element span with the active segment, collapsing
+/// disjoint pairs to an empty span.
+fn clamp_span(span: (usize, usize), seg: (usize, usize)) -> (usize, usize) {
+    let lo = span.0.max(seg.0);
+    let hi = span.1.min(seg.1);
+    (lo, lo.max(hi))
+}
+
 /// In-simulation all-reduce (sum) over `p = topo.nodes` buffers of `elems`
 /// f32 each. `data`, when provided, is indexed by *physical* rank.
 pub fn allreduce(
@@ -62,12 +70,52 @@ pub fn allreduce(
     map: RankMap,
     algo: Algorithm,
     elems: usize,
+    data: Option<&mut [Vec<f32>]>,
+) -> AllreduceReport {
+    allreduce_segment(topo, params, map, algo, elems, 0..elems, data)
+}
+
+/// Segment-level all-reduce: reduce only `segment` of a packed buffer of
+/// `total_elems`, such that the union of disjoint segment reductions is
+/// **bit-identical** to one monolithic packed all-reduce. This is the
+/// primitive behind bucketed, backward-overlapped gradient reduction.
+///
+/// How each algorithm achieves that:
+///
+/// * **Recursive halving/doubling** treats the segment as its own vector
+///   (p balanced blocks over the segment, like a real bucketed
+///   implementation). Element placement cannot change the bits: every
+///   element's partials combine along the same rank-pairing tree
+///   regardless of which block holds it — only the operand sides swap,
+///   and IEEE addition commutes.
+/// * **Binomial tree** sends whole vectors along a fixed tree, so the
+///   segment messages are simply the monolithic messages cut to the
+///   segment.
+/// * **Ring** folds each element sequentially around the ring starting
+///   at its block's owner, so its per-element association *does* depend
+///   on block geometry; the ring therefore runs the monolithic block
+///   schedule restricted to the segment (blocks outside move zero
+///   bytes), reproducing the monolithic fold order exactly.
+///
+/// The cost model charges each segment run its own start-up latencies
+/// and per-step straggler jitter — the realistic price of bucketing.
+pub fn allreduce_segment(
+    topo: &Topology,
+    params: &NetParams,
+    map: RankMap,
+    algo: Algorithm,
+    total_elems: usize,
+    segment: std::ops::Range<usize>,
     mut data: Option<&mut [Vec<f32>]>,
 ) -> AllreduceReport {
     let p = topo.nodes;
+    assert!(
+        segment.end <= total_elems,
+        "segment {segment:?} exceeds buffer of {total_elems}"
+    );
     if let Some(d) = data.as_deref() {
         assert_eq!(d.len(), p, "one buffer per node");
-        assert!(d.iter().all(|v| v.len() == elems));
+        assert!(d.iter().all(|v| v.len() == total_elems));
     }
     if p == 1 {
         return AllreduceReport {
@@ -77,10 +125,11 @@ pub fn allreduce(
             total_bytes: 0,
         };
     }
+    let seg = (segment.start, segment.end);
     match algo {
-        Algorithm::Ring => ring(topo, params, map, elems, data.as_deref_mut()),
-        Algorithm::Binomial => binomial(topo, params, map, elems, data.as_deref_mut()),
-        Algorithm::RecursiveHalvingDoubling => rhd(topo, params, map, elems, data),
+        Algorithm::Ring => ring(topo, params, map, total_elems, seg, data.as_deref_mut()),
+        Algorithm::Binomial => binomial(topo, params, map, seg, data.as_deref_mut()),
+        Algorithm::RecursiveHalvingDoubling => rhd(topo, params, map, seg, data),
     }
 }
 
@@ -146,7 +195,7 @@ fn rhd(
     topo: &Topology,
     params: &NetParams,
     map: RankMap,
-    elems: usize,
+    seg: (usize, usize),
     mut data: Option<&mut [Vec<f32>]>,
 ) -> AllreduceReport {
     let p = topo.nodes;
@@ -154,6 +203,13 @@ fn rhd(
         p.is_power_of_two(),
         "recursive halving/doubling needs a power-of-two node count"
     );
+    // The segment is partitioned into its own p balanced blocks (for the
+    // monolithic call the segment IS the whole buffer, so nothing
+    // changes). Element placement does not affect the bits: every
+    // element's partial sums combine along the same rank-pairing tree,
+    // only the operand sides swap, and IEEE addition commutes.
+    let (base, seg_hi) = seg;
+    let n = seg_hi - base;
     let mut acc = StepAccum::new(topo, params);
     // Per logical rank: current block range [lo, hi).
     let mut range: Vec<(usize, usize)> = vec![(0, p); p];
@@ -173,7 +229,8 @@ fn rhd(
             } else {
                 ((mid, hi), (lo, mid))
             };
-            let (slo, shi) = blocks_span(elems, p, send.0, send.1);
+            let (slo, shi) = blocks_span(n, p, send.0, send.1);
+            let (slo, shi) = (base + slo, base + shi);
             let bytes = (shi - slo) * 4;
             let src_phys = map.physical(topo, r);
             let dst_phys = map.physical(topo, partner);
@@ -184,7 +241,9 @@ fn rhd(
                 reduce_bytes: bytes,
             });
             if let Some(d) = data.as_deref() {
-                msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), true));
+                if shi > slo {
+                    msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), true));
+                }
             }
             *rng = keep;
         }
@@ -204,7 +263,8 @@ fn rhd(
         for r in 0..p {
             let partner = r ^ mask;
             let (lo, hi) = snap[r];
-            let (slo, shi) = blocks_span(elems, p, lo, hi);
+            let (slo, shi) = blocks_span(n, p, lo, hi);
+            let (slo, shi) = (base + slo, base + shi);
             let bytes = (shi - slo) * 4;
             let src_phys = map.physical(topo, r);
             let dst_phys = map.physical(topo, partner);
@@ -215,7 +275,9 @@ fn rhd(
                 reduce_bytes: 0,
             });
             if let Some(d) = data.as_deref() {
-                msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), false));
+                if shi > slo {
+                    msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), false));
+                }
             }
             // Union with the partner's (adjacent, equal-sized) range.
             range[r] = (lo.min(snap[partner].0), hi.max(snap[partner].1));
@@ -235,6 +297,7 @@ fn ring(
     params: &NetParams,
     map: RankMap,
     elems: usize,
+    seg: (usize, usize),
     mut data: Option<&mut [Vec<f32>]>,
 ) -> AllreduceReport {
     let p = topo.nodes;
@@ -245,7 +308,7 @@ fn ring(
         let mut msgs: Vec<Msg> = Vec::new();
         for r in 0..p {
             let b = (r + p - k) % p;
-            let (lo, hi) = block_range(elems, p, b);
+            let (lo, hi) = clamp_span(block_range(elems, p, b), seg);
             let bytes = (hi - lo) * 4;
             let src_phys = map.physical(topo, r);
             let dst_phys = map.physical(topo, (r + 1) % p);
@@ -256,7 +319,9 @@ fn ring(
                 reduce_bytes: bytes,
             });
             if let Some(d) = data.as_deref() {
-                msgs.push((dst_phys, lo..hi, d[src_phys][lo..hi].to_vec(), true));
+                if hi > lo {
+                    msgs.push((dst_phys, lo..hi, d[src_phys][lo..hi].to_vec(), true));
+                }
             }
         }
         acc.step(&transfers);
@@ -270,7 +335,7 @@ fn ring(
         let mut msgs: Vec<Msg> = Vec::new();
         for r in 0..p {
             let b = (r + 1 + p - k) % p;
-            let (lo, hi) = block_range(elems, p, b);
+            let (lo, hi) = clamp_span(block_range(elems, p, b), seg);
             let bytes = (hi - lo) * 4;
             let src_phys = map.physical(topo, r);
             let dst_phys = map.physical(topo, (r + 1) % p);
@@ -281,7 +346,9 @@ fn ring(
                 reduce_bytes: 0,
             });
             if let Some(d) = data.as_deref() {
-                msgs.push((dst_phys, lo..hi, d[src_phys][lo..hi].to_vec(), false));
+                if hi > lo {
+                    msgs.push((dst_phys, lo..hi, d[src_phys][lo..hi].to_vec(), false));
+                }
             }
         }
         acc.step(&transfers);
@@ -296,7 +363,7 @@ fn binomial(
     topo: &Topology,
     params: &NetParams,
     map: RankMap,
-    elems: usize,
+    seg: (usize, usize),
     mut data: Option<&mut [Vec<f32>]>,
 ) -> AllreduceReport {
     let p = topo.nodes;
@@ -304,7 +371,8 @@ fn binomial(
         p.is_power_of_two(),
         "binomial tree needs a power-of-two node count"
     );
-    let bytes = elems * 4;
+    let (slo, shi) = seg;
+    let bytes = (shi - slo) * 4;
     let mut acc = StepAccum::new(topo, params);
     // Reduce to logical rank 0.
     let mut mask = 1;
@@ -323,7 +391,9 @@ fn binomial(
                     reduce_bytes: bytes,
                 });
                 if let Some(d) = data.as_deref() {
-                    msgs.push((dst_phys, 0..elems, d[src_phys].clone(), true));
+                    if shi > slo {
+                        msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), true));
+                    }
                 }
             }
         }
@@ -351,7 +421,9 @@ fn binomial(
                         reduce_bytes: 0,
                     });
                     if let Some(d) = data.as_deref() {
-                        msgs.push((dst_phys, 0..elems, d[src_phys].clone(), false));
+                        if shi > slo {
+                            msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), false));
+                        }
                     }
                 }
             }
@@ -525,6 +597,109 @@ mod tests {
         );
         assert!(ring.steps > rhd.steps * 5);
         assert!(ring.elapsed.seconds() > rhd.elapsed.seconds());
+    }
+
+    /// Data whose sums are rounding-sensitive: reciprocals make the
+    /// floating-point result depend on the association order, so exact
+    /// equality below really does pin the reduction schedule.
+    fn fractional_data(p: usize, elems: usize) -> Vec<Vec<f32>> {
+        (0..p)
+            .map(|r| {
+                (0..elems)
+                    .map(|i| 1.0 / (1 + (r * 131 + i * 17) % 97) as f32 - 0.5)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn segmented_allreduce_is_bit_identical_for_every_algorithm() {
+        // The tentpole invariant: executing the monolithic schedule
+        // restricted to each segment in turn produces *bit-identical*
+        // sums to one packed all-reduce — for every algorithm, even the
+        // ring, whose per-element fold order would change if segments
+        // were reduced with bucket-local block boundaries.
+        let elems = 1013; // prime, so block boundaries are awkward
+        let cuts = [0usize, 37, 402, 640, 1013];
+        for algo in [
+            Algorithm::RecursiveHalvingDoubling,
+            Algorithm::Ring,
+            Algorithm::Binomial,
+        ] {
+            for map in [RankMap::Natural, RankMap::RoundRobin] {
+                for p in [4usize, 8] {
+                    let topo = Topology::with_supernode(p, p / 2);
+                    let params = NetParams::sunway(ReduceEngine::CpeClusters);
+                    let mut mono = fractional_data(p, elems);
+                    let mut seg = mono.clone();
+                    allreduce(&topo, &params, map, algo, elems, Some(&mut mono));
+                    let mut seg_elapsed = SimTime::ZERO;
+                    for w in cuts.windows(2) {
+                        let r = allreduce_segment(
+                            &topo,
+                            &params,
+                            map,
+                            algo,
+                            elems,
+                            w[0]..w[1],
+                            Some(&mut seg),
+                        );
+                        seg_elapsed += r.elapsed;
+                    }
+                    assert!(seg_elapsed.seconds() > 0.0);
+                    for (rank, (a, b)) in mono.iter().zip(&seg).enumerate() {
+                        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "{algo:?}/{map:?} p={p} rank {rank} elem {i}: {x} vs {y}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_bytes_sum_to_monolithic_bytes() {
+        let elems = 4096;
+        let topo = Topology::with_supernode(8, 4);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let whole = allreduce(
+            &topo,
+            &params,
+            RankMap::RoundRobin,
+            Algorithm::RecursiveHalvingDoubling,
+            elems,
+            None,
+        );
+        let mut total = 0u64;
+        let mut cross = 0u64;
+        for w in [0usize, 1000, 2500, 4096].windows(2) {
+            let r = allreduce_segment(
+                &topo,
+                &params,
+                RankMap::RoundRobin,
+                Algorithm::RecursiveHalvingDoubling,
+                elems,
+                w[0]..w[1],
+                None,
+            );
+            total += r.total_bytes;
+            cross += r.cross_bytes;
+        }
+        // Every rank moves (n - its block) elements per phase, so total
+        // bytes are exactly linear in the segment length. Cross-switch
+        // bytes depend on per-step block rounding and may deviate by a
+        // few elements per transfer.
+        assert_eq!(total, whole.total_bytes);
+        let dev = (cross as f64 - whole.cross_bytes as f64).abs();
+        assert!(
+            dev <= 0.02 * whole.cross_bytes as f64,
+            "cross bytes diverged: {cross} vs {}",
+            whole.cross_bytes
+        );
     }
 
     #[test]

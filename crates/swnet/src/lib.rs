@@ -21,7 +21,7 @@ pub mod cost;
 pub mod primitives;
 pub mod topology;
 
-pub use collectives::{allreduce, allreduce_any, Algorithm, AllreduceReport};
+pub use collectives::{allreduce, allreduce_any, allreduce_segment, Algorithm, AllreduceReport};
 pub use cost::{NetParams, ReduceEngine, Transfer};
 pub use primitives::{broadcast, parameter_server_round, reduce, CollectiveReport};
 pub use topology::{RankMap, Topology, OVERSUBSCRIPTION, SUPERNODE_SIZE};

@@ -72,19 +72,34 @@ pub enum RankMap {
 }
 
 impl RankMap {
-    /// Physical node of a logical rank.
+    /// Physical node of a logical rank. Bijective for *every* allocation,
+    /// including partially filled supernodes: physical nodes form a
+    /// ragged matrix (one row per supernode, the last row possibly
+    /// short), and logical ranks traverse it column by column — the
+    /// round-robin order — switching to the shorter column height once
+    /// the partial supernode is exhausted.
     pub fn physical(&self, topo: &Topology, logical: usize) -> usize {
         match self {
             RankMap::Natural => logical,
             RankMap::RoundRobin => {
+                assert!(logical < topo.nodes, "logical rank out of range");
                 let s = topo.supernodes();
                 if s <= 1 {
                     return logical;
                 }
-                let per = topo.nodes / s; // benchmark scales use equal fills
-                let sn = logical % s;
-                let idx = logical / s;
-                sn * topo.supernode_size.min(per) + idx
+                let ss = topo.supernode_size;
+                // The first s-1 supernodes are full; the last holds the
+                // remainder (1..=ss nodes).
+                let rem = topo.nodes - (s - 1) * ss;
+                let (sn, idx) = if logical < rem * s {
+                    // Columns 0..rem exist in all s supernodes.
+                    (logical % s, logical / s)
+                } else {
+                    // Columns rem..ss only exist in the s-1 full ones.
+                    let l = logical - rem * s;
+                    (l % (s - 1), rem + l / (s - 1))
+                };
+                sn * ss + idx
             }
         }
     }
@@ -125,6 +140,50 @@ mod tests {
         let t = Topology::new(512);
         for l in [0, 100, 511] {
             assert_eq!(RankMap::Natural.physical(&t, l), l);
+        }
+    }
+
+    #[test]
+    fn round_robin_is_bijective_for_uneven_allocations() {
+        // Property sweep: for every allocation — including node counts
+        // that do not divide evenly into supernodes — the mapping must be
+        // a permutation of the physical ranks, and every physical rank it
+        // produces must actually exist.
+        for supernode_size in 1..=9usize {
+            for nodes in 1..=40usize {
+                let t = Topology::with_supernode(nodes, supernode_size);
+                let m = RankMap::RoundRobin;
+                let mut seen: Vec<usize> = (0..nodes).map(|l| m.physical(&t, l)).collect();
+                for (l, &phys) in seen.iter().enumerate() {
+                    assert!(
+                        phys < nodes,
+                        "nodes={nodes} ss={supernode_size}: logical {l} -> phantom physical {phys}"
+                    );
+                }
+                seen.sort_unstable();
+                assert_eq!(
+                    seen,
+                    (0..nodes).collect::<Vec<_>>(),
+                    "nodes={nodes} ss={supernode_size}: mapping is not bijective"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_uneven_fill_across_supernodes() {
+        // The issue's example: 10 nodes over supernodes of 4 used to map
+        // two logical ranks onto one physical node. Now adjacent logical
+        // ranks land in distinct supernodes while all three supernodes
+        // (4 + 4 + 2 nodes) are used.
+        let t = Topology::with_supernode(10, 4);
+        let m = RankMap::RoundRobin;
+        for l in 0..5 {
+            assert_ne!(
+                t.supernode_of(m.physical(&t, 2 * l)),
+                t.supernode_of(m.physical(&t, 2 * l + 1)),
+                "adjacent logical ranks {l} share a supernode"
+            );
         }
     }
 

@@ -12,7 +12,22 @@ use sw26010::{ExecMode, SimTime};
 use swcaffe_core::{NetDef, SolverConfig};
 use swnet::{allreduce, Algorithm, NetParams, RankMap, Topology};
 
+use crate::buckets::{build_buckets, merge_events, overlapped_allreduce};
 use crate::ssgd::{CgBatch, ChipIteration, ChipTrainer};
+
+/// How the cross-node gradient reduction is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommMode {
+    /// The paper's scheme (Sec. V-A): one monolithic packed all-reduce
+    /// after the backward pass. This is the default — it is what the
+    /// committed baselines measure.
+    Serialized,
+    /// Bucketed all-reduce overlapped with backprop (see
+    /// [`crate::buckets`]): gradients are grouped into size-targeted
+    /// buckets as they become ready and each bucket's segmented reduce
+    /// runs concurrently with the remaining backward compute.
+    Overlapped { bucket_bytes: usize },
+}
 
 /// Cluster-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +37,8 @@ pub struct ClusterConfig {
     pub rank_map: RankMap,
     pub algorithm: Algorithm,
     pub net: NetParams,
+    /// Gradient-reduction scheduling.
+    pub comm: CommMode,
     /// Optional shared-filesystem model and per-node mini-batch bytes:
     /// prefetch hides disk time behind compute, the excess stalls the
     /// iteration (Sec. V-B).
@@ -38,6 +55,7 @@ impl ClusterConfig {
             rank_map: RankMap::RoundRobin,
             algorithm: Algorithm::RecursiveHalvingDoubling,
             net: NetParams::sunway(swnet::ReduceEngine::CpeClusters),
+            comm: CommMode::Serialized,
             io: None,
         }
     }
@@ -48,6 +66,11 @@ impl ClusterConfig {
 }
 
 /// Per-iteration cluster report.
+///
+/// In [`CommMode::Overlapped`] runs, `comm` holds only the *exposed*
+/// communication — the part of the bucketed reduce extending past the
+/// backward finish — so `total()` is the overlapped wall time
+/// `max(compute, comm finish) + intra + update + io` in both modes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ClusterIteration {
     pub loss: f32,
@@ -63,9 +86,15 @@ impl ClusterIteration {
         self.compute + self.comm + self.intra + self.update + self.io_stall
     }
 
-    /// Fig. 11's metric.
+    /// Fig. 11's metric. Zero-duration iterations (a degenerate
+    /// configuration, e.g. an empty net) report 0 instead of NaN.
     pub fn comm_fraction(&self) -> f64 {
-        self.comm.seconds() / self.total().seconds()
+        let total = self.total().seconds();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.comm.seconds() / total
+        }
     }
 }
 
@@ -96,13 +125,23 @@ impl ClusterTrainer {
     pub fn iteration(&mut self, inputs: Option<&[Vec<CgBatch>]>) -> ClusterIteration {
         let n = self.config.nodes;
         let functional = inputs.is_some();
+        let overlapped = matches!(self.config.comm, CommMode::Overlapped { .. });
         // Phase 1-3 on every node.
         let mut reports: Vec<ChipIteration> = Vec::with_capacity(n);
         let mut grads: Vec<Vec<f32>> = Vec::with_capacity(n);
+        let mut events: Vec<Vec<swcaffe_core::GradReady>> = Vec::new();
         for (i, chip) in self.chips.iter_mut().enumerate() {
-            let (r, g) = chip.compute_gradients(inputs.map(|inp| &inp[i][..]));
-            reports.push(r);
-            grads.push(g);
+            let node_inputs = inputs.map(|inp| &inp[i][..]);
+            if overlapped {
+                let (r, g, e) = chip.compute_gradients_with_events(node_inputs);
+                reports.push(r);
+                grads.push(g);
+                events.push(e);
+            } else {
+                let (r, g) = chip.compute_gradients(node_inputs);
+                reports.push(r);
+                grads.push(g);
+            }
         }
         // Synchronous step: the iteration advances at the slowest node.
         let compute = reports
@@ -117,15 +156,36 @@ impl ClusterTrainer {
         // All-reduce the packed gradients.
         let topo = self.config.topology();
         let elems = self.chips[0].param_elems();
-        let comm = allreduce(
-            &topo,
-            &self.config.net,
-            self.config.rank_map,
-            self.config.algorithm,
-            elems,
-            functional.then_some(&mut grads[..]),
-        )
-        .elapsed;
+        let comm = match self.config.comm {
+            CommMode::Serialized => {
+                allreduce(
+                    &topo,
+                    &self.config.net,
+                    self.config.rank_map,
+                    self.config.algorithm,
+                    elems,
+                    functional.then_some(&mut grads[..]),
+                )
+                .elapsed
+            }
+            CommMode::Overlapped { bucket_bytes } => {
+                // One segmented reduce per bucket, launched as gradients
+                // became ready (slowest node gates each bucket); only the
+                // comm extending past the backward finish is exposed.
+                let merged = merge_events(&events);
+                let buckets = build_buckets(&merged, bucket_bytes);
+                let o = overlapped_allreduce(
+                    &topo,
+                    &self.config.net,
+                    self.config.rank_map,
+                    self.config.algorithm,
+                    elems,
+                    &buckets,
+                    functional.then_some(&mut grads[..]),
+                );
+                SimTime::from_seconds((o.comm_finish.seconds() - compute.seconds()).max(0.0))
+            }
+        };
 
         // Phase 4-5 on every node.
         let scale = 1.0 / (CORE_GROUPS * n) as f32;
@@ -288,6 +348,53 @@ mod tests {
                 "param {i}: distributed {a} vs centralized {b}"
             );
         }
+    }
+
+    #[test]
+    fn overlapped_cluster_matches_serialized_bitwise() {
+        // Overlapped bucketed communication changes the schedule, not the
+        // math: after training, every weight must be bit-identical to the
+        // serialized packed reduce, for every algorithm.
+        let def = models::tiny_cnn(1, 3);
+        let img = 3 * 16 * 16;
+        for algo in [
+            Algorithm::Ring,
+            Algorithm::Binomial,
+            Algorithm::RecursiveHalvingDoubling,
+        ] {
+            let run = |comm: CommMode| {
+                let mut cluster = ClusterTrainer::new(
+                    &def,
+                    SolverConfig::default(),
+                    ClusterConfig {
+                        supernode_size: 2,
+                        algorithm: algo,
+                        comm,
+                        ..ClusterConfig::swcaffe(4)
+                    },
+                    ExecMode::Functional,
+                )
+                .unwrap();
+                for it in 0..2 {
+                    let inputs = synth_cluster_inputs(4, 1, 3, img, it);
+                    cluster.iteration(Some(&inputs));
+                }
+                pack_params(cluster.chips[0].net())
+            };
+            let serialized = run(CommMode::Serialized);
+            // A tiny bucket target forces several buckets per iteration.
+            let overlapped = run(CommMode::Overlapped { bucket_bytes: 4096 });
+            assert_eq!(serialized.len(), overlapped.len());
+            for (i, (a, b)) in serialized.iter().zip(&overlapped).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{algo:?} param {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comm_fraction_guards_zero_total() {
+        let r = ClusterIteration::default();
+        assert_eq!(r.comm_fraction(), 0.0);
     }
 
     #[test]

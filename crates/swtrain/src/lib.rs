@@ -10,7 +10,15 @@
 //! distributed update is bit-for-bit the large-batch centralised update.
 //! Timing mode drives the same code paths against the cost models for the
 //! 1024-node sweeps.
+//!
+//! Beyond the paper, [`buckets`] adds a backward-overlapped communication
+//! mode ([`CommMode::Overlapped`]): per-layer gradient-ready events from
+//! backward are grouped into size-targeted buckets and each bucket's
+//! segmented all-reduce overlaps the remaining compute. The schedule is
+//! bit-identical to the paper's monolithic packed reduce (asserted per
+//! algorithm) and the serialized path stays the default.
 
+pub mod buckets;
 pub mod cluster;
 pub mod packing;
 pub mod profile;
@@ -19,7 +27,11 @@ pub mod ssgd;
 pub mod sync;
 pub mod trainer;
 
-pub use cluster::{ClusterConfig, ClusterIteration, ClusterTrainer};
+pub use buckets::{
+    build_buckets, merge_events, overlapped_allreduce, GradBucket, OverlapModel, OverlapOutcome,
+    OverlapPoint, DEFAULT_BUCKET_BYTES,
+};
+pub use cluster::{ClusterConfig, ClusterIteration, ClusterTrainer, CommMode};
 pub use packing::{pack_gradients, pack_params, unpack_gradients, unpack_params};
 pub use scaling::{ScalingModel, ScalingPoint};
 pub use ssgd::{evaluate, CgBatch, ChipIteration, ChipTrainer};

@@ -38,6 +38,9 @@ pub struct ScalingModel {
     pub net: NetParams,
     pub rank_map: RankMap,
     pub algorithm: Algorithm,
+    /// Nodes per supernode — `ClusterConfig` supports non-256 sizes, so
+    /// the model must too (it used to hardcode `Topology::new`).
+    pub supernode_size: usize,
     /// Optional I/O model and per-node bytes read each iteration.
     pub io: Option<(IoModel, usize)>,
 }
@@ -45,7 +48,7 @@ pub struct ScalingModel {
 impl ScalingModel {
     /// Evaluate one scale.
     pub fn point(&self, nodes: usize) -> ScalingPoint {
-        let topo = Topology::new(nodes);
+        let topo = Topology::with_supernode(nodes, self.supernode_size);
         let comm = if nodes > 1 {
             allreduce(
                 &topo,
@@ -110,8 +113,25 @@ mod tests {
             net: NetParams::sunway_allreduce(ReduceEngine::CpeClusters),
             rank_map: RankMap::RoundRobin,
             algorithm: Algorithm::RecursiveHalvingDoubling,
+            supernode_size: swnet::SUPERNODE_SIZE,
             io: None,
         }
+    }
+
+    #[test]
+    fn supernode_size_flows_into_the_topology() {
+        // A pathological 2-node supernode forces nearly every exchange
+        // across the over-subscribed switch, so comm must cost strictly
+        // more than with the machine's 256-node supernodes.
+        let big = model(1.0, 58_150_000);
+        let tiny = ScalingModel {
+            supernode_size: 2,
+            ..big
+        };
+        assert!(
+            tiny.point(256).comm.seconds() > big.point(256).comm.seconds(),
+            "supernode size must affect the comm model"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use sw26010::arch::CORE_GROUPS;
 use sw26010::{Chip, CoreGroup, ExecMode, SimTime};
-use swcaffe_core::{Net, NetDef, SgdSolver, SolverConfig};
+use swcaffe_core::{GradReady, Net, NetDef, SgdSolver, SolverConfig};
 use swdnn::elementwise as ew;
 
 use crate::packing::{pack_gradients, pack_params, unpack_gradients, unpack_params};
@@ -102,6 +102,27 @@ impl ChipTrainer {
         &mut self,
         inputs: Option<&[(Vec<f32>, Vec<f32>)]>,
     ) -> (ChipIteration, Vec<f32>) {
+        let (report, packed, _) = self.compute_gradients_inner(inputs, false);
+        (report, packed)
+    }
+
+    /// Like [`ChipTrainer::compute_gradients`], additionally collecting
+    /// gradient-ready events for the overlapped communication mode:
+    /// per-layer spans of the packed gradient with the *slowest* core
+    /// group's ready time (a bucket cannot leave the chip before every
+    /// CG's contribution is in), relative to the iteration start.
+    pub fn compute_gradients_with_events(
+        &mut self,
+        inputs: Option<&[(Vec<f32>, Vec<f32>)]>,
+    ) -> (ChipIteration, Vec<f32>, Vec<GradReady>) {
+        self.compute_gradients_inner(inputs, true)
+    }
+
+    fn compute_gradients_inner(
+        &mut self,
+        inputs: Option<&[(Vec<f32>, Vec<f32>)]>,
+        collect_events: bool,
+    ) -> (ChipIteration, Vec<f32>, Vec<GradReady>) {
         let functional = self.mode.is_functional();
         if functional {
             let inputs = inputs.expect("functional training needs per-CG inputs");
@@ -111,7 +132,7 @@ impl ChipTrainer {
         let before: Vec<SimTime> = self.cgs.iter().map(|c| c.elapsed()).collect();
 
         // pthread_create over the 4 CGs (Fig. 5).
-        let losses: Vec<f32> = std::thread::scope(|s| {
+        let outcomes: Vec<(f32, Vec<GradReady>)> = std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .nets
                 .iter_mut()
@@ -120,6 +141,7 @@ impl ChipTrainer {
                 .map(|(i, (net, cg))| {
                     let barrier = &barrier;
                     let input = inputs.map(|inp| &inp[i]);
+                    let start = before[i];
                     s.spawn(move || {
                         if let Some((data, labels)) = input {
                             net.set_input("data", data);
@@ -127,10 +149,19 @@ impl ChipTrainer {
                         }
                         net.zero_param_diffs();
                         let loss = net.forward(cg);
-                        net.backward(cg);
+                        let events = if collect_events {
+                            let mut ev = net.backward_with_events(cg);
+                            for e in &mut ev {
+                                e.ready = e.ready - start;
+                            }
+                            ev
+                        } else {
+                            net.backward(cg);
+                            Vec::new()
+                        };
                         barrier.wait();
                         cg.charge(SimTime::from_seconds(HANDSHAKE_SECONDS));
-                        loss
+                        (loss, events)
                     })
                 })
                 .collect();
@@ -139,6 +170,12 @@ impl ChipTrainer {
                 .map(|h| h.join().expect("CG thread panicked"))
                 .collect()
         });
+        let losses: Vec<f32> = outcomes.iter().map(|(l, _)| *l).collect();
+        let events = if collect_events {
+            crate::buckets::merge_events(&outcomes.into_iter().map(|(_, e)| e).collect::<Vec<_>>())
+        } else {
+            Vec::new()
+        };
 
         let compute = self
             .cgs
@@ -181,6 +218,7 @@ impl ChipTrainer {
                 update: SimTime::ZERO,
             },
             packed,
+            events,
         )
     }
 
@@ -192,7 +230,12 @@ impl ChipTrainer {
         let functional = self.mode.is_functional();
         let t0 = self.cgs[0].elapsed();
         if functional {
-            ew::scale(&mut self.cgs[0], self.param_elems, scale, Some(&mut *packed));
+            ew::scale(
+                &mut self.cgs[0],
+                self.param_elems,
+                scale,
+                Some(&mut *packed),
+            );
             unpack_gradients(&mut self.nets[0], packed);
         } else {
             ew::scale(&mut self.cgs[0], self.param_elems, scale, None);
@@ -202,12 +245,21 @@ impl ChipTrainer {
         self.solver.step(cg0, net0);
         let update = self.cgs[0].elapsed() - t0;
 
-        // Weight re-broadcast over the NoC.
+        // Weight re-broadcast over the NoC. Persistent layer state (batch
+        // norm running mean/var) rides along: each replica's statistics
+        // see only its quarter-batch, so without this CG0's `evaluate()`
+        // would run on skewed statistics and the replicas would diverge.
+        // The state is tiny next to the weights, so it shares the weight
+        // broadcast's NoC charge below.
         let tb = self.cgs[0].elapsed();
         if functional {
             let weights = pack_params(&self.nets[0]);
+            let state: Vec<Vec<f32>> = self.nets[0].state().iter().map(|s| s.to_vec()).collect();
             for i in 1..CORE_GROUPS {
                 unpack_params(&mut self.nets[i], &weights);
+                for (dst, src) in self.nets[i].state_mut().into_iter().zip(&state) {
+                    dst.copy_from_slice(src);
+                }
             }
         }
         let noc = Chip::noc_transfer_time(self.param_bytes());
@@ -294,16 +346,27 @@ mod tests {
     #[test]
     fn replicas_stay_in_lockstep() {
         // After every iteration all four CG replicas hold identical
-        // weights — the invariant synchronous SGD depends on.
-        let def = models::tiny_cnn(2, 3);
+        // *full* snapshot state — weights AND persistent layer state
+        // (batch-norm running statistics, which each CG accumulates from
+        // its own quarter-batch and must receive back from CG0).
+        let def = models::tiny_cnn(2, 3); // tiny_cnn includes a BN layer
         let mut trainer =
             ChipTrainer::new(&def, SolverConfig::default(), ExecMode::Functional).unwrap();
+        assert!(
+            !trainer.nets[0].state().is_empty(),
+            "test net must carry persistent layer state"
+        );
         let img = 3 * 16 * 16;
+        let snapshot = |net: &Net| {
+            let mut buf = Vec::new();
+            swcaffe_core::snapshot::write_weights(net, &mut buf).unwrap();
+            buf
+        };
         for it in 0..3 {
             trainer.iteration(Some(&synth_inputs(2, 3, img, it)));
-            let reference = pack_params(&trainer.nets[0]);
+            let reference = snapshot(&trainer.nets[0]);
             for i in 1..CORE_GROUPS {
-                assert_eq!(pack_params(&trainer.nets[i]), reference, "CG {i} diverged");
+                assert_eq!(snapshot(&trainer.nets[i]), reference, "CG {i} diverged");
             }
         }
     }

@@ -86,6 +86,7 @@ fn main() {
         net: NetParams::sunway_allreduce(ReduceEngine::CpeClusters),
         rank_map: RankMap::RoundRobin,
         algorithm: Algorithm::RecursiveHalvingDoubling,
+        supernode_size: swnet::SUPERNODE_SIZE,
         io: Some((io, 192 << 20)),
     };
     println!(

@@ -208,6 +208,7 @@ fn fig10_fig11_scaling_shape() {
         net: NetParams::sunway_allreduce(ReduceEngine::CpeClusters),
         rank_map: RankMap::RoundRobin,
         algorithm: Algorithm::RecursiveHalvingDoubling,
+        supernode_size: swnet::SUPERNODE_SIZE,
         io: None,
     };
     // AlexNet configurations (compute times from Table III throughput).
