@@ -1,0 +1,6 @@
+//! Thin wrapper over `scenarios::ablation_faults`; `--json <path>` writes
+//! the structured report alongside the text tables.
+
+fn main() {
+    swcaffe_bench::runner::scenario_main("ablation_faults");
+}

@@ -1,0 +1,358 @@
+//! Ablation: fault-tolerance overhead — what checkpoint/restart costs at
+//! scale, and what the injected-fault machinery measures end to end.
+//!
+//! Two halves:
+//!
+//! 1. **Analytic**: for the AlexNet B=256 job of Fig. 10/11, the cost of
+//!    writing a full-solver checkpoint (weights + momentum) through the
+//!    striped filesystem and of restoring one (read-back + full-parameter
+//!    resync all-reduce), then Young's first-order checkpoint/restart
+//!    model on top: expected overhead fraction `C/tau + (tau/2 + R)/M`
+//!    as a function of the checkpoint interval `tau` and the system MTBF
+//!    `M = node_mtbf / nodes`, with the optimal interval
+//!    `tau* = sqrt(2*C*M)` — at 64, 256 and 1024 nodes.
+//!
+//! 2. **Functional smoke**: a real 2-node training job with seeded
+//!    message corruption and a node crash; the crash is detected at the
+//!    collective, the job restores from its last checkpoint and replays
+//!    bit-identically. The [`swtrain::FaultReport`] counters (injected
+//!    faults, retries, detection latency, recovery wall-clock) become
+//!    gated metrics, so a regression in the detection or retry paths
+//!    shows up as baseline drift.
+
+use std::fmt::Write as _;
+
+use sw26010::arch::CORE_GROUPS;
+use sw26010::ExecMode;
+use swcaffe_core::{models, SolverConfig};
+use swio::{IoModel, Layout};
+use swnet::{Algorithm, NetParams, RankMap, ReduceEngine};
+use swprof::Report;
+use swtrain::{
+    pack_params, CgBatch, ClusterConfig, ClusterTrainer, CollectiveFault, FaultPlan, FaultSession,
+    Recovery, ScalingModel,
+};
+
+pub const SCALES: [usize; 3] = [64, 256, 1024];
+
+/// Per-node mean time between failures, in years.
+pub const NODE_MTBF_YEARS: [f64; 3] = [1.0, 5.0, 25.0];
+
+/// Checkpoint-interval sweep, in seconds.
+pub const INTERVALS_S: [f64; 4] = [600.0, 1800.0, 3600.0, 7200.0];
+
+const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Young's first-order expected overhead fraction: checkpoint rent
+/// `C/tau` plus, once per MTBF, half an interval of lost work and one
+/// restore.
+pub fn overhead_fraction(ckpt_s: f64, restore_s: f64, tau_s: f64, mtbf_s: f64) -> f64 {
+    ckpt_s / tau_s + (tau_s / 2.0 + restore_s) / mtbf_s
+}
+
+/// Young's optimal checkpoint interval `sqrt(2*C*M)`.
+pub fn optimal_interval(ckpt_s: f64, mtbf_s: f64) -> f64 {
+    (2.0 * ckpt_s * mtbf_s).sqrt()
+}
+
+/// The Fig. 10/11 job the analytic half reasons about.
+fn scaling_model(io: IoModel) -> ScalingModel {
+    ScalingModel {
+        node_time: sw26010::SimTime::from_seconds(2.7),
+        param_elems: 58_150_000,
+        net: NetParams::sunway_allreduce(ReduceEngine::CpeClusters),
+        rank_map: RankMap::RoundRobin,
+        algorithm: Algorithm::RecursiveHalvingDoubling,
+        supernode_size: swnet::SUPERNODE_SIZE,
+        io: Some((io, 192 << 20)),
+    }
+}
+
+/// Deterministic synthetic inputs for the functional smoke.
+fn synth_inputs(nodes: usize, classes: usize, img: usize, seed: usize) -> Vec<Vec<CgBatch>> {
+    (0..nodes)
+        .map(|node| {
+            (0..CORE_GROUPS)
+                .map(|cgi| {
+                    let mut data = vec![0.0f32; img];
+                    let class = (cgi + node * 2 + seed) % classes;
+                    let labels = vec![class as f32];
+                    for (i, v) in data.iter_mut().enumerate() {
+                        let noise = (((i * 17 + node * 5 + cgi * 3 + seed * 7) % 83) as f32 / 83.0
+                            - 0.5)
+                            * 0.2;
+                        let stripe = (i * classes / img) == class;
+                        *v = noise + if stripe { 1.0 } else { 0.0 };
+                    }
+                    (data, labels)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn smoke_cluster(def: &swcaffe_core::NetDef, nodes: usize) -> ClusterTrainer {
+    ClusterTrainer::new(
+        def,
+        SolverConfig::default(),
+        ClusterConfig {
+            supernode_size: 2,
+            ..ClusterConfig::swcaffe(nodes)
+        },
+        ExecMode::Functional,
+    )
+    .expect("valid net")
+}
+
+pub fn run(_args: &[String]) -> (String, Report) {
+    let mut out = String::new();
+    let mut report = Report::new("ablation_faults");
+    report
+        .config("job", "alexnet_b256_rhd")
+        .config("layout", "paper_striped");
+
+    // ---- analytic half -------------------------------------------------
+    let io = IoModel::taihulight(Layout::paper_striped());
+    let model = scaling_model(io);
+    // Full-solver checkpoint: weights + momentum, f32.
+    let ckpt_bytes = model.param_elems * 4 * 2;
+    report.count("ckpt_mb", (ckpt_bytes >> 20) as u64);
+
+    writeln!(
+        out,
+        "Checkpoint/restart overhead, AlexNet B=256 (Fig. 10/11 job, {} MB checkpoint)",
+        ckpt_bytes >> 20
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>9} {:>9} {:>11}",
+        "nodes", "iter (s)", "ckpt (s)", "restore (s)"
+    )
+    .unwrap();
+    let mut costs = Vec::new();
+    for nodes in SCALES {
+        let p = model.point(nodes);
+        // One writer drains the checkpoint through the same striped
+        // filesystem model the prefetch path reads from.
+        let ckpt_s = io.batch_read_time(1, ckpt_bytes).seconds();
+        // Restore = read the checkpoint back + one full-parameter
+        // all-reduce to resynchronise the reformed job.
+        let restore_s = ckpt_s + p.comm.seconds();
+        writeln!(
+            out,
+            "{nodes:>6} {:>9.3} {:>9.3} {:>11.3}",
+            p.iter_time.seconds(),
+            ckpt_s,
+            restore_s
+        )
+        .unwrap();
+        report.real(&format!("scale.{nodes}.iter_s"), p.iter_time.seconds());
+        report.real(&format!("scale.{nodes}.ckpt_write_s"), ckpt_s);
+        report.real(&format!("scale.{nodes}.restore_s"), restore_s);
+        costs.push((nodes, ckpt_s, restore_s));
+    }
+
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "Young optimal interval tau* = sqrt(2*C*M), overhead = C/tau + (tau/2 + R)/M:"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>11} {:>13} {:>11} {:>13}",
+        "nodes", "node MTBF", "sys MTBF (h)", "tau* (s)", "overhead (%)"
+    )
+    .unwrap();
+    for &(nodes, ckpt_s, restore_s) in &costs {
+        for years in NODE_MTBF_YEARS {
+            let mtbf_s = years * SECONDS_PER_YEAR / nodes as f64;
+            let tau = optimal_interval(ckpt_s, mtbf_s);
+            let pct = 100.0 * overhead_fraction(ckpt_s, restore_s, tau, mtbf_s);
+            writeln!(
+                out,
+                "{nodes:>6} {:>10}y {:>13.1} {:>11.1} {:>13.3}",
+                years,
+                mtbf_s / 3600.0,
+                tau,
+                pct
+            )
+            .unwrap();
+            let y = years as u64;
+            report.real(&format!("young.{nodes}.mtbf{y}y.tau_opt_s"), tau);
+            report.real(&format!("young.{nodes}.mtbf{y}y.overhead_opt_pct"), pct);
+        }
+    }
+
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "Overhead (%) vs checkpoint interval, node MTBF 5 years:"
+    )
+    .unwrap();
+    write!(out, "{:>6}", "nodes").unwrap();
+    for tau in INTERVALS_S {
+        write!(out, " {:>8}", format!("{}s", tau as u64)).unwrap();
+    }
+    writeln!(out, " {:>8}", "tau*").unwrap();
+    for &(nodes, ckpt_s, restore_s) in &costs {
+        let mtbf_s = 5.0 * SECONDS_PER_YEAR / nodes as f64;
+        write!(out, "{nodes:>6}").unwrap();
+        for tau in INTERVALS_S {
+            let pct = 100.0 * overhead_fraction(ckpt_s, restore_s, tau, mtbf_s);
+            write!(out, " {:>8.3}", pct).unwrap();
+            report.real(
+                &format!("sweep.{nodes}.tau{}.overhead_pct", tau as u64),
+                pct,
+            );
+        }
+        let tau = optimal_interval(ckpt_s, mtbf_s);
+        let pct = 100.0 * overhead_fraction(ckpt_s, restore_s, tau, mtbf_s);
+        writeln!(out, " {:>8.3}", pct).unwrap();
+    }
+
+    // ---- functional smoke ---------------------------------------------
+    // Corrupted messages retried transparently, then a crash at iteration
+    // 2, detected at the collective; restore from the iteration-2
+    // checkpoint and replay. The replay must be bit-identical to a run
+    // that never faulted.
+    let classes = 3;
+    let img = 3 * 8 * 8;
+    let nodes = 2;
+    let def = models::tiny_dropout_cnn(1, classes);
+
+    let mut clean = smoke_cluster(&def, nodes);
+    for it in 0..4 {
+        clean.iteration(Some(&synth_inputs(nodes, classes, img, it)));
+    }
+    let want = pack_params(clean.chips[0].net());
+
+    let mut faulty = smoke_cluster(&def, nodes);
+    let mut faults = FaultSession::new(
+        FaultPlan::new(2024)
+            .corruption(0.3)
+            .max_retries(8)
+            .crash(1, 2),
+    );
+    for it in 0..2 {
+        faulty
+            .iteration_ft(
+                Some(&synth_inputs(nodes, classes, img, it)),
+                Some(&mut faults),
+            )
+            .expect("no crash scheduled before iteration 2");
+    }
+    let ckpt = faulty.checkpoint();
+    let fault = faulty
+        .iteration_ft(
+            Some(&synth_inputs(nodes, classes, img, 2)),
+            Some(&mut faults),
+        )
+        .expect_err("rank 1 crashes at iteration 2");
+    let detected_dead = matches!(fault, CollectiveFault::DeadRank { rank: 1, .. });
+    faulty
+        .recover(&mut faults, Recovery::RestoreFromCheckpoint, Some(&ckpt))
+        .expect("restore succeeds");
+    for it in 2..4 {
+        faulty
+            .iteration_ft(
+                Some(&synth_inputs(nodes, classes, img, it)),
+                Some(&mut faults),
+            )
+            .expect("no faults after recovery");
+    }
+    let got = pack_params(faulty.chips[0].net());
+    let bit_identical = want.len() == got.len()
+        && want
+            .iter()
+            .zip(&got)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    let r = &faults.report;
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "Functional smoke ({nodes} nodes, seeded corruption + crash at iter 2, restore):"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  crash detected: {detected_dead}   replay bit-identical: {bit_identical}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  crashes {} detections {} corrupted {} retries {} exhausted {}",
+        r.crashes, r.detections, r.corrupted_msgs, r.retries, r.retries_exhausted
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  detect latency {:.6} s   retry cost {:.6} s   recovery {:.6} s",
+        r.detect_latency_s, r.retry_cost_s, r.recovery_s
+    )
+    .unwrap();
+    report.count("smoke.crash_detected", detected_dead as u64);
+    report.count("smoke.replay_bit_identical", bit_identical as u64);
+    report.count("smoke.crashes", r.crashes);
+    report.count("smoke.detections", r.detections);
+    report.count("smoke.corrupted_msgs", r.corrupted_msgs);
+    report.count("smoke.retries", r.retries);
+    report.count("smoke.retries_exhausted", r.retries_exhausted);
+    report.real("smoke.detect_latency_s", r.detect_latency_s);
+    report.real("smoke.retry_cost_s", r.retry_cost_s);
+    report.real("smoke.recovery_s", r.recovery_s);
+
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "At node MTBFs measured on real machines the optimal interval is \
+         tens of minutes and the expected overhead stays under a percent; \
+         the machinery only pays when faults actually fire, and the smoke \
+         shows the detection/retry/restore path preserving bit-exact \
+         training."
+    )
+    .unwrap();
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_model_is_coherent() {
+        // Overhead at the optimal interval never exceeds nearby intervals.
+        let (c, r) = (30.0, 80.0);
+        let mtbf = 5.0 * SECONDS_PER_YEAR / 1024.0;
+        let tau = optimal_interval(c, mtbf);
+        let at = |t: f64| overhead_fraction(c, r, t, mtbf);
+        assert!(at(tau) <= at(tau * 0.5));
+        assert!(at(tau) <= at(tau * 2.0));
+        // More nodes -> shorter system MTBF -> shorter optimal interval.
+        assert!(optimal_interval(c, mtbf) < optimal_interval(c, mtbf * 4.0));
+    }
+
+    #[test]
+    fn smoke_counters_witness_the_faults() {
+        let (_, report) = run(&[]);
+        let count = |name: &str| {
+            report
+                .metric(name)
+                .map(|m| m.value.as_f64())
+                .unwrap_or(-1.0)
+        };
+        assert_eq!(count("smoke.crash_detected"), 1.0);
+        assert_eq!(count("smoke.replay_bit_identical"), 1.0);
+        assert_eq!(count("smoke.crashes"), 1.0);
+        assert_eq!(count("smoke.detections"), 1.0);
+        assert!(
+            count("smoke.corrupted_msgs") > 0.0,
+            "corruption never fired"
+        );
+        assert_eq!(count("smoke.retries"), count("smoke.corrupted_msgs"));
+        assert_eq!(count("smoke.retries_exhausted"), 0.0);
+        assert!(count("smoke.recovery_s") > 0.0);
+    }
+}

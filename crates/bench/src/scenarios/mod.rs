@@ -6,6 +6,7 @@
 //! in-process (no subprocess plumbing) and the per-figure binaries stay
 //! one-line wrappers.
 
+pub mod ablation_faults;
 pub mod ablation_overlap;
 pub mod ablations;
 pub mod fig10_scalability;
@@ -32,10 +33,11 @@ pub struct Scenario {
     pub run: fn(&[String]) -> (String, swprof::Report),
 }
 
-/// Every scenario, in paper order. The `fast` subset covers the five
+/// Every scenario, in paper order. The `fast` subset covers the six
 /// pillars: the DMA model (fig2), Algorithm 1 on one chip (fig5), the
-/// topology-aware all-reduce (fig7), the convolution engine (table2) and
-/// the overlapped-communication mode (ablation_overlap).
+/// topology-aware all-reduce (fig7), the convolution engine (table2),
+/// the overlapped-communication mode (ablation_overlap) and the
+/// fault-tolerance machinery (ablation_faults).
 pub static SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "fig2_dma",
@@ -115,6 +117,12 @@ pub static SCENARIOS: &[Scenario] = &[
         fast: true,
         run: ablation_overlap::run,
     },
+    Scenario {
+        name: "ablation_faults",
+        about: "checkpoint/restart overhead and injected-fault recovery",
+        fast: true,
+        run: ablation_faults::run,
+    },
 ];
 
 /// Look a scenario up by registry key.
@@ -153,7 +161,8 @@ mod tests {
                 "fig5_algorithm1",
                 "fig7_allreduce",
                 "table2_conv",
-                "ablation_overlap"
+                "ablation_overlap",
+                "ablation_faults"
             ]
         );
     }

@@ -72,6 +72,17 @@ pub trait Layer: Send {
     fn state_mut(&mut self) -> Vec<&mut Vec<f32>> {
         Vec::new()
     }
+
+    /// Current private RNG stream, for layers that consume randomness
+    /// during training (dropout). Checkpoints capture it so a restored
+    /// run replays the exact mask sequence an uninterrupted run would
+    /// have drawn.
+    fn rng_state(&self) -> Option<u64> {
+        None
+    }
+
+    /// Restore the private RNG stream captured by [`Layer::rng_state`].
+    fn set_rng_state(&mut self, _state: u64) {}
 }
 
 /// Helper shared by layer implementations: 4-D shape destructuring with a

@@ -235,6 +235,14 @@ impl Layer for DropoutLayer {
     fn set_phase(&mut self, phase: Phase) {
         self.phase = phase;
     }
+
+    fn rng_state(&self) -> Option<u64> {
+        Some(self.rng_state)
+    }
+
+    fn set_rng_state(&mut self, state: u64) {
+        self.rng_state = state;
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -340,6 +340,22 @@ impl NetBuilder {
     }
 }
 
+/// [`tiny_cnn`] plus a dropout layer: the checkpoint/restore tests use
+/// it because the dropout RNG stream is exactly the piece of state a
+/// naive weights-only snapshot forgets.
+pub fn tiny_dropout_cnn(batch: usize, classes: usize) -> NetDef {
+    NetBuilder::new("tiny_dropout_cnn", batch, 3, 8)
+        .force_nchw()
+        .conv("conv1", 4, 3, 1, 1)
+        .bn("bn1")
+        .relu("relu1")
+        .fc("fc1", 16)
+        .relu("relu2")
+        .dropout("drop1", 0.3)
+        .fc("fc", classes)
+        .loss()
+}
+
 /// A small CNN for tests and the quickstart example: conv-bn-relu-pool x2,
 /// fc, loss — every common layer family in a functional-scale package.
 pub fn tiny_cnn(batch: usize, classes: usize) -> NetDef {

@@ -177,6 +177,37 @@ impl Net {
         self.layers.iter_mut().flat_map(|l| l.state_mut()).collect()
     }
 
+    /// Private RNG streams of randomness-consuming layers (dropout), in
+    /// layer order. Part of a full-solver checkpoint: restoring them
+    /// makes the replayed mask sequence bit-identical to the sequence an
+    /// uninterrupted run would have drawn.
+    pub fn rng_streams(&self) -> Vec<u64> {
+        self.layers.iter().filter_map(|l| l.rng_state()).collect()
+    }
+
+    /// Restore the streams captured by [`Net::rng_streams`]. The stream
+    /// count must match the net's randomness-consuming layer count.
+    pub fn set_rng_streams(&mut self, streams: &[u64]) -> Result<(), String> {
+        let holders: Vec<usize> = self
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.rng_state().is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if holders.len() != streams.len() {
+            return Err(format!(
+                "checkpoint has {} rng streams, network has {} randomness-consuming layers",
+                streams.len(),
+                holders.len()
+            ));
+        }
+        for (&i, &s) in holders.iter().zip(streams) {
+            self.layers[i].set_rng_state(s);
+        }
+        Ok(())
+    }
+
     pub fn zero_param_diffs(&mut self) {
         for p in self.params_mut() {
             p.zero_diff();

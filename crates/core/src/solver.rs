@@ -104,6 +104,20 @@ impl SgdSolver {
         &self.config
     }
 
+    /// Momentum buffers, one per parameter blob — empty until the first
+    /// [`step`](Self::step). Checkpoint payload.
+    pub fn history(&self) -> &[Vec<f32>] {
+        &self.history
+    }
+
+    /// Restore optimiser state captured from another solver: the
+    /// iteration counter (which also positions the LR schedule, since
+    /// every policy is a pure function of it) and the momentum buffers.
+    pub fn restore(&mut self, iter: usize, history: Vec<Vec<f32>>) {
+        self.iter = iter;
+        self.history = history;
+    }
+
     /// One optimisation step over the net's current gradients:
     /// `v = momentum*v + lr*(grad + decay*w); w -= v`.
     ///

@@ -1,0 +1,547 @@
+//! Deterministic, seeded fault injection for the cluster simulation.
+//!
+//! A [`FaultPlan`] declares *what can go wrong* in a run — node crashes at
+//! a given iteration, degraded inter-supernode links, straggling nodes,
+//! and a transient per-message corruption rate. A [`FaultSession`] walks
+//! the plan iteration by iteration and answers the questions the network
+//! layer asks on its functional and timing paths:
+//!
+//! * is this node dead? (crash at iteration k)
+//! * by how much is this supernode's over-subscribed uplink degraded?
+//! * how much slower is this node than its peers right now?
+//! * is this particular message, on this particular attempt, corrupted?
+//!
+//! Every answer is a pure function of the plan seed and the coordinates
+//! of the question (iteration, collective sequence number, step, source,
+//! destination, attempt), so two sessions created from the same plan give
+//! byte-identical fault schedules — the property the recovery tests rely
+//! on when they assert that a crashed-and-restored run reproduces the
+//! uninterrupted run bit for bit.
+//!
+//! The session also accumulates a [`FaultReport`]: counters for injected
+//! faults, checksum retries, detection latency and recovery wall-clock
+//! that the profiling layer exports.
+
+use std::fmt;
+
+/// One declared fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Physical node `node` dies at the start of iteration `at_iter` and
+    /// stays dead until a recovery action removes or replaces it.
+    NodeCrash { node: usize, at_iter: u64 },
+    /// The over-subscribed uplink of `supernode` runs `factor >= 1`
+    /// times slower for iterations in `[from_iter, until_iter)`.
+    LinkDegrade {
+        supernode: usize,
+        factor: f64,
+        from_iter: u64,
+        until_iter: u64,
+    },
+    /// Node `node` runs `slowdown >= 1` times slower for iterations in
+    /// `[from_iter, until_iter)` (OS jitter, thermal throttling).
+    Straggler {
+        node: usize,
+        slowdown: f64,
+        from_iter: u64,
+        until_iter: u64,
+    },
+}
+
+/// A seeded fault schedule. Build with the fluent methods, then open a
+/// [`FaultSession`] to consume it.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+    /// Probability that any single message is corrupted in flight.
+    corruption_rate: f64,
+    /// Seconds charged to detect an unresponsive rank (MPI-style
+    /// keep-alive timeout), added to the α-β-γ cost when a collective
+    /// aborts on a dead peer.
+    detect_timeout_s: f64,
+    /// Maximum retransmissions per message before the collective gives
+    /// up with [`CollectiveFault::RetriesExhausted`].
+    max_retries: u32,
+    /// Base of the exponential retransmission backoff: attempt `k`
+    /// (1-based) waits `backoff_base_s * 2^(k-1)` before resending.
+    backoff_base_s: f64,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+            corruption_rate: 0.0,
+            detect_timeout_s: 0.25,
+            max_retries: 3,
+            backoff_base_s: 50.0e-6,
+        }
+    }
+
+    /// Crash `node` at the start of iteration `at_iter`.
+    pub fn crash(mut self, node: usize, at_iter: u64) -> Self {
+        self.events.push(FaultEvent::NodeCrash { node, at_iter });
+        self
+    }
+
+    /// Degrade `supernode`'s uplink by `factor` for iterations in `iters`.
+    pub fn degrade_link(
+        mut self,
+        supernode: usize,
+        factor: f64,
+        iters: std::ops::Range<u64>,
+    ) -> Self {
+        assert!(factor >= 1.0, "degradation factor must be >= 1");
+        self.events.push(FaultEvent::LinkDegrade {
+            supernode,
+            factor,
+            from_iter: iters.start,
+            until_iter: iters.end,
+        });
+        self
+    }
+
+    /// Slow `node` down by `slowdown` for iterations in `iters`.
+    pub fn straggle(mut self, node: usize, slowdown: f64, iters: std::ops::Range<u64>) -> Self {
+        assert!(slowdown >= 1.0, "straggler slowdown must be >= 1");
+        self.events.push(FaultEvent::Straggler {
+            node,
+            slowdown,
+            from_iter: iters.start,
+            until_iter: iters.end,
+        });
+        self
+    }
+
+    /// Corrupt each message independently with probability `rate`.
+    pub fn corruption(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        self.corruption_rate = rate;
+        self
+    }
+
+    pub fn detect_timeout_s(mut self, s: f64) -> Self {
+        self.detect_timeout_s = s;
+        self
+    }
+
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    pub fn backoff_base_s(mut self, s: f64) -> Self {
+        self.backoff_base_s = s;
+        self
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// Counters a session accumulates; exported through swprof.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultReport {
+    /// Node crashes that have taken effect so far.
+    pub crashes: u64,
+    /// Messages the corruption model damaged in flight.
+    pub corrupted_msgs: u64,
+    /// Retransmissions triggered by checksum mismatches.
+    pub retries: u64,
+    /// Messages whose retry budget ran out (each aborts a collective).
+    pub retries_exhausted: u64,
+    /// Dead-rank detections (timeout fired).
+    pub detections: u64,
+    /// Seconds of simulated time spent waiting for detection timeouts.
+    pub detect_latency_s: f64,
+    /// Seconds of simulated time spent on retransmissions + backoff.
+    pub retry_cost_s: f64,
+    /// Seconds of simulated time spent in recovery actions
+    /// (re-forming the job, reloading checkpoints, replaying).
+    pub recovery_s: f64,
+}
+
+/// Why a fault-aware collective aborted. Simulated time already spent
+/// (including the detection timeout) rides along so callers can charge
+/// it to their clocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollectiveFault {
+    /// A peer did not answer within the keep-alive timeout.
+    DeadRank { rank: usize, elapsed_s: f64 },
+    /// A message failed its checksum `max_retries + 1` times in a row.
+    RetriesExhausted {
+        src: usize,
+        dst: usize,
+        step: usize,
+        elapsed_s: f64,
+    },
+}
+
+impl CollectiveFault {
+    /// Simulated seconds spent before the abort.
+    pub fn elapsed_s(&self) -> f64 {
+        match self {
+            CollectiveFault::DeadRank { elapsed_s, .. } => *elapsed_s,
+            CollectiveFault::RetriesExhausted { elapsed_s, .. } => *elapsed_s,
+        }
+    }
+}
+
+impl fmt::Display for CollectiveFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveFault::DeadRank { rank, elapsed_s } => {
+                write!(
+                    f,
+                    "rank {rank} unresponsive (detected after {elapsed_s:.3}s)"
+                )
+            }
+            CollectiveFault::RetriesExhausted {
+                src,
+                dst,
+                step,
+                elapsed_s,
+            } => write!(
+                f,
+                "message {src}->{dst} at step {step} failed every retry ({elapsed_s:.3}s spent)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveFault {}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixer used to derive all
+/// per-message fault decisions from the plan seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in [0, 1) from a mixed key.
+fn unit(key: u64) -> f64 {
+    (mix(key) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A live walk over a [`FaultPlan`]. One session per training run; the
+/// trainer advances it with [`begin_iteration`](Self::begin_iteration)
+/// and the network layer consults it per collective, per step, per
+/// message.
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    plan: FaultPlan,
+    iter: u64,
+    /// Collective sequence number within the run — distinguishes the
+    /// corruption coordinates of the many collectives in one iteration.
+    seq: u64,
+    /// Physical nodes currently dead, sorted.
+    dead: Vec<usize>,
+    /// Indices of crash events already applied: a crash fires once, so a
+    /// recovery that clears the dead set (shrink or restore) is not
+    /// re-killed by the same event on the next iteration.
+    fired_crashes: Vec<usize>,
+    pub report: FaultReport,
+}
+
+impl FaultSession {
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultSession {
+            plan,
+            iter: 0,
+            seq: 0,
+            dead: Vec::new(),
+            fired_crashes: Vec::new(),
+            report: FaultReport::default(),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub fn iter(&self) -> u64 {
+        self.iter
+    }
+
+    /// Enter iteration `iter`: crashes scheduled at or before it take
+    /// effect (a crash during a long repair window must not be missed).
+    pub fn begin_iteration(&mut self, iter: u64) {
+        self.iter = iter;
+        for (i, ev) in self.plan.events.iter().enumerate() {
+            if let FaultEvent::NodeCrash { node, at_iter } = *ev {
+                if at_iter <= iter && !self.fired_crashes.contains(&i) {
+                    self.fired_crashes.push(i);
+                    if !self.dead.contains(&node) {
+                        self.dead.push(node);
+                        self.report.crashes += 1;
+                    }
+                }
+            }
+        }
+        self.dead.sort_unstable();
+    }
+
+    /// Start a new collective; returns its sequence number.
+    pub fn begin_collective(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    pub fn is_dead(&self, node: usize) -> bool {
+        self.dead.binary_search(&node).is_ok()
+    }
+
+    pub fn dead_nodes(&self) -> &[usize] {
+        &self.dead
+    }
+
+    /// Forget the dead nodes — called after a recovery action rebuilds
+    /// the job without them (their ranks no longer exist).
+    pub fn clear_dead(&mut self) {
+        self.dead.clear();
+    }
+
+    /// Record a dead-rank detection: charges the keep-alive timeout and
+    /// returns it in seconds.
+    pub fn detect(&mut self) -> f64 {
+        self.report.detections += 1;
+        self.report.detect_latency_s += self.plan.detect_timeout_s;
+        self.plan.detect_timeout_s
+    }
+
+    pub fn corruption_rate(&self) -> f64 {
+        self.plan.corruption_rate
+    }
+
+    pub fn max_retries(&self) -> u32 {
+        self.plan.max_retries
+    }
+
+    /// Exponential backoff before retransmission attempt `attempt`
+    /// (1-based).
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.plan.backoff_base_s * f64::from(1u32 << (attempt - 1).min(16))
+    }
+
+    /// Is the message `(src -> dst)` of `step` within collective `seq`
+    /// corrupted on its `attempt`-th transmission (0 = first send)?
+    /// Deterministic in all coordinates; independent across attempts, so
+    /// retransmissions usually succeed (the fault is transient).
+    pub fn corrupts(&self, seq: u64, step: usize, src: usize, dst: usize, attempt: u32) -> bool {
+        if self.plan.corruption_rate <= 0.0 {
+            return false;
+        }
+        let key = self
+            .plan
+            .seed
+            .wrapping_add(mix(self.iter))
+            .wrapping_add(mix(seq.wrapping_mul(0x517c_c1b7_2722_0a95)))
+            .wrapping_add(mix(step as u64 ^ 0xda94_2042_e4dd_58b5))
+            .wrapping_add(mix((src as u64) << 32 | dst as u64))
+            .wrapping_add(mix(u64::from(attempt) ^ 0x2545_f491_4f6c_dd1d));
+        unit(key) < self.plan.corruption_rate
+    }
+
+    /// Multiplicative slowdown of `supernode`'s uplink this iteration
+    /// (`1.0` = healthy). Concurrent degradations compound.
+    pub fn link_factor(&self, supernode: usize) -> f64 {
+        let mut f = 1.0;
+        for ev in &self.plan.events {
+            if let FaultEvent::LinkDegrade {
+                supernode: s,
+                factor,
+                from_iter,
+                until_iter,
+            } = *ev
+            {
+                if s == supernode && (from_iter..until_iter).contains(&self.iter) {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// Multiplicative slowdown of `node` this iteration (`1.0` = healthy).
+    pub fn straggler_factor(&self, node: usize) -> f64 {
+        let mut f = 1.0;
+        for ev in &self.plan.events {
+            if let FaultEvent::Straggler {
+                node: n,
+                slowdown,
+                from_iter,
+                until_iter,
+            } = *ev
+            {
+                if n == node && (from_iter..until_iter).contains(&self.iter) {
+                    f *= slowdown;
+                }
+            }
+        }
+        f
+    }
+
+    /// True if any declared fault can perturb *timing* this iteration —
+    /// lets hot paths skip per-transfer factor lookups in the common
+    /// healthy case.
+    pub fn perturbs_timing(&self) -> bool {
+        self.plan.events.iter().any(|ev| {
+            matches!(
+                ev,
+                FaultEvent::LinkDegrade {
+                    from_iter,
+                    until_iter,
+                    ..
+                } | FaultEvent::Straggler {
+                    from_iter,
+                    until_iter,
+                    ..
+                } if (*from_iter..*until_iter).contains(&self.iter)
+            )
+        })
+    }
+}
+
+/// Checksum used to detect in-flight corruption: Fletcher-64 over the
+/// raw bit patterns of an f32 payload. Cheap, and any single bit flip
+/// changes it.
+pub fn checksum(payload: &[f32]) -> u64 {
+    let mut a: u64 = 0;
+    let mut b: u64 = 0;
+    for v in payload {
+        a = a.wrapping_add(u64::from(v.to_bits()));
+        b = b.wrapping_add(a);
+    }
+    (b << 32) | (a & 0xffff_ffff)
+}
+
+/// Flip one deterministic bit of one deterministic element — the damage
+/// the corruption model does to a message in flight.
+pub fn corrupt_payload(payload: &mut [f32], seed: u64) {
+    if payload.is_empty() {
+        return;
+    }
+    let idx = (mix(seed) as usize) % payload.len();
+    let bit = (mix(seed ^ 0xabcd) % 32) as u32;
+    payload[idx] = f32::from_bits(payload[idx].to_bits() ^ (1 << bit));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_from_same_plan_agree() {
+        let plan = FaultPlan::new(42).corruption(0.1).crash(3, 5);
+        let mut a = FaultSession::new(plan.clone());
+        let mut b = FaultSession::new(plan);
+        for it in 0..10 {
+            a.begin_iteration(it);
+            b.begin_iteration(it);
+            let sa = a.begin_collective();
+            let sb = b.begin_collective();
+            assert_eq!(sa, sb);
+            for step in 0..4 {
+                for src in 0..8 {
+                    assert_eq!(
+                        a.corrupts(sa, step, src, src ^ 1, 0),
+                        b.corrupts(sb, step, src, src ^ 1, 0)
+                    );
+                }
+            }
+            assert_eq!(a.dead_nodes(), b.dead_nodes());
+        }
+    }
+
+    #[test]
+    fn crash_takes_effect_at_its_iteration() {
+        let mut s = FaultSession::new(FaultPlan::new(7).crash(2, 3));
+        s.begin_iteration(2);
+        assert!(!s.is_dead(2));
+        s.begin_iteration(3);
+        assert!(s.is_dead(2));
+        assert_eq!(s.report.crashes, 1);
+        // Idempotent across iterations.
+        s.begin_iteration(4);
+        assert_eq!(s.report.crashes, 1);
+        s.clear_dead();
+        assert!(s.dead_nodes().is_empty());
+    }
+
+    #[test]
+    fn corruption_rate_is_roughly_honoured() {
+        let mut s = FaultSession::new(FaultPlan::new(123).corruption(0.2));
+        s.begin_iteration(0);
+        let seq = s.begin_collective();
+        let mut hits = 0;
+        let trials = 10_000;
+        for i in 0..trials {
+            if s.corrupts(seq, i % 7, i % 64, (i + 1) % 64, 0) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.2).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn retries_are_independent_of_first_attempt() {
+        // A corrupted first attempt does not doom the retry: the
+        // decision depends on the attempt number.
+        let mut s = FaultSession::new(FaultPlan::new(99).corruption(0.5));
+        s.begin_iteration(0);
+        let seq = s.begin_collective();
+        let mut both = 0;
+        let mut first = 0;
+        for i in 0..4_000 {
+            if s.corrupts(seq, 0, i, i + 1, 0) {
+                first += 1;
+                if s.corrupts(seq, 0, i, i + 1, 1) {
+                    both += 1;
+                }
+            }
+        }
+        assert!(first > 1_500);
+        let cond = both as f64 / first as f64;
+        assert!((cond - 0.5).abs() < 0.06, "conditional rate {cond}");
+    }
+
+    #[test]
+    fn degradation_windows_apply() {
+        let plan = FaultPlan::new(1)
+            .degrade_link(2, 3.0, 5..10)
+            .straggle(7, 2.0, 0..3);
+        let mut s = FaultSession::new(plan);
+        s.begin_iteration(0);
+        assert_eq!(s.link_factor(2), 1.0);
+        assert_eq!(s.straggler_factor(7), 2.0);
+        assert!(s.perturbs_timing());
+        s.begin_iteration(5);
+        assert_eq!(s.link_factor(2), 3.0);
+        assert_eq!(s.straggler_factor(7), 1.0);
+        s.begin_iteration(10);
+        assert_eq!(s.link_factor(2), 1.0);
+        assert!(!s.perturbs_timing());
+    }
+
+    #[test]
+    fn checksum_catches_single_bit_flips() {
+        let payload: Vec<f32> = (0..257).map(|i| (i as f32).sin()).collect();
+        let clean = checksum(&payload);
+        for seed in 0..64 {
+            let mut dirty = payload.clone();
+            corrupt_payload(&mut dirty, seed);
+            assert_ne!(checksum(&dirty), clean, "seed {seed}");
+        }
+    }
+}

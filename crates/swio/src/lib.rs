@@ -12,5 +12,5 @@ pub mod prefetch;
 pub mod stripefs;
 
 pub use dataset::{EpochSampler, SyntheticImageNet, CLASSES, RECORD_BYTES};
-pub use prefetch::{io_stall, Batch, Prefetcher};
+pub use prefetch::{io_stall, Batch, BatchReader, Prefetcher, ReadError};
 pub use stripefs::{IoModel, Layout};

@@ -15,7 +15,32 @@
 //!   DMA bytes, flops, message counts) and only genuine reals go through
 //!   `f64`, using Rust's shortest-roundtrip formatting.
 
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
+
+/// A parse failure: what went wrong and the byte offset at which the
+/// parser noticed. The offset indexes the *input bytes* (not chars), so
+/// callers can point at the exact spot in a file or an editor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Keeps `Json::parse(..)?` working in the many `Result<_, String>`
+/// functions across the workspace.
+impl From<ParseError> for String {
+    fn from(e: ParseError) -> String {
+        e.to_string()
+    }
+}
 
 /// A JSON value. Objects are ordered key/value vectors, not maps, so
 /// serialisation is deterministic and duplicate detection is explicit.
@@ -109,8 +134,8 @@ impl Json {
     }
 
     /// Parse a JSON document. Trailing content after the top-level value
-    /// is an error.
-    pub fn parse(text: &str) -> Result<Json, String> {
+    /// is an error carrying the byte offset of the failure.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -284,8 +309,15 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
-    fn error(&self, msg: &str) -> String {
-        format!("{msg} at byte {}", self.pos)
+    fn error(&self, msg: &str) -> ParseError {
+        self.error_at(msg, self.pos)
+    }
+
+    fn error_at(&self, msg: &str, offset: usize) -> ParseError {
+        ParseError {
+            offset,
+            msg: msg.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -302,7 +334,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -311,7 +343,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
@@ -320,7 +352,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, ParseError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -334,7 +366,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -357,7 +389,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -385,7 +417,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, ParseError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -448,7 +480,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn hex4(&mut self) -> Result<u32, String> {
+    fn hex4(&mut self) -> Result<u32, ParseError> {
         let end = self.pos + 4;
         if end > self.bytes.len() {
             return Err(self.error("truncated \\u escape"));
@@ -460,7 +492,7 @@ impl<'a> Parser<'a> {
         Ok(cp)
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, ParseError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -476,7 +508,11 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Only ASCII digits/signs/exponents were consumed, so this slice
+        // is valid UTF-8 by construction — but fail, don't panic, if the
+        // invariant is ever broken.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error_at("invalid UTF-8 in number", start))?;
         if !is_real {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Json::Int(i));
@@ -484,7 +520,7 @@ impl<'a> Parser<'a> {
         }
         text.parse::<f64>()
             .map(Json::Num)
-            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+            .map_err(|_| self.error_at(&format!("invalid number '{text}'"), start))
     }
 }
 
@@ -591,6 +627,22 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        // The offset pins the failure to the exact input byte.
+        let e = Json::parse(r#"{"a" 1}"#).unwrap_err();
+        assert_eq!(e.offset, 5);
+        assert!(e.msg.contains("':'"), "{}", e.msg);
+        let e = Json::parse("[1, 2, x]").unwrap_err();
+        assert_eq!(e.offset, 7);
+        // Number errors point at the number's first byte.
+        let e = Json::parse("   1e999e9").unwrap_err();
+        assert_eq!(e.offset, 3);
+        // Display (and the String conversion used by `?` call sites)
+        // includes the offset.
+        assert!(String::from(e.clone()).contains("at byte 3"), "{e}");
     }
 
     #[test]

@@ -18,8 +18,9 @@
 //! [`crate::cost`] accumulates simulated time step by step.
 
 use sw26010::SimTime;
+use swfault::{CollectiveFault, FaultSession};
 
-use crate::cost::{step_time, NetParams, Transfer};
+use crate::cost::{step_time_faulty, NetParams, Transfer};
 use crate::topology::{RankMap, Topology};
 
 /// All-reduce algorithm selector.
@@ -75,6 +76,24 @@ pub fn allreduce(
     allreduce_segment(topo, params, map, algo, elems, 0..elems, data)
 }
 
+/// Fault-aware [`allreduce`]: consults the fault session on both the
+/// timing path (degraded links, stragglers, detection timeouts, retry
+/// cost) and the functional path (checksummed messages, deterministic
+/// retransmission) and aborts with a [`CollectiveFault`] instead of
+/// silently computing garbage when a peer is dead or a message exhausts
+/// its retry budget.
+pub fn allreduce_ft(
+    topo: &Topology,
+    params: &NetParams,
+    map: RankMap,
+    algo: Algorithm,
+    elems: usize,
+    data: Option<&mut [Vec<f32>]>,
+    faults: Option<&mut FaultSession>,
+) -> Result<AllreduceReport, CollectiveFault> {
+    allreduce_segment_ft(topo, params, map, algo, elems, 0..elems, data, faults)
+}
+
 /// Segment-level all-reduce: reduce only `segment` of a packed buffer of
 /// `total_elems`, such that the union of disjoint segment reductions is
 /// **bit-identical** to one monolithic packed all-reduce. This is the
@@ -106,8 +125,24 @@ pub fn allreduce_segment(
     algo: Algorithm,
     total_elems: usize,
     segment: std::ops::Range<usize>,
-    mut data: Option<&mut [Vec<f32>]>,
+    data: Option<&mut [Vec<f32>]>,
 ) -> AllreduceReport {
+    allreduce_segment_ft(topo, params, map, algo, total_elems, segment, data, None)
+        .expect("infallible without fault injection")
+}
+
+/// Fault-aware [`allreduce_segment`]; see [`allreduce_ft`].
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce_segment_ft(
+    topo: &Topology,
+    params: &NetParams,
+    map: RankMap,
+    algo: Algorithm,
+    total_elems: usize,
+    segment: std::ops::Range<usize>,
+    data: Option<&mut [Vec<f32>]>,
+    mut faults: Option<&mut FaultSession>,
+) -> Result<AllreduceReport, CollectiveFault> {
     let p = topo.nodes;
     assert!(
         segment.end <= total_elems,
@@ -118,18 +153,30 @@ pub fn allreduce_segment(
         assert!(d.iter().all(|v| v.len() == total_elems));
     }
     if p == 1 {
-        return AllreduceReport {
+        return Ok(AllreduceReport {
             elapsed: SimTime::ZERO,
             steps: 0,
             cross_bytes: 0,
             total_bytes: 0,
-        };
+        });
     }
+    let seq = if let Some(f) = faults.as_deref_mut() {
+        // A dead peer never answers the synchronisation handshake that
+        // opens the collective; the keep-alive timeout fires and the
+        // abort is charged as pure latency in the cost model.
+        if let Some(&rank) = f.dead_nodes().iter().find(|&&n| n < p) {
+            let elapsed_s = f.detect();
+            return Err(CollectiveFault::DeadRank { rank, elapsed_s });
+        }
+        f.begin_collective()
+    } else {
+        0
+    };
     let seg = (segment.start, segment.end);
     match algo {
-        Algorithm::Ring => ring(topo, params, map, total_elems, seg, data.as_deref_mut()),
-        Algorithm::Binomial => binomial(topo, params, map, seg, data.as_deref_mut()),
-        Algorithm::RecursiveHalvingDoubling => rhd(topo, params, map, seg, data),
+        Algorithm::Ring => ring(topo, params, map, total_elems, seg, data, faults, seq),
+        Algorithm::Binomial => binomial(topo, params, map, seg, data, faults, seq),
+        Algorithm::RecursiveHalvingDoubling => rhd(topo, params, map, seg, data, faults, seq),
     }
 }
 
@@ -140,10 +187,18 @@ struct StepAccum<'a> {
     steps: usize,
     cross_bytes: u64,
     total_bytes: u64,
+    faults: Option<&'a mut FaultSession>,
+    /// Sequence number of this collective within the fault session.
+    seq: u64,
 }
 
 impl<'a> StepAccum<'a> {
-    fn new(topo: &'a Topology, params: &'a NetParams) -> Self {
+    fn new(
+        topo: &'a Topology,
+        params: &'a NetParams,
+        faults: Option<&'a mut FaultSession>,
+        seq: u64,
+    ) -> Self {
         StepAccum {
             topo,
             params,
@@ -151,11 +206,20 @@ impl<'a> StepAccum<'a> {
             steps: 0,
             cross_bytes: 0,
             total_bytes: 0,
+            faults,
+            seq,
         }
     }
 
-    fn step(&mut self, transfers: &[Transfer]) {
-        self.elapsed += step_time(self.topo, self.params, transfers);
+    /// Advance one bulk-synchronous step and return its index, or the
+    /// fault that aborted the collective mid-flight. Checksum
+    /// retransmissions (detected by the receiver, replayed by the
+    /// sender) are charged here: start-up + uncontended wire time +
+    /// exponential backoff per extra attempt, bounded by the retry
+    /// budget.
+    fn step(&mut self, transfers: &[Transfer]) -> Result<usize, CollectiveFault> {
+        self.elapsed += step_time_faulty(self.topo, self.params, transfers, self.faults.as_deref());
+        let idx = self.steps;
         self.steps += 1;
         for t in transfers {
             self.total_bytes += t.bytes as u64;
@@ -163,6 +227,42 @@ impl<'a> StepAccum<'a> {
                 self.cross_bytes += t.bytes as u64;
             }
         }
+        if let Some(f) = self.faults.as_deref_mut() {
+            if f.corruption_rate() > 0.0 {
+                for t in transfers.iter().filter(|t| t.bytes > 0) {
+                    let mut attempt = 0u32;
+                    while f.corrupts(self.seq, idx, t.src, t.dst, attempt) {
+                        f.report.corrupted_msgs += 1;
+                        attempt += 1;
+                        if attempt > f.max_retries() {
+                            f.report.retries_exhausted += 1;
+                            return Err(CollectiveFault::RetriesExhausted {
+                                src: t.src,
+                                dst: t.dst,
+                                step: idx,
+                                elapsed_s: self.elapsed.seconds(),
+                            });
+                        }
+                        f.report.retries += 1;
+                        let retry = self.params.alpha(t.bytes)
+                            + t.bytes as f64 * self.params.beta1
+                                / self.params.collective_efficiency
+                            + f.backoff_s(attempt);
+                        f.report.retry_cost_s += retry;
+                        self.elapsed += SimTime::from_seconds(retry);
+                        self.total_bytes += t.bytes as u64;
+                        if self.topo.crosses(t.src, t.dst) {
+                            self.cross_bytes += t.bytes as u64;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(idx)
+    }
+
+    fn faults(&self) -> Option<&FaultSession> {
+        self.faults.as_deref()
     }
 
     fn finish(self) -> AllreduceReport {
@@ -175,11 +275,18 @@ impl<'a> StepAccum<'a> {
     }
 }
 
-/// Apply a batch of (dst_phys, range, payload, reduce) messages.
-type Msg = (usize, std::ops::Range<usize>, Vec<f32>, bool);
+/// Apply a batch of (src_phys, dst_phys, range, payload, reduce) messages.
+type Msg = (usize, usize, std::ops::Range<usize>, Vec<f32>, bool);
 
-fn deliver(data: &mut [Vec<f32>], msgs: Vec<Msg>) {
-    for (dst, range, payload, reduce) in msgs {
+fn deliver(
+    data: &mut [Vec<f32>],
+    msgs: Vec<Msg>,
+    faults: Option<&FaultSession>,
+    seq: u64,
+    step: usize,
+) {
+    for (src, dst, range, payload, reduce) in msgs {
+        let payload = receive(payload, faults, seq, step, src, dst);
         let target = &mut data[dst][range];
         if reduce {
             for (t, v) in target.iter_mut().zip(&payload) {
@@ -191,13 +298,54 @@ fn deliver(data: &mut [Vec<f32>], msgs: Vec<Msg>) {
     }
 }
 
+/// The functional half of the transport: the sender stamps a Fletcher-64
+/// checksum, the corruption model may damage the payload in flight, the
+/// receiver verifies and requests retransmission until a clean copy
+/// arrives. The attempt budget was already enforced on the timing path
+/// (the step aborts before delivery), so this loop terminates on exactly
+/// the attempt the cost model charged for.
+fn receive(
+    payload: Vec<f32>,
+    faults: Option<&FaultSession>,
+    seq: u64,
+    step: usize,
+    src: usize,
+    dst: usize,
+) -> Vec<f32> {
+    let Some(f) = faults else { return payload };
+    if f.corruption_rate() <= 0.0 {
+        return payload;
+    }
+    let stamped = swfault::checksum(&payload);
+    let mut attempt = 0u32;
+    while f.corrupts(seq, step, src, dst, attempt) {
+        let mut wire = payload.clone();
+        let damage = seq
+            ^ ((step as u64) << 40)
+            ^ ((src as u64) << 20)
+            ^ dst as u64
+            ^ (u64::from(attempt) << 56);
+        swfault::corrupt_payload(&mut wire, damage);
+        assert_ne!(
+            swfault::checksum(&wire),
+            stamped,
+            "checksum must catch in-flight corruption"
+        );
+        attempt += 1;
+    }
+    payload
+}
+
+#[allow(clippy::too_many_arguments)]
 fn rhd(
     topo: &Topology,
     params: &NetParams,
     map: RankMap,
     seg: (usize, usize),
     mut data: Option<&mut [Vec<f32>]>,
-) -> AllreduceReport {
+    faults: Option<&mut FaultSession>,
+    seq: u64,
+) -> Result<AllreduceReport, CollectiveFault> {
     let p = topo.nodes;
     assert!(
         p.is_power_of_two(),
@@ -210,7 +358,7 @@ fn rhd(
     // only the operand sides swap, and IEEE addition commutes.
     let (base, seg_hi) = seg;
     let n = seg_hi - base;
-    let mut acc = StepAccum::new(topo, params);
+    let mut acc = StepAccum::new(topo, params, faults, seq);
     // Per logical rank: current block range [lo, hi).
     let mut range: Vec<(usize, usize)> = vec![(0, p); p];
 
@@ -242,14 +390,20 @@ fn rhd(
             });
             if let Some(d) = data.as_deref() {
                 if shi > slo {
-                    msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), true));
+                    msgs.push((
+                        src_phys,
+                        dst_phys,
+                        slo..shi,
+                        d[src_phys][slo..shi].to_vec(),
+                        true,
+                    ));
                 }
             }
             *rng = keep;
         }
-        acc.step(&transfers);
+        let si = acc.step(&transfers)?;
         if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs);
+            deliver(d, msgs, acc.faults(), seq, si);
         }
         mask /= 2;
     }
@@ -276,22 +430,29 @@ fn rhd(
             });
             if let Some(d) = data.as_deref() {
                 if shi > slo {
-                    msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), false));
+                    msgs.push((
+                        src_phys,
+                        dst_phys,
+                        slo..shi,
+                        d[src_phys][slo..shi].to_vec(),
+                        false,
+                    ));
                 }
             }
             // Union with the partner's (adjacent, equal-sized) range.
             range[r] = (lo.min(snap[partner].0), hi.max(snap[partner].1));
         }
-        acc.step(&transfers);
+        let si = acc.step(&transfers)?;
         if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs);
+            deliver(d, msgs, acc.faults(), seq, si);
         }
         mask *= 2;
     }
     debug_assert!(range.iter().all(|&(lo, hi)| lo == 0 && hi == p));
-    acc.finish()
+    Ok(acc.finish())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ring(
     topo: &Topology,
     params: &NetParams,
@@ -299,9 +460,11 @@ fn ring(
     elems: usize,
     seg: (usize, usize),
     mut data: Option<&mut [Vec<f32>]>,
-) -> AllreduceReport {
+    faults: Option<&mut FaultSession>,
+    seq: u64,
+) -> Result<AllreduceReport, CollectiveFault> {
     let p = topo.nodes;
-    let mut acc = StepAccum::new(topo, params);
+    let mut acc = StepAccum::new(topo, params, faults, seq);
     // Reduce-scatter: at step k, rank r sends block (r - k) mod p to r+1.
     for k in 0..p - 1 {
         let mut transfers = Vec::with_capacity(p);
@@ -320,13 +483,19 @@ fn ring(
             });
             if let Some(d) = data.as_deref() {
                 if hi > lo {
-                    msgs.push((dst_phys, lo..hi, d[src_phys][lo..hi].to_vec(), true));
+                    msgs.push((
+                        src_phys,
+                        dst_phys,
+                        lo..hi,
+                        d[src_phys][lo..hi].to_vec(),
+                        true,
+                    ));
                 }
             }
         }
-        acc.step(&transfers);
+        let si = acc.step(&transfers)?;
         if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs);
+            deliver(d, msgs, acc.faults(), seq, si);
         }
     }
     // Allgather: rank r now owns block (r + 1) mod p fully reduced.
@@ -347,16 +516,22 @@ fn ring(
             });
             if let Some(d) = data.as_deref() {
                 if hi > lo {
-                    msgs.push((dst_phys, lo..hi, d[src_phys][lo..hi].to_vec(), false));
+                    msgs.push((
+                        src_phys,
+                        dst_phys,
+                        lo..hi,
+                        d[src_phys][lo..hi].to_vec(),
+                        false,
+                    ));
                 }
             }
         }
-        acc.step(&transfers);
+        let si = acc.step(&transfers)?;
         if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs);
+            deliver(d, msgs, acc.faults(), seq, si);
         }
     }
-    acc.finish()
+    Ok(acc.finish())
 }
 
 fn binomial(
@@ -365,7 +540,9 @@ fn binomial(
     map: RankMap,
     seg: (usize, usize),
     mut data: Option<&mut [Vec<f32>]>,
-) -> AllreduceReport {
+    faults: Option<&mut FaultSession>,
+    seq: u64,
+) -> Result<AllreduceReport, CollectiveFault> {
     let p = topo.nodes;
     assert!(
         p.is_power_of_two(),
@@ -373,7 +550,7 @@ fn binomial(
     );
     let (slo, shi) = seg;
     let bytes = (shi - slo) * 4;
-    let mut acc = StepAccum::new(topo, params);
+    let mut acc = StepAccum::new(topo, params, faults, seq);
     // Reduce to logical rank 0.
     let mut mask = 1;
     while mask < p {
@@ -392,14 +569,20 @@ fn binomial(
                 });
                 if let Some(d) = data.as_deref() {
                     if shi > slo {
-                        msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), true));
+                        msgs.push((
+                            src_phys,
+                            dst_phys,
+                            slo..shi,
+                            d[src_phys][slo..shi].to_vec(),
+                            true,
+                        ));
                     }
                 }
             }
         }
-        acc.step(&transfers);
+        let si = acc.step(&transfers)?;
         if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs);
+            deliver(d, msgs, acc.faults(), seq, si);
         }
         mask *= 2;
     }
@@ -422,19 +605,25 @@ fn binomial(
                     });
                     if let Some(d) = data.as_deref() {
                         if shi > slo {
-                            msgs.push((dst_phys, slo..shi, d[src_phys][slo..shi].to_vec(), false));
+                            msgs.push((
+                                src_phys,
+                                dst_phys,
+                                slo..shi,
+                                d[src_phys][slo..shi].to_vec(),
+                                false,
+                            ));
                         }
                     }
                 }
             }
         }
-        acc.step(&transfers);
+        let si = acc.step(&transfers)?;
         if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs);
+            deliver(d, msgs, acc.faults(), seq, si);
         }
         mask /= 2;
     }
-    acc.finish()
+    Ok(acc.finish())
 }
 
 #[cfg(test)]
@@ -741,6 +930,225 @@ pub fn allreduce_any(
         RankMap::Natural
     };
     allreduce(topo, params, map, algo, elems, data)
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::cost::ReduceEngine;
+    use swfault::FaultPlan;
+
+    const ALGOS: [Algorithm; 3] = [
+        Algorithm::RecursiveHalvingDoubling,
+        Algorithm::Ring,
+        Algorithm::Binomial,
+    ];
+
+    fn rough_data(p: usize, elems: usize) -> Vec<Vec<f32>> {
+        (0..p)
+            .map(|r| {
+                (0..elems)
+                    .map(|i| 1.0 / (1 + (r * 131 + i * 17) % 97) as f32 - 0.5)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corruption_is_retried_and_leaves_sums_bit_identical() {
+        // Corrupted messages are caught by the checksum and
+        // retransmitted, so a corrupted run must produce the *same bits*
+        // as a clean run — only slower, with the retries charged to the
+        // cost model and counted in the report.
+        let p = 8;
+        let elems = 513;
+        let topo = Topology::with_supernode(p, 4);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        for algo in ALGOS {
+            let mut clean = rough_data(p, elems);
+            let clean_rep = allreduce(
+                &topo,
+                &params,
+                RankMap::RoundRobin,
+                algo,
+                elems,
+                Some(&mut clean),
+            );
+
+            let mut faulty = rough_data(p, elems);
+            let mut session =
+                FaultSession::new(FaultPlan::new(2024).corruption(0.3).max_retries(8));
+            session.begin_iteration(0);
+            let rep = allreduce_ft(
+                &topo,
+                &params,
+                RankMap::RoundRobin,
+                algo,
+                elems,
+                Some(&mut faulty),
+                Some(&mut session),
+            )
+            .expect("retry budget absorbs a 30% corruption rate");
+            assert!(
+                session.report.corrupted_msgs > 0,
+                "{algo:?}: the plan must actually corrupt something"
+            );
+            assert_eq!(session.report.retries, session.report.corrupted_msgs);
+            assert!(session.report.retry_cost_s > 0.0);
+            assert!(
+                rep.elapsed.seconds() > clean_rep.elapsed.seconds(),
+                "{algo:?}: retries must cost simulated time"
+            );
+            assert!(rep.total_bytes > clean_rep.total_bytes);
+            for (a, b) in clean.iter().zip(&faulty) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{algo:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_rank_aborts_with_detection_timeout() {
+        let p = 8;
+        let topo = Topology::with_supernode(p, 4);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let mut session = FaultSession::new(FaultPlan::new(1).crash(3, 2).detect_timeout_s(0.5));
+        session.begin_iteration(1);
+        let mut data = rough_data(p, 64);
+        assert!(allreduce_ft(
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::RecursiveHalvingDoubling,
+            64,
+            Some(&mut data),
+            Some(&mut session),
+        )
+        .is_ok());
+        session.begin_iteration(2);
+        let err = allreduce_ft(
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::RecursiveHalvingDoubling,
+            64,
+            None,
+            Some(&mut session),
+        )
+        .unwrap_err();
+        match err {
+            CollectiveFault::DeadRank { rank, elapsed_s } => {
+                assert_eq!(rank, 3);
+                assert_eq!(elapsed_s, 0.5);
+            }
+            other => panic!("expected DeadRank, got {other}"),
+        }
+        assert_eq!(session.report.detections, 1);
+        assert_eq!(session.report.detect_latency_s, 0.5);
+    }
+
+    #[test]
+    fn hopeless_corruption_exhausts_retries() {
+        let p = 4;
+        let topo = Topology::with_supernode(p, 2);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        // rate ~ 1: every attempt of every message corrupts.
+        let mut session = FaultSession::new(FaultPlan::new(5).corruption(0.999).max_retries(2));
+        session.begin_iteration(0);
+        let err = allreduce_ft(
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::Ring,
+            256,
+            None,
+            Some(&mut session),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CollectiveFault::RetriesExhausted { .. }));
+        assert_eq!(session.report.retries_exhausted, 1);
+        assert!(err.elapsed_s() > 0.0);
+    }
+
+    #[test]
+    fn degraded_uplink_slows_only_affected_iterations() {
+        let p = 8;
+        let elems = 1 << 16;
+        let topo = Topology::with_supernode(p, 4);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let healthy = allreduce(
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::RecursiveHalvingDoubling,
+            elems,
+            None,
+        );
+        let mut session = FaultSession::new(FaultPlan::new(9).degrade_link(0, 4.0, 5..6));
+        session.begin_iteration(4);
+        let before = allreduce_ft(
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::RecursiveHalvingDoubling,
+            elems,
+            None,
+            Some(&mut session),
+        )
+        .unwrap();
+        assert_eq!(
+            before.elapsed.seconds().to_bits(),
+            healthy.elapsed.seconds().to_bits(),
+            "outside the window the timing must be bit-identical"
+        );
+        session.begin_iteration(5);
+        let during = allreduce_ft(
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::RecursiveHalvingDoubling,
+            elems,
+            None,
+            Some(&mut session),
+        )
+        .unwrap();
+        assert!(
+            during.elapsed.seconds() > 1.5 * healthy.elapsed.seconds(),
+            "degraded uplink must dominate the cross steps: {} vs {}",
+            during.elapsed.seconds(),
+            healthy.elapsed.seconds()
+        );
+    }
+
+    #[test]
+    fn straggler_stretches_the_step() {
+        let p = 8;
+        let elems = 1 << 16;
+        let topo = Topology::with_supernode(p, 4);
+        let params = NetParams::sunway(ReduceEngine::CpeClusters);
+        let healthy = allreduce(
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::Ring,
+            elems,
+            None,
+        );
+        let mut session = FaultSession::new(FaultPlan::new(11).straggle(2, 3.0, 0..100));
+        session.begin_iteration(1);
+        let slow = allreduce_ft(
+            &topo,
+            &params,
+            RankMap::Natural,
+            Algorithm::Ring,
+            elems,
+            None,
+            Some(&mut session),
+        )
+        .unwrap();
+        assert!(slow.elapsed.seconds() > 1.5 * healthy.elapsed.seconds());
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //!   CPE clusters (the paper's improvement).
 
 use sw26010::SimTime;
+use swfault::FaultSession;
 
 use crate::topology::{Topology, OVERSUBSCRIPTION};
 
@@ -159,9 +160,24 @@ pub struct Transfer {
 /// their source supernode; the step ends when the slowest transfer (plus
 /// its local reduction) completes.
 pub fn step_time(topo: &Topology, params: &NetParams, transfers: &[Transfer]) -> SimTime {
+    step_time_faulty(topo, params, transfers, None)
+}
+
+/// [`step_time`] with fault-plan perturbations: a degraded supernode
+/// uplink stretches the per-byte term of every crossing transfer that
+/// touches it, and a straggling endpoint stretches its whole transfer.
+/// With no active perturbation the arithmetic is bit-identical to the
+/// healthy path.
+pub fn step_time_faulty(
+    topo: &Topology,
+    params: &NetParams,
+    transfers: &[Transfer],
+    faults: Option<&FaultSession>,
+) -> SimTime {
     if transfers.is_empty() {
         return SimTime::ZERO;
     }
+    let perturb = faults.filter(|f| f.perturbs_timing());
     // Count cross-supernode flows leaving each supernode.
     let mut outflows = vec![0usize; topo.supernodes()];
     for t in transfers {
@@ -179,9 +195,22 @@ pub fn step_time(topo: &Topology, params: &NetParams, transfers: &[Transfer]) ->
         } else {
             1.0
         };
-        let time = params.alpha(t.bytes)
-            + t.bytes as f64 * params.beta1 * share / params.collective_efficiency
-            + t.reduce_bytes as f64 * params.gamma();
+        let wire = t.bytes as f64 * params.beta1 * share / params.collective_efficiency;
+        let mut time = params.alpha(t.bytes) + wire + t.reduce_bytes as f64 * params.gamma();
+        if let Some(f) = perturb {
+            if topo.crosses(t.src, t.dst) {
+                let lf = f
+                    .link_factor(topo.supernode_of(t.src))
+                    .max(f.link_factor(topo.supernode_of(t.dst)));
+                if lf > 1.0 {
+                    time += wire * (lf - 1.0);
+                }
+            }
+            let sf = f.straggler_factor(t.src).max(f.straggler_factor(t.dst));
+            if sf > 1.0 {
+                time *= sf;
+            }
+        }
         worst = worst.max(time);
     }
     worst += params.straggler_coeff * (topo.nodes.max(2) as f64).ln();

@@ -21,7 +21,11 @@ pub mod cost;
 pub mod primitives;
 pub mod topology;
 
-pub use collectives::{allreduce, allreduce_any, allreduce_segment, Algorithm, AllreduceReport};
-pub use cost::{NetParams, ReduceEngine, Transfer};
+pub use collectives::{
+    allreduce, allreduce_any, allreduce_ft, allreduce_segment, allreduce_segment_ft, Algorithm,
+    AllreduceReport,
+};
+pub use cost::{step_time_faulty, NetParams, ReduceEngine, Transfer};
 pub use primitives::{broadcast, parameter_server_round, reduce, CollectiveReport};
+pub use swfault::{CollectiveFault, FaultPlan, FaultReport, FaultSession};
 pub use topology::{RankMap, Topology, OVERSUBSCRIPTION, SUPERNODE_SIZE};

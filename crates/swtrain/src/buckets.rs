@@ -33,7 +33,10 @@
 
 use sw26010::SimTime;
 use swcaffe_core::GradReady;
-use swnet::{allreduce, allreduce_segment, Algorithm, NetParams, RankMap, Topology};
+use swnet::{
+    allreduce, allreduce_segment_ft, Algorithm, CollectiveFault, FaultSession, NetParams, RankMap,
+    Topology,
+};
 
 /// Default bucket size target. 25 MB mirrors the PyTorch-DDP default
 /// (`bucket_cap_mb`); the sweep in `ablation_overlap` shows larger
@@ -147,14 +150,34 @@ pub fn overlapped_allreduce(
     algo: Algorithm,
     total_elems: usize,
     buckets: &[GradBucket],
-    mut data: Option<&mut [Vec<f32>]>,
+    data: Option<&mut [Vec<f32>]>,
 ) -> OverlapOutcome {
+    overlapped_allreduce_ft(topo, params, map, algo, total_elems, buckets, data, None)
+        .expect("infallible without fault injection")
+}
+
+/// Fault-aware [`overlapped_allreduce`]: each bucket's segmented reduce
+/// consults the fault session (see [`swnet::allreduce_segment_ft`]), so
+/// detection timeouts, degraded links, and retransmissions land on the
+/// overlapped timeline and a dead rank or exhausted retry budget aborts
+/// the whole bucketed sequence with a [`CollectiveFault`].
+#[allow(clippy::too_many_arguments)]
+pub fn overlapped_allreduce_ft(
+    topo: &Topology,
+    params: &NetParams,
+    map: RankMap,
+    algo: Algorithm,
+    total_elems: usize,
+    buckets: &[GradBucket],
+    mut data: Option<&mut [Vec<f32>]>,
+    mut faults: Option<&mut FaultSession>,
+) -> Result<OverlapOutcome, CollectiveFault> {
     let mut clock = SimTime::ZERO;
     let mut busy = SimTime::ZERO;
     let mut total_bytes = 0u64;
     let mut cross_bytes = 0u64;
     for b in buckets {
-        let r = allreduce_segment(
+        let r = allreduce_segment_ft(
             topo,
             params,
             map,
@@ -162,20 +185,21 @@ pub fn overlapped_allreduce(
             total_elems,
             b.range.clone(),
             data.as_deref_mut(),
-        );
+            faults.as_deref_mut(),
+        )?;
         let start = clock.max(b.ready);
         clock = start + r.elapsed;
         busy += r.elapsed;
         total_bytes += r.total_bytes;
         cross_bytes += r.cross_bytes;
     }
-    OverlapOutcome {
+    Ok(OverlapOutcome {
         comm_finish: clock,
         bucket_comm_total: busy,
         buckets: buckets.len(),
         total_bytes,
         cross_bytes,
-    }
+    })
 }
 
 /// One point of the serialized-vs-overlapped comparison.

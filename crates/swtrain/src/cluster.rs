@@ -9,10 +9,13 @@
 
 use sw26010::arch::CORE_GROUPS;
 use sw26010::{ExecMode, SimTime};
-use swcaffe_core::{NetDef, SolverConfig};
-use swnet::{allreduce, Algorithm, NetParams, RankMap, Topology};
+use swcaffe_core::{snapshot, NetDef, SolverConfig};
+use swnet::{
+    allreduce, allreduce_ft, Algorithm, CollectiveFault, FaultSession, NetParams, RankMap, Topology,
+};
 
-use crate::buckets::{build_buckets, merge_events, overlapped_allreduce};
+use crate::buckets::{build_buckets, merge_events, overlapped_allreduce_ft};
+use crate::packing::pack_params;
 use crate::ssgd::{CgBatch, ChipIteration, ChipTrainer};
 
 /// How the cross-node gradient reduction is scheduled.
@@ -123,6 +126,25 @@ impl ClusterTrainer {
     /// One synchronous iteration across all nodes. `inputs[node][cg]` are
     /// the per-CG (data, labels) pairs; `None` in timing mode.
     pub fn iteration(&mut self, inputs: Option<&[Vec<CgBatch>]>) -> ClusterIteration {
+        self.iteration_ft(inputs, None)
+            .expect("infallible without fault injection")
+    }
+
+    /// Fault-aware [`iteration`](Self::iteration): the session's crash
+    /// schedule is advanced to the solver's iteration number, and the
+    /// cross-node reduction consults it (detection timeouts, degraded
+    /// links, stragglers, checksummed retransmission). A dead rank or an
+    /// exhausted retry budget aborts the iteration *before* any weight
+    /// update — the survivors still hold the previous iteration's
+    /// synchronised state — and the caller picks a [`Recovery`].
+    pub fn iteration_ft(
+        &mut self,
+        inputs: Option<&[Vec<CgBatch>]>,
+        mut faults: Option<&mut FaultSession>,
+    ) -> Result<ClusterIteration, CollectiveFault> {
+        if let Some(f) = faults.as_deref_mut() {
+            f.begin_iteration(self.chips[0].solver().iter() as u64);
+        }
         let n = self.config.nodes;
         let functional = inputs.is_some();
         let overlapped = matches!(self.config.comm, CommMode::Overlapped { .. });
@@ -158,14 +180,15 @@ impl ClusterTrainer {
         let elems = self.chips[0].param_elems();
         let comm = match self.config.comm {
             CommMode::Serialized => {
-                allreduce(
+                allreduce_ft(
                     &topo,
                     &self.config.net,
                     self.config.rank_map,
                     self.config.algorithm,
                     elems,
                     functional.then_some(&mut grads[..]),
-                )
+                    faults.as_deref_mut(),
+                )?
                 .elapsed
             }
             CommMode::Overlapped { bucket_bytes } => {
@@ -174,7 +197,7 @@ impl ClusterTrainer {
                 // comm extending past the backward finish is exposed.
                 let merged = merge_events(&events);
                 let buckets = build_buckets(&merged, bucket_bytes);
-                let o = overlapped_allreduce(
+                let o = overlapped_allreduce_ft(
                     &topo,
                     &self.config.net,
                     self.config.rank_map,
@@ -182,7 +205,8 @@ impl ClusterTrainer {
                     elems,
                     &buckets,
                     functional.then_some(&mut grads[..]),
-                );
+                    faults,
+                )?;
                 SimTime::from_seconds((o.comm_finish.seconds() - compute.seconds()).max(0.0))
             }
         };
@@ -201,15 +225,145 @@ impl ClusterTrainer {
             Some((model, bytes)) => swio::io_stall(model.batch_read_time(n, bytes), compute),
             None => SimTime::ZERO,
         };
-        ClusterIteration {
+        Ok(ClusterIteration {
             loss,
             compute,
             comm,
             intra: intra_pre + intra_post,
             update,
             io_stall,
-        }
+        })
     }
+
+    /// Serialise a full recovery checkpoint — weights, persistent layer
+    /// state (batch-norm statistics), and solver state (iteration,
+    /// momentum, dropout RNG streams) — of the logically-replicated
+    /// model. Under synchronous SGD every node and every core group hold
+    /// identical state between iterations, so one replica's snapshot is
+    /// the job's.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let chip = &self.chips[0];
+        let mut buf = Vec::new();
+        snapshot::write_checkpoint(chip.net(), &chip.solver_state(), &mut buf)
+            .expect("writing a checkpoint to memory cannot fail");
+        buf
+    }
+
+    /// Load a checkpoint produced by [`checkpoint`](Self::checkpoint)
+    /// into every node and every core-group replica, repositioning each
+    /// chip's solver. Returns the restored iteration number.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<u64, String> {
+        let state = snapshot::read_checkpoint(self.chips[0].net_mut(), bytes)?;
+        let weights = pack_params(self.chips[0].net());
+        let persistent: Vec<Vec<f32>> = self.chips[0]
+            .net()
+            .state()
+            .iter()
+            .map(|s| s.to_vec())
+            .collect();
+        for chip in &mut self.chips {
+            chip.restore(&weights, &persistent, &state)?;
+        }
+        Ok(state.iteration)
+    }
+
+    /// Rebuild the job after a fault aborted an iteration, charging the
+    /// simulated recovery wall-clock to the session's
+    /// [`FaultReport::recovery_s`](swnet::FaultReport).
+    pub fn recover(
+        &mut self,
+        faults: &mut FaultSession,
+        action: Recovery,
+        checkpoint: Option<&[u8]>,
+    ) -> Result<(), String> {
+        match action {
+            Recovery::ShrinkAndContinue => {
+                let dead: Vec<usize> = faults
+                    .dead_nodes()
+                    .iter()
+                    .copied()
+                    .filter(|&r| r < self.config.nodes)
+                    .collect();
+                if dead.is_empty() {
+                    return Err("no dead ranks to shrink away".into());
+                }
+                if dead.len() >= self.config.nodes {
+                    return Err("no surviving nodes".into());
+                }
+                for &r in dead.iter().rev() {
+                    self.chips.remove(r);
+                }
+                self.config.nodes = self.chips.len();
+                // Mirror `allreduce_any`: RHD and binomial require a
+                // power-of-two rank count, so an awkward survivor count
+                // falls back to the ring with the natural mapping.
+                if !self.config.nodes.is_power_of_two()
+                    && matches!(
+                        self.config.algorithm,
+                        Algorithm::RecursiveHalvingDoubling | Algorithm::Binomial
+                    )
+                {
+                    self.config.algorithm = Algorithm::Ring;
+                    self.config.rank_map = RankMap::Natural;
+                }
+                faults.clear_dead();
+                // The survivors still hold the last completed iteration's
+                // synchronised weights (the faulted iteration aborted
+                // before any update), so shrinking costs only the
+                // membership agreement: one tiny collective over the new
+                // topology. Gradient averaging rescales automatically —
+                // `iteration` divides by the live node count.
+                faults.report.recovery_s += self.resync_seconds(1);
+            }
+            Recovery::RestoreFromCheckpoint => {
+                let bytes = checkpoint.ok_or("RestoreFromCheckpoint needs the checkpoint bytes")?;
+                self.restore_checkpoint(bytes)?;
+                faults.clear_dead();
+                // Every node re-reads the checkpoint from the shared
+                // filesystem (when an I/O model is configured) and the
+                // job re-synchronises with a full-parameter collective.
+                if let Some((model, _)) = self.config.io {
+                    faults.report.recovery_s += model
+                        .batch_read_time(self.config.nodes, bytes.len())
+                        .seconds();
+                }
+                faults.report.recovery_s += self.resync_seconds(self.chips[0].param_elems());
+            }
+        }
+        Ok(())
+    }
+
+    /// Cost of one fault-free collective over the current topology —
+    /// the re-synchronisation step every recovery path ends with.
+    fn resync_seconds(&self, elems: usize) -> f64 {
+        allreduce(
+            &self.config.topology(),
+            &self.config.net,
+            self.config.rank_map,
+            self.config.algorithm,
+            elems,
+            None,
+        )
+        .elapsed
+        .seconds()
+    }
+}
+
+/// What to do after [`ClusterTrainer::iteration_ft`] aborts with a
+/// [`CollectiveFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Drop the dead ranks and continue on the survivors: chips are
+    /// removed, the topology shrinks, the algorithm falls back to
+    /// Ring/Natural when the survivor count stops being a power of two
+    /// (the [`swnet::allreduce_any`] rule), and gradient averaging
+    /// rescales to the live node count. Training continues from the last
+    /// completed iteration — no work is lost, but parallelism degrades.
+    ShrinkAndContinue,
+    /// Reload the last full-solver checkpoint into the full-size job
+    /// (the dead rank is assumed re-assigned to a spare node) and replay
+    /// from there — bit-identical to a run that never faulted.
+    RestoreFromCheckpoint,
 }
 
 #[cfg(test)]
@@ -218,7 +372,7 @@ mod tests {
     use crate::packing::pack_params;
     use swcaffe_core::models;
 
-    fn synth_cluster_inputs(
+    pub(crate) fn synth_cluster_inputs(
         nodes: usize,
         cg_batch: usize,
         classes: usize,
@@ -414,6 +568,171 @@ mod tests {
         assert!(r.compute.seconds() > 0.0);
         assert!(r.comm.seconds() > 0.0);
         assert!(r.comm_fraction() > 0.0 && r.comm_fraction() < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::tests::synth_cluster_inputs;
+    use super::*;
+    use crate::packing::pack_params;
+    use swcaffe_core::models;
+    use swnet::FaultPlan;
+
+    #[test]
+    fn crash_shrinks_the_job_and_training_continues() {
+        let def = models::tiny_cnn(1, 3);
+        let img = 3 * 16 * 16;
+        let mut cluster = ClusterTrainer::new(
+            &def,
+            SolverConfig::default(),
+            ClusterConfig {
+                supernode_size: 2,
+                ..ClusterConfig::swcaffe(4)
+            },
+            ExecMode::Functional,
+        )
+        .unwrap();
+        let mut faults = FaultSession::new(FaultPlan::new(11).crash(3, 1));
+
+        let inputs = synth_cluster_inputs(4, 1, 3, img, 0);
+        cluster
+            .iteration_ft(Some(&inputs), Some(&mut faults))
+            .expect("iteration 0 predates the crash");
+
+        let err = cluster
+            .iteration_ft(Some(&inputs), Some(&mut faults))
+            .expect_err("node 3 is dead at iteration 1");
+        assert!(matches!(err, CollectiveFault::DeadRank { rank: 3, .. }));
+        assert_eq!(faults.report.crashes, 1);
+        assert_eq!(faults.report.detections, 1);
+
+        cluster
+            .recover(&mut faults, Recovery::ShrinkAndContinue, None)
+            .unwrap();
+        assert_eq!(cluster.config.nodes, 3);
+        assert_eq!(cluster.chips.len(), 3);
+        // 3 survivors: RHD needs a power of two, so the job falls back
+        // to the ring with the natural mapping (the allreduce_any rule).
+        assert_eq!(cluster.config.algorithm, Algorithm::Ring);
+        assert_eq!(cluster.config.rank_map, RankMap::Natural);
+        assert!(faults.report.recovery_s > 0.0);
+
+        // Training continues on the survivors, and they stay in sync.
+        let inputs = synth_cluster_inputs(3, 1, 3, img, 1);
+        let r = cluster
+            .iteration_ft(Some(&inputs), Some(&mut faults))
+            .expect("shrunken job must train");
+        assert!(r.loss.is_finite());
+        let reference = pack_params(cluster.chips[0].net());
+        for (i, chip) in cluster.chips.iter().enumerate().skip(1) {
+            assert_eq!(pack_params(chip.net()), reference, "survivor {i} diverged");
+        }
+        // The crash event fired once; the rebuilt job is not re-killed.
+        assert_eq!(faults.report.crashes, 1);
+    }
+
+    #[test]
+    fn restore_from_checkpoint_replays_bit_identically() {
+        // A run that crashes at iteration 2 and restores from the
+        // checkpoint taken after iteration 1 must end bit-identical to a
+        // run that never faulted — including dropout mask sequences and
+        // batch-norm statistics, which is exactly what the full-solver
+        // checkpoint exists to capture.
+        let def = models::tiny_dropout_cnn(1, 3);
+        let img = 3 * 8 * 8;
+        let make = || {
+            ClusterTrainer::new(
+                &def,
+                SolverConfig::default(),
+                ClusterConfig {
+                    supernode_size: 2,
+                    ..ClusterConfig::swcaffe(4)
+                },
+                ExecMode::Functional,
+            )
+            .unwrap()
+        };
+
+        let mut clean = make();
+        for it in 0..4 {
+            let inputs = synth_cluster_inputs(4, 1, 3, img, it);
+            clean.iteration(Some(&inputs));
+        }
+        let want = pack_params(clean.chips[0].net());
+
+        let mut faulty = make();
+        let mut faults = FaultSession::new(FaultPlan::new(5).crash(2, 2));
+        for it in 0..2 {
+            let inputs = synth_cluster_inputs(4, 1, 3, img, it);
+            faulty
+                .iteration_ft(Some(&inputs), Some(&mut faults))
+                .unwrap();
+        }
+        let ckpt = faulty.checkpoint();
+        let inputs2 = synth_cluster_inputs(4, 1, 3, img, 2);
+        let err = faulty
+            .iteration_ft(Some(&inputs2), Some(&mut faults))
+            .expect_err("node 2 dies at iteration 2");
+        assert!(matches!(err, CollectiveFault::DeadRank { rank: 2, .. }));
+        faulty
+            .recover(&mut faults, Recovery::RestoreFromCheckpoint, Some(&ckpt))
+            .unwrap();
+        assert!(faults.report.recovery_s > 0.0);
+        assert_eq!(faulty.chips[0].solver().iter(), 2, "solver repositioned");
+        for it in 2..4 {
+            let inputs = synth_cluster_inputs(4, 1, 3, img, it);
+            faulty
+                .iteration_ft(Some(&inputs), Some(&mut faults))
+                .expect("replay after restore must not re-fault");
+        }
+        let got = pack_params(faulty.chips[0].net());
+        assert_eq!(want.len(), got.len());
+        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "param {i} after recovery: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_messages_are_retried_transparently() {
+        // Transient corruption is detected by the per-message checksums
+        // and retransmitted: training produces bit-identical weights to
+        // a clean run, only the clock and the fault counters differ.
+        let def = models::tiny_cnn(1, 3);
+        let img = 3 * 16 * 16;
+        let run = |faults: Option<&mut FaultSession>| {
+            let mut cluster = ClusterTrainer::new(
+                &def,
+                SolverConfig::default(),
+                ClusterConfig {
+                    supernode_size: 2,
+                    ..ClusterConfig::swcaffe(4)
+                },
+                ExecMode::Functional,
+            )
+            .unwrap();
+            let mut faults = faults;
+            for it in 0..2 {
+                let inputs = synth_cluster_inputs(4, 1, 3, img, it);
+                cluster
+                    .iteration_ft(Some(&inputs), faults.as_deref_mut())
+                    .unwrap();
+            }
+            pack_params(cluster.chips[0].net())
+        };
+        let clean = run(None);
+        let mut faults = FaultSession::new(FaultPlan::new(2024).corruption(0.2).max_retries(10));
+        let noisy = run(Some(&mut faults));
+        assert!(faults.report.corrupted_msgs > 0, "plan must corrupt");
+        assert_eq!(faults.report.retries, faults.report.corrupted_msgs);
+        assert!(faults.report.retry_cost_s > 0.0);
+        for (i, (a, b)) in clean.iter().zip(&noisy).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "param {i}: {a} vs {b}");
+        }
     }
 }
 

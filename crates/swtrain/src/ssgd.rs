@@ -10,6 +10,7 @@
 
 use sw26010::arch::CORE_GROUPS;
 use sw26010::{Chip, CoreGroup, ExecMode, SimTime};
+use swcaffe_core::snapshot::SolverState;
 use swcaffe_core::{GradReady, Net, NetDef, SgdSolver, SolverConfig};
 use swdnn::elementwise as ew;
 
@@ -93,6 +94,61 @@ impl ChipTrainer {
 
     pub fn net_mut(&mut self) -> &mut Net {
         &mut self.nets[0]
+    }
+
+    /// The chip's solver (iteration counter, LR schedule, momentum).
+    pub fn solver(&self) -> &SgdSolver {
+        &self.solver
+    }
+
+    /// Capture everything beyond the weights that a bit-identical resume
+    /// needs (see [`swcaffe_core::snapshot::SolverState`]). The weights
+    /// and persistent layer state travel separately, via the primary
+    /// replica ([`ChipTrainer::net`]) and the snapshot body.
+    pub fn solver_state(&self) -> SolverState {
+        SolverState {
+            iteration: self.solver.iter() as u64,
+            momentum: self.solver.history().to_vec(),
+            rng_streams: self.nets[0].rng_streams(),
+        }
+    }
+
+    /// Restore a checkpoint onto this chip: write the packed weights,
+    /// persistent layer state, and RNG streams into **every** core-group
+    /// replica (each CG owns its memory space, so all four must agree,
+    /// exactly as after [`ChipTrainer::apply_update`]'s re-broadcast) and
+    /// reposition the solver.
+    pub fn restore(
+        &mut self,
+        weights: &[f32],
+        persistent: &[Vec<f32>],
+        state: &SolverState,
+    ) -> Result<(), String> {
+        assert!(
+            self.mode.is_functional(),
+            "checkpoint restore needs functional mode"
+        );
+        for net in &mut self.nets {
+            unpack_params(net, weights);
+            let dsts = net.state_mut();
+            if dsts.len() != persistent.len() {
+                return Err(format!(
+                    "checkpoint has {} persistent state vectors, net has {}",
+                    persistent.len(),
+                    dsts.len()
+                ));
+            }
+            for (dst, src) in dsts.into_iter().zip(persistent) {
+                if dst.len() != src.len() {
+                    return Err("persistent state vector length mismatch".into());
+                }
+                dst.copy_from_slice(src);
+            }
+            net.set_rng_streams(&state.rng_streams)?;
+        }
+        self.solver
+            .restore(state.iteration as usize, state.momentum.clone());
+        Ok(())
     }
 
     /// Phases 1-3 of Algorithm 1: per-CG forward/backward (real threads),

@@ -86,14 +86,15 @@ impl Trainer {
         })
     }
 
-    /// Run `iters` iterations; returns the log.
-    pub fn run(&mut self, iters: usize) -> Vec<TrainRecord> {
+    /// Run `iters` iterations; returns the log, or the dataset read
+    /// error (with the failing batch's seed) that ended the run early.
+    pub fn run(&mut self, iters: usize) -> Result<Vec<TrainRecord>, String> {
         let (c, h, w) = self.input_chw;
         let per_img = c * h * w;
         let cg_batch = self.chip.cg_batch;
         let mut log = Vec::with_capacity(iters);
         for iter in 0..iters {
-            let batch = self.prefetcher.next();
+            let batch = self.prefetcher.next()?;
             let inputs: Vec<(Vec<f32>, Vec<f32>)> = (0..CORE_GROUPS)
                 .map(|cg| {
                     let d = batch.data[cg * cg_batch * per_img..][..cg_batch * per_img].to_vec();
@@ -124,7 +125,7 @@ impl Trainer {
                 iter_time,
             });
         }
-        log
+        Ok(log)
     }
 
     pub fn chip(&self) -> &ChipTrainer {
@@ -166,7 +167,7 @@ mod tests {
             config,
         )
         .unwrap();
-        let log = trainer.run(20);
+        let log = trainer.run(20).unwrap();
         assert_eq!(log.len(), 20);
         assert!(log.iter().all(|r| r.train_loss.is_finite()));
         assert!(log.iter().all(|r| r.iter_time.seconds() > 0.0));

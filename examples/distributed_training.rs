@@ -54,7 +54,7 @@ fn main() {
         let inputs: Vec<Vec<(Vec<f32>, Vec<f32>)>> = prefetchers
             .iter()
             .map(|p| {
-                let batch = p.next();
+                let batch = p.next().expect("dataset read failed");
                 (0..4)
                     .map(|cg| {
                         let d =

@@ -34,7 +34,7 @@ fn full_pipeline_single_node_training() {
     let mut first = f32::NAN;
     let mut last = f32::NAN;
     for iter in 0..12 {
-        let batch = prefetcher.next();
+        let batch = prefetcher.next().expect("dataset read failed");
         assert!(batch.io_time.seconds() > 0.0);
         let inputs: Vec<(Vec<f32>, Vec<f32>)> = (0..CORE_GROUPS)
             .map(|cg| {
