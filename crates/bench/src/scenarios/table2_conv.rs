@@ -16,6 +16,30 @@ struct Layer {
     hw: usize,
 }
 
+/// The Table II shape sweep: every VGG-16 convolutional layer at batch
+/// 128 (k=3, stride 1, pad 1), named. Exposed so `swcheck` can lint every
+/// kernel plan across the exact shapes the benchmarks run.
+pub fn vgg_conv_shapes() -> Vec<(&'static str, ConvShape)> {
+    LAYERS
+        .iter()
+        .map(|l| {
+            (
+                l.name,
+                ConvShape {
+                    batch: 128,
+                    in_c: l.ni,
+                    in_h: l.hw,
+                    in_w: l.hw,
+                    out_c: l.no,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+            )
+        })
+        .collect()
+}
+
 const LAYERS: [Layer; 13] = [
     Layer {
         name: "1_1",

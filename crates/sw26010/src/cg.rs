@@ -4,11 +4,17 @@
 //! swCaffe multi-threaded solver parallelises over (one pthread per CG,
 //! Fig. 5 of the paper). It accumulates simulated time and hardware
 //! counters across launches.
+//!
+//! With [`CheckMode::Record`] enabled the core group additionally keeps a
+//! [`KernelTrace`] per launch for the `swcheck` sanitizer; recording is
+//! off by default and costs nothing when off.
 
 use crate::arch::MPE_PEAK_FLOPS;
+use crate::check::{CheckMode, KernelTrace};
 use crate::cpe::Cpe;
 use crate::dma;
-use crate::mesh::run_mesh;
+use crate::mesh::{run_mesh, run_mesh_traced};
+use crate::plan::KernelPlan;
 use crate::stats::{LaunchReport, Stats};
 use crate::time::{ExecMode, SimTime};
 
@@ -18,6 +24,8 @@ pub struct CoreGroup {
     mode: ExecMode,
     stats: Stats,
     elapsed: SimTime,
+    check: CheckMode,
+    traces: Vec<KernelTrace>,
 }
 
 impl Default for CoreGroup {
@@ -32,11 +40,36 @@ impl CoreGroup {
             mode,
             stats: Stats::default(),
             elapsed: SimTime::ZERO,
+            check: CheckMode::Off,
+            traces: Vec::new(),
         }
+    }
+
+    /// A core group with the kernel sanitizer armed: every launch records
+    /// a [`KernelTrace`] retrievable via [`CoreGroup::take_traces`].
+    pub fn new_checked(mode: ExecMode) -> Self {
+        let mut cg = Self::new(mode);
+        cg.check = CheckMode::Record;
+        cg
     }
 
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// Current sanitizer mode.
+    pub fn check_mode(&self) -> CheckMode {
+        self.check
+    }
+
+    /// Switch sanitizer recording on or off for subsequent launches.
+    pub fn set_check(&mut self, check: CheckMode) {
+        self.check = check;
+    }
+
+    /// Drain the kernel traces recorded since the last call.
+    pub fn take_traces(&mut self) -> Vec<KernelTrace> {
+        std::mem::take(&mut self.traces)
     }
 
     /// Launch a kernel on `n_cpes` CPEs of this core group's mesh and
@@ -45,10 +78,37 @@ impl CoreGroup {
     where
         F: Fn(&mut Cpe) + Sync,
     {
-        let report = run_mesh(self.mode, n_cpes, kernel);
+        self.run_named("unnamed", n_cpes, kernel)
+    }
+
+    /// Like [`CoreGroup::run`], with a kernel name carried into sanitizer
+    /// traces and diagnostics.
+    pub fn run_named<F>(&mut self, name: &str, n_cpes: usize, kernel: F) -> LaunchReport
+    where
+        F: Fn(&mut Cpe) + Sync,
+    {
+        let report = match self.check {
+            CheckMode::Off => run_mesh(self.mode, n_cpes, kernel),
+            CheckMode::Record => {
+                let (report, trace) = run_mesh_traced(self.mode, n_cpes, name, kernel);
+                self.traces.push(trace);
+                report
+            }
+        };
         self.stats.merge(&report.stats);
         self.elapsed += report.elapsed;
         report
+    }
+
+    /// Launch a kernel through its registered [`KernelPlan`]: the plan is
+    /// validated first, so a shape whose working set cannot fit LDM is
+    /// rejected with a named-buffer diagnostic *before* anything runs.
+    pub fn run_planned<F>(&mut self, plan: &KernelPlan, kernel: F) -> LaunchReport
+    where
+        F: Fn(&mut Cpe) + Sync,
+    {
+        plan.assert_valid();
+        self.run_named(&plan.name, plan.n_cpes, kernel)
     }
 
     /// MPE-mediated memory copy (Principle 2's slow path, 9.9 GB/s).
@@ -83,6 +143,7 @@ impl CoreGroup {
     }
 
     /// Reset time and counters (e.g. between benchmark repetitions).
+    /// Recorded traces are kept; drain them with [`CoreGroup::take_traces`].
     pub fn reset(&mut self) {
         self.stats = Stats::default();
         self.elapsed = SimTime::ZERO;
@@ -92,6 +153,7 @@ impl CoreGroup {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::KernelPlan;
 
     #[test]
     fn accumulates_across_launches() {
@@ -114,5 +176,47 @@ mod tests {
         let t2 = cg.mpe_compute(11_600_000); // ~1 ms at 11.6 GFlops
         assert!((t2.seconds() - 1.0e-3).abs() < 1e-9);
         assert!((cg.elapsed().seconds() - 2.0e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn checked_runs_record_named_traces() {
+        let mut cg = CoreGroup::new_checked(ExecMode::TimingOnly);
+        assert!(cg.check_mode().is_on());
+        cg.run_named("warmup", 8, |cpe| cpe.charge_flops(10));
+        cg.run(8, |cpe| cpe.charge_flops(10));
+        let traces = cg.take_traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].name, "warmup");
+        assert_eq!(traces[1].name, "unnamed");
+        assert_eq!(traces[0].per_cpe.len(), 8);
+        assert!(cg.take_traces().is_empty(), "traces drain once");
+        cg.set_check(CheckMode::Off);
+        cg.run(8, |cpe| cpe.charge_flops(10));
+        assert!(cg.take_traces().is_empty());
+    }
+
+    #[test]
+    fn unchecked_runs_record_nothing() {
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        cg.run(8, |cpe| cpe.charge_flops(10));
+        assert!(cg.take_traces().is_empty());
+    }
+
+    #[test]
+    fn run_planned_validates_then_runs() {
+        let mut cg = CoreGroup::new_checked(ExecMode::TimingOnly);
+        let plan = KernelPlan::new("tiny", 4).buffer("buf", 1024);
+        cg.run_planned(&plan, |cpe| cpe.charge_flops(1));
+        let traces = cg.take_traces();
+        assert_eq!(traces[0].name, "tiny");
+        assert_eq!(traces[0].n_cpes, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows LDM")]
+    fn run_planned_rejects_overflowing_shape_before_launch() {
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        let plan = KernelPlan::new("fat", 64).buffer("img", 1 << 20);
+        cg.run_planned(&plan, |_| panic!("kernel must not run"));
     }
 }

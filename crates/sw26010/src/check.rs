@@ -1,0 +1,323 @@
+//! Kernel-sanitizer support: typed event traces for CPE kernels.
+//!
+//! When a launch runs in [`CheckMode::Record`], every DMA, register
+//! communication, barrier, and LDM allocator call on every CPE appends a
+//! [`CpeEvent`] to a per-CPE log. The log never touches the simulated
+//! clocks — a traced run produces bit-identical results and simulated
+//! timings to an untraced one — so the `swcheck` crate can replay the
+//! events afterwards and prove happens-before properties (no read of an
+//! in-flight DMA destination, every handle waited exactly once, matched
+//! send/recv counts, …) without perturbing what it observes.
+//!
+//! Recording also arms *liveness* checking: blocking operations (RLC
+//! receives, full-FIFO sends, the mesh barrier) switch to bounded waits
+//! and declare a stall when the whole mesh stops making progress, so a
+//! deadlocked kernel produces a diagnostic instead of hanging the test
+//! suite forever.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::dma::DmaDir;
+use crate::rlc::Axis;
+
+/// Whether a core group records sanitizer events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// No recording; zero overhead beyond an `Option` branch per call.
+    #[default]
+    Off,
+    /// Record every CPE event and arm stall detection.
+    Record,
+}
+
+impl CheckMode {
+    pub fn is_on(self) -> bool {
+        matches!(self, CheckMode::Record)
+    }
+}
+
+/// A half-open host-address range `[lo, hi)` identifying an LDM buffer or
+/// a slice passed to a DMA/RLC call. Zero-length ranges never overlap
+/// anything (a 0-byte transfer cannot race).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRange {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl MemRange {
+    pub fn of_slice<T>(s: &[T]) -> MemRange {
+        let lo = s.as_ptr() as usize;
+        MemRange {
+            lo,
+            hi: lo + std::mem::size_of_val(s),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True when the two ranges share at least one byte. Empty ranges
+    /// (0-byte buffers) never overlap anything.
+    pub fn overlaps(&self, other: &MemRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.lo < other.hi && other.lo < self.hi
+    }
+}
+
+/// One recorded operation on one CPE, in program order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpeEvent {
+    /// An asynchronous DMA request was issued. `range` is the LDM-side
+    /// slice: the destination of a get, the source of a put.
+    DmaIssue {
+        seq: u64,
+        dir: DmaDir,
+        bytes: usize,
+        range: MemRange,
+    },
+    /// `dma_wait` retired the request `seq`.
+    DmaWait { seq: u64 },
+    /// `dma_wait` was called with a handle that was never issued or was
+    /// already waited (a double-wait). Recorded instead of panicking so
+    /// the sanitizer can report it with context.
+    DmaWaitStale { seq: u64 },
+    /// A register-communication send to mesh index `peer` (one event per
+    /// receiver for broadcasts). `range` is the source slice.
+    RlcSend {
+        axis: Axis,
+        peer: usize,
+        bytes: usize,
+        range: MemRange,
+    },
+    /// A register-communication receive from mesh index `peer`. `range`
+    /// is the destination slice.
+    RlcRecv {
+        axis: Axis,
+        peer: usize,
+        bytes: usize,
+        range: MemRange,
+    },
+    /// The CPE entered the mesh barrier for the `n`th time (1-based).
+    Barrier { n: u64 },
+    /// An LDM buffer was allocated. `used_after` is the allocator's
+    /// resident total after this allocation.
+    LdmAlloc {
+        id: u64,
+        bytes: usize,
+        range: MemRange,
+        used_after: usize,
+    },
+    /// An LDM buffer was dropped, releasing its budget.
+    LdmFree { id: u64, range: MemRange },
+}
+
+/// What a stalled CPE was blocked on when the mesh stopped progressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Waiting to receive from mesh index `from` on `axis`.
+    RlcRecv { axis: Axis, from: usize },
+    /// Waiting for space in the FIFO towards mesh index `to` on `axis`.
+    RlcSend { axis: Axis, to: usize },
+    /// Waiting in the mesh barrier.
+    Barrier,
+}
+
+impl std::fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockedOn::RlcRecv { axis, from } => {
+                write!(f, "RLC {axis:?}-bus receive from CPE {from}")
+            }
+            BlockedOn::RlcSend { axis, to } => {
+                write!(f, "RLC {axis:?}-bus send to CPE {to} (FIFO full)")
+            }
+            BlockedOn::Barrier => write!(f, "mesh barrier"),
+        }
+    }
+}
+
+/// Panic payload used to unwind a stalled CPE thread; the blocked-on
+/// detail is stored on the `Cpe` before panicking so the trace keeps it.
+#[derive(Debug, Clone, Copy)]
+pub struct StallMarker;
+
+/// Everything the sanitizer learned about one CPE during a launch.
+#[derive(Debug, Clone, Default)]
+pub struct CpeTrace {
+    pub idx: usize,
+    pub row: usize,
+    pub col: usize,
+    pub events: Vec<CpeEvent>,
+    /// DMA requests issued but never waited by kernel end.
+    pub leaked_dma: Vec<u64>,
+    /// Set when the CPE was unwound by the stall detector.
+    pub stall: Option<BlockedOn>,
+    /// LDM working-set high water mark in bytes.
+    pub ldm_high_water: usize,
+}
+
+/// The complete trace of one mesh kernel launch.
+#[derive(Debug, Clone, Default)]
+pub struct KernelTrace {
+    pub name: String,
+    pub n_cpes: usize,
+    pub per_cpe: Vec<CpeTrace>,
+}
+
+impl KernelTrace {
+    /// True when any CPE was unwound by the stall detector.
+    pub fn stalled(&self) -> bool {
+        self.per_cpe.iter().any(|c| c.stall.is_some())
+    }
+
+    /// Mesh-wide LDM high water mark.
+    pub fn ldm_high_water(&self) -> usize {
+        self.per_cpe
+            .iter()
+            .map(|c| c.ldm_high_water)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Per-CPE event log, shared with the LDM allocator of the same CPE so
+/// allocator events interleave with DMA/RLC events in program order.
+pub type EventLog = Rc<RefCell<Vec<CpeEvent>>>;
+
+/// How long one bounded wait lasts before the waiter re-checks mesh-wide
+/// progress.
+pub(crate) const STALL_SLICE: Duration = Duration::from_millis(20);
+/// Consecutive slices without any mesh-wide progress before a stall is
+/// declared (total patience: `STALL_SLICE * STALL_STRIKES`).
+pub(crate) const STALL_STRIKES: u32 = 8;
+
+/// Launch-wide liveness state shared by all CPEs of a checked launch.
+#[derive(Debug, Default)]
+pub struct LaunchCheck {
+    /// Bumped by every completed CPE operation; a blocked CPE only
+    /// declares a stall after the counter stops moving mesh-wide.
+    progress: AtomicU64,
+    stalled: AtomicBool,
+}
+
+impl LaunchCheck {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn bump(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    pub fn declare_stall(&self) {
+        self.stalled.store(true, Ordering::Release);
+    }
+
+    pub fn is_stalled(&self) -> bool {
+        self.stalled.load(Ordering::Acquire)
+    }
+}
+
+/// Bounded-wait bookkeeping for one blocked operation: tracks whether the
+/// mesh made progress between timeout slices and converts sustained
+/// silence into a stall verdict.
+pub(crate) struct StallWatch<'c> {
+    check: &'c LaunchCheck,
+    last_progress: u64,
+    strikes: u32,
+}
+
+impl<'c> StallWatch<'c> {
+    pub(crate) fn new(check: &'c LaunchCheck) -> Self {
+        StallWatch {
+            check,
+            last_progress: check.progress(),
+            strikes: 0,
+        }
+    }
+
+    /// Called after each timed-out wait slice. Returns `true` when the
+    /// operation should give up and declare a stall.
+    pub(crate) fn timed_out(&mut self) -> bool {
+        if self.check.is_stalled() {
+            // Somebody else already declared; unwind as collateral.
+            return true;
+        }
+        let now = self.check.progress();
+        if now != self.last_progress {
+            self.last_progress = now;
+            self.strikes = 0;
+            return false;
+        }
+        self.strikes += 1;
+        if self.strikes >= STALL_STRIKES {
+            self.check.declare_stall();
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_overlap_correctly() {
+        let a = MemRange { lo: 100, hi: 200 };
+        let b = MemRange { lo: 150, hi: 250 };
+        let c = MemRange { lo: 200, hi: 300 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c), "half-open ranges: touching is disjoint");
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn zero_length_ranges_never_overlap() {
+        let z = MemRange { lo: 150, hi: 150 };
+        let a = MemRange { lo: 100, hi: 200 };
+        assert!(!z.overlaps(&a));
+        assert!(!a.overlaps(&z));
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn of_slice_covers_the_bytes() {
+        let v = vec![0.0f32; 16];
+        let r = MemRange::of_slice(&v);
+        assert_eq!(r.len(), 64);
+        let empty: &[f32] = &[];
+        assert!(MemRange::of_slice(empty).is_empty());
+    }
+
+    #[test]
+    fn stall_watch_requires_sustained_silence() {
+        let check = LaunchCheck::new();
+        let mut w = StallWatch::new(&check);
+        for _ in 0..STALL_STRIKES - 1 {
+            assert!(!w.timed_out());
+        }
+        // Progress elsewhere on the mesh resets the strike count.
+        check.bump();
+        assert!(!w.timed_out());
+        for _ in 0..STALL_STRIKES - 1 {
+            assert!(!w.timed_out());
+        }
+        assert!(w.timed_out());
+        assert!(check.is_stalled());
+    }
+}

@@ -27,6 +27,30 @@ impl Chip {
         }
     }
 
+    /// A chip whose four core groups all record sanitizer traces.
+    pub fn new_checked(mode: ExecMode) -> Self {
+        Chip {
+            cgs: (0..CORE_GROUPS)
+                .map(|_| CoreGroup::new_checked(mode))
+                .collect(),
+        }
+    }
+
+    /// Switch sanitizer recording for every core group.
+    pub fn set_check(&mut self, check: crate::check::CheckMode) {
+        for cg in &mut self.cgs {
+            cg.set_check(check);
+        }
+    }
+
+    /// Drain recorded kernel traces from all core groups, in CG order.
+    pub fn take_traces(&mut self) -> Vec<crate::check::KernelTrace> {
+        self.cgs
+            .iter_mut()
+            .flat_map(|cg| cg.take_traces())
+            .collect()
+    }
+
     /// Time to move `bytes` from one CG's memory space to another's.
     pub fn noc_transfer_time(bytes: usize) -> SimTime {
         SimTime::from_seconds(bytes as f64 / NOC_BANDWIDTH)

@@ -8,14 +8,23 @@
 //! deliberately absent — gld/gst-style accesses are what Principle 2 says
 //! to avoid, and kernels written against this API physically cannot issue
 //! them.
+//!
+//! Under a checked launch (see [`crate::check`]) every operation
+//! additionally appends a typed event to a per-CPE log and participates
+//! in mesh-wide stall detection. The instrumentation never reads or
+//! writes the simulated clocks, so checked and unchecked runs produce
+//! bit-identical data and timings.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::{Condvar, Mutex};
 
 use crate::arch::{CPE_DP_FLOPS_PER_CYCLE, KERNEL_COMPUTE_EFFICIENCY, MESH_DIM};
+use crate::check::{
+    BlockedOn, CpeEvent, CpeTrace, EventLog, LaunchCheck, MemRange, StallMarker, StallWatch,
+    STALL_SLICE,
+};
 use crate::dma;
 use crate::ldm::Ldm;
-use crate::rlc::{transfer_cycles, CpePorts, RlcFabric, RlcMsg, RLC_HOP_CYCLES};
+use crate::rlc::{transfer_cycles, Axis, CpePorts, RlcFabric, RlcMsg, SendAttempt, RLC_HOP_CYCLES};
 use crate::stats::Stats;
 use crate::time::{ExecMode, SimTime};
 use crate::view::{MemView, MemViewMut};
@@ -26,41 +35,102 @@ use crate::view::{MemView, MemViewMut};
 /// carries the simulated completion instant so kernels can overlap compute
 /// with the transfer and pay only `max(compute, dma)`, which is how the
 /// double-buffered swDNN kernels hide memory latency.
+///
+/// Each handle is valid for exactly one [`Cpe::dma_wait`]: waiting a
+/// handle twice (or a handle from a different request) panics, because on
+/// hardware a reply-counter slot is consumed when it is checked and a
+/// duplicated wait means the kernel's completion logic is wrong.
 #[derive(Debug, Clone, Copy)]
 #[must_use = "un-waited DMA transfers do not advance the clock"]
 pub struct DmaHandle {
     complete_at: SimTime,
+    seq: u64,
 }
 
 /// Barrier with simulated-clock reconciliation: after `sync()` every CPE's
 /// local clock equals the mesh-wide maximum, which is what a hardware
 /// barrier does to wall time.
+///
+/// Implemented as a generation-counted condition variable rather than
+/// `std::sync::Barrier` so checked launches can wait with a timeout and
+/// convert barrier divergence (some CPEs never arrive) into a stall
+/// diagnostic instead of a hang.
 pub struct MeshBarrier {
-    barrier: Barrier,
-    clocks: Vec<AtomicU64>,
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    /// Running max of the arrivals' clocks for the current generation.
+    max: f64,
+    /// Reconciled clock of the previous generation.
+    result: f64,
 }
 
 impl MeshBarrier {
     pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one participant");
         MeshBarrier {
-            barrier: Barrier::new(n),
-            clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            n,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                max: 0.0,
+                result: 0.0,
+            }),
+            cv: Condvar::new(),
         }
     }
 
     /// Enter the barrier with `local` time; returns the mesh-wide maximum.
-    pub fn wait(&self, slot: usize, local: SimTime) -> SimTime {
-        self.clocks[slot].store(local.seconds().to_bits(), Ordering::Release);
-        self.barrier.wait();
-        let max = self
-            .clocks
-            .iter()
-            .map(|c| f64::from_bits(c.load(Ordering::Acquire)))
-            .fold(0.0f64, f64::max);
-        // Second rendezvous: nobody may overwrite their slot for the next
-        // sync until everyone has read this one.
-        self.barrier.wait();
-        SimTime::from_seconds(max)
+    pub fn wait(&self, _slot: usize, local: SimTime) -> SimTime {
+        self.wait_inner(local, None)
+            .expect("unchecked barrier wait cannot time out")
+    }
+
+    /// Bounded-wait variant for checked launches; returns `None` when the
+    /// mesh stopped progressing with this CPE still inside the barrier.
+    pub(crate) fn wait_checked(&self, local: SimTime, check: &LaunchCheck) -> Option<SimTime> {
+        self.wait_inner(local, Some(check))
+    }
+
+    fn wait_inner(&self, local: SimTime, check: Option<&LaunchCheck>) -> Option<SimTime> {
+        let mut st = self.state.lock().expect("mesh barrier poisoned");
+        st.max = st.max.max(local.seconds());
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.result = st.max;
+            st.max = 0.0;
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return Some(SimTime::from_seconds(st.result));
+        }
+        let gen = st.generation;
+        let mut watch = check.map(StallWatch::new);
+        while st.generation == gen {
+            match &mut watch {
+                None => st = self.cv.wait(st).expect("mesh barrier poisoned"),
+                Some(w) => {
+                    let (guard, timeout) = self
+                        .cv
+                        .wait_timeout(st, STALL_SLICE)
+                        .expect("mesh barrier poisoned");
+                    st = guard;
+                    if st.generation != gen {
+                        break;
+                    }
+                    if timeout.timed_out() && w.timed_out() {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(SimTime::from_seconds(st.result))
     }
 }
 
@@ -79,6 +149,15 @@ pub struct Cpe<'l> {
     fabric: &'l RlcFabric,
     ports: CpePorts,
     barrier: &'l MeshBarrier,
+    /// Sanitizer event log; `None` outside checked launches.
+    log: Option<EventLog>,
+    /// Launch-wide liveness state; `None` outside checked launches.
+    check: Option<&'l LaunchCheck>,
+    /// Sequence numbers of issued-but-unwaited DMA requests.
+    outstanding: Vec<u64>,
+    next_dma_seq: u64,
+    sync_count: u64,
+    stalled_on: Option<BlockedOn>,
 }
 
 impl<'l> Cpe<'l> {
@@ -88,21 +167,33 @@ impl<'l> Cpe<'l> {
         mode: ExecMode,
         fabric: &'l RlcFabric,
         barrier: &'l MeshBarrier,
+        log: Option<EventLog>,
+        check: Option<&'l LaunchCheck>,
     ) -> Self {
         let ports = fabric.take_ports(idx);
+        let mut ldm = Ldm::new();
+        if let Some(log) = &log {
+            ldm.attach_log(log.clone());
+        }
         Cpe {
             row: idx / MESH_DIM,
             col: idx % MESH_DIM,
             idx,
             n_active,
             mode,
-            ldm: Ldm::new(),
+            ldm,
             clock: SimTime::ZERO,
             dma_engine_free_at: SimTime::ZERO,
             stats: Stats::default(),
             fabric,
             ports,
             barrier,
+            log,
+            check,
+            outstanding: Vec::new(),
+            next_dma_seq: 0,
+            sync_count: 0,
+            stalled_on: None,
         }
     }
 
@@ -139,10 +230,46 @@ impl<'l> Cpe<'l> {
         self.clock
     }
 
-    pub(crate) fn finish(self) -> (SimTime, Stats) {
+    pub(crate) fn finish(self) -> (SimTime, Stats, Option<CpeTrace>) {
         let mut stats = self.stats;
         stats.busy = self.clock;
-        (self.clock, stats)
+        let trace = self.log.as_ref().map(|log| CpeTrace {
+            idx: self.idx,
+            row: self.row,
+            col: self.col,
+            events: log.borrow_mut().split_off(0),
+            leaked_dma: self.outstanding.clone(),
+            stall: self.stalled_on,
+            ldm_high_water: self.ldm.high_water(),
+        });
+        (self.clock, stats, trace)
+    }
+
+    // ---- sanitizer plumbing (never touches the simulated clocks) ------
+
+    #[inline]
+    fn record(&self, ev: impl FnOnce() -> CpeEvent) {
+        if let Some(log) = &self.log {
+            log.borrow_mut().push(ev());
+        }
+    }
+
+    #[inline]
+    fn progress_bump(&self) {
+        if let Some(check) = self.check {
+            check.bump();
+        }
+    }
+
+    /// Unwind this CPE because the mesh stopped progressing while it was
+    /// blocked on `blocked`. The trace keeps everything recorded so far
+    /// plus the blocked-on detail; `run_mesh_traced` catches the marker.
+    fn stall_unwind(&mut self, blocked: BlockedOn) -> ! {
+        if let Some(check) = self.check {
+            check.declare_stall();
+        }
+        self.stalled_on = Some(blocked);
+        std::panic::panic_any(StallMarker);
     }
 
     // ---- DMA ----------------------------------------------------------
@@ -170,6 +297,7 @@ impl<'l> Cpe<'l> {
             0,
             dma::continuous_time(bytes, self.n_active),
             dma::DmaDir::Get,
+            MemRange::of_slice(dst),
         )
     }
 
@@ -190,6 +318,7 @@ impl<'l> Cpe<'l> {
             bytes,
             dma::continuous_time(bytes, self.n_active),
             dma::DmaDir::Put,
+            MemRange::of_slice(src),
         )
     }
 
@@ -209,6 +338,7 @@ impl<'l> Cpe<'l> {
             bytes,
             SimTime::from_seconds(2.0 * t.seconds()),
             dma::DmaDir::Put,
+            MemRange::of_slice(src),
         );
         self.charge_flops(src.len() as u64);
         self.dma_wait(h1);
@@ -240,7 +370,7 @@ impl<'l> Cpe<'l> {
         }
         let bytes = block_elems * nblocks * 4;
         let t = dma::strided_time(block_elems * 4, nblocks, self.n_active);
-        self.charge_dma(bytes, 0, t, dma::DmaDir::Get)
+        self.charge_dma(bytes, 0, t, dma::DmaDir::Get, MemRange::of_slice(dst))
     }
 
     /// Strided DMA get: `nblocks` blocks of `block_elems` f32, consecutive
@@ -283,23 +413,59 @@ impl<'l> Cpe<'l> {
         }
         let bytes = block_elems * nblocks * 4;
         let t = dma::strided_time(block_elems * 4, nblocks, self.n_active);
-        let h = self.charge_dma(0, bytes, t, dma::DmaDir::Put);
+        let h = self.charge_dma(0, bytes, t, dma::DmaDir::Put, MemRange::of_slice(src));
         self.dma_wait(h);
     }
 
-    fn charge_dma(&mut self, get: usize, put: usize, dur: SimTime, _dir: dma::DmaDir) -> DmaHandle {
+    fn charge_dma(
+        &mut self,
+        get: usize,
+        put: usize,
+        dur: SimTime,
+        dir: dma::DmaDir,
+        range: MemRange,
+    ) -> DmaHandle {
         self.stats.dma_get_bytes += get as u64;
         self.stats.dma_put_bytes += put as u64;
         self.stats.dma_requests += 1;
         let start = self.dma_start();
         let complete_at = start + dur;
         self.dma_engine_free_at = complete_at;
-        DmaHandle { complete_at }
+        let seq = self.next_dma_seq;
+        self.next_dma_seq += 1;
+        self.outstanding.push(seq);
+        self.record(|| CpeEvent::DmaIssue {
+            seq,
+            dir,
+            bytes: get + put,
+            range,
+        });
+        self.progress_bump();
+        DmaHandle { complete_at, seq }
     }
 
     /// Block until an asynchronous transfer completes.
+    ///
+    /// Each handle may be waited exactly once; a second wait on the same
+    /// handle panics (or, under a checked launch, is recorded as a
+    /// `DmaWaitStale` event for the sanitizer to report).
     pub fn dma_wait(&mut self, h: DmaHandle) {
-        self.clock = self.clock.max(h.complete_at);
+        match self.outstanding.iter().position(|&s| s == h.seq) {
+            Some(p) => {
+                self.outstanding.swap_remove(p);
+                self.record(|| CpeEvent::DmaWait { seq: h.seq });
+                self.clock = self.clock.max(h.complete_at);
+                self.progress_bump();
+            }
+            None if self.log.is_some() => {
+                self.record(|| CpeEvent::DmaWaitStale { seq: h.seq });
+            }
+            None => panic!(
+                "dma_wait on a stale or already-waited DmaHandle (request #{} on CPE ({}, {})): \
+                 every async DMA must be waited exactly once",
+                h.seq, self.row, self.col
+            ),
+        }
     }
 
     // ---- register-level communication ----------------------------------
@@ -314,6 +480,67 @@ impl<'l> Cpe<'l> {
         self.functional().then(|| data.to_vec().into_boxed_slice())
     }
 
+    /// Deliver one message on the row bus, with bounded waiting under a
+    /// checked launch so a full FIFO can be diagnosed as a stall.
+    fn deliver_row(&mut self, dst_col: usize, msg: RlcMsg) {
+        match self.check {
+            None => self.fabric.send_row(self.row, self.col, dst_col, msg),
+            Some(check) => {
+                let mut msg = msg;
+                let mut watch = StallWatch::new(check);
+                loop {
+                    match self.fabric.try_send_row(self.row, self.col, dst_col, msg) {
+                        SendAttempt::Sent => return,
+                        SendAttempt::Full(m) => {
+                            msg = m;
+                            std::thread::sleep(STALL_SLICE);
+                            if watch.timed_out() {
+                                self.stall_unwind(BlockedOn::RlcSend {
+                                    axis: Axis::Row,
+                                    to: self.row * MESH_DIM + dst_col,
+                                });
+                            }
+                        }
+                        SendAttempt::Disconnected => self.stall_unwind(BlockedOn::RlcSend {
+                            axis: Axis::Row,
+                            to: self.row * MESH_DIM + dst_col,
+                        }),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver one message on the column bus (see [`Cpe::deliver_row`]).
+    fn deliver_col(&mut self, dst_row: usize, msg: RlcMsg) {
+        match self.check {
+            None => self.fabric.send_col(self.col, self.row, dst_row, msg),
+            Some(check) => {
+                let mut msg = msg;
+                let mut watch = StallWatch::new(check);
+                loop {
+                    match self.fabric.try_send_col(self.col, self.row, dst_row, msg) {
+                        SendAttempt::Sent => return,
+                        SendAttempt::Full(m) => {
+                            msg = m;
+                            std::thread::sleep(STALL_SLICE);
+                            if watch.timed_out() {
+                                self.stall_unwind(BlockedOn::RlcSend {
+                                    axis: Axis::Col,
+                                    to: dst_row * MESH_DIM + self.col,
+                                });
+                            }
+                        }
+                        SendAttempt::Disconnected => self.stall_unwind(BlockedOn::RlcSend {
+                            axis: Axis::Col,
+                            to: dst_row * MESH_DIM + self.col,
+                        }),
+                    }
+                }
+            }
+        }
+    }
+
     /// P2P send on the row bus to `(self.row, dst_col)`.
     pub fn rlc_row_send(&mut self, dst_col: usize, data: &[f64]) {
         let bytes = std::mem::size_of_val(data);
@@ -322,7 +549,14 @@ impl<'l> Cpe<'l> {
             sent_at: self.clock,
             data: self.payload(data),
         };
-        self.fabric.send_row(self.row, self.col, dst_col, msg);
+        self.record(|| CpeEvent::RlcSend {
+            axis: Axis::Row,
+            peer: self.row * MESH_DIM + dst_col,
+            bytes,
+            range: MemRange::of_slice(data),
+        });
+        self.deliver_row(dst_col, msg);
+        self.progress_bump();
     }
 
     /// P2P send on the column bus to `(dst_row, self.col)`.
@@ -333,7 +567,14 @@ impl<'l> Cpe<'l> {
             sent_at: self.clock,
             data: self.payload(data),
         };
-        self.fabric.send_col(self.col, self.row, dst_row, msg);
+        self.record(|| CpeEvent::RlcSend {
+            axis: Axis::Col,
+            peer: dst_row * MESH_DIM + self.col,
+            bytes,
+            range: MemRange::of_slice(data),
+        });
+        self.deliver_col(dst_row, msg);
+        self.progress_bump();
     }
 
     /// Broadcast on the row bus to the other active CPEs in this row.
@@ -350,9 +591,16 @@ impl<'l> Cpe<'l> {
                     sent_at: self.clock,
                     data: self.payload(data),
                 };
-                self.fabric.send_row(self.row, self.col, dst_col, msg);
+                self.record(|| CpeEvent::RlcSend {
+                    axis: Axis::Row,
+                    peer: self.row * MESH_DIM + dst_col,
+                    bytes,
+                    range: MemRange::of_slice(data),
+                });
+                self.deliver_row(dst_col, msg);
             }
         }
+        self.progress_bump();
     }
 
     /// Broadcast on the column bus to the other active CPEs in this column.
@@ -366,25 +614,79 @@ impl<'l> Cpe<'l> {
                     sent_at: self.clock,
                     data: self.payload(data),
                 };
-                self.fabric.send_col(self.col, self.row, dst_row, msg);
+                self.record(|| CpeEvent::RlcSend {
+                    axis: Axis::Col,
+                    peer: dst_row * MESH_DIM + self.col,
+                    bytes,
+                    range: MemRange::of_slice(data),
+                });
+                self.deliver_col(dst_row, msg);
+            }
+        }
+        self.progress_bump();
+    }
+
+    /// Receive one message from the given port, with bounded waiting under
+    /// a checked launch.
+    fn recv_msg(&mut self, axis: Axis, port: usize, peer: usize) -> RlcMsg {
+        match self.check {
+            None => {
+                let rx = match axis {
+                    Axis::Row => &self.ports.row[port],
+                    Axis::Col => &self.ports.col[port],
+                };
+                rx.recv().expect("RLC sender dropped mid-kernel")
+            }
+            Some(check) => {
+                use std::sync::mpsc::RecvTimeoutError;
+                let mut watch = StallWatch::new(check);
+                loop {
+                    let r = match axis {
+                        Axis::Row => self.ports.row[port].recv_timeout(STALL_SLICE),
+                        Axis::Col => self.ports.col[port].recv_timeout(STALL_SLICE),
+                    };
+                    match r {
+                        Ok(msg) => return msg,
+                        Err(RecvTimeoutError::Timeout) => {
+                            if watch.timed_out() {
+                                self.stall_unwind(BlockedOn::RlcRecv { axis, from: peer });
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            self.stall_unwind(BlockedOn::RlcRecv { axis, from: peer });
+                        }
+                    }
+                }
             }
         }
     }
 
     /// Receive from `(self.row, src_col)` on the row bus into `buf`.
     pub fn rlc_row_recv(&mut self, src_col: usize, buf: &mut [f64]) {
-        let msg = self.ports.row[src_col]
-            .recv()
-            .expect("RLC sender dropped mid-kernel");
+        let peer = self.row * MESH_DIM + src_col;
+        let msg = self.recv_msg(Axis::Row, src_col, peer);
+        self.record(|| CpeEvent::RlcRecv {
+            axis: Axis::Row,
+            peer,
+            bytes: std::mem::size_of_val(buf),
+            range: MemRange::of_slice(buf),
+        });
         self.finish_recv(msg, buf);
+        self.progress_bump();
     }
 
     /// Receive from `(src_row, self.col)` on the column bus into `buf`.
     pub fn rlc_col_recv(&mut self, src_row: usize, buf: &mut [f64]) {
-        let msg = self.ports.col[src_row]
-            .recv()
-            .expect("RLC sender dropped mid-kernel");
+        let peer = src_row * MESH_DIM + self.col;
+        let msg = self.recv_msg(Axis::Col, src_row, peer);
+        self.record(|| CpeEvent::RlcRecv {
+            axis: Axis::Col,
+            peer,
+            bytes: std::mem::size_of_val(buf),
+            range: MemRange::of_slice(buf),
+        });
         self.finish_recv(msg, buf);
+        self.progress_bump();
     }
 
     fn finish_recv(&mut self, msg: RlcMsg, buf: &mut [f64]) {
@@ -426,6 +728,7 @@ impl<'l> Cpe<'l> {
         self.stats.flops += flops;
         let cycles = flops as f64 / (CPE_DP_FLOPS_PER_CYCLE * KERNEL_COMPUTE_EFFICIENCY);
         self.clock += SimTime::from_cycles(cycles);
+        self.progress_bump();
     }
 
     /// Charge `flops` and, in functional mode, run the math.
@@ -442,20 +745,98 @@ impl<'l> Cpe<'l> {
     pub fn charge_scalar_ops(&mut self, ops: u64) {
         self.stats.flops += ops;
         self.clock += SimTime::from_cycles(ops as f64);
+        self.progress_bump();
     }
 
     /// Advance the local clock by an explicit duration (fixed-function
     /// costs such as SIMD shuffles modelled at a coarser grain).
     pub fn charge_time(&mut self, t: SimTime) {
         self.clock += t;
+        self.progress_bump();
     }
 
     // ---- synchronisation -------------------------------------------------
 
     /// Mesh-wide barrier; local clocks are reconciled to the maximum.
     pub fn sync(&mut self) {
-        self.clock = self.barrier.wait(self.idx, self.clock);
+        self.sync_count += 1;
+        let n = self.sync_count;
+        self.record(|| CpeEvent::Barrier { n });
+        self.clock = match self.check {
+            None => self.barrier.wait(self.idx, self.clock),
+            Some(check) => match self.barrier.wait_checked(self.clock, check) {
+                Some(t) => t,
+                None => self.stall_unwind(BlockedOn::Barrier),
+            },
+        };
         // The DMA engine cannot be busy past a barrier.
         self.dma_engine_free_at = self.dma_engine_free_at.max(self.clock);
+        self.progress_bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_reconciles_to_max_clock() {
+        let b = std::sync::Arc::new(MeshBarrier::new(4));
+        let results: Vec<SimTime> = std::thread::scope(|s| {
+            (0..4usize)
+                .map(|i| {
+                    let b = std::sync::Arc::clone(&b);
+                    s.spawn(move || b.wait(i, SimTime::from_seconds(i as f64)))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in results {
+            assert_eq!(r.seconds(), 3.0);
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let b = std::sync::Arc::new(MeshBarrier::new(2));
+        let outs: Vec<(SimTime, SimTime)> = std::thread::scope(|s| {
+            (0..2usize)
+                .map(|i| {
+                    let b = std::sync::Arc::clone(&b);
+                    s.spawn(move || {
+                        let first = b.wait(i, SimTime::from_seconds(1.0 + i as f64));
+                        let second =
+                            b.wait(i, first + SimTime::from_seconds(10.0 * (i + 1) as f64));
+                        (first, second)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (first, second) in outs {
+            assert_eq!(first.seconds(), 2.0);
+            assert_eq!(second.seconds(), 22.0);
+        }
+    }
+
+    #[test]
+    fn single_participant_barrier_returns_immediately() {
+        let b = MeshBarrier::new(1);
+        assert_eq!(b.wait(0, SimTime::from_seconds(4.5)).seconds(), 4.5);
+        assert_eq!(b.wait(0, SimTime::from_seconds(6.5)).seconds(), 6.5);
+    }
+
+    #[test]
+    fn checked_barrier_times_out_when_peers_never_arrive() {
+        let b = MeshBarrier::new(2);
+        let check = LaunchCheck::new();
+        // Nobody else will ever arrive: the bounded wait must give up.
+        let r = b.wait_checked(SimTime::from_seconds(1.0), &check);
+        assert!(r.is_none());
+        assert!(check.is_stalled());
     }
 }

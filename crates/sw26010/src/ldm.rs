@@ -7,18 +7,51 @@
 //! does not fit *panics*, exactly as an over-sized `__thread_local` array
 //! fails on the real chip. This is what forces the blocking structure the
 //! paper describes (Principles 2 and 3).
+//!
+//! Under [`CheckMode::Record`](crate::check::CheckMode) the allocator also
+//! appends alloc/free events (with host address ranges) to the owning
+//! CPE's event log, so the sanitizer can correlate DMA traffic with the
+//! buffers it targets and detect frees of in-flight destinations.
 
 use std::cell::Cell;
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
 use crate::arch::LDM_BYTES;
+use crate::check::{CpeEvent, EventLog, MemRange};
+
+/// A rejected LDM allocation: the request plus the allocator state that
+/// made it impossible. `Display` renders the canonical overflow message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdmOverflow {
+    /// Bytes the failed allocation asked for.
+    pub requested: usize,
+    /// Bytes already resident when the request arrived.
+    pub used: usize,
+    /// Total LDM capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for LdmOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LDM overflow: kernel requested {} B with {} B already resident \
+             ({} B capacity). Reduce the block size.",
+            self.requested, self.used, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for LdmOverflow {}
 
 /// Per-CPE LDM allocator (bump accounting with drop-based reclamation).
 pub struct Ldm {
     capacity: usize,
     used: Rc<Cell<usize>>,
     high_water: Rc<Cell<usize>>,
+    log: Option<EventLog>,
+    next_id: Cell<u64>,
 }
 
 impl Default for Ldm {
@@ -37,7 +70,16 @@ impl Ldm {
             capacity,
             used: Rc::new(Cell::new(0)),
             high_water: Rc::new(Cell::new(0)),
+            log: None,
+            next_id: Cell::new(0),
         }
+    }
+
+    /// Share a sanitizer event log with this allocator (checked launches
+    /// only). Alloc/free events then interleave with the owning CPE's
+    /// DMA/RLC events in program order.
+    pub(crate) fn attach_log(&mut self, log: EventLog) {
+        self.log = Some(log);
     }
 
     /// Bytes currently allocated.
@@ -59,32 +101,60 @@ impl Ldm {
     }
 
     /// Allocate a zeroed buffer of `n` `f32` elements.
+    ///
+    /// Panics with the [`LdmOverflow`] message when the working set no
+    /// longer fits; use [`Ldm::try_alloc_f32`] to handle that case.
     pub fn alloc_f32(&self, n: usize) -> LdmBuf<f32> {
-        self.alloc(n, 0.0f32)
+        self.try_alloc_f32(n).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Allocate a zeroed buffer of `n` `f64` elements (register-communication
     /// staging buffers are double precision on SW26010).
     pub fn alloc_f64(&self, n: usize) -> LdmBuf<f64> {
-        self.alloc(n, 0.0f64)
+        self.try_alloc_f64(n).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn alloc<T: Copy>(&self, n: usize, zero: T) -> LdmBuf<T> {
+    /// Fallible variant of [`Ldm::alloc_f32`].
+    pub fn try_alloc_f32(&self, n: usize) -> Result<LdmBuf<f32>, LdmOverflow> {
+        self.try_alloc(n, 0.0f32)
+    }
+
+    /// Fallible variant of [`Ldm::alloc_f64`].
+    pub fn try_alloc_f64(&self, n: usize) -> Result<LdmBuf<f64>, LdmOverflow> {
+        self.try_alloc(n, 0.0f64)
+    }
+
+    fn try_alloc<T: Copy>(&self, n: usize, zero: T) -> Result<LdmBuf<T>, LdmOverflow> {
         let bytes = n * std::mem::size_of::<T>();
         let used = self.used.get();
-        assert!(
-            used + bytes <= self.capacity,
-            "LDM overflow: kernel requested {bytes} B with {used} B already \
-             resident ({} B capacity). Reduce the block size.",
-            self.capacity
-        );
+        if used + bytes > self.capacity {
+            return Err(LdmOverflow {
+                requested: bytes,
+                used,
+                capacity: self.capacity,
+            });
+        }
         self.used.set(used + bytes);
         self.high_water.set(self.high_water.get().max(used + bytes));
-        LdmBuf {
-            data: vec![zero; n],
+        let data = vec![zero; n];
+        let mut id = 0;
+        if let Some(log) = &self.log {
+            id = self.next_id.get();
+            self.next_id.set(id + 1);
+            log.borrow_mut().push(CpeEvent::LdmAlloc {
+                id,
+                bytes,
+                range: MemRange::of_slice(&data),
+                used_after: used + bytes,
+            });
+        }
+        Ok(LdmBuf {
+            data,
             bytes,
             used: Rc::clone(&self.used),
-        }
+            log: self.log.clone(),
+            id,
+        })
     }
 
     /// True if a hypothetical working set of `bytes` fits alongside what is
@@ -96,10 +166,13 @@ impl Ldm {
 
 /// An LDM-resident buffer. Dereferences to a slice; releases its LDM
 /// budget on drop.
+#[derive(Debug)]
 pub struct LdmBuf<T> {
     data: Vec<T>,
     bytes: usize,
     used: Rc<Cell<usize>>,
+    log: Option<EventLog>,
+    id: u64,
 }
 
 impl<T> LdmBuf<T> {
@@ -126,6 +199,12 @@ impl<T> DerefMut for LdmBuf<T> {
 impl<T> Drop for LdmBuf<T> {
     fn drop(&mut self) {
         self.used.set(self.used.get() - self.bytes);
+        if let Some(log) = &self.log {
+            log.borrow_mut().push(CpeEvent::LdmFree {
+                id: self.id,
+                range: MemRange::of_slice(&self.data),
+            });
+        }
     }
 }
 
@@ -137,6 +216,7 @@ pub fn working_set_fits(buffer_bytes: &[usize]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::RefCell;
 
     #[test]
     fn alloc_and_reclaim() {
@@ -162,6 +242,28 @@ mod tests {
     }
 
     #[test]
+    fn overflow_message_names_all_three_quantities() {
+        let ldm = Ldm::new();
+        let _a = ldm.alloc_f32(12 * 1024); // 48 KB resident
+        let err = ldm.try_alloc_f32(8 * 1024).unwrap_err();
+        assert_eq!(
+            err,
+            LdmOverflow {
+                requested: 32 * 1024,
+                used: 48 * 1024,
+                capacity: 64 * 1024,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("requested 32768 B"), "{msg}");
+        assert!(msg.contains("49152 B already resident"), "{msg}");
+        assert!(msg.contains("65536 B capacity"), "{msg}");
+        // A failed allocation must not consume budget.
+        assert_eq!(ldm.used(), 48 * 1024);
+        assert!(ldm.try_alloc_f64(2 * 1024).is_ok());
+    }
+
+    #[test]
     fn buffers_are_writable() {
         let ldm = Ldm::new();
         let mut buf = ldm.alloc_f32(8);
@@ -176,5 +278,53 @@ mod tests {
         let _a = ldm.alloc_f32(8 * 1024); // 32 KB
         assert!(ldm.fits(32 * 1024));
         assert!(!ldm.fits(32 * 1024 + 1));
+    }
+
+    #[test]
+    fn attached_log_sees_alloc_and_free_in_order() {
+        let mut ldm = Ldm::new();
+        let log: EventLog = Rc::new(RefCell::new(Vec::new()));
+        ldm.attach_log(Rc::clone(&log));
+        {
+            let _a = ldm.alloc_f32(16);
+            let _b = ldm.alloc_f64(8);
+        }
+        let events = log.borrow();
+        match (&events[0], &events[1], &events[2], &events[3]) {
+            (
+                CpeEvent::LdmAlloc {
+                    id: 0,
+                    bytes: 64,
+                    used_after: 64,
+                    ..
+                },
+                CpeEvent::LdmAlloc {
+                    id: 1,
+                    bytes: 64,
+                    used_after: 128,
+                    ..
+                },
+                CpeEvent::LdmFree { id: fb, .. },
+                CpeEvent::LdmFree { id: fa, .. },
+            ) => {
+                // Drop order is reverse declaration order.
+                assert_eq!(*fb, 1);
+                assert_eq!(*fa, 0);
+            }
+            other => panic!("unexpected event sequence: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn working_set_edge_cases() {
+        assert!(working_set_fits(&[]));
+        assert!(working_set_fits(&[0]));
+        assert!(working_set_fits(&[0, 0, 0]));
+        assert!(working_set_fits(&[LDM_BYTES]));
+        assert!(!working_set_fits(&[LDM_BYTES, 1]));
+        assert!(working_set_fits(&[LDM_BYTES / 2, LDM_BYTES / 2]));
+        assert!(!working_set_fits(&[LDM_BYTES / 2, LDM_BYTES / 2 + 1]));
+        // Zero-byte buffers consume nothing even when numerous.
+        assert!(working_set_fits(&[0; 1000]));
     }
 }

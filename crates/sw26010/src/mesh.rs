@@ -7,8 +7,18 @@
 //! so a mis-scheduled kernel deadlocks in simulation the same way it would
 //! on silicon. The launch's simulated duration is the spawn overhead plus
 //! the latest per-CPE finish time.
+//!
+//! [`run_mesh_traced`] is the sanitizer entry point: same semantics and
+//! bit-identical timing, but every CPE records a typed event log and
+//! blocking operations wait with a timeout, so a deadlocked kernel is
+//! unwound with per-CPE blocked-on diagnostics instead of hanging.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 
 use crate::arch::{ATHREAD_LAUNCH_OVERHEAD_SECONDS, CPES_PER_CG};
+use crate::check::{CpeTrace, KernelTrace, LaunchCheck, StallMarker};
 use crate::cpe::{Cpe, MeshBarrier};
 use crate::rlc::RlcFabric;
 use crate::stats::{LaunchReport, Stats};
@@ -23,48 +33,122 @@ pub fn run_mesh<F>(mode: ExecMode, n_cpes: usize, kernel: F) -> LaunchReport
 where
     F: Fn(&mut Cpe) + Sync,
 {
+    let (report, _) = run_mesh_inner(mode, n_cpes, None, &kernel);
+    report
+}
+
+/// Run `kernel` under the sanitizer: identical data and simulated timing,
+/// plus a complete per-CPE event trace for `swcheck` to analyze. Blocking
+/// operations use bounded waits, so a deadlocked or diverged kernel
+/// returns (with `stall` diagnostics in the trace) instead of hanging.
+pub fn run_mesh_traced<F>(
+    mode: ExecMode,
+    n_cpes: usize,
+    name: &str,
+    kernel: F,
+) -> (LaunchReport, KernelTrace)
+where
+    F: Fn(&mut Cpe) + Sync,
+{
+    let (report, per_cpe) = run_mesh_inner(mode, n_cpes, Some(name), &kernel);
+    let trace = KernelTrace {
+        name: name.to_string(),
+        n_cpes,
+        per_cpe: per_cpe.expect("traced launch must produce traces"),
+    };
+    (report, trace)
+}
+
+fn run_mesh_inner<F>(
+    mode: ExecMode,
+    n_cpes: usize,
+    traced: Option<&str>,
+    kernel: &F,
+) -> (LaunchReport, Option<Vec<CpeTrace>>)
+where
+    F: Fn(&mut Cpe) + Sync,
+{
     assert!(
         (1..=CPES_PER_CG).contains(&n_cpes),
         "launch must use 1..=64 CPEs, got {n_cpes}"
     );
     let fabric = RlcFabric::new();
     let barrier = MeshBarrier::new(n_cpes);
-    let kernel = &kernel;
+    let check = traced.map(|_| LaunchCheck::new());
     let fabric_ref = &fabric;
     let barrier_ref = &barrier;
+    let check_ref = check.as_ref();
 
-    let per_cpe: Vec<(SimTime, Stats)> = std::thread::scope(|s| {
+    type CpeResult = Result<(SimTime, Stats, Option<CpeTrace>), Box<dyn std::any::Any + Send>>;
+
+    let per_cpe: Vec<CpeResult> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..n_cpes)
             .map(|idx| {
-                s.spawn(move || {
-                    let mut cpe = Cpe::new(idx, n_cpes, mode, fabric_ref, barrier_ref);
-                    kernel(&mut cpe);
-                    cpe.finish()
+                s.spawn(move || -> CpeResult {
+                    let log = check_ref.map(|_| Rc::new(RefCell::new(Vec::new())));
+                    let mut cpe =
+                        Cpe::new(idx, n_cpes, mode, fabric_ref, barrier_ref, log, check_ref);
+                    if check_ref.is_none() {
+                        // Unchecked fast path: no unwind catching, panics
+                        // surface through the join below exactly as before.
+                        kernel(&mut cpe);
+                        return Ok(cpe.finish());
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| kernel(&mut cpe))) {
+                        Ok(()) => Ok(cpe.finish()),
+                        // A stall unwind (this CPE gave up on a blocked op)
+                        // or collateral damage of another CPE's stall
+                        // (disconnected channel, barrier timeout): keep the
+                        // partial trace — it carries the diagnostic.
+                        Err(p) if p.is::<StallMarker>() => Ok(cpe.finish()),
+                        Err(p) if check_ref.is_some_and(|c| c.is_stalled()) => {
+                            drop(p);
+                            Ok(cpe.finish())
+                        }
+                        Err(p) => Err(p),
+                    }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("CPE kernel panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise with the original payload so `should_panic`
+                // expectations see the kernel's own message.
+                Err(p) => resume_unwind(p),
+            })
             .collect()
     });
 
     let mut stats = Stats::default();
     let mut max_clock = SimTime::ZERO;
-    for (clock, s) in &per_cpe {
-        stats.merge(s);
-        max_clock = max_clock.max(*clock);
+    let mut traces = traced.map(|_| Vec::with_capacity(n_cpes));
+    for r in per_cpe {
+        let (clock, s, trace) = match r {
+            Ok(v) => v,
+            // A genuine kernel panic under tracing: re-raise it on the
+            // launching thread with the original payload.
+            Err(p) => resume_unwind(p),
+        };
+        stats.merge(&s);
+        max_clock = max_clock.max(clock);
+        if let (Some(ts), Some(t)) = (traces.as_mut(), trace) {
+            ts.push(t);
+        }
     }
     stats.launches = 1;
-    LaunchReport {
+    let report = LaunchReport {
         elapsed: SimTime::from_seconds(ATHREAD_LAUNCH_OVERHEAD_SECONDS) + max_clock,
         stats,
-    }
+    };
+    (report, traces)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check::{BlockedOn, CpeEvent};
     use crate::view::{MemView, MemViewMut};
 
     #[test]
@@ -236,5 +320,99 @@ mod tests {
             cpe.dma_wait(h);
         });
         assert!(ovl.elapsed.seconds() < seq.elapsed.seconds());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or already-waited")]
+    fn double_wait_panics_unchecked() {
+        let src_data = vec![0.0f32; 256];
+        let src = MemView::new(&src_data);
+        run_mesh(ExecMode::Functional, 1, |cpe| {
+            let mut buf = cpe.ldm.alloc_f32(256);
+            let h = cpe.dma_get_async(src, 0, &mut buf);
+            cpe.dma_wait(h);
+            cpe.dma_wait(h); // stale: must panic
+        });
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_records_events() {
+        fn add_one(cpe: &mut Cpe, src: MemView<'_>, out: MemViewMut<'_>) {
+            let n = 64;
+            let mut buf = cpe.ldm.alloc_f32(n);
+            let h = cpe.dma_get_async(src, cpe.idx() * n, &mut buf);
+            cpe.dma_wait(h);
+            cpe.compute(n as u64, || {
+                for v in buf.iter_mut() {
+                    *v += 1.0;
+                }
+            });
+            cpe.sync();
+            cpe.dma_put(out, cpe.idx() * n, &buf);
+        }
+        let src_data: Vec<f32> = (0..4096).map(|i| i as f32).collect();
+        let src = MemView::new(&src_data);
+        let mut plain_out = vec![0.0f32; 4096];
+        let out = MemViewMut::new(&mut plain_out);
+        let plain = run_mesh(ExecMode::Functional, 64, move |cpe| add_one(cpe, src, out));
+        let mut traced_out = vec![0.0f32; 4096];
+        let out = MemViewMut::new(&mut traced_out);
+        let (traced, trace) = run_mesh_traced(ExecMode::Functional, 64, "add_one", move |cpe| {
+            add_one(cpe, src, out)
+        });
+        assert_eq!(plain_out, traced_out, "tracing must not perturb data");
+        assert_eq!(
+            plain.elapsed.seconds().to_bits(),
+            traced.elapsed.seconds().to_bits(),
+            "tracing must not perturb simulated time"
+        );
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(trace.name, "add_one");
+        assert_eq!(trace.per_cpe.len(), 64);
+        assert!(!trace.stalled());
+        assert_eq!(trace.ldm_high_water(), 64 * 4);
+        let events = &trace.per_cpe[0].events;
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CpeEvent::DmaIssue { seq: 0, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CpeEvent::Barrier { n: 1 })));
+        assert!(trace.per_cpe.iter().all(|c| c.leaked_dma.is_empty()));
+    }
+
+    #[test]
+    fn traced_deadlock_unwinds_with_diagnostics() {
+        // Every CPE of a pair waits for the other to send first: a classic
+        // cyclic RLC wait. Untraced this would hang; traced it must return
+        // with both CPEs marked blocked on the receive.
+        let (_, trace) = run_mesh_traced(ExecMode::Functional, 2, "deadlock", |cpe| {
+            let mut buf = [0.0f64];
+            let other = 1 - cpe.col();
+            cpe.rlc_row_recv(other, &mut buf); // both block here forever
+            cpe.rlc_row_send(other, &buf);
+        });
+        assert!(trace.stalled());
+        for c in &trace.per_cpe {
+            assert!(
+                matches!(c.stall, Some(BlockedOn::RlcRecv { .. })),
+                "CPE {} stall = {:?}",
+                c.idx,
+                c.stall
+            );
+        }
+    }
+
+    #[test]
+    fn traced_barrier_divergence_unwinds() {
+        // CPE 0 exits without syncing while CPE 1 waits in the barrier.
+        let (_, trace) = run_mesh_traced(ExecMode::Functional, 2, "diverge", |cpe| {
+            if cpe.idx() == 1 {
+                cpe.sync();
+            }
+        });
+        assert!(trace.stalled());
+        assert_eq!(trace.per_cpe[1].stall, Some(BlockedOn::Barrier));
+        assert_eq!(trace.per_cpe[0].stall, None);
     }
 }

@@ -20,7 +20,7 @@
 //! receiver's port once, reproducing the ~1.75x broadcast/P2P aggregate
 //! bandwidth ratio of the published microbenchmarks.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Mutex;
 
 use crate::arch::{MESH_DIM, RLC_FIFO_DEPTH, RLC_PACKET_BYTES};
@@ -136,6 +136,53 @@ impl RlcFabric {
         self.col_tx[dst][src_row]
             .send(msg)
             .expect("RLC receiver dropped mid-kernel");
+    }
+
+    /// Non-blocking variant of [`RlcFabric::send_row`], used by checked
+    /// launches so a send into a full FIFO can participate in stall
+    /// detection instead of blocking forever.
+    pub fn try_send_row(
+        &self,
+        row: usize,
+        src_col: usize,
+        dst_col: usize,
+        msg: RlcMsg,
+    ) -> SendAttempt {
+        assert!(src_col != dst_col, "RLC send to self");
+        let dst = row * MESH_DIM + dst_col;
+        into_attempt(self.row_tx[dst][src_col].try_send(msg))
+    }
+
+    /// Non-blocking variant of [`RlcFabric::send_col`].
+    pub fn try_send_col(
+        &self,
+        col: usize,
+        src_row: usize,
+        dst_row: usize,
+        msg: RlcMsg,
+    ) -> SendAttempt {
+        assert!(src_row != dst_row, "RLC send to self");
+        let dst = dst_row * MESH_DIM + col;
+        into_attempt(self.col_tx[dst][src_row].try_send(msg))
+    }
+}
+
+/// Outcome of a non-blocking RLC send.
+pub enum SendAttempt {
+    /// The message entered the destination FIFO.
+    Sent,
+    /// The FIFO is full; the message is handed back so the caller can
+    /// retry after a bounded wait.
+    Full(RlcMsg),
+    /// The receiver thread is gone (it panicked or stalled out).
+    Disconnected,
+}
+
+fn into_attempt(r: Result<(), TrySendError<RlcMsg>>) -> SendAttempt {
+    match r {
+        Ok(()) => SendAttempt::Sent,
+        Err(TrySendError::Full(m)) => SendAttempt::Full(m),
+        Err(TrySendError::Disconnected(_)) => SendAttempt::Disconnected,
     }
 }
 

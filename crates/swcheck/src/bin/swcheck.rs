@@ -1,0 +1,83 @@
+//! `swcheck` CLI: run the dynamic sanitizer suite over the swdnn kernel
+//! zoo, the static plan lint over the benchmark shape sweep, and an
+//! overhead measurement (checked vs unchecked wall clock). Exits
+//! non-zero when any violation or rejected plan is found.
+//!
+//! Usage: `swcheck [--json PATH]`
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use sw26010::{CoreGroup, ExecMode};
+use swcheck::{lint_benchmark_sweep, report_json, run_suite, suite};
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = args.next(),
+            "--help" | "-h" => {
+                println!("usage: swcheck [--json PATH]");
+                return;
+            }
+            other => {
+                eprintln!("swcheck: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Overhead: identical workload, recording off vs on.
+    let t0 = Instant::now();
+    let mut plain = CoreGroup::new(ExecMode::Functional);
+    suite::drive_kernel_zoo(&mut plain);
+    let unchecked_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let outcome = run_suite();
+    let checked_s = t1.elapsed().as_secs_f64();
+    let ratio = if unchecked_s > 0.0 {
+        checked_s / unchecked_s
+    } else {
+        1.0
+    };
+
+    let lint = lint_benchmark_sweep();
+
+    println!(
+        "swcheck: traced {} launches of {} kernels ({} events); {} violation(s)",
+        outcome.launches,
+        outcome.kernels.len(),
+        outcome.events,
+        outcome.violations.len()
+    );
+    for v in &outcome.violations {
+        println!("  VIOLATION: {v}");
+    }
+    println!(
+        "swcheck: linted {} kernel plans across the benchmark sweep; {} rejected",
+        lint.checked,
+        lint.rejected.len()
+    );
+    for (label, v) in &lint.rejected {
+        println!("  REJECTED {label}: {v}");
+    }
+    println!(
+        "swcheck: sanitizer overhead {checked_s:.3}s checked vs {unchecked_s:.3}s \
+         unchecked ({ratio:.2}x)"
+    );
+
+    if let Some(path) = json_path {
+        let doc = report_json(&outcome, &lint, Some(ratio));
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("swcheck: cannot create {path}: {e}"));
+        f.write_all(doc.to_pretty_string().as_bytes())
+            .expect("write report");
+        println!("swcheck: report written to {path}");
+    }
+
+    if !outcome.is_clean() || !lint.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # swcheck — kernel sanitizer + static lint pass for SW26010 kernels
+//!
+//! Correctness tooling for the simulated SW26010 kernel zoo, in two
+//! halves:
+//!
+//! * **Dynamic sanitizer** ([`sanitize`]): replays the typed event
+//!   traces a [`sw26010::CheckMode::Record`] core group captures
+//!   (every DMA issue/wait, register-communication send/recv, mesh
+//!   barrier, and LDM alloc/free on every CPE) and proves
+//!   happens-before properties — no use of a buffer before its
+//!   `dma_wait`, no double-waits or leaked handles, matched send/recv
+//!   counts on both buses, uniform barrier arrival — and classifies
+//!   stalled launches as deadlock or barrier divergence with per-CPE
+//!   blocked-on diagnostics.
+//! * **Static lint** ([`lint`]): validates the [`sw26010::KernelPlan`]
+//!   every swdnn kernel registers, across the benchmark shape sweep,
+//!   proving LDM fit *before* execution and rejecting overflowing
+//!   shapes with named-buffer diagnostics.
+//!
+//! [`suite`] drives the whole swdnn kernel zoo under the sanitizer and
+//! [`report`] serializes findings as deterministic `swjson` documents
+//! for CI artifacts.
+
+pub mod lint;
+pub mod report;
+pub mod sanitize;
+pub mod suite;
+
+pub use lint::{conv_shape_plans, lint_benchmark_sweep, lint_plans, LintOutcome};
+pub use report::{report_json, violation_json, violations_json};
+pub use sanitize::{check_trace, check_trace_against_plan, check_traces, Violation, ViolationKind};
+pub use suite::{drive_kernel_zoo, run_suite, summarize, SuiteOutcome};

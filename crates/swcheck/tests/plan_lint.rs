@@ -1,0 +1,44 @@
+//! Static lint acceptance: the whole benchmark shape sweep must pass,
+//! and an overflowing plan must be rejected *before* its kernel runs.
+
+use sw26010::{CoreGroup, ExecMode, KernelPlan};
+use swcheck::{lint_benchmark_sweep, lint_plans};
+
+#[test]
+fn vgg_sweep_every_plan_fits_ldm() {
+    let outcome = lint_benchmark_sweep();
+    assert!(outcome.checked >= 100, "checked: {}", outcome.checked);
+    assert!(
+        outcome.is_clean(),
+        "rejected plans:\n{}",
+        outcome
+            .rejected
+            .iter()
+            .map(|(l, v)| format!("  {l}: {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn overflowing_plan_is_rejected_with_named_buffers() {
+    let bad = KernelPlan::new("swdnn.bogus_tile", 64)
+        .buffer("a_tile", 48 * 1024)
+        .buffer("b_tile", 48 * 1024);
+    let outcome = lint_plans([("bogus".to_string(), &bad)]);
+    assert_eq!(outcome.rejected.len(), 1);
+    let msg = outcome.rejected[0].1.to_string();
+    assert!(msg.contains("overflows LDM"), "{msg}");
+    assert!(msg.contains("a_tile 49152 B + b_tile 49152 B"), "{msg}");
+    assert!(msg.contains("98304 B planned vs 65536 B capacity"), "{msg}");
+}
+
+#[test]
+#[should_panic(expected = "overflows LDM")]
+fn run_planned_rejects_overflowing_shape_before_launch() {
+    let mut cg = CoreGroup::new(ExecMode::Functional);
+    let plan = KernelPlan::new("inject.huge", 64).buffer("a", 80 * 1024);
+    cg.run_planned(&plan, |_cpe| {
+        unreachable!("the kernel must never start for a rejected plan")
+    });
+}

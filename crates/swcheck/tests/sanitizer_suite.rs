@@ -1,0 +1,95 @@
+//! Tier: the full swdnn kernel zoo must run clean under the sanitizer,
+//! and recording must not perturb results or simulated time.
+
+use sw26010::{CoreGroup, ExecMode};
+use swcheck::suite;
+use swdnn::{gemm, GemmDims, Trans};
+
+#[test]
+fn kernel_zoo_runs_clean_under_sanitizer() {
+    let outcome = swcheck::run_suite();
+    assert!(outcome.launches > 40, "launches: {}", outcome.launches);
+    assert!(outcome.events > 100_000, "events: {}", outcome.events);
+    for expected in [
+        "swdnn.gemm",
+        "swdnn.gemm_db",
+        "swdnn.pool.fwd",
+        "swdnn.bn.fwd_stats",
+        "swdnn.softmax.fwd",
+        "swdnn.unary_map",
+    ] {
+        assert!(
+            outcome.kernels.iter().any(|k| k == expected),
+            "kernel {expected} missing from {:?}",
+            outcome.kernels
+        );
+    }
+    assert!(
+        outcome.is_clean(),
+        "sanitizer found violations:\n{}",
+        outcome
+            .violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn unchecked_run_records_nothing() {
+    assert!(suite::run_unchecked_records_nothing());
+}
+
+#[test]
+fn tracing_is_bit_identical_in_data_and_simulated_time() {
+    let dims = GemmDims::new(40, 36, 24);
+    let mut a = vec![0.0f32; dims.m * dims.k];
+    let mut b = vec![0.0f32; dims.k * dims.n];
+    let mut c0 = vec![0.0f32; dims.m * dims.n];
+    suite::fill(1, &mut a);
+    suite::fill(2, &mut b);
+    suite::fill(3, &mut c0);
+    let mut c1 = c0.clone();
+
+    let mut plain = CoreGroup::new(ExecMode::Functional);
+    let r0 = gemm::gemm(
+        &mut plain,
+        dims,
+        Trans::No,
+        Trans::No,
+        0.5,
+        Some(gemm::GemmOperands {
+            a: &a,
+            b: &b,
+            c: &mut c0,
+        }),
+    );
+
+    let mut checked = CoreGroup::new_checked(ExecMode::Functional);
+    let r1 = gemm::gemm(
+        &mut checked,
+        dims,
+        Trans::No,
+        Trans::No,
+        0.5,
+        Some(gemm::GemmOperands {
+            a: &a,
+            b: &b,
+            c: &mut c1,
+        }),
+    );
+
+    for (i, (x, y)) in c0.iter().zip(&c1).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "c[{i}] differs under tracing");
+    }
+    assert_eq!(
+        r0.elapsed.seconds().to_bits(),
+        r1.elapsed.seconds().to_bits(),
+        "simulated time perturbed by tracing"
+    );
+    let traces = checked.take_traces();
+    assert_eq!(traces.len(), 1);
+    assert!(traces[0].per_cpe.iter().any(|c| !c.events.is_empty()));
+    assert!(swcheck::check_traces(&traces).is_empty());
+}

@@ -5,9 +5,60 @@
 //! whole channels to CPEs (no cross-CPE accumulation); the normalise
 //! phase streams rows like the element-wise kernels.
 
-use sw26010::{dma, CoreGroup, LaunchReport, MemView, MemViewMut, SimTime};
+use sw26010::{dma, CoreGroup, KernelPlan, LaunchReport, MemView, MemViewMut, SimTime};
 
 use crate::elementwise::CHUNK;
+
+/// Static LDM descriptor of the BN forward statistics pass.
+pub fn forward_stats_plan(spatial: usize) -> KernelPlan {
+    let row_chunk = CHUNK.min(spatial.max(1));
+    KernelPlan::new("swdnn.bn.fwd_stats", 64).buffer("buf", row_chunk * 4)
+}
+
+/// Static LDM descriptor of the BN forward normalisation pass (four
+/// per-channel vectors plus one row chunk).
+pub fn forward_normalize_plan(channels: usize, spatial: usize) -> KernelPlan {
+    let row_chunk = CHUNK.min(spatial.max(1));
+    KernelPlan::new("swdnn.bn.fwd_norm", 64)
+        .buffer("gamma", channels * 4)
+        .buffer("beta", channels * 4)
+        .buffer("mean", channels * 4)
+        .buffer("istd", channels * 4)
+        .buffer("buf", row_chunk * 4)
+}
+
+/// Static LDM descriptor of the BN backward reduction pass.
+pub fn backward_reduce_plan(spatial: usize) -> KernelPlan {
+    let row_chunk = CHUNK.min(spatial.max(1));
+    KernelPlan::new("swdnn.bn.bwd_reduce", 64)
+        .buffer("xbuf", row_chunk * 4)
+        .buffer("gbuf", row_chunk * 4)
+}
+
+/// Static LDM descriptor of the BN backward normalisation pass (five
+/// per-channel vectors plus two half row chunks).
+pub fn backward_normalize_plan(channels: usize, spatial: usize) -> KernelPlan {
+    let row_chunk = (CHUNK / 2).min(spatial.max(1));
+    KernelPlan::new("swdnn.bn.bwd_norm", 64)
+        .buffer("gamma", channels * 4)
+        .buffer("mean", channels * 4)
+        .buffer("istd", channels * 4)
+        .buffer("dgamma", channels * 4)
+        .buffer("dbeta", channels * 4)
+        .buffer("xbuf", row_chunk * 4)
+        .buffer("ybuf", row_chunk * 4)
+}
+
+/// Static LDM descriptor of the BN inference pass.
+pub fn inference_plan(channels: usize, spatial: usize) -> KernelPlan {
+    let row_chunk = CHUNK.min(spatial.max(1));
+    KernelPlan::new("swdnn.bn.inference", 64)
+        .buffer("gamma", channels * 4)
+        .buffer("beta", channels * 4)
+        .buffer("mean", channels * 4)
+        .buffer("var", channels * 4)
+        .buffer("buf", row_chunk * 4)
+}
 
 /// Functional operands of a BN forward pass over an NCHW tensor.
 pub struct BnFwdOperands<'a> {
@@ -67,7 +118,7 @@ pub fn forward(
     let n_per_c = (batch * spatial) as f64;
 
     // Phase A: per-channel statistics (channel c owned by CPE c % 64).
-    let mut total = cg.run(64, |cpe| {
+    let mut total = cg.run_planned(&forward_stats_plan(spatial), |cpe| {
         let row_chunk = CHUNK.min(spatial.max(1));
         let mut buf = cpe.ldm.alloc_f32(row_chunk);
         let mut c = cpe.idx();
@@ -104,7 +155,7 @@ pub fn forward(
     });
 
     // Phase B: normalise.
-    let report = cg.run(64, |cpe| {
+    let report = cg.run_planned(&forward_normalize_plan(channels, spatial), |cpe| {
         let mut gbuf = cpe.ldm.alloc_f32(channels);
         let mut bbuf = cpe.ldm.alloc_f32(channels);
         let mut mbuf = cpe.ldm.alloc_f32(channels);
@@ -170,7 +221,7 @@ pub fn backward(
     let n_per_c = (batch * spatial) as f64;
 
     // Phase A: per-channel dgamma / dbeta.
-    let mut total = cg.run(64, |cpe| {
+    let mut total = cg.run_planned(&backward_reduce_plan(spatial), |cpe| {
         let row_chunk = CHUNK.min(spatial.max(1));
         let mut xbuf = cpe.ldm.alloc_f32(row_chunk);
         let mut gbuf = cpe.ldm.alloc_f32(row_chunk);
@@ -212,7 +263,7 @@ pub fn backward(
     });
 
     // Phase B: dx = (gamma * istd / N) * (N*dy - dbeta - xhat * dgamma).
-    let report = cg.run(64, |cpe| {
+    let report = cg.run_planned(&backward_normalize_plan(channels, spatial), |cpe| {
         let mut gbuf = cpe.ldm.alloc_f32(channels);
         let mut mbuf = cpe.ldm.alloc_f32(channels);
         let mut ibuf = cpe.ldm.alloc_f32(channels);
@@ -501,7 +552,7 @@ pub fn forward_inference(
     let m = MemView::new(mean);
     let v = MemView::new(var);
     let y = MemViewMut::new(output);
-    cg.run(64, move |cpe| {
+    cg.run_planned(&inference_plan(channels, spatial), move |cpe| {
         let mut gbuf = cpe.ldm.alloc_f32(channels);
         let mut bbuf = cpe.ldm.alloc_f32(channels);
         let mut mbuf = cpe.ldm.alloc_f32(channels);

@@ -18,7 +18,9 @@
 
 use sw26010::arch::MESH_DIM;
 use sw26010::rlc::{transfer_cycles, RLC_HOP_CYCLES};
-use sw26010::{dma, CoreGroup, Cpe, LaunchReport, MemView, MemViewMut, SimTime};
+use sw26010::{
+    dma, CoreGroup, Cpe, KernelPlan, LaunchReport, MemView, MemViewMut, RlcPattern, SimTime,
+};
 
 use crate::shapes::ConvShape;
 
@@ -35,6 +37,50 @@ fn pick_nt(batch: usize) -> usize {
         .rev()
         .find(|d| batch.is_multiple_of(*d))
         .unwrap_or(1)
+}
+
+/// Shared LDM descriptor of the broadcast-GEMM core: five f64 tiles plus
+/// one f32 staging buffer, exactly as each mesh kernel allocates them.
+fn tile_kernel_plan(name: &str, mt: usize, nt: usize, kt: usize) -> KernelPlan {
+    KernelPlan::new(name, 64)
+        .buffer("a64", mt * kt * 8)
+        .buffer("b64", kt * nt * 8)
+        .buffer("c64", mt * nt * 8)
+        .buffer("abuf", mt * kt * 8)
+        .buffer("bbuf", kt * nt * 8)
+        .buffer("stage", mt.max(kt) * nt.max(kt) * 4)
+        .rlc(RlcPattern::RowAndColBroadcast)
+        .inflight_dma(1)
+}
+
+/// Static LDM descriptor of the implicit forward kernel for `shape`.
+pub fn forward_plan(shape: &ConvShape) -> KernelPlan {
+    let (mt, nt, kt) = (
+        pick_tile(shape.out_c),
+        pick_nt(shape.batch),
+        pick_tile(shape.in_c),
+    );
+    tile_kernel_plan("swdnn.conv_implicit.fwd", mt, nt, kt)
+}
+
+/// Static LDM descriptor of the implicit backward-by-input kernel.
+pub fn backward_input_plan(shape: &ConvShape) -> KernelPlan {
+    let (mt, nt, kt) = (
+        pick_tile(shape.in_c),
+        pick_nt(shape.batch),
+        pick_tile(shape.out_c),
+    );
+    tile_kernel_plan("swdnn.conv_implicit.bwd_input", mt, nt, kt)
+}
+
+/// Static LDM descriptor of the implicit backward-by-weights kernel.
+pub fn backward_weights_plan(shape: &ConvShape) -> KernelPlan {
+    let (mt, ntw, kt) = (
+        pick_tile(shape.out_c),
+        pick_tile(shape.in_c),
+        pick_nt(shape.batch),
+    );
+    tile_kernel_plan("swdnn.conv_implicit.bwd_weights", mt, ntw, kt)
 }
 
 /// Strategy gate, forward: the paper's implicit plan needs >= 64 input
@@ -184,10 +230,11 @@ pub fn forward(
     let weights = MemView::new(ops.weights);
     let output = MemViewMut::new(ops.output);
 
+    let kplan = forward_plan(&s);
     let mut total = LaunchReport::default();
     for pm in 0..panels_m {
         for pn in 0..panels_n {
-            let report = cg.run(64, |cpe| {
+            let report = cg.run_planned(&kplan, |cpe| {
                 let (i, j) = (cpe.row(), cpe.col());
                 let m0 = pm * MESH_DIM * mt + i * mt;
                 let vm = no.saturating_sub(m0).min(mt);
@@ -346,10 +393,11 @@ fn backward_input_mesh(
     let dy = MemView::new(out_grad);
     let dx = MemViewMut::new(in_grad);
 
+    let kplan = backward_input_plan(&s);
     let mut total = LaunchReport::default();
     for pm in 0..panels_m {
         for pn in 0..panels_n {
-            let report = cg.run(64, |cpe| {
+            let report = cg.run_planned(&kplan, |cpe| {
                 let (i, j) = (cpe.row(), cpe.col());
                 let m0 = pm * MESH_DIM * mt + i * mt;
                 let vm = ni.saturating_sub(m0).min(mt);
@@ -478,12 +526,13 @@ fn backward_weights_mesh(
     let dy = MemView::new(out_grad);
     let dw = MemViewMut::new(w_grad);
 
+    let kplan = backward_weights_plan(&s);
     let mut total = LaunchReport::default();
     for ky in 0..s.k {
         for kx in 0..s.k {
             for pm in 0..panels_m {
                 for pn in 0..panels_n {
-                    let report = cg.run(64, |cpe| {
+                    let report = cg.run_planned(&kplan, |cpe| {
                         let (i, j) = (cpe.row(), cpe.col());
                         let m0 = pm * MESH_DIM * mt + i * mt;
                         let vm = no.saturating_sub(m0).min(mt);

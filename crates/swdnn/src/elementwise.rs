@@ -5,11 +5,62 @@
 //! textbook Principle 2/3 pattern (DMA in, vector op, DMA out, blocks of
 //! several KB per CPE).
 
-use sw26010::{dma, CoreGroup, LaunchReport, MemView, MemViewMut, SimTime};
+use sw26010::{dma, CoreGroup, KernelPlan, LaunchReport, MemView, MemViewMut, SimTime};
 
 /// Elements each CPE stages per chunk (16 KB of f32 — large enough to
 /// amortise the DMA start-up latency per Fig. 2).
 pub const CHUNK: usize = 4096;
+
+/// Static LDM descriptor of a streaming kernel with `streams` staging
+/// buffers of `CHUNK` f32 elements each.
+pub fn stream_plan(name: &str, streams: usize) -> KernelPlan {
+    let mut p = KernelPlan::new(name, 64);
+    for s in 0..streams {
+        p = p.buffer(format!("stream{s}"), CHUNK * 4);
+    }
+    p
+}
+
+/// Static LDM descriptor of the bias forward kernel (full bias vector
+/// plus one row chunk).
+pub fn bias_forward_plan(channels: usize, spatial: usize) -> KernelPlan {
+    let row_chunk = CHUNK.min(spatial.max(1));
+    KernelPlan::new("swdnn.bias.fwd", 64)
+        .buffer("bias", channels * 4)
+        .buffer("buf", row_chunk * 4)
+}
+
+/// Static LDM descriptor of the bias backward kernel.
+pub fn bias_backward_plan(spatial: usize) -> KernelPlan {
+    let row_chunk = CHUNK.min(spatial.max(1));
+    KernelPlan::new("swdnn.bias.bwd", 64).buffer("buf", row_chunk * 4)
+}
+
+/// Static LDM descriptor of the row-broadcast bias kernel.
+pub fn bias_rows_plan(row_len: usize) -> KernelPlan {
+    let chunk = CHUNK.min(row_len);
+    KernelPlan::new("swdnn.bias.rows", 64)
+        .buffer("bias", chunk * 4)
+        .buffer("buf", chunk * 4)
+}
+
+/// Columns per strided chunk in [`col_sums`].
+const COL_CHUNK: usize = 64;
+
+/// Static LDM descriptor of the column-sum kernel (a row-group staging
+/// buffer plus a column accumulator).
+pub fn col_sums_plan() -> KernelPlan {
+    let row_group = (CHUNK / COL_CHUNK).max(1);
+    KernelPlan::new("swdnn.col_sums", 64)
+        .buffer("buf", row_group * COL_CHUNK * 4)
+        .buffer("acc", COL_CHUNK * 4)
+}
+
+/// Static LDM descriptor of the strided block-copy kernel.
+pub fn copy_blocks_plan(block_len: usize) -> KernelPlan {
+    let chunk = CHUNK.min(block_len.max(1));
+    KernelPlan::new("swdnn.copy_blocks", 64).buffer("buf", chunk * 4)
+}
 
 /// Generic one-input one-output streaming map. `flops_per_elem` is charged
 /// per element processed.
@@ -34,7 +85,7 @@ pub fn unary_map(
     let src = MemView::new(input);
     let dst = MemViewMut::new(output);
     let f = &f;
-    cg.run(64, move |cpe| {
+    cg.run_planned(&stream_plan("swdnn.unary_map", 1), move |cpe| {
         let mut buf = cpe.ldm.alloc_f32(CHUNK);
         let mut start = cpe.idx() * CHUNK;
         while start < len {
@@ -75,7 +126,7 @@ pub fn binary_map(
     let bv = MemView::new(b);
     let dst = MemViewMut::new(out);
     let f = &f;
-    cg.run(64, move |cpe| {
+    cg.run_planned(&stream_plan("swdnn.binary_map", 2), move |cpe| {
         let mut abuf = cpe.ldm.alloc_f32(CHUNK);
         let mut bbuf = cpe.ldm.alloc_f32(CHUNK);
         let mut start = cpe.idx() * CHUNK;
@@ -194,7 +245,7 @@ pub fn axpy(
     assert_eq!(y.len(), len);
     let xv = MemView::new(x);
     let yv = MemViewMut::new(y);
-    cg.run(64, move |cpe| {
+    cg.run_planned(&stream_plan("swdnn.axpy", 2), move |cpe| {
         let mut xbuf = cpe.ldm.alloc_f32(CHUNK);
         let mut ybuf = cpe.ldm.alloc_f32(CHUNK);
         let mut start = cpe.idx() * CHUNK;
@@ -242,7 +293,7 @@ pub fn bias_forward(
     let bv = MemView::new(bias);
     let dv = MemViewMut::new(data);
     let rows = batch * channels;
-    cg.run(64, move |cpe| {
+    cg.run_planned(&bias_forward_plan(channels, spatial), move |cpe| {
         let mut bbuf = cpe.ldm.alloc_f32(channels);
         cpe.dma_get(bv, 0, &mut bbuf);
         let row_chunk = CHUNK.min(spatial.max(1));
@@ -294,7 +345,7 @@ pub fn bias_backward(
     assert_eq!(db.len(), channels);
     let dyv = MemView::new(dy);
     let dbv = MemViewMut::new(db);
-    cg.run(64, move |cpe| {
+    cg.run_planned(&bias_backward_plan(spatial), move |cpe| {
         let row_chunk = CHUNK.min(spatial.max(1));
         let mut buf = cpe.ldm.alloc_f32(row_chunk);
         let mut c = cpe.idx();
@@ -460,7 +511,7 @@ pub fn bias_rows(
     assert_eq!(data.len(), rows * row_len);
     let bv = MemView::new(bias);
     let dv = MemViewMut::new(data);
-    cg.run(64, move |cpe| {
+    cg.run_planned(&bias_rows_plan(row_len), move |cpe| {
         let chunk = CHUNK.min(row_len);
         let mut bbuf = cpe.ldm.alloc_f32(chunk);
         let mut buf = cpe.ldm.alloc_f32(chunk);
@@ -493,7 +544,6 @@ pub fn col_sums(
     cols: usize,
     io: Option<(&[f32], &mut [f32])>,
 ) -> LaunchReport {
-    const COL_CHUNK: usize = 64;
     if !cg.mode().is_functional() {
         let chunks = cols.div_ceil(COL_CHUNK);
         // One strided get per chunk covers all rows.
@@ -515,7 +565,7 @@ pub fn col_sums(
     let mv = MemView::new(m);
     let ov = MemViewMut::new(out);
     let chunks = cols.div_ceil(COL_CHUNK);
-    cg.run(64, move |cpe| {
+    cg.run_planned(&col_sums_plan(), move |cpe| {
         // Stage rows in groups so the buffer stays bounded.
         let row_group = (CHUNK / COL_CHUNK).max(1);
         let mut buf = cpe.ldm.alloc_f32(row_group * COL_CHUNK);
@@ -572,7 +622,7 @@ pub fn copy_blocks(
         io.expect("functional copy requires operands");
     let sv = MemView::new(src);
     let dv = MemViewMut::new(dst);
-    cg.run(64, move |cpe| {
+    cg.run_planned(&copy_blocks_plan(block_len), move |cpe| {
         let chunk = CHUNK.min(block_len.max(1));
         let mut buf = cpe.ldm.alloc_f32(chunk);
         let mut blk = cpe.idx();
@@ -667,7 +717,7 @@ pub fn scale(cg: &mut CoreGroup, len: usize, alpha: f32, io: Option<&mut [f32]>)
     let x = io.expect("functional scale requires operands");
     assert_eq!(x.len(), len);
     let xv = MemViewMut::new(x);
-    cg.run(64, move |cpe| {
+    cg.run_planned(&stream_plan("swdnn.scale", 1), move |cpe| {
         let mut buf = cpe.ldm.alloc_f32(CHUNK);
         let mut start = cpe.idx() * CHUNK;
         while start < len {
@@ -701,7 +751,7 @@ pub fn sumsq(cg: &mut CoreGroup, len: usize, io: Option<&[f32]>) -> (f64, Launch
     let xv = MemView::new(x);
     let mut partials = vec![0.0f32; 64];
     let pv = MemViewMut::new(&mut partials);
-    let report = cg.run(64, move |cpe| {
+    let report = cg.run_planned(&stream_plan("swdnn.sumsq", 1), move |cpe| {
         let mut buf = cpe.ldm.alloc_f32(CHUNK);
         let mut acc = 0.0f64;
         let mut start = cpe.idx() * CHUNK;

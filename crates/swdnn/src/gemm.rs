@@ -26,7 +26,9 @@
 
 use sw26010::arch::{CPE_DP_FLOPS_PER_CYCLE, KERNEL_COMPUTE_EFFICIENCY, MESH_DIM};
 use sw26010::rlc::{transfer_cycles, RLC_HOP_CYCLES};
-use sw26010::{dma, CoreGroup, LaunchReport, MemView, MemViewMut, SimTime, Stats};
+use sw26010::{
+    dma, CoreGroup, KernelPlan, LaunchReport, MemView, MemViewMut, RlcPattern, SimTime, Stats,
+};
 
 use crate::shapes::{GemmDims, Trans};
 
@@ -83,6 +85,41 @@ impl TilePlan {
     }
 }
 
+/// Static LDM descriptor of the single-buffered GEMM kernel. Mirrors the
+/// allocations in `execute_mesh` one-for-one so validating the plan is
+/// equivalent to proving the kernel fits.
+pub fn kernel_plan(plan: TilePlan) -> KernelPlan {
+    let TilePlan { mt, nt, kt } = plan;
+    KernelPlan::new("swdnn.gemm", 64)
+        .buffer("a64", mt * kt * 8)
+        .buffer("b64", kt * nt * 8)
+        .buffer("c64", mt * nt * 8)
+        .buffer("abuf", mt * kt * 8)
+        .buffer("bbuf", kt * nt * 8)
+        .buffer("stage", mt.max(kt) * nt.max(kt) * 4)
+        .rlc(RlcPattern::RowAndColBroadcast)
+        .inflight_dma(1)
+}
+
+/// Static LDM descriptor of the double-buffered GEMM kernel (two async
+/// staging pairs plus a C staging buffer on top of the broadcast tiles).
+pub fn kernel_plan_double_buffered(plan: TilePlan) -> KernelPlan {
+    let TilePlan { mt, nt, kt } = plan;
+    KernelPlan::new("swdnn.gemm_db", 64)
+        .buffer("a64", mt * kt * 8)
+        .buffer("b64", kt * nt * 8)
+        .buffer("c64", mt * nt * 8)
+        .buffer("abuf", mt * kt * 8)
+        .buffer("bbuf", kt * nt * 8)
+        .buffer("stage_a0", mt * kt * 4)
+        .buffer("stage_a1", mt * kt * 4)
+        .buffer("stage_b0", kt * nt * 4)
+        .buffer("stage_b1", kt * nt * 4)
+        .buffer("cstage", mt * nt * 4)
+        .rlc(RlcPattern::RowAndColBroadcast)
+        .inflight_dma(2)
+}
+
 /// Functional operands of a GEMM call (row-major, contiguous).
 pub struct GemmOperands<'a> {
     pub a: &'a [f32],
@@ -136,10 +173,11 @@ fn execute_mesh(
     let b_view = MemView::new(ops.b);
     let c_view = MemViewMut::new(ops.c);
 
+    let kplan = kernel_plan(plan);
     let mut total = LaunchReport::default();
     for pm in 0..panels_m {
         for pn in 0..panels_n {
-            let report = cg.run(64, |cpe| {
+            let report = cg.run_planned(&kplan, |cpe| {
                 let (i, j) = (cpe.row(), cpe.col());
                 // Tile origins in C.
                 let ci0 = pm * plan.panel_m() + i * mt;
@@ -828,10 +866,11 @@ pub fn gemm_double_buffered(
     let b_view = MemView::new(ops.b);
     let c_view = MemViewMut::new(ops.c);
 
+    let kplan = kernel_plan_double_buffered(plan);
     let mut total = LaunchReport::default();
     for pm in 0..panels_m {
         for pn in 0..panels_n {
-            let report = cg.run(64, |cpe| {
+            let report = cg.run_planned(&kplan, |cpe| {
                 let (i, j) = (cpe.row(), cpe.col());
                 let ci0 = pm * plan.panel_m() + i * mt;
                 let cj0 = pn * plan.panel_n() + j * nt;

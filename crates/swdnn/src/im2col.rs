@@ -20,7 +20,7 @@
 //! layers are im2col-bound: the DMA blocks are single image rows (~1 KB at
 //! width 224), well below what saturates the memory controller (Fig. 2).
 
-use sw26010::{dma, CoreGroup, Cpe, LaunchReport, MemView, MemViewMut, SimTime};
+use sw26010::{dma, CoreGroup, Cpe, KernelPlan, LaunchReport, MemView, MemViewMut, SimTime};
 
 use crate::shapes::ConvShape;
 
@@ -33,6 +33,36 @@ pub fn channel_plan_applies(shape: &ConvShape) -> bool {
     let img = shape.in_h * shape.in_w * 4;
     let line = shape.out_h() * shape.out_w() * 4;
     img + line <= LDM_BUDGET
+}
+
+/// Static LDM descriptor of the im2col kernel that `shape` selects:
+/// whole image + one output line for the channel plan, `K` input rows +
+/// one output row for the sliding-row plan.
+pub fn im2col_plan(shape: &ConvShape) -> KernelPlan {
+    if channel_plan_applies(shape) {
+        KernelPlan::new("swdnn.im2col.channel", 64)
+            .buffer("img", shape.in_h * shape.in_w * 4)
+            .buffer("line", shape.out_h() * shape.out_w() * 4)
+    } else {
+        let mut p = KernelPlan::new("swdnn.im2col.row", 64);
+        for r in 0..shape.k {
+            p = p.buffer(format!("row{r}"), shape.in_w * 4);
+        }
+        p.buffer("line", shape.out_w() * 4)
+    }
+}
+
+/// Static LDM descriptor of the col2im kernel that `shape` selects.
+pub fn col2im_plan(shape: &ConvShape) -> KernelPlan {
+    if channel_plan_applies(shape) {
+        KernelPlan::new("swdnn.col2im.channel", 64)
+            .buffer("acc", shape.in_h * shape.in_w * 4)
+            .buffer("line", shape.out_h() * shape.out_w() * 4)
+    } else {
+        KernelPlan::new("swdnn.col2im.row", 64)
+            .buffer("acc", shape.in_w * 4)
+            .buffer("line", shape.out_w() * 4)
+    }
 }
 
 /// Operands for a functional im2col call (one image).
@@ -62,12 +92,15 @@ pub fn im2col(
     assert_eq!(ops.cols.len(), shape.col_rows() * shape.col_cols());
     let image = MemView::new(ops.image);
     let cols = MemViewMut::new(ops.cols);
+    let kplan = im2col_plan(shape);
     if channel_plan_applies(shape) {
         let shape = *shape;
-        cg.run(64, move |cpe| im2col_channel_plan(cpe, &shape, image, cols))
+        cg.run_planned(&kplan, move |cpe| {
+            im2col_channel_plan(cpe, &shape, image, cols)
+        })
     } else {
         let shape = *shape;
-        cg.run(64, move |cpe| im2col_row_plan(cpe, &shape, image, cols))
+        cg.run_planned(&kplan, move |cpe| im2col_row_plan(cpe, &shape, image, cols))
     }
 }
 
@@ -170,12 +203,15 @@ pub fn col2im(
     assert_eq!(ops.cols.len(), shape.col_rows() * shape.col_cols());
     let cols = MemView::new(ops.cols);
     let image = MemViewMut::new(ops.image);
+    let kplan = col2im_plan(shape);
     if channel_plan_applies(shape) {
         let shape = *shape;
-        cg.run(64, move |cpe| col2im_channel_plan(cpe, &shape, cols, image))
+        cg.run_planned(&kplan, move |cpe| {
+            col2im_channel_plan(cpe, &shape, cols, image)
+        })
     } else {
         let shape = *shape;
-        cg.run(64, move |cpe| col2im_row_plan(cpe, &shape, cols, image))
+        cg.run_planned(&kplan, move |cpe| col2im_row_plan(cpe, &shape, cols, image))
     }
 }
 

@@ -8,7 +8,7 @@
 //! slab via strided DMA (one block per channel), so the cross-channel
 //! window is entirely LDM-resident.
 
-use sw26010::{dma, CoreGroup, LaunchReport, MemView, MemViewMut, SimTime};
+use sw26010::{dma, CoreGroup, KernelPlan, LaunchReport, MemView, MemViewMut, SimTime};
 
 /// LRN hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +36,24 @@ impl Default for LrnParams {
 fn width_chunk(channels: usize, width: usize, bufs: usize) -> usize {
     let budget = 44 * 1024;
     (budget / (bufs * channels * 4)).clamp(1, width)
+}
+
+/// Static LDM descriptor of the LRN forward kernel: two all-channel slabs
+/// of `width_chunk` pixels.
+pub fn forward_plan(channels: usize, width: usize) -> KernelPlan {
+    let wc = width_chunk(channels, width, 2);
+    KernelPlan::new("swdnn.lrn.fwd", 64)
+        .buffer("xs", channels * wc * 4)
+        .buffer("ys", channels * wc * 4)
+}
+
+/// Static LDM descriptor of the LRN backward kernel (three slabs).
+pub fn backward_plan(channels: usize, width: usize) -> KernelPlan {
+    let wc = width_chunk(channels, width, 3);
+    KernelPlan::new("swdnn.lrn.bwd", 64)
+        .buffer("xs", channels * wc * 4)
+        .buffer("gs", channels * wc * 4)
+        .buffer("ds", channels * wc * 4)
 }
 
 fn scale_at(p: &LrnParams, channels: usize, xs: &dyn Fn(usize) -> f64, c: usize) -> f64 {
@@ -76,7 +94,7 @@ pub fn forward(
     let y = MemViewMut::new(output);
     let wc = width_chunk(channels, width, 2);
     let items = batch * height;
-    cg.run(64, move |cpe| {
+    cg.run_planned(&forward_plan(channels, width), move |cpe| {
         let mut xs = cpe.ldm.alloc_f32(channels * wc);
         let mut ys = cpe.ldm.alloc_f32(channels * wc);
         let mut item = cpe.idx();
@@ -147,7 +165,7 @@ pub fn backward(
     let dx = MemViewMut::new(in_grad);
     let wc = width_chunk(channels, width, 3);
     let items = batch * height;
-    cg.run(64, move |cpe| {
+    cg.run_planned(&backward_plan(channels, width), move |cpe| {
         let mut xs = cpe.ldm.alloc_f32(channels * wc);
         let mut gs = cpe.ldm.alloc_f32(channels * wc);
         let mut ds = cpe.ldm.alloc_f32(channels * wc);

@@ -10,9 +10,28 @@
 //! Backward items are keyed on *input* rows so the overlapping-window
 //! scatter (AlexNet pools with K=3, S=2) never collides across CPEs.
 
-use sw26010::{dma, CoreGroup, LaunchReport, MemView, MemViewMut, SimTime};
+use sw26010::{dma, CoreGroup, KernelPlan, LaunchReport, MemView, MemViewMut, SimTime};
 
 use crate::shapes::{PoolMethod, PoolShape};
+
+/// Static LDM descriptor of the pooling forward kernel: `K` input rows
+/// plus one output row and one argmax row.
+pub fn forward_plan(shape: &PoolShape) -> KernelPlan {
+    let mut p = KernelPlan::new("swdnn.pool.fwd", 64);
+    for r in 0..shape.k {
+        p = p.buffer(format!("row{r}"), shape.in_w * 4);
+    }
+    p.buffer("out_row", shape.out_w() * 4)
+        .buffer("am_row", shape.out_w() * 4)
+}
+
+/// Static LDM descriptor of the pooling backward kernel.
+pub fn backward_plan(shape: &PoolShape) -> KernelPlan {
+    KernelPlan::new("swdnn.pool.bwd", 64)
+        .buffer("acc", shape.in_w * 4)
+        .buffer("grow", shape.out_w() * 4)
+        .buffer("arow", shape.out_w() * 4)
+}
 
 /// Functional operands of a pooling forward pass (NCHW).
 pub struct PoolFwdOperands<'a> {
@@ -63,7 +82,7 @@ pub fn forward(
     }
     let items = s.batch * s.channels * oh;
 
-    cg.run(64, move |cpe| {
+    cg.run_planned(&forward_plan(&s), move |cpe| {
         let mut rows: Vec<_> = (0..s.k).map(|_| cpe.ldm.alloc_f32(iw)).collect();
         let mut out_row = cpe.ldm.alloc_f32(ow);
         let mut am_row = cpe.ldm.alloc_f32(ow);
@@ -165,7 +184,7 @@ pub fn backward(
     }
     let items = s.batch * s.channels * ih;
 
-    cg.run(64, move |cpe| {
+    cg.run_planned(&backward_plan(&s), move |cpe| {
         let mut acc = cpe.ldm.alloc_f32(iw);
         let mut grow = cpe.ldm.alloc_f32(ow);
         let mut arow = cpe.ldm.alloc_f32(ow);

@@ -4,7 +4,17 @@
 //! comfortably in LDM, so each CPE streams rows, computes a numerically
 //! stable softmax, and emits the probability row plus its per-image loss.
 
-use sw26010::{dma, CoreGroup, LaunchReport, MemView, MemViewMut, SimTime};
+use sw26010::{dma, CoreGroup, KernelPlan, LaunchReport, MemView, MemViewMut, SimTime};
+
+/// Static LDM descriptor of the softmax forward kernel (one class row).
+pub fn forward_plan(classes: usize) -> KernelPlan {
+    KernelPlan::new("swdnn.softmax.fwd", 64).buffer("row", classes * 4)
+}
+
+/// Static LDM descriptor of the softmax backward kernel.
+pub fn backward_plan(classes: usize) -> KernelPlan {
+    KernelPlan::new("swdnn.softmax.bwd", 64).buffer("row", classes * 4)
+}
 
 /// Charged cost of one exp/log evaluation, in flops (software
 /// transcendentals on the CPE pipelines).
@@ -46,7 +56,7 @@ pub fn forward(
     let labels = MemView::new(ops.labels);
     let probs = MemViewMut::new(ops.probs);
     let losses = MemViewMut::new(ops.losses);
-    cg.run(64, move |cpe| {
+    cg.run_planned(&forward_plan(classes), move |cpe| {
         let mut row = cpe.ldm.alloc_f32(classes);
         let mut lab = [0.0f32; 1];
         let mut b = cpe.idx();
@@ -105,7 +115,7 @@ pub fn backward(
     let p = MemView::new(ops.probs);
     let labels = MemView::new(ops.labels);
     let dx = MemViewMut::new(ops.in_grad);
-    cg.run(64, move |cpe| {
+    cg.run_planned(&backward_plan(classes), move |cpe| {
         let mut row = cpe.ldm.alloc_f32(classes);
         let mut lab = [0.0f32; 1];
         let mut b = cpe.idx();

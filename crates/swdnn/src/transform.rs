@@ -12,7 +12,7 @@
 //! layer setup (host-side helper, not charged — the paper treats filter
 //! layout as layer-local state).
 
-use sw26010::{dma, CoreGroup, LaunchReport, MemView, MemViewMut, SimTime};
+use sw26010::{dma, CoreGroup, KernelPlan, LaunchReport, MemView, MemViewMut, SimTime};
 
 /// Dimensions of an NCHW <-> RCNB transformation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +40,15 @@ fn batch_chunk(shape: &TransShape) -> usize {
     (16 * 1024 / per_b).clamp(1, shape.batch)
 }
 
+/// Static LDM descriptor of both layout-transform kernels (they allocate
+/// the same staging pair).
+pub fn kernel_plan(name: &str, shape: &TransShape) -> KernelPlan {
+    let bc = batch_chunk(shape);
+    KernelPlan::new(name, 64)
+        .buffer("buf", shape.width * bc * 4)
+        .buffer("out", shape.width * bc * 4)
+}
+
 /// NCHW -> RCNB on the CPE cluster.
 pub fn nchw_to_rcnb(
     cg: &mut CoreGroup,
@@ -62,7 +71,7 @@ pub fn nchw_to_rcnb(
     let src = MemView::new(input);
     let dst = MemViewMut::new(output);
     let items = h * n_tot;
-    cg.run(64, move |cpe| {
+    cg.run_planned(&kernel_plan("swdnn.nchw_to_rcnb", shape), move |cpe| {
         let mut buf = cpe.ldm.alloc_f32(w * bc);
         let mut out = cpe.ldm.alloc_f32(w * bc);
         let mut item = cpe.idx();
@@ -127,7 +136,7 @@ pub fn rcnb_to_nchw(
     let src = MemView::new(input);
     let dst = MemViewMut::new(output);
     let items = h * n_tot;
-    cg.run(64, move |cpe| {
+    cg.run_planned(&kernel_plan("swdnn.rcnb_to_nchw", shape), move |cpe| {
         let mut buf = cpe.ldm.alloc_f32(w * bc);
         let mut out = cpe.ldm.alloc_f32(w * bc);
         let mut item = cpe.idx();
