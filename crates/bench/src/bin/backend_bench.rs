@@ -1,0 +1,189 @@
+//! Wall-clock comparison of the compute backends on Table II
+//! convolution geometries: the Sw26010 functional mesh simulation vs the
+//! HostNative thread-pool path, same arithmetic, bitwise-identical
+//! outputs (asserted).
+//!
+//! This is deliberately **not** a registered scenario and has no
+//! baseline: it measures real host time, which is machine- and
+//! load-dependent, so gating it would make CI flaky. Run it by hand to
+//! reproduce the speedup figures quoted in `EXPERIMENTS.md`:
+//!
+//!   cargo run --release --bin backend-bench -- [--layer 5_3] [--batch 2]
+//!       [--iters 3] [--threads 0]
+//!
+//! `--layer` names a VGG-16 Table II layer (`1_1` .. `5_3`); `--batch`
+//! scales the batch down from the paper's 128 so the mesh simulation
+//! finishes in seconds; `--threads 0` means one task per host core.
+
+use std::time::Instant;
+
+use sw26010::{CoreGroup, ExecMode};
+use swcaffe_bench::scenarios::table2_conv;
+use swdnn::conv_explicit::ConvFwdOperands;
+use swdnn::conv_implicit::ImplicitFwdOperands;
+use swdnn::{conv_explicit, conv_implicit, ConvShape};
+
+struct Options {
+    layer: String,
+    batch: usize,
+    iters: usize,
+    threads: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        layer: "5_3".to_string(),
+        batch: 2,
+        iters: 3,
+        threads: 0,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or(format!("{flag} requires an argument"))
+        };
+        match a.as_str() {
+            "--layer" => opts.layer = value("--layer")?,
+            "--batch" => {
+                opts.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+            }
+            "--iters" => {
+                opts.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: backend-bench [--layer NAME] [--batch N] [--iters N] [--threads N]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if opts.batch == 0 || opts.iters == 0 {
+        return Err("--batch and --iters must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+fn values(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed);
+            ((x >> 33) % 2000) as f32 / 500.0 - 2.0
+        })
+        .collect()
+}
+
+/// Run `iters` forward convolutions under `mode`, returning the best
+/// wall-clock time and the final output buffer.
+fn time_forward(shape: &ConvShape, mode: ExecMode, iters: usize) -> (f64, Vec<f32>) {
+    let input = values(shape.input_len(), 1);
+    let weights = values(shape.weight_len(), 2);
+    let implicit = conv_implicit::supports_forward(shape);
+    let mut best = f64::INFINITY;
+    let mut out = vec![0.0f32; shape.output_len()];
+    for _ in 0..iters {
+        let mut cg = CoreGroup::new(mode);
+        let start = Instant::now();
+        if implicit {
+            conv_implicit::forward(
+                &mut cg,
+                shape,
+                Some(ImplicitFwdOperands {
+                    input: &input,
+                    weights: &weights,
+                    output: &mut out,
+                }),
+            );
+        } else {
+            conv_explicit::forward(
+                &mut cg,
+                shape,
+                Some(ConvFwdOperands {
+                    input: &input,
+                    weights: &weights,
+                    output: &mut out,
+                }),
+            );
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let Some((name, mut shape)) = table2_conv::vgg_conv_shapes()
+        .into_iter()
+        .find(|(n, _)| *n == opts.layer)
+    else {
+        eprintln!(
+            "unknown layer '{}'; Table II layers: {}",
+            opts.layer,
+            table2_conv::vgg_conv_shapes()
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    };
+    shape.batch = opts.batch;
+    let threads = swbackend::resolve_threads(opts.threads);
+    let plan = if conv_implicit::supports_forward(&shape) {
+        "implicit"
+    } else {
+        "explicit"
+    };
+
+    println!(
+        "conv{name} geometry ({}x{}x{}x{} -> {} ch, k={}, {plan} plan), batch {}, best of {}:",
+        shape.batch,
+        shape.in_c,
+        shape.in_h,
+        shape.in_w,
+        shape.out_c,
+        shape.k,
+        opts.batch,
+        opts.iters
+    );
+    let (t_mesh, out_mesh) = time_forward(&shape, ExecMode::Functional, opts.iters);
+    println!("  sw26010 functional mesh : {t_mesh:9.3} s");
+    let (t_host, out_host) = time_forward(&shape, ExecMode::HostNative { threads }, opts.iters);
+    println!("  host-native ({threads:2} threads): {t_host:9.3} s");
+    println!("  speedup                 : {:9.1}x", t_mesh / t_host);
+
+    let diverged = out_mesh
+        .iter()
+        .zip(&out_host)
+        .filter(|(m, h)| m.to_bits() != h.to_bits())
+        .count();
+    if diverged > 0 {
+        eprintln!("BACKEND DIVERGENCE: {diverged} output elements differ bitwise");
+        std::process::exit(1);
+    }
+    println!(
+        "  outputs bitwise identical across backends ({} elements)",
+        out_mesh.len()
+    );
+}

@@ -8,10 +8,13 @@
 //! tolerance (`swprof::DEFAULT_TIMING_REL_TOL`).
 //!
 //! Usage:
-//!   bench-check [--fast] [--bless] [--dir <baseline-dir>] [name...]
+//!   bench-check [--fast] [--bless] [--dir <baseline-dir>]
+//!               [--export <out-dir>] [name...]
 //!
 //! `--bless` regenerates the baselines from the current build instead of
-//! comparing; commit the result. Positional names restrict the run to
+//! comparing; commit the result. `--export` additionally writes every
+//! fresh report to `<out-dir>` (the nightly CI job uploads that
+//! directory as an artifact). Positional names restrict the run to
 //! those scenarios (default: all, or the fast subset with `--fast`).
 
 use std::path::{Path, PathBuf};
@@ -30,6 +33,7 @@ struct Options {
     bless: bool,
     fast: bool,
     dir: PathBuf,
+    export: Option<PathBuf>,
     names: Vec<String>,
 }
 
@@ -38,6 +42,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         bless: false,
         fast: false,
         dir: default_dir(),
+        export: None,
         names: Vec::new(),
     };
     let mut it = args.iter();
@@ -48,9 +53,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--dir" => {
                 opts.dir = PathBuf::from(it.next().ok_or("--dir requires a path")?);
             }
+            "--export" => {
+                opts.export = Some(PathBuf::from(it.next().ok_or("--export requires a path")?));
+            }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: bench-check [--fast] [--bless] [--dir <baseline-dir>] [name...]\n\
+                    "usage: bench-check [--fast] [--bless] [--dir <baseline-dir>] \
+                     [--export <out-dir>] [name...]\n\
                      scenarios: {}",
                     scenarios::SCENARIOS
                         .iter()
@@ -102,9 +111,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(dir) = &opts.export {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
 
     for scenario in selected(&opts) {
         let (_text, fresh) = (scenario.run)(&[]);
+        if let Some(dir) = &opts.export {
+            let out = dir.join(format!("{}.json", scenario.name));
+            if let Err(e) = std::fs::write(&out, fresh.to_json_string()) {
+                eprintln!("cannot write {}: {e}", out.display());
+                return ExitCode::from(2);
+            }
+        }
         let path = opts.dir.join(format!("{}.json", scenario.name));
         if opts.bless {
             if let Err(e) = std::fs::write(&path, fresh.to_json_string()) {

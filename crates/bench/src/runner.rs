@@ -27,6 +27,26 @@ pub fn split_json_flag(args: &[String]) -> Result<(Option<String>, Vec<String>),
     Ok((json_path, rest))
 }
 
+/// Parse `--backend <name>` out of an argument list, returning the
+/// backend name and the remaining arguments. Names are resolved by
+/// [`swbackend::parse`] (`sw26010`, `host`, `host:<threads>`, `timing`).
+pub fn split_backend_flag(args: &[String]) -> Result<(Option<String>, Vec<String>), String> {
+    let mut backend = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--backend" {
+            let name = it.next().ok_or("--backend requires a name argument")?;
+            backend = Some(name.clone());
+        } else if let Some(name) = a.strip_prefix("--backend=") {
+            backend = Some(name.to_string());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((backend, rest))
+}
+
 /// Entry point used by every scenario binary's `main`.
 pub fn scenario_main(name: &str) {
     let scenario = scenarios::find(name)
@@ -39,6 +59,22 @@ pub fn scenario_main(name: &str) {
             std::process::exit(2);
         }
     };
+    let (backend, rest) = match split_backend_flag(&rest) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(b) = backend {
+        match swbackend::parse(&b) {
+            Ok(be) => swbackend::install_default(be.as_ref()),
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let (text, report) = (scenario.run)(&rest);
     print!("{text}");
     if let Some(path) = json_path {
@@ -71,5 +107,29 @@ mod tests {
         assert!(p.is_none() && rest.is_empty());
 
         assert!(split_json_flag(&strs(&["--json"])).is_err());
+    }
+
+    #[test]
+    fn backend_flag_forms() {
+        let (b, rest) = split_backend_flag(&strs(&["--backend", "host", "vgg16"])).unwrap();
+        assert_eq!(b.as_deref(), Some("host"));
+        assert_eq!(rest, ["vgg16"]);
+
+        let (b, rest) = split_backend_flag(&strs(&["vgg16", "--backend=host:4"])).unwrap();
+        assert_eq!(b.as_deref(), Some("host:4"));
+        assert_eq!(rest, ["vgg16"]);
+
+        let (b, rest) = split_backend_flag(&strs(&[])).unwrap();
+        assert!(b.is_none() && rest.is_empty());
+
+        assert!(split_backend_flag(&strs(&["--backend"])).is_err());
+    }
+
+    #[test]
+    fn backend_names_resolve() {
+        for name in ["sw26010", "host", "host:4", "timing"] {
+            assert!(swbackend::parse(name).is_ok(), "{name} should parse");
+        }
+        assert!(swbackend::parse("cuda").is_err());
     }
 }

@@ -23,7 +23,6 @@
 use std::fmt::Write as _;
 
 use sw26010::arch::CORE_GROUPS;
-use sw26010::ExecMode;
 use swcaffe_core::{models, SolverConfig};
 use swio::{IoModel, Layout};
 use swnet::{Algorithm, NetParams, RankMap, ReduceEngine};
@@ -99,7 +98,7 @@ fn smoke_cluster(def: &swcaffe_core::NetDef, nodes: usize) -> ClusterTrainer {
             supernode_size: 2,
             ..ClusterConfig::swcaffe(nodes)
         },
-        ExecMode::Functional,
+        swbackend::default_functional_mode(),
     )
     .expect("valid net")
 }

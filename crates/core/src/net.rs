@@ -63,6 +63,23 @@ impl Net {
         Self::from_def_seeded(def, materialize, 0)
     }
 
+    /// Build a network for a specific execution mode (backend): blobs are
+    /// materialised exactly when the mode carries data. Equivalent to
+    /// `from_def(def, mode.is_functional())`; the same mode must be used
+    /// for the core group the net runs on.
+    pub fn from_def_mode(def: &NetDef, mode: sw26010::ExecMode) -> Result<Net, String> {
+        Self::from_def_seeded(def, mode.is_functional(), 0)
+    }
+
+    /// [`Net::from_def_mode`] with an explicit parameter-filler seed.
+    pub fn from_def_mode_seeded(
+        def: &NetDef,
+        mode: sw26010::ExecMode,
+        base_seed: u64,
+    ) -> Result<Net, String> {
+        Self::from_def_seeded(def, mode.is_functional(), base_seed)
+    }
+
     /// Like [`Net::from_def`] with an explicit base seed for every
     /// filler-initialised parameter blob: two nets built from the same
     /// definition and seed are bit-identical, and the seed can be varied

@@ -76,17 +76,42 @@ impl Sub for SimTime {
 /// table/figure sweeps where a functional VGG-16 batch-128 iteration would
 /// be terabytes of host arithmetic. The *time charged is identical* in both
 /// modes: the cost model depends only on shapes and plans, never on values.
+///
+/// `HostNative` is the third face: kernels compute the same values as
+/// `Functional` (bit-for-bit — the host mirrors replicate the mesh
+/// kernels' types and accumulation order) but run as plain blocked host
+/// loops on `threads` OS threads with **no timing model**: reports carry
+/// zero simulated time and zero counters. Kernels without a host mirror
+/// fall back to the functional mesh, so results stay bit-identical even
+/// for partially-ported pipelines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
     #[default]
     Functional,
     TimingOnly,
+    HostNative {
+        /// Worker threads for the host execution path (0 = one per
+        /// available core, resolved at dispatch time).
+        threads: usize,
+    },
 }
 
 impl ExecMode {
+    /// True when kernels materialise real values (both the simulated mesh
+    /// and the host-native path); false when only time is charged.
     #[inline]
     pub fn is_functional(self) -> bool {
-        matches!(self, ExecMode::Functional)
+        !matches!(self, ExecMode::TimingOnly)
+    }
+
+    /// The host-native thread count, if this mode executes on the host
+    /// path rather than the simulated mesh.
+    #[inline]
+    pub fn host_threads(self) -> Option<usize> {
+        match self {
+            ExecMode::HostNative { threads } => Some(threads),
+            _ => None,
+        }
     }
 }
 

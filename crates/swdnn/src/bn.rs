@@ -109,6 +109,22 @@ pub fn forward(
     assert_eq!(ops.beta.len(), channels);
     assert_eq!(ops.save_mean.len(), channels);
     assert_eq!(ops.save_istd.len(), channels);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::bn_forward(
+            threads,
+            batch,
+            channels,
+            spatial,
+            eps,
+            ops.input,
+            ops.gamma,
+            ops.beta,
+            ops.output,
+            ops.save_mean,
+            ops.save_istd,
+        );
+        return LaunchReport::default();
+    }
     let x = MemView::new(ops.input);
     let gamma = MemView::new(ops.gamma);
     let beta = MemView::new(ops.beta);
@@ -210,6 +226,23 @@ pub fn backward(
     assert_eq!(ops.input.len(), len);
     assert_eq!(ops.out_grad.len(), len);
     assert_eq!(ops.in_grad.len(), len);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::bn_backward(
+            threads,
+            batch,
+            channels,
+            spatial,
+            ops.input,
+            ops.gamma,
+            ops.out_grad,
+            ops.save_mean,
+            ops.save_istd,
+            ops.in_grad,
+            ops.gamma_grad,
+            ops.beta_grad,
+        );
+        return LaunchReport::default();
+    }
     let x = MemView::new(ops.input);
     let dy = MemView::new(ops.out_grad);
     let gamma = MemView::new(ops.gamma);
@@ -546,6 +579,12 @@ pub fn forward_inference(
     assert_eq!(beta.len(), channels);
     assert_eq!(mean.len(), channels);
     assert_eq!(var.len(), channels);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::bn_inference(
+            threads, batch, channels, spatial, eps, input, gamma, beta, mean, var, output,
+        );
+        return LaunchReport::default();
+    }
     let x = MemView::new(input);
     let g = MemView::new(gamma);
     let bt = MemView::new(beta);

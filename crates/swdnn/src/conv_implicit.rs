@@ -216,6 +216,10 @@ pub fn forward(
     assert_eq!(ops.input.len(), shape.input_len());
     assert_eq!(ops.weights.len(), shape.weight_len());
     assert_eq!(ops.output.len(), shape.output_len());
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::conv_implicit_forward(threads, shape, ops.input, ops.weights, ops.output);
+        return LaunchReport::default();
+    }
 
     let s = *shape;
     let b = s.batch;
@@ -347,6 +351,33 @@ pub fn backward(
         return report;
     }
     let mut ops = ops.expect("functional conv requires operands");
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        if let Some(w_grad) = ops.w_grad.as_deref_mut() {
+            assert_eq!(ops.input.len(), shape.input_len());
+            assert_eq!(ops.out_grad.len(), shape.output_len());
+            assert_eq!(w_grad.len(), shape.weight_len());
+            crate::host::conv_implicit_backward_weights(
+                threads,
+                shape,
+                ops.input,
+                ops.out_grad,
+                w_grad,
+            );
+        }
+        if let Some(in_grad) = ops.in_grad.as_deref_mut() {
+            assert_eq!(ops.weights.len(), shape.weight_len());
+            assert_eq!(ops.out_grad.len(), shape.output_len());
+            assert_eq!(in_grad.len(), shape.input_len());
+            crate::host::conv_implicit_backward_input(
+                threads,
+                shape,
+                ops.weights,
+                ops.out_grad,
+                in_grad,
+            );
+        }
+        return LaunchReport::default();
+    }
     let mut total = LaunchReport::default();
     if let Some(w_grad) = ops.w_grad.as_deref_mut() {
         total.merge(&backward_weights_mesh(

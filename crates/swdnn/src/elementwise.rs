@@ -82,6 +82,10 @@ pub fn unary_map(
     let (input, output) = io.expect("functional map requires operands");
     assert_eq!(input.len(), len);
     assert_eq!(output.len(), len);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::unary_map(threads, input, output, f);
+        return LaunchReport::default();
+    }
     let src = MemView::new(input);
     let dst = MemViewMut::new(output);
     let f = &f;
@@ -122,6 +126,10 @@ pub fn binary_map(
     assert_eq!(a.len(), len);
     assert_eq!(b.len(), len);
     assert_eq!(out.len(), len);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::binary_map(threads, a, b, out, f);
+        return LaunchReport::default();
+    }
     let av = MemView::new(a);
     let bv = MemView::new(b);
     let dst = MemViewMut::new(out);
@@ -243,6 +251,10 @@ pub fn axpy(
     let (x, y) = io.expect("functional axpy requires operands");
     assert_eq!(x.len(), len);
     assert_eq!(y.len(), len);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::axpy(threads, alpha, x, y);
+        return LaunchReport::default();
+    }
     let xv = MemView::new(x);
     let yv = MemViewMut::new(y);
     cg.run_planned(&stream_plan("swdnn.axpy", 2), move |cpe| {
@@ -290,6 +302,10 @@ pub fn bias_forward(
     let (bias, data) = io.expect("functional bias requires operands");
     assert_eq!(bias.len(), channels);
     assert_eq!(data.len(), len);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::bias_forward(threads, batch, channels, spatial, bias, data);
+        return LaunchReport::default();
+    }
     let bv = MemView::new(bias);
     let dv = MemViewMut::new(data);
     let rows = batch * channels;
@@ -343,6 +359,10 @@ pub fn bias_backward(
     let (dy, db) = io.expect("functional bias requires operands");
     assert_eq!(dy.len(), len);
     assert_eq!(db.len(), channels);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::bias_backward(threads, batch, channels, spatial, dy, db);
+        return LaunchReport::default();
+    }
     let dyv = MemView::new(dy);
     let dbv = MemViewMut::new(db);
     cg.run_planned(&bias_backward_plan(spatial), move |cpe| {
@@ -509,6 +529,10 @@ pub fn bias_rows(
     let (bias, data) = io.expect("functional bias requires operands");
     assert_eq!(bias.len(), row_len);
     assert_eq!(data.len(), rows * row_len);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::bias_rows(threads, rows, row_len, bias, data);
+        return LaunchReport::default();
+    }
     let bv = MemView::new(bias);
     let dv = MemViewMut::new(data);
     cg.run_planned(&bias_rows_plan(row_len), move |cpe| {
@@ -562,6 +586,10 @@ pub fn col_sums(
     let (m, out) = io.expect("functional col_sums requires operands");
     assert_eq!(m.len(), rows * cols);
     assert_eq!(out.len(), cols);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::col_sums(threads, rows, cols, m, out);
+        return LaunchReport::default();
+    }
     let mv = MemView::new(m);
     let ov = MemViewMut::new(out);
     let chunks = cols.div_ceil(COL_CHUNK);
@@ -620,6 +648,12 @@ pub fn copy_blocks(
     }
     let (src, src_off, src_stride, dst, dst_off, dst_stride) =
         io.expect("functional copy requires operands");
+    if let swbackend::Path::Host { .. } = swbackend::dispatch(cg.mode()) {
+        crate::host::copy_blocks(
+            block_len, nblocks, src, src_off, src_stride, dst, dst_off, dst_stride,
+        );
+        return LaunchReport::default();
+    }
     let sv = MemView::new(src);
     let dv = MemViewMut::new(dst);
     cg.run_planned(&copy_blocks_plan(block_len), move |cpe| {
@@ -716,6 +750,10 @@ pub fn scale(cg: &mut CoreGroup, len: usize, alpha: f32, io: Option<&mut [f32]>)
     }
     let x = io.expect("functional scale requires operands");
     assert_eq!(x.len(), len);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::scale(threads, alpha, x);
+        return LaunchReport::default();
+    }
     let xv = MemViewMut::new(x);
     cg.run_planned(&stream_plan("swdnn.scale", 1), move |cpe| {
         let mut buf = cpe.ldm.alloc_f32(CHUNK);
@@ -748,6 +786,9 @@ pub fn sumsq(cg: &mut CoreGroup, len: usize, io: Option<&[f32]>) -> (f64, Launch
     }
     let x = io.expect("functional sumsq requires operands");
     assert_eq!(x.len(), len);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        return (crate::host::sumsq(threads, x), LaunchReport::default());
+    }
     let xv = MemView::new(x);
     let mut partials = vec![0.0f32; 64];
     let pv = MemViewMut::new(&mut partials);

@@ -146,6 +146,10 @@ pub fn gemm(
         assert_eq!(ops.a.len(), dims.m * dims.k, "A size");
         assert_eq!(ops.b.len(), dims.k * dims.n, "B size");
         assert_eq!(ops.c.len(), dims.m * dims.n, "C size");
+        if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+            crate::host::gemm(threads, dims, ta, tb, beta, ops.a, ops.b, ops.c);
+            return LaunchReport::default();
+        }
         execute_mesh(cg, dims, ta, tb, beta, plan, ops)
     } else {
         let report = model_report(dims, beta, plan);
@@ -855,6 +859,10 @@ pub fn gemm_double_buffered(
     assert_eq!(ops.a.len(), dims.m * dims.k, "A size");
     assert_eq!(ops.b.len(), dims.k * dims.n, "B size");
     assert_eq!(ops.c.len(), dims.m * dims.n, "C size");
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::gemm(threads, dims, ta, tb, beta, ops.a, ops.b, ops.c);
+        return LaunchReport::default();
+    }
 
     let GemmDims { m, n, k } = dims;
     let TilePlan { mt, nt, kt } = plan;

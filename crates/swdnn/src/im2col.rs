@@ -90,6 +90,10 @@ pub fn im2col(
     let ops = ops.expect("functional im2col requires operands");
     assert_eq!(ops.image.len(), shape.in_c * shape.in_h * shape.in_w);
     assert_eq!(ops.cols.len(), shape.col_rows() * shape.col_cols());
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::im2col(threads, shape, ops.image, ops.cols);
+        return LaunchReport::default();
+    }
     let image = MemView::new(ops.image);
     let cols = MemViewMut::new(ops.cols);
     let kplan = im2col_plan(shape);
@@ -201,6 +205,10 @@ pub fn col2im(
     let ops = ops.expect("functional col2im requires operands");
     assert_eq!(ops.image.len(), shape.in_c * shape.in_h * shape.in_w);
     assert_eq!(ops.cols.len(), shape.col_rows() * shape.col_cols());
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::col2im(threads, shape, ops.cols, ops.image);
+        return LaunchReport::default();
+    }
     let cols = MemView::new(ops.cols);
     let image = MemViewMut::new(ops.image);
     let kplan = col2im_plan(shape);

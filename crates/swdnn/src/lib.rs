@@ -17,6 +17,7 @@ pub mod conv_explicit;
 pub mod conv_implicit;
 pub mod elementwise;
 pub mod gemm;
+pub mod host;
 pub mod im2col;
 pub mod lrn;
 pub mod pool;

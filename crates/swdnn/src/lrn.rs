@@ -56,7 +56,7 @@ pub fn backward_plan(channels: usize, width: usize) -> KernelPlan {
         .buffer("ds", channels * wc * 4)
 }
 
-fn scale_at(p: &LrnParams, channels: usize, xs: &dyn Fn(usize) -> f64, c: usize) -> f64 {
+pub(crate) fn scale_at(p: &LrnParams, channels: usize, xs: &dyn Fn(usize) -> f64, c: usize) -> f64 {
     let half = p.local_size / 2;
     let lo = c.saturating_sub(half);
     let hi = (c + half).min(channels - 1);
@@ -90,6 +90,10 @@ pub fn forward(
     let len = batch * channels * height * width;
     assert_eq!(input.len(), len);
     assert_eq!(output.len(), len);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::lrn_forward(threads, batch, channels, height, width, p, input, output);
+        return LaunchReport::default();
+    }
     let x = MemView::new(input);
     let y = MemViewMut::new(output);
     let wc = width_chunk(channels, width, 2);
@@ -160,6 +164,12 @@ pub fn backward(
     assert_eq!(input.len(), len);
     assert_eq!(out_grad.len(), len);
     assert_eq!(in_grad.len(), len);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::lrn_backward(
+            threads, batch, channels, height, width, p, input, out_grad, in_grad,
+        );
+        return LaunchReport::default();
+    }
     let x = MemView::new(input);
     let dy = MemView::new(out_grad);
     let dx = MemViewMut::new(in_grad);

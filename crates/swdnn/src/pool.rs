@@ -66,6 +66,19 @@ pub fn forward(
     let ops = ops.expect("functional pooling requires operands");
     assert_eq!(ops.input.len(), shape.input_len());
     assert_eq!(ops.output.len(), shape.output_len());
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        if let Some(ref m) = ops.argmax {
+            assert_eq!(m.len(), shape.output_len(), "argmax size");
+        }
+        if matches!(shape.method, PoolMethod::Max) {
+            assert!(
+                ops.argmax.is_some(),
+                "max pooling forward needs an argmax buffer"
+            );
+        }
+        crate::host::pool_forward(threads, shape, ops.input, ops.output, ops.argmax);
+        return LaunchReport::default();
+    }
     let s = *shape;
     let (ih, iw, oh, ow) = (s.in_h, s.in_w, s.out_h(), s.out_w());
     let input = MemView::new(ops.input);
@@ -174,6 +187,16 @@ pub fn backward(
     let ops = ops.expect("functional pooling requires operands");
     assert_eq!(ops.out_grad.len(), shape.output_len());
     assert_eq!(ops.in_grad.len(), shape.input_len());
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        if matches!(shape.method, PoolMethod::Max) {
+            assert!(
+                ops.argmax.is_some(),
+                "max pooling backward needs the argmax"
+            );
+        }
+        crate::host::pool_backward(threads, shape, ops.out_grad, ops.argmax, ops.in_grad);
+        return LaunchReport::default();
+    }
     let s = *shape;
     let (ih, iw, oh, ow) = (s.in_h, s.in_w, s.out_h(), s.out_w());
     let dy = MemView::new(ops.out_grad);

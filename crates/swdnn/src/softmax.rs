@@ -52,6 +52,12 @@ pub fn forward(
     assert_eq!(ops.labels.len(), batch);
     assert_eq!(ops.probs.len(), batch * classes);
     assert_eq!(ops.losses.len(), batch);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::softmax_forward(
+            threads, batch, classes, ops.logits, ops.labels, ops.probs, ops.losses,
+        );
+        return LaunchReport::default();
+    }
     let x = MemView::new(ops.logits);
     let labels = MemView::new(ops.labels);
     let probs = MemViewMut::new(ops.probs);
@@ -112,6 +118,18 @@ pub fn backward(
     let ops = ops.expect("functional softmax requires operands");
     assert_eq!(ops.probs.len(), batch * classes);
     assert_eq!(ops.in_grad.len(), batch * classes);
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::softmax_backward(
+            threads,
+            batch,
+            classes,
+            loss_weight,
+            ops.probs,
+            ops.labels,
+            ops.in_grad,
+        );
+        return LaunchReport::default();
+    }
     let p = MemView::new(ops.probs);
     let labels = MemView::new(ops.labels);
     let dx = MemViewMut::new(ops.in_grad);

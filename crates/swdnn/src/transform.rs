@@ -66,6 +66,10 @@ pub fn nchw_to_rcnb(
     let (input, output) = io.expect("functional transform requires operands");
     assert_eq!(input.len(), shape.len());
     assert_eq!(output.len(), shape.len());
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::nchw_to_rcnb(threads, shape, input, output);
+        return LaunchReport::default();
+    }
     let (b_tot, n_tot, h, w) = (shape.batch, shape.channels, shape.height, shape.width);
     let bc = batch_chunk(shape);
     let src = MemView::new(input);
@@ -131,6 +135,10 @@ pub fn rcnb_to_nchw(
     let (input, output) = io.expect("functional transform requires operands");
     assert_eq!(input.len(), shape.len());
     assert_eq!(output.len(), shape.len());
+    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
+        crate::host::rcnb_to_nchw(threads, shape, input, output);
+        return LaunchReport::default();
+    }
     let (b_tot, n_tot, h, w) = (shape.batch, shape.channels, shape.height, shape.width);
     let bc = batch_chunk(shape);
     let src = MemView::new(input);

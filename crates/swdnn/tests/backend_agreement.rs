@@ -1,0 +1,912 @@
+//! Bitwise agreement between the Sw26010 functional backend (mesh
+//! simulation) and the HostNative backend, for every swdnn kernel.
+//!
+//! The host mirrors in `swdnn::host` promise *bit-for-bit* identical
+//! results to the mesh path — same accumulator widths, same reduction
+//! orders, same rounding points — independent of the host thread count.
+//! These tests pin that contract: every kernel runs under
+//! `ExecMode::Functional` and under `ExecMode::HostNative` with one and
+//! with several threads, and the outputs are compared via `f32::to_bits`.
+//!
+//! Shapes are Table II flavoured (VGG layer channel geometries, reduced
+//! batch/spatial so the mesh simulation stays fast) plus randomized
+//! shapes from the same zero-dependency SplitMix64 stream the proptests
+//! use.
+
+use sw26010::{CoreGroup, ExecMode};
+use swdnn::bn::{BnBwdOperands, BnFwdOperands};
+use swdnn::conv_explicit::{ConvBwdOperands, ConvFwdOperands};
+use swdnn::conv_implicit::{ImplicitBwdOperands, ImplicitFwdOperands};
+use swdnn::gemm::GemmOperands;
+use swdnn::im2col::{Col2imOperands, Im2colOperands};
+use swdnn::lrn::LrnParams;
+use swdnn::pool::{PoolBwdOperands, PoolFwdOperands};
+use swdnn::softmax::{SoftmaxBwdOperands, SoftmaxFwdOperands};
+use swdnn::transform::TransShape;
+use swdnn::{ConvShape, GemmDims, PoolMethod, PoolShape, Trans};
+
+/// Host modes every kernel must agree with the mesh under: single thread
+/// (pure serial mirror) and several threads (parallel partitioning must
+/// not change any reduction order).
+const HOST_MODES: [ExecMode; 2] = [
+    ExecMode::HostNative { threads: 1 },
+    ExecMode::HostNative { threads: 3 },
+];
+
+/// Deterministic case generator (SplitMix64), as in `proptests.rs`.
+struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    fn new(seed: u64) -> Self {
+        CaseRng { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+fn values(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed);
+            ((x >> 33) % 2000) as f32 / 500.0 - 2.0
+        })
+        .collect()
+}
+
+/// Sparse-ish values: a fraction of exact zeros, exercising the mesh's
+/// zero-skip branches (which the host mirrors replicate).
+fn sparse_values(len: usize, seed: u64) -> Vec<f32> {
+    values(len, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if (i * 7 + seed as usize).is_multiple_of(5) {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+#[track_caller]
+fn assert_bits_eq(tag: &str, got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "{tag}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{tag}: elem {i} differs: host {g} vs mesh {w}"
+        );
+    }
+}
+
+/// Table II flavoured conv shapes: VGG channel geometries with reduced
+/// batch and spatial extents (the mesh path is a cycle-level simulation).
+fn table2_shapes() -> Vec<ConvShape> {
+    vec![
+        // conv1_1 geometry: 3 -> 64 (explicit-only territory).
+        ConvShape {
+            batch: 2,
+            in_c: 3,
+            in_h: 12,
+            in_w: 12,
+            out_c: 64,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+        // conv2_x geometry: 64 -> 128.
+        ConvShape {
+            batch: 4,
+            in_c: 64,
+            in_h: 8,
+            in_w: 8,
+            out_c: 128,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+        // conv4_x geometry: 256 -> 256, small spatial.
+        ConvShape {
+            batch: 2,
+            in_c: 256,
+            in_h: 4,
+            in_w: 4,
+            out_c: 256,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+    ]
+}
+
+fn random_conv_shapes(seed: u64, n: usize) -> Vec<ConvShape> {
+    let mut rng = CaseRng::new(seed);
+    let mut shapes = Vec::new();
+    while shapes.len() < n {
+        let hw = rng.range(3, 10);
+        let k = rng.range(1, 4);
+        let pad = rng.range(0, 2);
+        if hw + 2 * pad < k {
+            continue;
+        }
+        shapes.push(ConvShape {
+            batch: rng.range(1, 5),
+            in_c: rng.range(1, 6),
+            in_h: hw,
+            in_w: hw,
+            out_c: rng.range(1, 6),
+            k,
+            stride: rng.range(1, 3),
+            pad,
+        });
+    }
+    shapes
+}
+
+// ---------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------
+
+fn check_gemm(dims: GemmDims, ta: Trans, tb: Trans, beta: f32, double_buffered: bool) {
+    let (m, n, k) = (dims.m, dims.n, dims.k);
+    let a = sparse_values(m * k, 1);
+    let b = values(k * n, 2);
+    let c0 = values(m * n, 3);
+    let run = |mode: ExecMode| {
+        let mut c = c0.clone();
+        let mut cg = CoreGroup::new(mode);
+        let ops = Some(GemmOperands {
+            a: &a,
+            b: &b,
+            c: &mut c,
+        });
+        if double_buffered {
+            swdnn::gemm::gemm_double_buffered(&mut cg, dims, ta, tb, beta, ops);
+        } else {
+            swdnn::gemm::gemm(&mut cg, dims, ta, tb, beta, ops);
+        }
+        c
+    };
+    let want = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        let got = run(mode);
+        assert_bits_eq(
+            &format!("gemm {dims:?} ta={ta:?} tb={tb:?} beta={beta}"),
+            &got,
+            &want,
+        );
+    }
+}
+
+#[test]
+fn gemm_agrees_across_backends() {
+    let mut rng = CaseRng::new(0xB17_0001);
+    for _ in 0..8 {
+        let dims = GemmDims::new(rng.range(1, 48), rng.range(1, 48), rng.range(1, 48));
+        let ta = if rng.flag() { Trans::Yes } else { Trans::No };
+        let tb = if rng.flag() { Trans::Yes } else { Trans::No };
+        let beta = if rng.flag() { 1.0 } else { 0.0 };
+        check_gemm(dims, ta, tb, beta, false);
+    }
+    // Table II flavour: an explicit-conv GEMM (out_c x (k*k*in_c) by cols).
+    check_gemm(GemmDims::new(64, 36, 27), Trans::No, Trans::No, 0.0, false);
+}
+
+#[test]
+fn double_buffered_gemm_agrees_across_backends() {
+    let mut rng = CaseRng::new(0xB17_0002);
+    for _ in 0..4 {
+        let dims = GemmDims::new(rng.range(8, 64), rng.range(8, 64), rng.range(8, 64));
+        check_gemm(
+            dims,
+            Trans::No,
+            Trans::No,
+            if rng.flag() { 1.0 } else { 0.0 },
+            true,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// im2col / col2im
+// ---------------------------------------------------------------------
+
+#[test]
+fn im2col_col2im_agree_across_backends() {
+    for (i, shape) in random_conv_shapes(0xB17_0003, 6).into_iter().enumerate() {
+        let image = values(shape.input_len() / shape.batch, 4);
+        let single = ConvShape { batch: 1, ..shape };
+        let cols_len = single.col_rows() * single.col_cols();
+
+        let run_fwd = |mode: ExecMode| {
+            let mut cols = vec![f32::NAN; cols_len];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::im2col::im2col(
+                &mut cg,
+                &single,
+                Some(Im2colOperands {
+                    image: &image,
+                    cols: &mut cols,
+                }),
+            );
+            cols
+        };
+        let want = run_fwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            assert_bits_eq(&format!("im2col case {i}"), &run_fwd(mode), &want);
+        }
+
+        let cols = values(cols_len, 5);
+        let run_bwd = |mode: ExecMode| {
+            let mut img = vec![f32::NAN; single.input_len()];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::im2col::col2im(
+                &mut cg,
+                &single,
+                Some(Col2imOperands {
+                    cols: &cols,
+                    image: &mut img,
+                }),
+            );
+            img
+        };
+        let want = run_bwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            assert_bits_eq(&format!("col2im case {i}"), &run_bwd(mode), &want);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Implicit convolution (RCNB / KKON layouts)
+// ---------------------------------------------------------------------
+
+fn check_implicit(shape: &ConvShape, tag: &str) {
+    let input = values(shape.input_len(), 6);
+    let weights = sparse_values(shape.weight_len(), 7);
+    let out_grad = sparse_values(shape.output_len(), 8);
+
+    let run_fwd = |mode: ExecMode| {
+        let mut out = vec![f32::NAN; shape.output_len()];
+        let mut cg = CoreGroup::new(mode);
+        swdnn::conv_implicit::forward(
+            &mut cg,
+            shape,
+            Some(ImplicitFwdOperands {
+                input: &input,
+                weights: &weights,
+                output: &mut out,
+            }),
+        );
+        out
+    };
+    let want = run_fwd(ExecMode::Functional);
+    for mode in HOST_MODES {
+        assert_bits_eq(&format!("implicit fwd {tag}"), &run_fwd(mode), &want);
+    }
+
+    let run_bwd = |mode: ExecMode| {
+        let mut in_grad = vec![f32::NAN; shape.input_len()];
+        let mut w_grad = vec![f32::NAN; shape.weight_len()];
+        let mut cg = CoreGroup::new(mode);
+        swdnn::conv_implicit::backward(
+            &mut cg,
+            shape,
+            Some(ImplicitBwdOperands {
+                input: &input,
+                weights: &weights,
+                out_grad: &out_grad,
+                in_grad: Some(&mut in_grad),
+                w_grad: Some(&mut w_grad),
+            }),
+        );
+        (in_grad, w_grad)
+    };
+    let (want_dx, want_dw) = run_bwd(ExecMode::Functional);
+    for mode in HOST_MODES {
+        let (dx, dw) = run_bwd(mode);
+        assert_bits_eq(&format!("implicit bwd-in {tag}"), &dx, &want_dx);
+        assert_bits_eq(&format!("implicit bwd-w {tag}"), &dw, &want_dw);
+    }
+}
+
+#[test]
+fn implicit_conv_agrees_across_backends() {
+    for (i, shape) in random_conv_shapes(0xB17_0004, 4).into_iter().enumerate() {
+        check_implicit(&shape, &format!("rand {i}"));
+    }
+}
+
+#[test]
+fn implicit_conv_agrees_on_table2_geometries() {
+    for (i, shape) in table2_shapes().into_iter().enumerate() {
+        check_implicit(&shape, &format!("table2 {i}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Explicit convolution (transitive: im2col + gemm + col2im chain)
+// ---------------------------------------------------------------------
+
+#[test]
+fn explicit_conv_agrees_across_backends() {
+    for (i, shape) in random_conv_shapes(0xB17_0005, 4).into_iter().enumerate() {
+        let input = values(shape.input_len(), 9);
+        let weights = sparse_values(shape.weight_len(), 10);
+        let out_grad = values(shape.output_len(), 11);
+
+        let run_fwd = |mode: ExecMode| {
+            let mut out = vec![f32::NAN; shape.output_len()];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::conv_explicit::forward(
+                &mut cg,
+                &shape,
+                Some(ConvFwdOperands {
+                    input: &input,
+                    weights: &weights,
+                    output: &mut out,
+                }),
+            );
+            out
+        };
+        let want = run_fwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            assert_bits_eq(&format!("explicit fwd {i}"), &run_fwd(mode), &want);
+        }
+
+        let run_bwd = |mode: ExecMode| {
+            let mut in_grad = vec![f32::NAN; shape.input_len()];
+            let mut w_grad = vec![f32::NAN; shape.weight_len()];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::conv_explicit::backward(
+                &mut cg,
+                &shape,
+                Some(ConvBwdOperands {
+                    input: &input,
+                    weights: &weights,
+                    out_grad: &out_grad,
+                    in_grad: Some(&mut in_grad),
+                    w_grad: Some(&mut w_grad),
+                }),
+            );
+            (in_grad, w_grad)
+        };
+        let (want_dx, want_dw) = run_bwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            let (dx, dw) = run_bwd(mode);
+            assert_bits_eq(&format!("explicit bwd-in {i}"), &dx, &want_dx);
+            assert_bits_eq(&format!("explicit bwd-w {i}"), &dw, &want_dw);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layout transforms
+// ---------------------------------------------------------------------
+
+#[test]
+fn transforms_agree_across_backends() {
+    let mut rng = CaseRng::new(0xB17_0006);
+    for i in 0..6 {
+        let shape = TransShape {
+            batch: rng.range(1, 8),
+            channels: rng.range(1, 8),
+            height: rng.range(1, 9),
+            width: rng.range(1, 9),
+        };
+        let x = values(shape.len(), 12);
+        for dir in [true, false] {
+            let run = |mode: ExecMode| {
+                let mut out = vec![f32::NAN; shape.len()];
+                let mut cg = CoreGroup::new(mode);
+                if dir {
+                    swdnn::transform::nchw_to_rcnb(&mut cg, &shape, Some((&x, &mut out)));
+                } else {
+                    swdnn::transform::rcnb_to_nchw(&mut cg, &shape, Some((&x, &mut out)));
+                }
+                out
+            };
+            let want = run(ExecMode::Functional);
+            for mode in HOST_MODES {
+                assert_bits_eq(&format!("transform case {i} dir {dir}"), &run(mode), &want);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------
+
+#[test]
+fn pooling_agrees_across_backends() {
+    let mut rng = CaseRng::new(0xB17_0007);
+    let mut cases = Vec::new();
+    while cases.len() < 6 {
+        let hw = rng.range(4, 12);
+        let k = rng.range(2, 4);
+        let pad = rng.range(0, 2);
+        if hw + 2 * pad < k {
+            continue;
+        }
+        cases.push(PoolShape {
+            batch: rng.range(1, 3),
+            channels: rng.range(1, 4),
+            in_h: hw,
+            in_w: hw,
+            k,
+            stride: rng.range(1, 3),
+            pad,
+            method: if rng.flag() {
+                PoolMethod::Max
+            } else {
+                PoolMethod::Average
+            },
+        });
+    }
+    // AlexNet's overlapping max pool, always.
+    cases.push(PoolShape {
+        batch: 2,
+        channels: 3,
+        in_h: 13,
+        in_w: 13,
+        k: 3,
+        stride: 2,
+        pad: 0,
+        method: PoolMethod::Max,
+    });
+
+    for (i, shape) in cases.into_iter().enumerate() {
+        let is_max = matches!(shape.method, PoolMethod::Max);
+        let input = values(shape.input_len(), 13);
+        let dy = values(shape.output_len(), 14);
+
+        let run_fwd = |mode: ExecMode| {
+            let mut out = vec![f32::NAN; shape.output_len()];
+            let mut am = vec![f32::NAN; shape.output_len()];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::pool::forward(
+                &mut cg,
+                &shape,
+                Some(PoolFwdOperands {
+                    input: &input,
+                    output: &mut out,
+                    argmax: is_max.then_some(&mut am[..]),
+                }),
+            );
+            (out, am)
+        };
+        let (want_out, want_am) = run_fwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            let (out, am) = run_fwd(mode);
+            assert_bits_eq(&format!("pool fwd {i}"), &out, &want_out);
+            if is_max {
+                assert_bits_eq(&format!("pool argmax {i}"), &am, &want_am);
+            }
+        }
+
+        let run_bwd = |mode: ExecMode| {
+            let mut dx = vec![f32::NAN; shape.input_len()];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::pool::backward(
+                &mut cg,
+                &shape,
+                Some(PoolBwdOperands {
+                    out_grad: &dy,
+                    argmax: is_max.then_some(&want_am[..]),
+                    in_grad: &mut dx,
+                }),
+            );
+            dx
+        };
+        let want_dx = run_bwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            assert_bits_eq(&format!("pool bwd {i}"), &run_bwd(mode), &want_dx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch normalisation
+// ---------------------------------------------------------------------
+
+#[test]
+fn bn_agrees_across_backends() {
+    let mut rng = CaseRng::new(0xB17_0008);
+    for i in 0..5 {
+        let (b, c, s) = (rng.range(1, 5), rng.range(1, 8), rng.range(1, 40));
+        let eps = 1e-5f32;
+        let x = values(b * c * s, 15);
+        let gamma: Vec<f32> = values(c, 16).iter().map(|v| v + 2.5).collect();
+        let beta = values(c, 17);
+        let dy = values(b * c * s, 18);
+
+        let run_fwd = |mode: ExecMode| {
+            let mut y = vec![f32::NAN; x.len()];
+            let mut sm = vec![f32::NAN; c];
+            let mut si = vec![f32::NAN; c];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::bn::forward(
+                &mut cg,
+                b,
+                c,
+                s,
+                eps,
+                Some(BnFwdOperands {
+                    input: &x,
+                    gamma: &gamma,
+                    beta: &beta,
+                    output: &mut y,
+                    save_mean: &mut sm,
+                    save_istd: &mut si,
+                }),
+            );
+            (y, sm, si)
+        };
+        let (want_y, want_m, want_i) = run_fwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            let (y, sm, si) = run_fwd(mode);
+            assert_bits_eq(&format!("bn fwd y {i}"), &y, &want_y);
+            assert_bits_eq(&format!("bn fwd mean {i}"), &sm, &want_m);
+            assert_bits_eq(&format!("bn fwd istd {i}"), &si, &want_i);
+        }
+
+        let run_bwd = |mode: ExecMode| {
+            let mut dx = vec![f32::NAN; x.len()];
+            let mut dg = vec![f32::NAN; c];
+            let mut db = vec![f32::NAN; c];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::bn::backward(
+                &mut cg,
+                b,
+                c,
+                s,
+                Some(BnBwdOperands {
+                    input: &x,
+                    gamma: &gamma,
+                    out_grad: &dy,
+                    save_mean: &want_m,
+                    save_istd: &want_i,
+                    in_grad: &mut dx,
+                    gamma_grad: &mut dg,
+                    beta_grad: &mut db,
+                }),
+            );
+            (dx, dg, db)
+        };
+        let (want_dx, want_dg, want_db) = run_bwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            let (dx, dg, db) = run_bwd(mode);
+            assert_bits_eq(&format!("bn bwd dx {i}"), &dx, &want_dx);
+            assert_bits_eq(&format!("bn bwd dgamma {i}"), &dg, &want_dg);
+            assert_bits_eq(&format!("bn bwd dbeta {i}"), &db, &want_db);
+        }
+
+        let mean = values(c, 19);
+        let var: Vec<f32> = values(c, 20).iter().map(|v| v.abs() + 0.5).collect();
+        let run_inf = |mode: ExecMode| {
+            let mut y = vec![f32::NAN; x.len()];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::bn::forward_inference(
+                &mut cg,
+                b,
+                c,
+                s,
+                eps,
+                Some((&x, &gamma, &beta, &mean, &var, &mut y)),
+            );
+            y
+        };
+        let want = run_inf(ExecMode::Functional);
+        for mode in HOST_MODES {
+            assert_bits_eq(&format!("bn inference {i}"), &run_inf(mode), &want);
+        }
+    }
+    // A spatial extent above the streaming CHUNK, so the chunk-boundary
+    // partial-sum order is exercised.
+    let (b, c, s) = (2, 2, swdnn::elementwise::CHUNK + 123);
+    let x = values(b * c * s, 21);
+    let gamma = vec![1.3f32, 0.8];
+    let beta = vec![0.1f32, -0.4];
+    let run = |mode: ExecMode| {
+        let mut y = vec![f32::NAN; x.len()];
+        let mut sm = vec![f32::NAN; c];
+        let mut si = vec![f32::NAN; c];
+        let mut cg = CoreGroup::new(mode);
+        swdnn::bn::forward(
+            &mut cg,
+            b,
+            c,
+            s,
+            1e-5,
+            Some(BnFwdOperands {
+                input: &x,
+                gamma: &gamma,
+                beta: &beta,
+                output: &mut y,
+                save_mean: &mut sm,
+                save_istd: &mut si,
+            }),
+        );
+        (y, sm, si)
+    };
+    let (want_y, want_m, want_i) = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        let (y, sm, si) = run(mode);
+        assert_bits_eq("bn fwd chunked y", &y, &want_y);
+        assert_bits_eq("bn fwd chunked mean", &sm, &want_m);
+        assert_bits_eq("bn fwd chunked istd", &si, &want_i);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Softmax + cross-entropy
+// ---------------------------------------------------------------------
+
+#[test]
+fn softmax_agrees_across_backends() {
+    let mut rng = CaseRng::new(0xB17_0009);
+    for i in 0..5 {
+        let (b, c) = (rng.range(1, 80), rng.range(2, 20));
+        let logits = values(b * c, 22);
+        let labels: Vec<f32> = (0..b).map(|j| ((j * 3) % c) as f32).collect();
+
+        let run_fwd = |mode: ExecMode| {
+            let mut probs = vec![f32::NAN; b * c];
+            let mut losses = vec![f32::NAN; b];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::softmax::forward(
+                &mut cg,
+                b,
+                c,
+                Some(SoftmaxFwdOperands {
+                    logits: &logits,
+                    labels: &labels,
+                    probs: &mut probs,
+                    losses: &mut losses,
+                }),
+            );
+            (probs, losses)
+        };
+        let (want_p, want_l) = run_fwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            let (p, l) = run_fwd(mode);
+            assert_bits_eq(&format!("softmax fwd probs {i}"), &p, &want_p);
+            assert_bits_eq(&format!("softmax fwd losses {i}"), &l, &want_l);
+        }
+
+        let run_bwd = |mode: ExecMode| {
+            let mut dx = vec![f32::NAN; b * c];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::softmax::backward(
+                &mut cg,
+                b,
+                c,
+                1.0 / b as f32,
+                Some(SoftmaxBwdOperands {
+                    probs: &want_p,
+                    labels: &labels,
+                    in_grad: &mut dx,
+                }),
+            );
+            dx
+        };
+        let want_dx = run_bwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            assert_bits_eq(&format!("softmax bwd {i}"), &run_bwd(mode), &want_dx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LRN
+// ---------------------------------------------------------------------
+
+#[test]
+fn lrn_agrees_across_backends() {
+    let mut rng = CaseRng::new(0xB17_000A);
+    for i in 0..4 {
+        let (b, c, h, w) = (
+            rng.range(1, 3),
+            rng.range(2, 10),
+            rng.range(1, 6),
+            rng.range(1, 8),
+        );
+        let p = LrnParams::default();
+        let x = values(b * c * h * w, 23);
+        let dy = values(x.len(), 24);
+
+        let run_fwd = |mode: ExecMode| {
+            let mut y = vec![f32::NAN; x.len()];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::lrn::forward(&mut cg, b, c, h, w, p, Some((&x, &mut y)));
+            y
+        };
+        let want = run_fwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            assert_bits_eq(&format!("lrn fwd {i}"), &run_fwd(mode), &want);
+        }
+
+        let run_bwd = |mode: ExecMode| {
+            let mut dx = vec![f32::NAN; x.len()];
+            let mut cg = CoreGroup::new(mode);
+            swdnn::lrn::backward(&mut cg, b, c, h, w, p, Some((&x, &dy, &mut dx)));
+            dx
+        };
+        let want = run_bwd(ExecMode::Functional);
+        for mode in HOST_MODES {
+            assert_bits_eq(&format!("lrn bwd {i}"), &run_bwd(mode), &want);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Element-wise kernels
+// ---------------------------------------------------------------------
+
+#[test]
+fn elementwise_agrees_across_backends() {
+    use swdnn::elementwise as ew;
+    let len = ew::CHUNK * 2 + 77;
+    let x = values(len, 25);
+    let y0 = values(len, 26);
+
+    // relu forward
+    let run = |mode: ExecMode| {
+        let mut out = vec![f32::NAN; len];
+        let mut cg = CoreGroup::new(mode);
+        ew::relu_forward(&mut cg, len, Some((&x, &mut out)));
+        out
+    };
+    let want = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        assert_bits_eq("relu fwd", &run(mode), &want);
+    }
+
+    // relu backward
+    let run = |mode: ExecMode| {
+        let mut dx = vec![f32::NAN; len];
+        let mut cg = CoreGroup::new(mode);
+        ew::relu_backward(&mut cg, len, Some((&y0, &x, &mut dx)));
+        dx
+    };
+    let want = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        assert_bits_eq("relu bwd", &run(mode), &want);
+    }
+
+    // add + apply_mask
+    for (tag, f) in [("add", true), ("mask", false)] {
+        let run = |mode: ExecMode| {
+            let mut out = vec![f32::NAN; len];
+            let mut cg = CoreGroup::new(mode);
+            if f {
+                ew::add(&mut cg, len, Some((&x, &y0, &mut out)));
+            } else {
+                ew::apply_mask(&mut cg, len, Some((&x, &y0, &mut out)));
+            }
+            out
+        };
+        let want = run(ExecMode::Functional);
+        for mode in HOST_MODES {
+            assert_bits_eq(tag, &run(mode), &want);
+        }
+    }
+
+    // axpy + scale (in place)
+    let run = |mode: ExecMode| {
+        let mut acc = y0.clone();
+        let mut cg = CoreGroup::new(mode);
+        ew::axpy(&mut cg, len, -0.37, Some((&x, &mut acc)));
+        ew::scale(&mut cg, len, 1.13, Some(&mut acc));
+        acc
+    };
+    let want = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        assert_bits_eq("axpy+scale", &run(mode), &want);
+    }
+}
+
+#[test]
+fn bias_and_reductions_agree_across_backends() {
+    use swdnn::elementwise as ew;
+    let (batch, channels, spatial) = (3, 5, ew::CHUNK + 19);
+    let bias = values(channels, 27);
+    let data0 = values(batch * channels * spatial, 28);
+
+    let run = |mode: ExecMode| {
+        let mut data = data0.clone();
+        let mut cg = CoreGroup::new(mode);
+        ew::bias_forward(&mut cg, batch, channels, spatial, Some((&bias, &mut data)));
+        data
+    };
+    let want = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        assert_bits_eq("bias fwd", &run(mode), &want);
+    }
+
+    let run = |mode: ExecMode| {
+        let mut db = vec![f32::NAN; channels];
+        let mut cg = CoreGroup::new(mode);
+        ew::bias_backward(&mut cg, batch, channels, spatial, Some((&data0, &mut db)));
+        db
+    };
+    let want = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        assert_bits_eq("bias bwd", &run(mode), &want);
+    }
+
+    let (rows, row_len) = (9, 150);
+    let rbias = values(row_len, 29);
+    let rdata0 = values(rows * row_len, 30);
+    let run = |mode: ExecMode| {
+        let mut data = rdata0.clone();
+        let mut cg = CoreGroup::new(mode);
+        ew::bias_rows(&mut cg, rows, row_len, Some((&rbias, &mut data)));
+        data
+    };
+    let want = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        assert_bits_eq("bias rows", &run(mode), &want);
+    }
+
+    let (srows, scols) = (17, 203);
+    let m = values(srows * scols, 31);
+    let run = |mode: ExecMode| {
+        let mut out = vec![f32::NAN; scols];
+        let mut cg = CoreGroup::new(mode);
+        ew::col_sums(&mut cg, srows, scols, Some((&m, &mut out)));
+        out
+    };
+    let want = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        assert_bits_eq("col sums", &run(mode), &want);
+    }
+
+    // copy_blocks
+    let src = values(400, 32);
+    let run = |mode: ExecMode| {
+        let mut dst = vec![f32::NAN; 500];
+        let mut cg = CoreGroup::new(mode);
+        ew::copy_blocks(&mut cg, 7, 12, Some((&src, 3, 30, &mut dst, 5, 40)));
+        dst
+    };
+    let want = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        let got = run(mode);
+        // Untouched destination slots stay NaN in both paths; compare bits.
+        assert_bits_eq("copy blocks", &got, &want);
+    }
+
+    // sumsq returns an f64; it must match to the last bit too.
+    let v = values(ew::CHUNK * 3 + 41, 33);
+    let run = |mode: ExecMode| {
+        let mut cg = CoreGroup::new(mode);
+        ew::sumsq(&mut cg, v.len(), Some(&v)).0
+    };
+    let want = run(ExecMode::Functional);
+    for mode in HOST_MODES {
+        let got = run(mode);
+        assert_eq!(got.to_bits(), want.to_bits(), "sumsq: {got} vs {want}");
+    }
+}

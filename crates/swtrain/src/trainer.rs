@@ -51,7 +51,21 @@ impl Trainer {
         io: IoModel,
         config: TrainConfig,
     ) -> Result<Self, String> {
-        let chip = ChipTrainer::new(def, config.solver, ExecMode::Functional)?;
+        Self::with_mode(def, dataset, io, config, ExecMode::Functional)
+    }
+
+    /// Build a trainer on a specific compute backend. `ExecMode::Functional`
+    /// is the Sw26010 mesh simulation (timed); `ExecMode::HostNative` runs
+    /// the same arithmetic on host threads with zero simulated time, so
+    /// `iter_time` reflects only the I/O model.
+    pub fn with_mode(
+        def: &NetDef,
+        dataset: SyntheticImageNet,
+        io: IoModel,
+        config: TrainConfig,
+        mode: ExecMode,
+    ) -> Result<Self, String> {
+        let chip = ChipTrainer::new(def, config.solver, mode)?;
         let shape = chip.net().blob("data").shape().to_vec();
         let (c, h, w) = (shape[1], shape[2], shape[3]);
         let chip_batch = chip.chip_batch();

@@ -1,0 +1,90 @@
+//! End-to-end backend agreement: a full training step on the tiny CNN
+//! must produce bit-identical parameters under the Sw26010 functional
+//! backend and the HostNative backend, for any host thread count.
+//!
+//! This is the integration-level counterpart of the per-kernel suite in
+//! `swdnn/tests/backend_agreement.rs`: forward, backward, gradient
+//! packing, averaging and the SGD update all run end to end, so any
+//! kernel whose host mirror diverged — or any mode-dependent control
+//! flow in the framework — would surface here.
+
+use sw26010::ExecMode;
+use swcaffe_core::models;
+use swcaffe_core::SolverConfig;
+use swtrain::ssgd::ChipTrainer;
+
+fn values(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed);
+            ((x >> 33) % 2000) as f32 / 500.0 - 2.0
+        })
+        .collect()
+}
+
+/// Run `steps` full chip iterations of the tiny CNN under `mode` and
+/// return the per-step losses plus the final packed parameter bits.
+fn run_steps(mode: ExecMode, steps: usize) -> (Vec<f32>, Vec<u32>) {
+    let classes = 4;
+    let def = models::tiny_cnn(2, classes);
+    let solver = SolverConfig {
+        base_lr: 0.05,
+        ..Default::default()
+    };
+    let mut chip = ChipTrainer::new(&def, solver, mode).expect("chip trainer");
+    let cg_batch = chip.cg_batch;
+    let per_img = {
+        let shape = chip.net().blob("data").shape().to_vec();
+        shape[1] * shape[2] * shape[3]
+    };
+    let ncg = chip.chip_batch() / cg_batch;
+    let mut losses = Vec::new();
+    for step in 0..steps {
+        let inputs: Vec<(Vec<f32>, Vec<f32>)> = (0..ncg)
+            .map(|cg| {
+                let data = values(cg_batch * per_img, (step * ncg + cg) as u64 + 1);
+                let labels: Vec<f32> = (0..cg_batch)
+                    .map(|i| ((step + cg + i) % classes) as f32)
+                    .collect();
+                (data, labels)
+            })
+            .collect();
+        let report = chip.iteration(Some(&inputs));
+        losses.push(report.loss);
+    }
+    let bits: Vec<u32> = chip
+        .net()
+        .params()
+        .iter()
+        .flat_map(|p| p.data().iter().map(|v| v.to_bits()))
+        .collect();
+    (losses, bits)
+}
+
+#[test]
+fn training_step_is_bitwise_identical_across_backends() {
+    let (want_losses, want_bits) = run_steps(ExecMode::Functional, 3);
+    assert!(!want_bits.is_empty());
+    for threads in [1usize, 3] {
+        let (losses, bits) = run_steps(ExecMode::HostNative { threads }, 3);
+        for (i, (l, w)) in losses.iter().zip(&want_losses).enumerate() {
+            assert_eq!(
+                l.to_bits(),
+                w.to_bits(),
+                "loss at step {i} differs under {threads} threads: {l} vs {w}"
+            );
+        }
+        assert_eq!(bits.len(), want_bits.len());
+        for (i, (g, w)) in bits.iter().zip(&want_bits).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "param elem {i} differs under {threads} threads: {} vs {}",
+                f32::from_bits(*g),
+                f32::from_bits(*w)
+            );
+        }
+    }
+}
