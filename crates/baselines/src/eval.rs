@@ -24,6 +24,13 @@ fn conv_shape_of(op: &LayerOp) -> ConvShape {
             stride,
             pad,
             ..
+        }
+        | LayerKind::FusedConvBnRelu {
+            num_output,
+            kernel,
+            stride,
+            pad,
+            ..
         } => (num_output, kernel, stride, pad),
         _ => unreachable!("not a convolution"),
     };
@@ -85,6 +92,16 @@ pub fn network_times(net: &Net, device: &Device) -> Vec<LayerTime> {
                 }
                 LayerKind::BatchNorm { .. } => {
                     (device.streaming(in_elems, 3), device.streaming(in_elems, 5))
+                }
+                // Inference-only fusion (swserve): baseline devices run
+                // the conv plus one fused streaming epilogue; never
+                // trained, so no backward cost.
+                LayerKind::FusedConvBnRelu { .. } => {
+                    let shape = conv_shape_of(op);
+                    (
+                        device.conv_forward(&shape) + device.streaming(out_elems, 3),
+                        0.0,
+                    )
                 }
                 LayerKind::Lrn { local_size, .. } => (
                     device.streaming(in_elems, 2 + local_size / 2),

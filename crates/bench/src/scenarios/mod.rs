@@ -17,6 +17,7 @@ pub mod fig6_p2p;
 pub mod fig7_allreduce;
 pub mod fig8_alexnet_layers;
 pub mod fig9_vgg_layers;
+pub mod serve_qps;
 pub mod table1_specs;
 pub mod table2_conv;
 pub mod table3_networks;
@@ -33,11 +34,13 @@ pub struct Scenario {
     pub run: fn(&[String]) -> (String, swprof::Report),
 }
 
-/// Every scenario, in paper order. The `fast` subset covers the six
-/// pillars: the DMA model (fig2), Algorithm 1 on one chip (fig5), the
-/// topology-aware all-reduce (fig7), the convolution engine (table2),
-/// the overlapped-communication mode (ablation_overlap) and the
-/// fault-tolerance machinery (ablation_faults).
+/// Every scenario, in paper order (post-paper additions at the end).
+/// The `fast` subset covers the seven pillars: the DMA model (fig2),
+/// Algorithm 1 on one chip (fig5), the topology-aware all-reduce
+/// (fig7), the convolution engine (table2), the overlapped-
+/// communication mode (ablation_overlap), the fault-tolerance
+/// machinery (ablation_faults) and the inference-serving stack
+/// (serve_qps).
 pub static SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "fig2_dma",
@@ -123,6 +126,12 @@ pub static SCENARIOS: &[Scenario] = &[
         fast: true,
         run: ablation_faults::run,
     },
+    Scenario {
+        name: "serve_qps",
+        about: "batched multi-CG inference serving at stepped QPS",
+        fast: true,
+        run: serve_qps::run,
+    },
 ];
 
 /// Look a scenario up by registry key.
@@ -162,7 +171,8 @@ mod tests {
                 "fig7_allreduce",
                 "table2_conv",
                 "ablation_overlap",
-                "ablation_faults"
+                "ablation_faults",
+                "serve_qps"
             ]
         );
     }

@@ -1,6 +1,7 @@
 //! Layer implementations and the `LayerKind` -> `Box<dyn Layer>` factory.
 
 pub mod conv;
+pub mod fused;
 pub mod ip;
 pub mod loss;
 pub mod norm;
@@ -8,6 +9,7 @@ pub mod pool;
 pub mod simple;
 
 pub use conv::ConvLayer;
+pub use fused::FusedConvBnReluLayer;
 pub use ip::InnerProductLayer;
 pub use loss::{AccuracyLayer, SoftmaxLossLayer};
 pub use norm::{BatchNormLayer, LrnLayer};
@@ -57,6 +59,17 @@ pub fn build_seeded(def: &LayerDef, base_seed: u64) -> Box<dyn Layer> {
         LayerKind::BatchNorm { eps, momentum } => {
             Box::new(BatchNormLayer::new(name, *eps, *momentum))
         }
+        LayerKind::FusedConvBnRelu {
+            num_output,
+            kernel,
+            stride,
+            pad,
+            bias,
+            eps,
+        } => Box::new(
+            FusedConvBnReluLayer::new(name, *num_output, *kernel, *stride, *pad, *bias, *eps)
+                .with_base_seed(base_seed),
+        ),
         LayerKind::Lrn {
             local_size,
             alpha,

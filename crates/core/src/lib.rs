@@ -23,6 +23,6 @@ pub mod solver;
 
 pub use blob::Blob;
 pub use layer::{Layer, Phase};
-pub use net::{GradReady, LayerOp, LayerTimes, Net};
+pub use net::{GradReady, LayerOp, LayerSnapshot, LayerTimes, Net};
 pub use netdef::{ConvFormat, LayerDef, LayerKind, NetDef, PoolKind, TransDir};
 pub use solver::{LrPolicy, SgdSolver, SolverConfig};

@@ -80,6 +80,20 @@ impl Net {
         Self::from_def_seeded(def, mode.is_functional(), base_seed)
     }
 
+    /// Build a network for the process-default backend. The mode comes
+    /// from [`swbackend::default_functional_mode`] — the single latched
+    /// lookup (`install_default` wins over `SWCAFFE_BACKEND`, which is
+    /// read once per process) — so a mid-run environment mutation can
+    /// never silently flip the backend under an installed default.
+    pub fn from_def_default(def: &NetDef) -> Result<Net, String> {
+        Self::from_def_default_seeded(def, 0)
+    }
+
+    /// [`Net::from_def_default`] with an explicit parameter-filler seed.
+    pub fn from_def_default_seeded(def: &NetDef, base_seed: u64) -> Result<Net, String> {
+        Self::from_def_mode_seeded(def, swbackend::default_functional_mode(), base_seed)
+    }
+
     /// Like [`Net::from_def`] with an explicit base seed for every
     /// filler-initialised parameter blob: two nets built from the same
     /// definition and seed are bit-identical, and the seed can be varied
@@ -450,6 +464,79 @@ impl Net {
         self.layers.iter().map(|l| l.name()).collect()
     }
 
+    /// Freeze hook: capture every layer's learnable parameters and
+    /// persistent state by layer name. `swserve` uses this to carry
+    /// trained weights (and BN running statistics) from a training net
+    /// into an optimized inference graph whose layer set differs.
+    pub fn layer_snapshots(&self) -> Vec<LayerSnapshot> {
+        self.layers
+            .iter()
+            .map(|l| LayerSnapshot {
+                name: l.name().to_string(),
+                layer_type: l.layer_type().to_string(),
+                params: l.params().iter().map(|p| p.data().to_vec()).collect(),
+                state: l.state().iter().map(|s| s.to_vec()).collect(),
+            })
+            .collect()
+    }
+
+    /// Freeze hook: restore parameters/state captured by
+    /// [`Net::layer_snapshots`], matched by layer name. Every layer of
+    /// `self` that owns parameters or state must have a snapshot with
+    /// matching vector lengths; snapshots for layers this net does not
+    /// contain are ignored (they were optimized away).
+    pub fn load_layer_snapshots(&mut self, snaps: &[LayerSnapshot]) -> Result<(), String> {
+        let by_name: HashMap<&str, &LayerSnapshot> =
+            snaps.iter().map(|s| (s.name.as_str(), s)).collect();
+        for layer in &mut self.layers {
+            let has_payload = !layer.params().is_empty() || !layer.state().is_empty();
+            if !has_payload {
+                continue;
+            }
+            let name = layer.name().to_string();
+            let snap = by_name
+                .get(name.as_str())
+                .ok_or_else(|| format!("no snapshot for layer '{name}'"))?;
+            let params = layer.params_mut();
+            if params.len() != snap.params.len() {
+                return Err(format!(
+                    "layer '{name}': snapshot has {} param blobs, layer has {}",
+                    snap.params.len(),
+                    params.len()
+                ));
+            }
+            for (blob, data) in params.into_iter().zip(&snap.params) {
+                if blob.len() != data.len() {
+                    return Err(format!(
+                        "layer '{name}': param length {} != snapshot {}",
+                        blob.len(),
+                        data.len()
+                    ));
+                }
+                blob.set_data(data);
+            }
+            let state = layer.state_mut();
+            if state.len() != snap.state.len() {
+                return Err(format!(
+                    "layer '{name}': snapshot has {} state vectors, layer has {}",
+                    snap.state.len(),
+                    state.len()
+                ));
+            }
+            for (vec, data) in state.into_iter().zip(&snap.state) {
+                if vec.len() != data.len() {
+                    return Err(format!(
+                        "layer '{name}': state length {} != snapshot {}",
+                        vec.len(),
+                        data.len()
+                    ));
+                }
+                vec.copy_from_slice(data);
+            }
+        }
+        Ok(())
+    }
+
     /// Resolved per-layer descriptors (kind + actual blob shapes) — the
     /// interface external cost models (the GPU/CPU baselines) consume.
     pub fn ops(&self) -> Vec<LayerOp> {
@@ -471,6 +558,16 @@ impl Net {
             })
             .collect()
     }
+}
+
+/// One layer's frozen payload: parameters and persistent state, keyed by
+/// layer name (see [`Net::layer_snapshots`]).
+#[derive(Debug, Clone)]
+pub struct LayerSnapshot {
+    pub name: String,
+    pub layer_type: String,
+    pub params: Vec<Vec<f32>>,
+    pub state: Vec<Vec<f32>>,
 }
 
 /// One resolved layer: its definition plus concrete bottom/top shapes.

@@ -110,6 +110,16 @@ pub enum LayerKind {
         eps: f32,
         momentum: f32,
     },
+    /// Inference-only fusion of Convolution → BatchNorm → ReLU (NCHW),
+    /// emitted by `swserve`'s graph optimizer; never used for training.
+    FusedConvBnRelu {
+        num_output: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        eps: f32,
+    },
     Lrn {
         local_size: usize,
         alpha: f32,
@@ -182,6 +192,22 @@ impl LayerKind {
                 .field("eps", *eps as f64)
                 .field("momentum", *momentum as f64)
                 .build(),
+            LayerKind::FusedConvBnRelu {
+                num_output,
+                kernel,
+                stride,
+                pad,
+                bias,
+                eps,
+            } => obj()
+                .field("type", "fused_conv_bn_relu")
+                .field("num_output", *num_output)
+                .field("kernel", *kernel)
+                .field("stride", *stride)
+                .field("pad", *pad)
+                .field("bias", *bias)
+                .field("eps", *eps as f64)
+                .build(),
             LayerKind::Lrn {
                 local_size,
                 alpha,
@@ -251,6 +277,14 @@ impl LayerKind {
             "batch_norm" => LayerKind::BatchNorm {
                 eps: f32_field(v, "eps")?,
                 momentum: f32_field(v, "momentum")?,
+            },
+            "fused_conv_bn_relu" => LayerKind::FusedConvBnRelu {
+                num_output: usize_field(v, "num_output")?,
+                kernel: usize_field(v, "kernel")?,
+                stride: usize_field(v, "stride")?,
+                pad: usize_field(v, "pad")?,
+                bias: bool_field(v, "bias")?,
+                eps: f32_field(v, "eps")?,
             },
             "lrn" => LayerKind::Lrn {
                 local_size: usize_field(v, "local_size")?,

@@ -1,0 +1,43 @@
+//! Regression: `Net::from_def_default` routes through the single
+//! latched `swbackend::default_functional_mode()` lookup, so a mid-run
+//! `SWCAFFE_BACKEND` mutation cannot silently flip which backend a net
+//! materialises for.
+//!
+//! Single test function: the default-backend state is process-global
+//! and this integration-test binary owns its process.
+
+use swcaffe_core::{models, Net};
+
+#[test]
+fn from_def_default_uses_the_latched_backend() {
+    std::env::remove_var("SWCAFFE_BACKEND");
+    let def = models::tiny_cnn(2, 4);
+
+    // Default backend (Sw26010) -> functional, materialised blobs.
+    let net = Net::from_def_default(&def).unwrap();
+    assert!(net.materialized());
+    assert_eq!(
+        swbackend::default_functional_mode(),
+        sw26010::ExecMode::Functional
+    );
+
+    // Mutating the environment mid-run changes nothing: the lookup was
+    // latched at first use.
+    std::env::set_var("SWCAFFE_BACKEND", "host:5");
+    let net = Net::from_def_default(&def).unwrap();
+    assert!(net.materialized());
+    assert_eq!(
+        swbackend::default_functional_mode(),
+        sw26010::ExecMode::Functional
+    );
+
+    // An explicit install is the only way to change the default, and
+    // from_def_default follows it (host-native also materialises).
+    swbackend::install_default(&swbackend::HostNative { threads: 2 });
+    assert_eq!(
+        swbackend::default_functional_mode(),
+        sw26010::ExecMode::HostNative { threads: 2 }
+    );
+    let net = Net::from_def_default_seeded(&def, 7).unwrap();
+    assert!(net.materialized());
+}

@@ -8,7 +8,7 @@ use swcaffe_bench::scenarios::table2_conv::vgg_conv_shapes;
 use swdnn::shapes::PoolMethod;
 use swdnn::transform::TransShape;
 use swdnn::{
-    bn, conv_implicit, elementwise, gemm, im2col, lrn, pool, softmax, transform, ConvShape,
+    bn, conv_implicit, elementwise, fused, gemm, im2col, lrn, pool, softmax, transform, ConvShape,
     GemmDims, PoolShape,
 };
 
@@ -84,6 +84,7 @@ pub fn auxiliary_plans() -> Vec<KernelPlan> {
         bn::backward_reduce_plan(224 * 224),
         bn::backward_normalize_plan(512, 224 * 224),
         bn::inference_plan(512, 224 * 224),
+        fused::epilogue_plan(512, 224 * 224),
         softmax::forward_plan(1000),
         softmax::backward_plan(1000),
         elementwise::stream_plan("swdnn.unary_map", 1),

@@ -655,6 +655,39 @@ pub fn bn_inference(
     });
 }
 
+/// Fused bias + BN-inference + ReLU epilogue over a conv output tensor
+/// (in place), mirroring `fused::forward`'s mesh epilogue: f32 bias add,
+/// f64 BN transform rounded to f32, ReLU max on the rounded value.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_epilogue(
+    threads: usize,
+    batch: usize,
+    channels: usize,
+    spatial: usize,
+    eps: f32,
+    bias: Option<&[f32]>,
+    gamma: &[f32],
+    beta: &[f32],
+    mean: &[f32],
+    var: &[f32],
+    data: &mut [f32],
+) {
+    let _ = batch;
+    let rows: Vec<(usize, &mut [f32])> = data.chunks_mut(spatial.max(1)).enumerate().collect();
+    par_tasks(threads, rows, |(row, drow)| {
+        let c = row % channels;
+        let istd = 1.0 / (var[c] as f64 + eps as f64).sqrt();
+        for val in drow.iter_mut() {
+            let mut t = *val;
+            if let Some(b) = bias {
+                t += b[c];
+            }
+            let u = (gamma[c] as f64 * (t as f64 - mean[c] as f64) * istd + beta[c] as f64) as f32;
+            *val = u.max(0.0);
+        }
+    });
+}
+
 // ---------------------------------------------------------------------
 // Softmax + cross-entropy
 // ---------------------------------------------------------------------

@@ -16,6 +16,7 @@ pub mod conv;
 pub mod conv_explicit;
 pub mod conv_implicit;
 pub mod elementwise;
+pub mod fused;
 pub mod gemm;
 pub mod host;
 pub mod im2col;

@@ -1,0 +1,117 @@
+//! Frozen-graph executor: runs an optimized [`FrozenGraph`] on one core
+//! group through `swbackend::dispatch`, so the same engine serves the
+//! `Sw26010` mesh, `HostNative` threads and `TimingOnly` alike.
+//!
+//! Batch sizes are bucketed to powers of two: the `Input` shape bakes
+//! the batch into every downstream blob, so the engine keeps one lazily
+//! built net per bucket and pads functional batches with zero rows.
+//! Latency estimates always come from a `TimingOnly` twin — identical
+//! across value backends, which is what makes the batcher's virtual
+//! clock backend-independent.
+
+use sw26010::{CoreGroup, ExecMode, SimTime};
+use swcaffe_core::{Net, Phase};
+
+use crate::graph::{def_with_batch, FrozenGraph};
+
+/// Round a batch size up to its serving bucket (next power of two).
+pub fn bucket(batch: usize) -> usize {
+    batch.max(1).next_power_of_two()
+}
+
+/// One core group executing a frozen graph.
+pub struct Engine {
+    graph: FrozenGraph,
+    mode: ExecMode,
+    cg: CoreGroup,
+    timing_cg: CoreGroup,
+    nets: Vec<(usize, Net)>,
+    latencies: Vec<(usize, f64)>,
+}
+
+impl Engine {
+    pub fn new(graph: FrozenGraph, mode: ExecMode) -> Engine {
+        Engine {
+            graph,
+            mode,
+            cg: CoreGroup::new(mode),
+            timing_cg: CoreGroup::new(ExecMode::TimingOnly),
+            nets: Vec::new(),
+            latencies: Vec::new(),
+        }
+    }
+
+    pub fn graph(&self) -> &FrozenGraph {
+        &self.graph
+    }
+
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Simulated seconds one forward pass of `batch` images takes,
+    /// evaluated at the batch's bucket on the `TimingOnly` twin and
+    /// memoized per bucket.
+    pub fn latency_seconds(&mut self, batch: usize) -> f64 {
+        let b = bucket(batch);
+        if let Some(&(_, s)) = self.latencies.iter().find(|(k, _)| *k == b) {
+            return s;
+        }
+        let def = def_with_batch(&self.graph.def, b);
+        let mut net = Net::from_def_mode(&def, ExecMode::TimingOnly)
+            .expect("frozen def must build in timing mode");
+        net.set_phase(Phase::Test);
+        let before = self.timing_cg.elapsed();
+        net.forward(&mut self.timing_cg);
+        let s = (self.timing_cg.elapsed() - before).seconds();
+        self.latencies.push((b, s));
+        s
+    }
+
+    /// [`Engine::latency_seconds`] as a [`SimTime`].
+    pub fn latency(&mut self, batch: usize) -> SimTime {
+        SimTime::from_seconds(self.latency_seconds(batch))
+    }
+
+    /// Run `batch` images (row-major, `graph.per_image` floats each)
+    /// through the frozen graph and return their output rows. Pads the
+    /// batch with zero rows up to its bucket. Requires a functional
+    /// backend (`Sw26010` functional or `HostNative`).
+    pub fn infer(&mut self, batch: usize, input: &[f32]) -> Result<Vec<f32>, String> {
+        if !self.mode.is_functional() {
+            return Err(format!(
+                "Engine::infer requires a functional backend, got {:?}",
+                self.mode
+            ));
+        }
+        let per = self.graph.per_image;
+        if input.len() != batch * per {
+            return Err(format!(
+                "input length {} != batch {batch} x per-image {per}",
+                input.len()
+            ));
+        }
+        let b = bucket(batch);
+        if !self.nets.iter().any(|(k, _)| *k == b) {
+            let def = def_with_batch(&self.graph.def, b);
+            let mut net = Net::from_def_mode(&def, self.mode)?;
+            net.set_phase(Phase::Test);
+            net.load_layer_snapshots(&self.graph.weights)?;
+            self.nets.push((b, net));
+        }
+        let net = &mut self
+            .nets
+            .iter_mut()
+            .find(|(k, _)| *k == b)
+            .expect("just inserted")
+            .1;
+        let mut padded = vec![0.0f32; b * per];
+        padded[..input.len()].copy_from_slice(input);
+        net.set_input(&self.graph.input, &padded);
+        net.forward(&mut self.cg);
+        let out = net.blob(&self.graph.output);
+        let data = out.data();
+        let per_out = data.len() / b;
+        Ok(data[..batch * per_out].to_vec())
+    }
+}

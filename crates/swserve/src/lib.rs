@@ -1,0 +1,66 @@
+//! # swserve — batched multi-CG inference serving for swCaffe
+//!
+//! Three pieces, composable and individually testable:
+//!
+//! - [`graph`]: freeze a trained `Net` into a [`FrozenGraph`] — weights
+//!   captured, training-only nodes removed, inverse transforms folded,
+//!   conv+BN+ReLU chains fused (bit-identically), and a topological
+//!   eval schedule computed.
+//! - [`engine`]: execute a frozen graph on one core group through
+//!   `swbackend::dispatch` — the same engine runs on the simulated
+//!   SW26010 mesh, host-native threads, or timing-only.
+//! - [`batcher`]: a deterministic virtual-time dynamic batcher that
+//!   coalesces an open-loop arrival stream into batches under a latency
+//!   SLO and dispatches them across replicas.
+//!
+//! [`Cluster`] ties them together: one engine per core group (the
+//! chip's four CGs serve as independent replicas, mirroring how
+//! `swtrain` uses them as data-parallel trainers), driven by the
+//! batcher over a shared virtual clock.
+
+pub mod batcher;
+pub mod engine;
+pub mod graph;
+
+pub use batcher::{poisson_trace, simulate, BatchConfig, Request, ServeOutcome};
+pub use engine::{bucket, Engine};
+pub use graph::{def_with_batch, optimize, topo_schedule, FrozenGraph, OptimizeStats};
+
+use sw26010::{arch, ExecMode};
+
+/// A chip-level serving cluster: one [`Engine`] replica per core group.
+pub struct Cluster {
+    engines: Vec<Engine>,
+}
+
+impl Cluster {
+    /// One replica per core group (the chip's 4 CGs).
+    pub fn new(graph: &FrozenGraph, mode: ExecMode) -> Cluster {
+        Cluster {
+            engines: (0..arch::CORE_GROUPS)
+                .map(|_| Engine::new(graph.clone(), mode))
+                .collect(),
+        }
+    }
+
+    pub fn replicas(&self) -> usize {
+        self.engines.len()
+    }
+
+    pub fn engines_mut(&mut self) -> &mut [Engine] {
+        &mut self.engines
+    }
+
+    /// Latency model shared by all replicas (they are identical).
+    pub fn latency_seconds(&mut self, batch: usize) -> f64 {
+        self.engines[0].latency_seconds(batch)
+    }
+
+    /// Drive the batcher over `trace` with this cluster's replicas and
+    /// latency model.
+    pub fn serve(&mut self, trace: &[Request], cfg: &BatchConfig) -> Result<ServeOutcome, String> {
+        let replicas = self.engines.len();
+        let first = &mut self.engines[0];
+        batcher::simulate(trace, replicas, cfg, &mut |b| first.latency_seconds(b))
+    }
+}
