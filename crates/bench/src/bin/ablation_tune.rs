@@ -1,0 +1,6 @@
+//! Thin wrapper over `scenarios::ablation_tune`; `--json <path>` writes
+//! the structured report alongside the text table.
+
+fn main() {
+    swcaffe_bench::runner::scenario_main("ablation_tune");
+}

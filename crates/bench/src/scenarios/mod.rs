@@ -8,6 +8,7 @@
 
 pub mod ablation_faults;
 pub mod ablation_overlap;
+pub mod ablation_tune;
 pub mod ablations;
 pub mod fig10_scalability;
 pub mod fig11_comm_fraction;
@@ -35,12 +36,12 @@ pub struct Scenario {
 }
 
 /// Every scenario, in paper order (post-paper additions at the end).
-/// The `fast` subset covers the seven pillars: the DMA model (fig2),
+/// The `fast` subset covers the eight pillars: the DMA model (fig2),
 /// Algorithm 1 on one chip (fig5), the topology-aware all-reduce
 /// (fig7), the convolution engine (table2), the overlapped-
 /// communication mode (ablation_overlap), the fault-tolerance
-/// machinery (ablation_faults) and the inference-serving stack
-/// (serve_qps).
+/// machinery (ablation_faults), the inference-serving stack
+/// (serve_qps) and the searched-tiling ablation (ablation_tune).
 pub static SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "fig2_dma",
@@ -132,6 +133,12 @@ pub static SCENARIOS: &[Scenario] = &[
         fast: true,
         run: serve_qps::run,
     },
+    Scenario {
+        name: "ablation_tune",
+        about: "hand-picked kernel blocking vs searched LDM tiling plans",
+        fast: true,
+        run: ablation_tune::run,
+    },
 ];
 
 /// Look a scenario up by registry key.
@@ -172,7 +179,8 @@ mod tests {
                 "table2_conv",
                 "ablation_overlap",
                 "ablation_faults",
-                "serve_qps"
+                "serve_qps",
+                "ablation_tune"
             ]
         );
     }

@@ -9,117 +9,10 @@ use baselines::sw26010_spec;
 use swdnn::{conv_explicit, conv_implicit, ConvShape};
 use swprof::{KernelRecord, Report, StatsSnap};
 
-struct Layer {
-    name: &'static str,
-    ni: usize,
-    no: usize,
-    hw: usize,
-}
-
-/// The Table II shape sweep: every VGG-16 convolutional layer at batch
-/// 128 (k=3, stride 1, pad 1), named. Exposed so `swcheck` can lint every
-/// kernel plan across the exact shapes the benchmarks run.
-pub fn vgg_conv_shapes() -> Vec<(&'static str, ConvShape)> {
-    LAYERS
-        .iter()
-        .map(|l| {
-            (
-                l.name,
-                ConvShape {
-                    batch: 128,
-                    in_c: l.ni,
-                    in_h: l.hw,
-                    in_w: l.hw,
-                    out_c: l.no,
-                    k: 3,
-                    stride: 1,
-                    pad: 1,
-                },
-            )
-        })
-        .collect()
-}
-
-const LAYERS: [Layer; 13] = [
-    Layer {
-        name: "1_1",
-        ni: 3,
-        no: 64,
-        hw: 224,
-    },
-    Layer {
-        name: "1_2",
-        ni: 64,
-        no: 64,
-        hw: 224,
-    },
-    Layer {
-        name: "2_1",
-        ni: 64,
-        no: 128,
-        hw: 112,
-    },
-    Layer {
-        name: "2_2",
-        ni: 128,
-        no: 128,
-        hw: 112,
-    },
-    Layer {
-        name: "3_1",
-        ni: 128,
-        no: 256,
-        hw: 56,
-    },
-    Layer {
-        name: "3_2",
-        ni: 256,
-        no: 256,
-        hw: 56,
-    },
-    Layer {
-        name: "3_3",
-        ni: 256,
-        no: 256,
-        hw: 56,
-    },
-    Layer {
-        name: "4_1",
-        ni: 256,
-        no: 512,
-        hw: 28,
-    },
-    Layer {
-        name: "4_2",
-        ni: 512,
-        no: 512,
-        hw: 28,
-    },
-    Layer {
-        name: "4_3",
-        ni: 512,
-        no: 512,
-        hw: 28,
-    },
-    Layer {
-        name: "5_1",
-        ni: 512,
-        no: 512,
-        hw: 14,
-    },
-    Layer {
-        name: "5_2",
-        ni: 512,
-        no: 512,
-        hw: 14,
-    },
-    Layer {
-        name: "5_3",
-        ni: 512,
-        no: 512,
-        hw: 14,
-    },
-];
+/// The Table II shape sweep, re-exported from its canonical home in
+/// `swtune` so the benchmarks, the tuner and the `swcheck` static lint
+/// all agree on which shapes matter.
+pub use swtune::shapes::vgg_conv_shapes;
 
 fn gflops(flops: u64, t: f64) -> f64 {
     flops as f64 / t / 1e9
@@ -166,17 +59,8 @@ pub fn run(_args: &[String]) -> (String, Report) {
         "Gflops"
     )
     .unwrap();
-    for l in LAYERS {
-        let shape = ConvShape {
-            batch: 128,
-            in_c: l.ni,
-            in_h: l.hw,
-            in_w: l.hw,
-            out_c: l.no,
-            k: 3,
-            stride: 1,
-            pad: 1,
-        };
+    for (name, shape) in vgg_conv_shapes() {
+        let shape: ConvShape = shape;
         let fwd_ex = conv_explicit::forward_time(&shape).seconds();
         let fwd_im = conv_implicit::supports_forward(&shape)
             .then(|| conv_implicit::forward_time(&shape).seconds());
@@ -184,7 +68,7 @@ pub fn run(_args: &[String]) -> (String, Report) {
         let dw_im = conv_implicit::supports_backward(&shape)
             .then(|| conv_implicit::backward_weights_time(&shape).seconds());
         // The first layer never needs an input gradient (paper: NA).
-        let first = l.ni == 3;
+        let first = shape.in_c == 3;
         let dx_ex = (!first).then(|| conv_explicit::backward_input_time(&shape).seconds());
         let dx_im = (!first && conv_implicit::supports_backward(&shape))
             .then(|| conv_implicit::backward_input_time(&shape).seconds());
@@ -202,10 +86,10 @@ pub fn run(_args: &[String]) -> (String, Report) {
         writeln!(
             out,
             "{:>4} {:>4} {:>4} {:>5} | {} {} {:>7.2} | {} {} {:>7.2} | {} {} {}",
-            l.name,
-            l.ni,
-            l.no,
-            l.hw,
+            name,
+            shape.in_c,
+            shape.out_c,
+            shape.in_h,
             cell(fwd_im),
             cell(Some(fwd_ex)),
             g_fwd,
@@ -221,7 +105,7 @@ pub fn run(_args: &[String]) -> (String, Report) {
         )
         .unwrap();
 
-        let key = format!("conv{}", l.name);
+        let key = format!("conv{name}");
         report.count(&format!("{key}.flops"), flops);
         report.real(&format!("{key}.fwd_explicit_s"), fwd_ex);
         report.real(&format!("{key}.dw_explicit_s"), dw_ex);

@@ -14,7 +14,7 @@ use crate::check::{CheckMode, KernelTrace};
 use crate::cpe::Cpe;
 use crate::dma;
 use crate::mesh::{run_mesh, run_mesh_traced};
-use crate::plan::KernelPlan;
+use crate::plan::{KernelPlan, PlanViolation};
 use crate::stats::{LaunchReport, Stats};
 use crate::time::{ExecMode, SimTime};
 
@@ -111,6 +111,22 @@ impl CoreGroup {
         self.run_named(&plan.name, plan.n_cpes, kernel)
     }
 
+    /// Like [`CoreGroup::run_planned`], but an invalid plan is returned
+    /// as the structured [`PlanViolation`] instead of panicking — the
+    /// entry point for callers (like the autotuner's verification pass)
+    /// that probe machine-generated plans.
+    pub fn try_run_planned<F>(
+        &mut self,
+        plan: &KernelPlan,
+        kernel: F,
+    ) -> Result<LaunchReport, PlanViolation>
+    where
+        F: Fn(&mut Cpe) + Sync,
+    {
+        plan.validate()?;
+        Ok(self.run_named(&plan.name, plan.n_cpes, kernel))
+    }
+
     /// MPE-mediated memory copy (Principle 2's slow path, 9.9 GB/s).
     pub fn mpe_memcpy(&mut self, bytes: usize) -> SimTime {
         let t = dma::mpe_memcpy_time(bytes);
@@ -200,6 +216,23 @@ mod tests {
         let mut cg = CoreGroup::new(ExecMode::TimingOnly);
         cg.run(8, |cpe| cpe.charge_flops(10));
         assert!(cg.take_traces().is_empty());
+    }
+
+    #[test]
+    fn try_run_planned_returns_violation_instead_of_panicking() {
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        let good = KernelPlan::new("ok", 4).buffer("buf", 1024);
+        let report = cg
+            .try_run_planned(&good, |cpe| cpe.charge_flops(1))
+            .unwrap();
+        assert_eq!(report.stats.flops, 4);
+        let bad = KernelPlan::new("huge", 4).buffer("buf", 1 << 20);
+        let before = cg.stats().launches;
+        assert!(matches!(
+            cg.try_run_planned(&bad, |cpe| cpe.charge_flops(1)),
+            Err(PlanViolation::LdmOverflow { .. })
+        ));
+        assert_eq!(cg.stats().launches, before, "rejected plan must not run");
     }
 
     #[test]

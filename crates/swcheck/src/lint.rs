@@ -4,13 +4,13 @@
 //! named-buffer diagnostic instead of corrupting a run.
 
 use sw26010::{KernelPlan, PlanViolation};
-use swcaffe_bench::scenarios::table2_conv::vgg_conv_shapes;
 use swdnn::shapes::PoolMethod;
 use swdnn::transform::TransShape;
 use swdnn::{
     bn, conv_implicit, elementwise, fused, gemm, im2col, lrn, pool, softmax, transform, ConvShape,
     GemmDims, PoolShape,
 };
+use swtune::shapes::vgg_conv_shapes;
 
 /// Result of linting a set of plans.
 #[derive(Debug, Default)]
@@ -126,6 +126,20 @@ pub fn lint_benchmark_sweep() -> LintOutcome {
     lint_plans(labelled.iter().map(|(l, p)| (l.clone(), p)))
 }
 
+/// Lint the *searched* plan zoo: every kernel plan the `swtune`
+/// candidate enumeration can emit for every Table II layer. A clean
+/// outcome proves the tuner cannot hand the runtime an LDM-overflowing
+/// plan, independent of which candidate wins.
+pub fn lint_tuned_zoo() -> LintOutcome {
+    let mut labelled: Vec<(String, KernelPlan)> = Vec::new();
+    for (layer, shape) in vgg_conv_shapes() {
+        for (label, plan) in swtune::space::zoo_plans(&shape) {
+            labelled.push((format!("conv{layer}/{label}"), plan));
+        }
+    }
+    lint_plans(labelled.iter().map(|(l, p)| (l.clone(), p)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +150,17 @@ mod tests {
         assert!(
             outcome.checked > 100,
             "sweep too small: {}",
+            outcome.checked
+        );
+        assert!(outcome.is_clean(), "rejected plans: {:?}", outcome.rejected);
+    }
+
+    #[test]
+    fn searched_plan_zoo_is_clean() {
+        let outcome = lint_tuned_zoo();
+        assert!(
+            outcome.checked > 10_000,
+            "zoo too small: {}",
             outcome.checked
         );
         assert!(outcome.is_clean(), "rejected plans: {:?}", outcome.rejected);

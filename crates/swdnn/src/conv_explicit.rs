@@ -9,9 +9,31 @@
 
 use sw26010::{CoreGroup, LaunchReport, SimTime};
 
-use crate::gemm::{self, GemmOperands, TilePlan};
+use crate::gemm::{self, GemmOperands};
 use crate::im2col::{self, Col2imOperands, Im2colOperands};
+use crate::scheme::TilingScheme;
 use crate::shapes::{ConvShape, GemmDims, Trans};
+
+/// The GEMM tiling schemes of the three explicit-plan passes. Each pass
+/// runs one GEMM per image; the scheme parameterises it so the tuner can
+/// search per-layer, with [`ExplicitSchemes::hand`] as the default point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplicitSchemes {
+    pub forward: TilingScheme,
+    pub backward_weights: TilingScheme,
+    pub backward_input: TilingScheme,
+}
+
+impl ExplicitSchemes {
+    /// The hand-picked schemes every caller got before the tuner.
+    pub fn hand(shape: &ConvShape) -> ExplicitSchemes {
+        ExplicitSchemes {
+            forward: TilingScheme::hand(fwd_gemm_dims(shape)),
+            backward_weights: TilingScheme::hand(bwd_weights_gemm_dims(shape)),
+            backward_input: TilingScheme::hand(bwd_input_gemm_dims(shape)),
+        }
+    }
+}
 
 /// Functional operands of a forward convolution, all NCHW row-major:
 /// input `(B, N_i, R_i, C_i)`, weights `(N_o, N_i, K, K)`,
@@ -34,19 +56,42 @@ pub struct ConvBwdOperands<'a> {
     pub w_grad: Option<&'a mut [f32]>,
 }
 
-fn fwd_gemm_dims(shape: &ConvShape) -> GemmDims {
+/// Dims of the forward GEMM (`W x cols`), exposed so the tuner can key
+/// its GEMM search on the exact per-pass problem.
+pub fn fwd_gemm_dims(shape: &ConvShape) -> GemmDims {
     GemmDims::new(shape.out_c, shape.col_cols(), shape.col_rows())
 }
 
-/// Forward convolution with the explicit plan.
+/// Dims of the weight-gradient GEMM (`dY x cols^T`).
+pub fn bwd_weights_gemm_dims(shape: &ConvShape) -> GemmDims {
+    GemmDims::new(shape.out_c, shape.col_rows(), shape.col_cols())
+}
+
+/// Dims of the input-gradient GEMM (`W^T x dY`).
+pub fn bwd_input_gemm_dims(shape: &ConvShape) -> GemmDims {
+    GemmDims::new(shape.col_rows(), shape.col_cols(), shape.out_c)
+}
+
+/// Forward convolution with the explicit plan and hand-picked blocking.
 pub fn forward(
     cg: &mut CoreGroup,
     shape: &ConvShape,
     ops: Option<ConvFwdOperands<'_>>,
 ) -> LaunchReport {
+    forward_with_scheme(cg, shape, TilingScheme::hand(fwd_gemm_dims(shape)), ops)
+}
+
+/// Forward convolution with an explicit GEMM tiling scheme (the tuner's
+/// entry point; the scheme only steers the per-image GEMM).
+pub fn forward_with_scheme(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    scheme: TilingScheme,
+    ops: Option<ConvFwdOperands<'_>>,
+) -> LaunchReport {
     if !cg.mode().is_functional() {
         let report = LaunchReport {
-            elapsed: forward_time(shape),
+            elapsed: forward_time_with_scheme(shape, scheme),
             stats: Default::default(),
         };
         cg.charge(report.elapsed);
@@ -69,12 +114,13 @@ pub fn forward(
                 cols: &mut cols,
             }),
         ));
-        total.merge(&gemm::gemm(
+        total.merge(&gemm::gemm_with_scheme(
             cg,
             fwd_gemm_dims(shape),
             Trans::No,
             Trans::No,
             0.0,
+            scheme,
             Some(GemmOperands {
                 a: ops.weights,
                 b: &cols,
@@ -85,17 +131,29 @@ pub fn forward(
     total
 }
 
-/// Backward convolution with the explicit plan.
+/// Backward convolution with the explicit plan and hand-picked blocking.
 pub fn backward(
     cg: &mut CoreGroup,
     shape: &ConvShape,
+    ops: Option<ConvBwdOperands<'_>>,
+) -> LaunchReport {
+    let hand = ExplicitSchemes::hand(shape);
+    backward_with_schemes(cg, shape, hand, ops)
+}
+
+/// Backward convolution with explicit per-pass GEMM tiling schemes.
+pub fn backward_with_schemes(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    schemes: ExplicitSchemes,
     ops: Option<ConvBwdOperands<'_>>,
 ) -> LaunchReport {
     if !cg.mode().is_functional() {
         // Timing mode has no operand optionality information; charge the
         // full backward (both gradients), the common case during training.
         let report = LaunchReport {
-            elapsed: backward_weights_time(shape) + backward_input_time(shape),
+            elapsed: backward_weights_time_with_scheme(shape, schemes.backward_weights)
+                + backward_input_time_with_scheme(shape, schemes.backward_input),
             stats: Default::default(),
         };
         cg.charge(report.elapsed);
@@ -120,12 +178,13 @@ pub fn backward(
                 }),
             ));
             // dW (No x KKNi) += dY_b (No x CoRo) * cols_b^T.
-            total.merge(&gemm::gemm(
+            total.merge(&gemm::gemm_with_scheme(
                 cg,
-                GemmDims::new(shape.out_c, shape.col_rows(), shape.col_cols()),
+                bwd_weights_gemm_dims(shape),
                 Trans::No,
                 Trans::Yes,
                 if b == 0 { 0.0 } else { 1.0 },
+                schemes.backward_weights,
                 Some(GemmOperands {
                     a: &ops.out_grad[b * per_out..][..per_out],
                     b: &cols,
@@ -139,12 +198,13 @@ pub fn backward(
         assert_eq!(in_grad.len(), shape.input_len());
         for b in 0..shape.batch {
             // dCols (KKNi x CoRo) = W^T * dY_b, then col2im.
-            total.merge(&gemm::gemm(
+            total.merge(&gemm::gemm_with_scheme(
                 cg,
-                GemmDims::new(shape.col_rows(), shape.col_cols(), shape.out_c),
+                bwd_input_gemm_dims(shape),
                 Trans::Yes,
                 Trans::No,
                 0.0,
+                schemes.backward_input,
                 Some(GemmOperands {
                     a: ops.weights,
                     b: &ops.out_grad[b * per_out..][..per_out],
@@ -166,25 +226,41 @@ pub fn backward(
 
 /// Duration of the explicit forward pass for the whole batch.
 pub fn forward_time(shape: &ConvShape) -> SimTime {
+    forward_time_with_scheme(shape, TilingScheme::hand(fwd_gemm_dims(shape)))
+}
+
+/// [`forward_time`] under an explicit GEMM scheme — the tuner's cost
+/// model for the explicit plan.
+pub fn forward_time_with_scheme(shape: &ConvShape, scheme: TilingScheme) -> SimTime {
     let dims = fwd_gemm_dims(shape);
-    let per_image = im2col::time_model_im2col(shape).seconds()
-        + gemm::time_model(dims, 0.0, TilePlan::choose(dims)).seconds();
+    let per_image =
+        im2col::time_model_im2col(shape).seconds() + scheme.time_model(dims, 0.0).seconds();
     SimTime::from_seconds(shape.batch as f64 * per_image)
 }
 
 /// Duration of the explicit weight-gradient pass for the whole batch.
 pub fn backward_weights_time(shape: &ConvShape) -> SimTime {
-    let dims = GemmDims::new(shape.out_c, shape.col_rows(), shape.col_cols());
-    let per_image = im2col::time_model_im2col(shape).seconds()
-        + gemm::time_model(dims, 1.0, TilePlan::choose(dims)).seconds();
+    backward_weights_time_with_scheme(shape, TilingScheme::hand(bwd_weights_gemm_dims(shape)))
+}
+
+/// [`backward_weights_time`] under an explicit GEMM scheme.
+pub fn backward_weights_time_with_scheme(shape: &ConvShape, scheme: TilingScheme) -> SimTime {
+    let dims = bwd_weights_gemm_dims(shape);
+    let per_image =
+        im2col::time_model_im2col(shape).seconds() + scheme.time_model(dims, 1.0).seconds();
     SimTime::from_seconds(shape.batch as f64 * per_image)
 }
 
 /// Duration of the explicit input-gradient pass for the whole batch.
 pub fn backward_input_time(shape: &ConvShape) -> SimTime {
-    let dims = GemmDims::new(shape.col_rows(), shape.col_cols(), shape.out_c);
-    let per_image = gemm::time_model(dims, 0.0, TilePlan::choose(dims)).seconds()
-        + im2col::time_model_col2im(shape).seconds();
+    backward_input_time_with_scheme(shape, TilingScheme::hand(bwd_input_gemm_dims(shape)))
+}
+
+/// [`backward_input_time`] under an explicit GEMM scheme.
+pub fn backward_input_time_with_scheme(shape: &ConvShape, scheme: TilingScheme) -> SimTime {
+    let dims = bwd_input_gemm_dims(shape);
+    let per_image =
+        scheme.time_model(dims, 0.0).seconds() + im2col::time_model_col2im(shape).seconds();
     SimTime::from_seconds(shape.batch as f64 * per_image)
 }
 

@@ -19,7 +19,8 @@
 use sw26010::arch::MESH_DIM;
 use sw26010::rlc::{transfer_cycles, RLC_HOP_CYCLES};
 use sw26010::{
-    dma, CoreGroup, Cpe, KernelPlan, LaunchReport, MemView, MemViewMut, RlcPattern, SimTime,
+    dma, CoreGroup, Cpe, KernelPlan, LaunchReport, MemView, MemViewMut, PlanViolation, RlcPattern,
+    SimTime,
 };
 
 use crate::shapes::ConvShape;
@@ -39,6 +40,113 @@ fn pick_nt(batch: usize) -> usize {
         .unwrap_or(1)
 }
 
+/// Which implicit-GEMM pass a [`ConvTiles`] triple parameterises. The
+/// batch-fibre axis differs per pass: `nt` spans `(x, batch)` in the
+/// forward/input-gradient kernels, `kt` does in the weight-gradient one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImplicitPass {
+    Forward,
+    BackwardInput,
+    BackwardWeights,
+}
+
+impl ImplicitPass {
+    fn plan_name(self) -> &'static str {
+        match self {
+            ImplicitPass::Forward => "swdnn.conv_implicit.fwd",
+            ImplicitPass::BackwardInput => "swdnn.conv_implicit.bwd_input",
+            ImplicitPass::BackwardWeights => "swdnn.conv_implicit.bwd_weights",
+        }
+    }
+}
+
+/// LDM block extents of one implicit-GEMM pass — the conv analogue of
+/// [`crate::gemm::TilePlan`], taken by value so `swtune` can search the
+/// space while the hand picks remain just the default point in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvTiles {
+    pub mt: usize,
+    pub nt: usize,
+    pub kt: usize,
+}
+
+impl ConvTiles {
+    /// The hand-picked forward tiles every caller got before the tuner.
+    pub fn hand_forward(shape: &ConvShape) -> ConvTiles {
+        ConvTiles {
+            mt: pick_tile(shape.out_c),
+            nt: pick_nt(shape.batch),
+            kt: pick_tile(shape.in_c),
+        }
+    }
+
+    /// The hand-picked input-gradient tiles.
+    pub fn hand_backward_input(shape: &ConvShape) -> ConvTiles {
+        ConvTiles {
+            mt: pick_tile(shape.in_c),
+            nt: pick_nt(shape.batch),
+            kt: pick_tile(shape.out_c),
+        }
+    }
+
+    /// The hand-picked weight-gradient tiles (`kt` is the batch-fibre
+    /// axis here; `nt` tiles the input channels).
+    pub fn hand_backward_weights(shape: &ConvShape) -> ConvTiles {
+        ConvTiles {
+            mt: pick_tile(shape.out_c),
+            nt: pick_tile(shape.in_c),
+            kt: pick_nt(shape.batch),
+        }
+    }
+
+    /// The tile extent spanning the flattened `(x, batch)` axis for
+    /// `pass` — the one that must divide the batch size.
+    pub fn fibre_tile(&self, pass: ImplicitPass) -> usize {
+        match pass {
+            ImplicitPass::BackwardWeights => self.kt,
+            _ => self.nt,
+        }
+    }
+
+    /// The LDM descriptor of the `pass` kernel under these tiles.
+    pub fn kernel_plan(&self, pass: ImplicitPass) -> KernelPlan {
+        tile_kernel_plan(pass.plan_name(), self.mt, self.nt, self.kt)
+    }
+
+    /// Structural feasibility for `pass` on `shape`: positive extents, a
+    /// batch-dividing fibre tile, and an LDM-fitting working set — the
+    /// same filter the tuner's candidate enumeration applies.
+    pub fn validate(&self, pass: ImplicitPass, shape: &ConvShape) -> Result<(), PlanViolation> {
+        if self.mt == 0
+            || self.nt == 0
+            || self.kt == 0
+            || !shape.batch.is_multiple_of(self.fibre_tile(pass))
+        {
+            return Err(PlanViolation::BadGeometry {
+                plan: pass.plan_name().into(),
+                n_cpes: 0,
+            });
+        }
+        self.kernel_plan(pass).validate()
+    }
+}
+
+/// Panic with the typed shape diagnostic if `shape` is degenerate; every
+/// kernel and timing-model entry funnels through this so a zero extent or
+/// an oversized window fails loudly instead of wrapping in the coordinate
+/// arithmetic.
+fn guard_shape(shape: &ConvShape) {
+    if let Err(e) = shape.validate() {
+        panic!("swdnn.conv_implicit rejected shape: {e}");
+    }
+}
+
+fn guard_tiles(tiles: ConvTiles, pass: ImplicitPass, shape: &ConvShape) {
+    if let Err(v) = tiles.validate(pass, shape) {
+        panic!("infeasible implicit-conv tiling: {v}");
+    }
+}
+
 /// Shared LDM descriptor of the broadcast-GEMM core: five f64 tiles plus
 /// one f32 staging buffer, exactly as each mesh kernel allocates them.
 fn tile_kernel_plan(name: &str, mt: usize, nt: usize, kt: usize) -> KernelPlan {
@@ -55,32 +163,17 @@ fn tile_kernel_plan(name: &str, mt: usize, nt: usize, kt: usize) -> KernelPlan {
 
 /// Static LDM descriptor of the implicit forward kernel for `shape`.
 pub fn forward_plan(shape: &ConvShape) -> KernelPlan {
-    let (mt, nt, kt) = (
-        pick_tile(shape.out_c),
-        pick_nt(shape.batch),
-        pick_tile(shape.in_c),
-    );
-    tile_kernel_plan("swdnn.conv_implicit.fwd", mt, nt, kt)
+    ConvTiles::hand_forward(shape).kernel_plan(ImplicitPass::Forward)
 }
 
 /// Static LDM descriptor of the implicit backward-by-input kernel.
 pub fn backward_input_plan(shape: &ConvShape) -> KernelPlan {
-    let (mt, nt, kt) = (
-        pick_tile(shape.in_c),
-        pick_nt(shape.batch),
-        pick_tile(shape.out_c),
-    );
-    tile_kernel_plan("swdnn.conv_implicit.bwd_input", mt, nt, kt)
+    ConvTiles::hand_backward_input(shape).kernel_plan(ImplicitPass::BackwardInput)
 }
 
 /// Static LDM descriptor of the implicit backward-by-weights kernel.
 pub fn backward_weights_plan(shape: &ConvShape) -> KernelPlan {
-    let (mt, ntw, kt) = (
-        pick_tile(shape.out_c),
-        pick_tile(shape.in_c),
-        pick_nt(shape.batch),
-    );
-    tile_kernel_plan("swdnn.conv_implicit.bwd_weights", mt, ntw, kt)
+    ConvTiles::hand_backward_weights(shape).kernel_plan(ImplicitPass::BackwardWeights)
 }
 
 /// Strategy gate, forward: the paper's implicit plan needs >= 64 input
@@ -198,15 +291,29 @@ fn rlc_steps(
     }
 }
 
-/// Implicit forward convolution.
+/// Implicit forward convolution under the hand-picked tiles.
 pub fn forward(
     cg: &mut CoreGroup,
     shape: &ConvShape,
     ops: Option<ImplicitFwdOperands<'_>>,
 ) -> LaunchReport {
+    forward_with_tiles(cg, shape, ConvTiles::hand_forward(shape), ops)
+}
+
+/// Implicit forward convolution under explicit tiles (the tuner's entry
+/// point). The tiles are validated through [`ConvTiles::validate`] in
+/// every execution mode before anything runs.
+pub fn forward_with_tiles(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    tiles: ConvTiles,
+    ops: Option<ImplicitFwdOperands<'_>>,
+) -> LaunchReport {
+    guard_shape(shape);
+    guard_tiles(tiles, ImplicitPass::Forward, shape);
     if !cg.mode().is_functional() {
         let report = LaunchReport {
-            elapsed: forward_time(shape),
+            elapsed: forward_time_with(shape, tiles),
             stats: Default::default(),
         };
         cg.charge(report.elapsed);
@@ -225,7 +332,7 @@ pub fn forward(
     let b = s.batch;
     let (no, ni) = (s.out_c, s.in_c);
     let (ow, iw, ih, oh) = (s.out_w(), s.in_w, s.in_h, s.out_h());
-    let (mt, nt, kt) = (pick_tile(no), pick_nt(b), pick_tile(ni));
+    let ConvTiles { mt, nt, kt } = tiles;
     let panels_m = no.div_ceil(MESH_DIM * mt);
     let panels_n = (ow * b).div_ceil(MESH_DIM * nt);
     let panels_k = ni.div_ceil(MESH_DIM * kt);
@@ -234,7 +341,7 @@ pub fn forward(
     let weights = MemView::new(ops.weights);
     let output = MemViewMut::new(ops.output);
 
-    let kplan = forward_plan(&s);
+    let kplan = tiles.kernel_plan(ImplicitPass::Forward);
     let mut total = LaunchReport::default();
     for pm in 0..panels_m {
         for pn in 0..panels_n {
@@ -336,15 +443,37 @@ pub fn forward(
     total
 }
 
-/// Implicit backward convolution (input and/or weight gradients).
+/// Implicit backward convolution (input and/or weight gradients) under
+/// the hand-picked tiles.
 pub fn backward(
     cg: &mut CoreGroup,
     shape: &ConvShape,
     ops: Option<ImplicitBwdOperands<'_>>,
 ) -> LaunchReport {
+    backward_with_tiles(
+        cg,
+        shape,
+        ConvTiles::hand_backward_input(shape),
+        ConvTiles::hand_backward_weights(shape),
+        ops,
+    )
+}
+
+/// Implicit backward convolution under explicit per-pass tiles.
+pub fn backward_with_tiles(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    input_tiles: ConvTiles,
+    weight_tiles: ConvTiles,
+    ops: Option<ImplicitBwdOperands<'_>>,
+) -> LaunchReport {
+    guard_shape(shape);
+    guard_tiles(input_tiles, ImplicitPass::BackwardInput, shape);
+    guard_tiles(weight_tiles, ImplicitPass::BackwardWeights, shape);
     if !cg.mode().is_functional() {
         let report = LaunchReport {
-            elapsed: backward_weights_time(shape) + backward_input_time(shape),
+            elapsed: backward_weights_time_with(shape, weight_tiles)
+                + backward_input_time_with(shape, input_tiles),
             stats: Default::default(),
         };
         cg.charge(report.elapsed);
@@ -383,6 +512,7 @@ pub fn backward(
         total.merge(&backward_weights_mesh(
             cg,
             shape,
+            weight_tiles,
             ops.input,
             ops.out_grad,
             w_grad,
@@ -392,6 +522,7 @@ pub fn backward(
         total.merge(&backward_input_mesh(
             cg,
             shape,
+            input_tiles,
             ops.weights,
             ops.out_grad,
             in_grad,
@@ -403,6 +534,7 @@ pub fn backward(
 fn backward_input_mesh(
     cg: &mut CoreGroup,
     shape: &ConvShape,
+    tiles: ConvTiles,
     weights: &[f32],
     out_grad: &[f32],
     in_grad: &mut [f32],
@@ -415,7 +547,7 @@ fn backward_input_mesh(
     let (no, ni) = (s.out_c, s.in_c);
     let (ow, iw, ih, oh) = (s.out_w(), s.in_w, s.in_h, s.out_h());
     // M = N_i, shared = N_o, N = C_i * B.
-    let (mt, nt, kt) = (pick_tile(ni), pick_nt(b), pick_tile(no));
+    let ConvTiles { mt, nt, kt } = tiles;
     let panels_m = ni.div_ceil(MESH_DIM * mt);
     let panels_n = (iw * b).div_ceil(MESH_DIM * nt);
     let panels_k = no.div_ceil(MESH_DIM * kt);
@@ -424,7 +556,7 @@ fn backward_input_mesh(
     let dy = MemView::new(out_grad);
     let dx = MemViewMut::new(in_grad);
 
-    let kplan = backward_input_plan(&s);
+    let kplan = tiles.kernel_plan(ImplicitPass::BackwardInput);
     let mut total = LaunchReport::default();
     for pm in 0..panels_m {
         for pn in 0..panels_n {
@@ -536,6 +668,7 @@ fn backward_input_mesh(
 fn backward_weights_mesh(
     cg: &mut CoreGroup,
     shape: &ConvShape,
+    tiles: ConvTiles,
     input: &[f32],
     out_grad: &[f32],
     w_grad: &mut [f32],
@@ -548,7 +681,7 @@ fn backward_weights_mesh(
     let (no, ni) = (s.out_c, s.in_c);
     let (ow, iw, ih, oh) = (s.out_w(), s.in_w, s.in_h, s.out_h());
     // M = N_o, N = N_i, shared = R_o x C_o x B (looped row by row).
-    let (mt, ntw, kt) = (pick_tile(no), pick_tile(ni), pick_nt(b));
+    let ConvTiles { mt, nt: ntw, kt } = tiles;
     let panels_m = no.div_ceil(MESH_DIM * mt);
     let panels_n = ni.div_ceil(MESH_DIM * ntw);
     let panels_k = (ow * b).div_ceil(MESH_DIM * kt);
@@ -557,7 +690,7 @@ fn backward_weights_mesh(
     let dy = MemView::new(out_grad);
     let dw = MemViewMut::new(w_grad);
 
-    let kplan = backward_weights_plan(&s);
+    let kplan = tiles.kernel_plan(ImplicitPass::BackwardWeights);
     let mut total = LaunchReport::default();
     for ky in 0..s.k {
         for kx in 0..s.k {
@@ -679,11 +812,16 @@ fn step_time(mt: usize, nt: usize, kt: usize) -> f64 {
 
 /// Duration of the implicit forward pass for the whole batch.
 pub fn forward_time(shape: &ConvShape) -> SimTime {
+    forward_time_with(shape, ConvTiles::hand_forward(shape))
+}
+
+/// [`forward_time`] under explicit tiles — the tuner's cost model.
+pub fn forward_time_with(shape: &ConvShape, tiles: ConvTiles) -> SimTime {
     let s = *shape;
     let b = s.batch;
     let (no, ni) = (s.out_c, s.in_c);
     let (ow, ih, oh) = (s.out_w(), s.in_h, s.out_h());
-    let (mt, nt, kt) = (pick_tile(no), pick_nt(b), pick_tile(ni));
+    let ConvTiles { mt, nt, kt } = tiles;
     let panels_m = no.div_ceil(MESH_DIM * mt);
     let panels_n = (ow * b).div_ceil(MESH_DIM * nt);
     let panels_k = ni.div_ceil(MESH_DIM * kt);
@@ -716,11 +854,16 @@ pub fn forward_time(shape: &ConvShape) -> SimTime {
 
 /// Duration of the implicit input-gradient pass for the whole batch.
 pub fn backward_input_time(shape: &ConvShape) -> SimTime {
+    backward_input_time_with(shape, ConvTiles::hand_backward_input(shape))
+}
+
+/// [`backward_input_time`] under explicit tiles.
+pub fn backward_input_time_with(shape: &ConvShape, tiles: ConvTiles) -> SimTime {
     let s = *shape;
     let b = s.batch;
     let (no, ni) = (s.out_c, s.in_c);
     let (iw, ih, oh) = (s.in_w, s.in_h, s.out_h());
-    let (mt, nt, kt) = (pick_tile(ni), pick_nt(b), pick_tile(no));
+    let ConvTiles { mt, nt, kt } = tiles;
     let panels_m = ni.div_ceil(MESH_DIM * mt);
     let panels_n = (iw * b).div_ceil(MESH_DIM * nt);
     let panels_k = no.div_ceil(MESH_DIM * kt);
@@ -753,11 +896,16 @@ pub fn backward_input_time(shape: &ConvShape) -> SimTime {
 
 /// Duration of the implicit weight-gradient pass for the whole batch.
 pub fn backward_weights_time(shape: &ConvShape) -> SimTime {
+    backward_weights_time_with(shape, ConvTiles::hand_backward_weights(shape))
+}
+
+/// [`backward_weights_time`] under explicit tiles.
+pub fn backward_weights_time_with(shape: &ConvShape, tiles: ConvTiles) -> SimTime {
     let s = *shape;
     let b = s.batch;
     let (no, ni) = (s.out_c, s.in_c);
     let (ow, ih, oh) = (s.out_w(), s.in_h, s.out_h());
-    let (mt, ntw, kt) = (pick_tile(no), pick_tile(ni), pick_nt(b));
+    let ConvTiles { mt, nt: ntw, kt } = tiles;
     let panels_m = no.div_ceil(MESH_DIM * mt);
     let panels_n = ni.div_ceil(MESH_DIM * ntw);
     let panels_k = (ow * b).div_ceil(MESH_DIM * kt);
@@ -1072,6 +1220,124 @@ mod tests {
     }
 
     #[test]
+    fn searched_tiles_match_hand_tiles_bitwise() {
+        // The accumulation over (ky, kx, channel) is ascending for every
+        // tile triple, so any feasible tiling must reproduce the hand
+        // plan's output bit for bit — the invariant the tuner relies on.
+        let s = ConvShape {
+            batch: 6,
+            in_c: 20,
+            in_h: 5,
+            in_w: 5,
+            out_c: 12,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let input = pattern(s.input_len(), 7);
+        let weights = pattern(s.weight_len(), 8);
+        let run = |tiles: ConvTiles| {
+            let mut out = vec![0.0f32; s.output_len()];
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            forward_with_tiles(
+                &mut cg,
+                &s,
+                tiles,
+                Some(ImplicitFwdOperands {
+                    input: &input,
+                    weights: &weights,
+                    output: &mut out,
+                }),
+            );
+            out
+        };
+        let hand = run(ConvTiles::hand_forward(&s));
+        for tiles in [
+            ConvTiles {
+                mt: 1,
+                nt: 1,
+                kt: 1,
+            },
+            ConvTiles {
+                mt: 5,
+                nt: 6,
+                kt: 2,
+            },
+            ConvTiles {
+                mt: 2,
+                nt: 3,
+                kt: 7,
+            },
+        ] {
+            tiles.validate(ImplicitPass::Forward, &s).unwrap();
+            assert_eq!(run(tiles), hand, "tiles {tiles:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible implicit-conv tiling")]
+    fn non_dividing_fibre_tile_is_rejected() {
+        let s = ConvShape {
+            batch: 6,
+            in_c: 8,
+            in_h: 4,
+            in_w: 4,
+            out_c: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        // nt = 4 does not divide batch 6.
+        forward_with_tiles(
+            &mut cg,
+            &s,
+            ConvTiles {
+                mt: 1,
+                nt: 4,
+                kt: 1,
+            },
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "swdnn.conv_implicit rejected shape")]
+    fn degenerate_shape_fails_with_typed_diagnostic() {
+        let s = ConvShape {
+            batch: 4,
+            in_c: 8,
+            in_h: 0,
+            in_w: 4,
+            out_c: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        forward(&mut cg, &s, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "swdnn.conv_implicit rejected shape")]
+    fn oversized_window_fails_before_underflow() {
+        // k = 9 on a 4x4 unpadded input: out_h() would underflow; the
+        // typed guard must fire first.
+        let s = ConvShape {
+            batch: 4,
+            in_c: 8,
+            in_h: 4,
+            in_w: 4,
+            out_c: 8,
+            k: 9,
+            stride: 1,
+            pad: 0,
+        };
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        backward(&mut cg, &s, None);
+    }
+
+    #[test]
     fn small_channels_degrade_throughput() {
         // The rationale for the 64-channel gate: effective flops collapse
         // when channel tiles shrink.
@@ -1125,7 +1391,8 @@ mod model_validation {
         let dy = vec![0.0f32; s.output_len()];
         let mut dx = vec![0.0f32; s.input_len()];
         let mut cg = CoreGroup::new(ExecMode::Functional);
-        let mesh = backward_input_mesh(&mut cg, &s, &weights, &dy, &mut dx);
+        let tiles = ConvTiles::hand_backward_input(&s);
+        let mesh = backward_input_mesh(&mut cg, &s, tiles, &weights, &dy, &mut dx);
         let model = backward_input_time(&s);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
         assert!(
@@ -1143,7 +1410,8 @@ mod model_validation {
         let dy = vec![0.0f32; s.output_len()];
         let mut dw = vec![0.0f32; s.weight_len()];
         let mut cg = CoreGroup::new(ExecMode::Functional);
-        let mesh = backward_weights_mesh(&mut cg, &s, &input, &dy, &mut dw);
+        let tiles = ConvTiles::hand_backward_weights(&s);
+        let mesh = backward_weights_mesh(&mut cg, &s, tiles, &input, &dy, &mut dw);
         let model = backward_weights_time(&s);
         let rel = (mesh.elapsed.seconds() - model.seconds()).abs() / mesh.elapsed.seconds();
         assert!(

@@ -30,6 +30,7 @@ use sw26010::{
     dma, CoreGroup, KernelPlan, LaunchReport, MemView, MemViewMut, RlcPattern, SimTime, Stats,
 };
 
+use crate::scheme::{Broadcast, Buffering, TilingScheme};
 use crate::shapes::{GemmDims, Trans};
 
 /// Per-CPE tile extents of a GEMM plan.
@@ -52,16 +53,55 @@ impl TilePlan {
     /// Choose tile extents for a problem size: full 32-wide tiles when the
     /// dimensions allow, shrunk to `ceil(dim / 8)` for small dimensions so
     /// no CPE is left entirely idle unless the dimension is smaller than
-    /// the mesh itself.
+    /// the mesh itself. The result is always feasible: the pick is run
+    /// through [`TilePlan::shrink_to_fit`], a *checked* path that holds in
+    /// release builds too (this used to be a `debug_assert!` only).
     pub fn choose(dims: GemmDims) -> TilePlan {
         let pick = |d: usize| d.div_ceil(MESH_DIM).clamp(1, MAX_TILE);
-        let plan = TilePlan {
+        TilePlan {
             mt: pick(dims.m),
             nt: pick(dims.n),
             kt: pick(dims.k),
-        };
-        debug_assert!(plan.ldm_bytes() <= sw26010::arch::LDM_BYTES);
-        plan
+        }
+        .shrink_to_fit()
+        .expect("a 1x1x1 tile always fits LDM")
+    }
+
+    /// Check this plan's single-buffered working set against the LDM
+    /// capacity, reusing the same [`KernelPlan::validate`] the launch
+    /// path enforces. This is the feasibility filter the autotuner's
+    /// candidate enumeration shares with the hand-pick path.
+    pub fn check_ldm(&self) -> Result<(), sw26010::PlanViolation> {
+        if self.mt == 0 || self.nt == 0 || self.kt == 0 {
+            return Err(sw26010::PlanViolation::BadGeometry {
+                plan: "swdnn.gemm".into(),
+                n_cpes: 0,
+            });
+        }
+        kernel_plan(*self).validate()
+    }
+
+    /// Shrink the largest extent (halving, ties broken `kt`, `nt`, `mt`)
+    /// until the single-buffered working set fits LDM. Returns `None`
+    /// only for a zero extent, which no amount of shrinking repairs.
+    pub fn shrink_to_fit(mut self) -> Option<TilePlan> {
+        if self.mt == 0 || self.nt == 0 || self.kt == 0 {
+            return None;
+        }
+        while self.check_ldm().is_err() {
+            let largest = self.kt.max(self.nt).max(self.mt);
+            if largest == 1 {
+                unreachable!("a 1x1x1 GEMM tile fits any LDM");
+            }
+            if self.kt == largest {
+                self.kt = (self.kt / 2).max(1);
+            } else if self.nt == largest {
+                self.nt = (self.nt / 2).max(1);
+            } else {
+                self.mt = (self.mt / 2).max(1);
+            }
+        }
+        Some(self)
     }
 
     /// Panel extents across the whole mesh.
@@ -140,7 +180,27 @@ pub fn gemm(
     beta: f32,
     ops: Option<GemmOperands<'_>>,
 ) -> LaunchReport {
-    let plan = TilePlan::choose(dims);
+    gemm_with_scheme(cg, dims, ta, tb, beta, TilingScheme::hand(dims), ops)
+}
+
+/// `C = A*B + beta*C` under an explicit [`TilingScheme`] — the
+/// parameterized entry the autotuner drives. The scheme is validated
+/// through the same [`KernelPlan::validate`] path the launch enforces,
+/// in *every* execution mode, so an infeasible scheme is rejected in
+/// release builds before anything is charged or run.
+pub fn gemm_with_scheme(
+    cg: &mut CoreGroup,
+    dims: GemmDims,
+    ta: Trans,
+    tb: Trans,
+    beta: f32,
+    scheme: TilingScheme,
+    ops: Option<GemmOperands<'_>>,
+) -> LaunchReport {
+    if let Err(v) = scheme.validate() {
+        panic!("infeasible GEMM tiling scheme: {v}");
+    }
+    let plan = scheme.tile;
     if cg.mode().is_functional() {
         let ops = ops.expect("functional GEMM requires operands");
         assert_eq!(ops.a.len(), dims.m * dims.k, "A size");
@@ -150,9 +210,20 @@ pub fn gemm(
             crate::host::gemm(threads, dims, ta, tb, beta, ops.a, ops.b, ops.c);
             return LaunchReport::default();
         }
-        execute_mesh(cg, dims, ta, tb, beta, plan, ops)
+        match (scheme.broadcast, scheme.buffering) {
+            (Broadcast::RowCol, Buffering::Single) => {
+                execute_mesh(cg, dims, ta, tb, beta, plan, ops)
+            }
+            (Broadcast::RowCol, Buffering::Double) => {
+                execute_mesh_db(cg, dims, ta, tb, beta, plan, ops)
+            }
+            (Broadcast::DmaReplicate, _) => execute_mesh_no_rlc(cg, dims, ta, tb, beta, plan, ops),
+        }
     } else {
-        let report = model_report(dims, beta, plan);
+        let report = LaunchReport {
+            elapsed: scheme.time_model(dims, beta),
+            stats: scheme.stats_model(dims, beta),
+        };
         cg.charge(report.elapsed);
         report
     }
@@ -421,13 +492,6 @@ pub fn stats_model(dims: GemmDims, beta: f32, plan: TilePlan) -> Stats {
     }
 }
 
-fn model_report(dims: GemmDims, beta: f32, plan: TilePlan) -> LaunchReport {
-    LaunchReport {
-        elapsed: time_model(dims, beta, plan),
-        stats: stats_model(dims, beta, plan),
-    }
-}
-
 /// Effective flop rate of the *useful* (un-padded) work for a problem size:
 /// `2mnk / time`. This is the "Gflops" column of Table II.
 pub fn effective_gflops(dims: GemmDims, elapsed: SimTime) -> f64 {
@@ -460,6 +524,172 @@ pub fn time_model_no_rlc(dims: GemmDims, plan: TilePlan) -> SimTime {
         + cycles_to_time(flop_cycles((mt * nt) as u64)).seconds()
         + dma::strided_time(nt * 4, mt, 64).seconds();
     SimTime::from_seconds((panels_m * panels_n) as f64 * t_launch)
+}
+
+/// Duration of the *functional* no-RLC GEMM path
+/// ([`Broadcast::DmaReplicate`] in a [`TilingScheme`]): the ablation
+/// model above plus the C pre-load term the mesh kernel charges, so the
+/// scheme dispatch in timing mode mirrors the mesh exactly like the
+/// broadcast paths do.
+pub fn time_model_no_rlc_scheme(dims: GemmDims, beta: f32, plan: TilePlan) -> SimTime {
+    let TilePlan { mt, nt, .. } = plan;
+    let panels_m = dims.m.div_ceil(plan.panel_m());
+    let panels_n = dims.n.div_ceil(plan.panel_n());
+    let t_cload = if beta != 0.0 {
+        dma::strided_time(nt * 4, mt, 64).seconds()
+            + cycles_to_time(flop_cycles((mt * nt) as u64)).seconds()
+    } else {
+        cycles_to_time(flop_cycles((mt * nt) as u64)).seconds()
+    };
+    SimTime::from_seconds(
+        time_model_no_rlc(dims, plan).seconds() + (panels_m * panels_n) as f64 * t_cload,
+    )
+}
+
+/// Counter totals of the no-RLC GEMM path, mirroring
+/// [`execute_mesh_no_rlc`]'s charges: every element of `A` is fetched by
+/// all 8 CPEs of its mesh row and every element of `B` by all 8 CPEs of
+/// its mesh column — the ~8x traffic Principle 4's broadcasts avoid.
+pub fn stats_model_no_rlc(dims: GemmDims, beta: f32, plan: TilePlan) -> Stats {
+    let TilePlan { mt, nt, kt } = plan;
+    let panels_m = dims.m.div_ceil(plan.panel_m());
+    let panels_n = dims.n.div_ceil(plan.panel_n());
+    let panels_k = dims.k.div_ceil(plan.panel_k());
+    let launches = (panels_m * panels_n) as u64;
+    let kpanels = launches * panels_k as u64;
+    let cpes = 64u64;
+
+    let mut dma_get_bytes =
+        8 * (panels_n * dims.m * dims.k * 4 + panels_m * dims.k * dims.n * 4) as u64;
+    if beta != 0.0 {
+        dma_get_bytes += (dims.m * dims.n * 4) as u64;
+    }
+    let strip = 8 * kt;
+    let per_panel_flops = (mt * strip + strip * nt + 2 * mt * nt * strip) as u64 * cpes;
+    let c_charges = 2 * (mt * nt) as u64 * cpes;
+    Stats {
+        launches,
+        dma_get_bytes,
+        dma_put_bytes: (dims.m * dims.n * 4) as u64,
+        dma_requests: kpanels * 2 * cpes + launches * cpes * if beta != 0.0 { 2 } else { 1 },
+        rlc_messages: 0,
+        rlc_bytes: 0,
+        flops: kpanels * per_panel_flops + launches * c_charges,
+        ..Default::default()
+    }
+}
+
+/// Static LDM descriptor of the no-RLC GEMM kernel: each CPE stages the
+/// full `mt x 8kt` A strip and `8kt x nt` B strip itself, so the tiles
+/// are 8x the broadcast kernel's and feasibility binds much earlier.
+pub fn kernel_plan_no_rlc(plan: TilePlan) -> KernelPlan {
+    let TilePlan { mt, nt, kt } = plan;
+    let strip = MESH_DIM * kt;
+    let stage = (mt * strip).max(strip * nt).max(mt * nt);
+    KernelPlan::new("swdnn.gemm_norlc", 64)
+        .buffer("a64", mt * strip * 8)
+        .buffer("b64", strip * nt * 8)
+        .buffer("c64", mt * nt * 8)
+        .buffer("stage", stage * 4)
+        .rlc(RlcPattern::None)
+        .inflight_dma(1)
+}
+
+/// Functional GEMM without register communication: identical math and
+/// k-accumulation order to [`execute_mesh`] (so results are bitwise
+/// identical), but each CPE DMA-replicates the whole A row strip and B
+/// column strip instead of broadcasting tiles over the buses.
+fn execute_mesh_no_rlc(
+    cg: &mut CoreGroup,
+    dims: GemmDims,
+    ta: Trans,
+    tb: Trans,
+    beta: f32,
+    plan: TilePlan,
+    ops: GemmOperands<'_>,
+) -> LaunchReport {
+    let GemmDims { m, n, k } = dims;
+    let TilePlan { mt, nt, kt } = plan;
+    let strip = MESH_DIM * kt;
+    let panels_m = m.div_ceil(plan.panel_m());
+    let panels_n = n.div_ceil(plan.panel_n());
+    let panels_k = k.div_ceil(plan.panel_k());
+
+    let a_view = MemView::new(ops.a);
+    let b_view = MemView::new(ops.b);
+    let c_view = MemViewMut::new(ops.c);
+
+    let kplan = kernel_plan_no_rlc(plan);
+    let mut total = LaunchReport::default();
+    for pm in 0..panels_m {
+        for pn in 0..panels_n {
+            let report = cg.run_planned(&kplan, |cpe| {
+                let (i, j) = (cpe.row(), cpe.col());
+                let ci0 = pm * plan.panel_m() + i * mt;
+                let cj0 = pn * plan.panel_n() + j * nt;
+                let vm = m.saturating_sub(ci0).min(mt);
+                let vn = n.saturating_sub(cj0).min(nt);
+
+                let mut a64 = cpe.ldm.alloc_f64(mt * strip);
+                let mut b64 = cpe.ldm.alloc_f64(strip * nt);
+                let mut c64 = cpe.ldm.alloc_f64(mt * nt);
+                let mut stage = cpe.ldm.alloc_f32((mt * strip).max(strip * nt).max(mt * nt));
+
+                if beta != 0.0 && vm > 0 && vn > 0 {
+                    cpe.dma_get_strided(c_view.as_view(), ci0 * n + cj0, vn, n, vm, &mut stage);
+                    cpe.compute((mt * nt) as u64, || {
+                        for r in 0..vm {
+                            for cc in 0..vn {
+                                c64[r * nt + cc] = (beta * stage[r * vn + cc]) as f64;
+                            }
+                        }
+                    });
+                } else {
+                    cpe.charge_flops((mt * nt) as u64);
+                }
+
+                for pk in 0..panels_k {
+                    let k0 = pk * plan.panel_k();
+                    let vk = k.saturating_sub(k0).min(strip);
+                    // Full A row strip and B column strip — no sharing.
+                    load_tile(
+                        cpe, a_view, ta, m, k, ci0, k0, vm, vk, mt, strip, &mut stage, &mut a64,
+                    );
+                    load_tile(
+                        cpe, b_view, tb, k, n, k0, cj0, vk, vn, strip, nt, &mut stage, &mut b64,
+                    );
+                    cpe.compute((2 * mt * nt * strip) as u64, || {
+                        for r in 0..mt {
+                            for tt in 0..strip {
+                                let av = a64[r * strip + tt];
+                                if av == 0.0 {
+                                    continue;
+                                }
+                                for cc in 0..nt {
+                                    c64[r * nt + cc] += av * b64[tt * nt + cc];
+                                }
+                            }
+                        }
+                    });
+                }
+
+                if vm > 0 && vn > 0 {
+                    cpe.compute((mt * nt) as u64, || {
+                        for r in 0..vm {
+                            for cc in 0..vn {
+                                stage[r * vn + cc] = c64[r * nt + cc] as f32;
+                            }
+                        }
+                    });
+                    cpe.dma_put_strided(c_view, ci0 * n + cj0, vn, n, vm, &stage);
+                } else {
+                    cpe.charge_flops((mt * nt) as u64);
+                }
+            });
+            total.merge(&report);
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -571,6 +801,182 @@ mod tests {
                 "{dims:?} -> {plan:?}"
             );
         }
+    }
+
+    #[test]
+    fn ldm_feasibility_is_checked_at_the_exact_64kb_boundary() {
+        // 16mt + 16nt + 12*mt*nt with kt = 1; (mt, nt) = (4, 1023) lands
+        // exactly on the 65536-byte capacity.
+        let at_boundary = TilePlan {
+            mt: 4,
+            nt: 1023,
+            kt: 1,
+        };
+        assert_eq!(at_boundary.ldm_bytes(), sw26010::arch::LDM_BYTES);
+        at_boundary.check_ldm().unwrap();
+        assert_eq!(at_boundary.shrink_to_fit(), Some(at_boundary));
+
+        // One more column crosses the boundary and must be rejected with
+        // the named-buffer diagnostic — a real check, not a debug_assert.
+        let over = TilePlan {
+            mt: 4,
+            nt: 1024,
+            kt: 1,
+        };
+        assert!(over.ldm_bytes() > sw26010::arch::LDM_BYTES);
+        match over.check_ldm() {
+            Err(sw26010::PlanViolation::LdmOverflow {
+                required, capacity, ..
+            }) => {
+                assert!(required > capacity);
+            }
+            other => panic!("expected LdmOverflow, got {other:?}"),
+        }
+        // Shrink-to-fit repairs it into a feasible plan.
+        let fixed = over.shrink_to_fit().unwrap();
+        fixed.check_ldm().unwrap();
+    }
+
+    #[test]
+    fn zero_extent_plans_are_rejected() {
+        let p = TilePlan {
+            mt: 0,
+            nt: 8,
+            kt: 8,
+        };
+        assert!(p.check_ldm().is_err());
+        assert_eq!(p.shrink_to_fit(), None);
+    }
+
+    #[test]
+    fn chosen_plans_always_fit_in_release_too() {
+        // The old path debug_assert!ed; this exercises the checked path
+        // over a sweep of adversarial dims.
+        for m in [1, 7, 64, 513, 50176] {
+            for n in [1, 27, 196, 4096] {
+                for k in [1, 27, 512, 4608] {
+                    TilePlan::choose(GemmDims::new(m, n, k))
+                        .check_ldm()
+                        .unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_rlc_mesh_matches_reference_and_broadcast_bitwise() {
+        for (m, n, k, ta, tb, beta) in [
+            (20, 23, 19, Trans::No, Trans::No, 0.0f32),
+            (13, 17, 70, Trans::Yes, Trans::No, 1.0),
+            (33, 9, 40, Trans::No, Trans::Yes, 0.0),
+        ] {
+            let dims = GemmDims::new(m, n, k);
+            let a = pattern(m * k, 1);
+            let b = pattern(k * n, 2);
+            let c0 = pattern(m * n, 3);
+            let scheme = TilingScheme {
+                tile: TilePlan::choose(dims),
+                buffering: Buffering::Single,
+                broadcast: Broadcast::DmaReplicate,
+            };
+            let mut got = c0.clone();
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            gemm_with_scheme(
+                &mut cg,
+                dims,
+                ta,
+                tb,
+                beta,
+                scheme,
+                Some(GemmOperands {
+                    a: &a,
+                    b: &b,
+                    c: &mut got,
+                }),
+            );
+            let mut want = c0.clone();
+            let mut cg2 = CoreGroup::new(ExecMode::Functional);
+            gemm(
+                &mut cg2,
+                dims,
+                ta,
+                tb,
+                beta,
+                Some(GemmOperands {
+                    a: &a,
+                    b: &b,
+                    c: &mut want,
+                }),
+            );
+            // Same k-accumulation order => bitwise identical to the
+            // broadcast kernel, not merely close.
+            assert_eq!(got, want, "({m},{n},{k},{ta:?},{tb:?},beta={beta})");
+        }
+    }
+
+    #[test]
+    fn no_rlc_scheme_model_matches_mesh() {
+        let dims = GemmDims::new(128, 96, 160);
+        let plan = TilePlan::choose(dims);
+        let scheme = TilingScheme {
+            tile: plan,
+            buffering: Buffering::Single,
+            broadcast: Broadcast::DmaReplicate,
+        };
+        let a = pattern(dims.m * dims.k, 4);
+        let b = pattern(dims.k * dims.n, 5);
+        let mut c = vec![0.0f32; dims.m * dims.n];
+        let mut cg = CoreGroup::new(ExecMode::Functional);
+        let mesh = gemm_with_scheme(
+            &mut cg,
+            dims,
+            Trans::No,
+            Trans::No,
+            0.0,
+            scheme,
+            Some(GemmOperands {
+                a: &a,
+                b: &b,
+                c: &mut c,
+            }),
+        );
+        let model_t = time_model_no_rlc_scheme(dims, 0.0, plan);
+        let rel = (mesh.elapsed.seconds() - model_t.seconds()).abs() / mesh.elapsed.seconds();
+        assert!(
+            rel < 0.05,
+            "mesh {:.3}us vs model {:.3}us (rel {rel:.3})",
+            mesh.elapsed.micros(),
+            model_t.micros()
+        );
+        let model_s = stats_model_no_rlc(dims, 0.0, plan);
+        assert_eq!(mesh.stats.flops, model_s.flops, "flops");
+        assert_eq!(mesh.stats.rlc_messages, 0);
+        assert_eq!(mesh.stats.dma_get_bytes, model_s.dma_get_bytes, "get bytes");
+        assert_eq!(mesh.stats.dma_put_bytes, model_s.dma_put_bytes, "put bytes");
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible GEMM tiling scheme")]
+    fn infeasible_scheme_is_rejected_before_launch() {
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        let scheme = TilingScheme {
+            tile: TilePlan {
+                mt: 64,
+                nt: 64,
+                kt: 64,
+            },
+            buffering: Buffering::Single,
+            broadcast: Broadcast::RowCol,
+        };
+        gemm_with_scheme(
+            &mut cg,
+            GemmDims::new(512, 512, 512),
+            Trans::No,
+            Trans::No,
+            0.0,
+            scheme,
+            None,
+        );
     }
 
     #[test]
@@ -846,24 +1252,23 @@ pub fn gemm_double_buffered(
     beta: f32,
     ops: Option<GemmOperands<'_>>,
 ) -> LaunchReport {
-    let plan = TilePlan::choose(dims);
-    if !cg.mode().is_functional() {
-        let report = LaunchReport {
-            elapsed: time_model_double_buffered(dims, beta, plan),
-            stats: stats_model(dims, beta, plan),
-        };
-        cg.charge(report.elapsed);
-        return report;
-    }
-    let ops = ops.expect("functional GEMM requires operands");
-    assert_eq!(ops.a.len(), dims.m * dims.k, "A size");
-    assert_eq!(ops.b.len(), dims.k * dims.n, "B size");
-    assert_eq!(ops.c.len(), dims.m * dims.n, "C size");
-    if let swbackend::Path::Host { threads } = swbackend::dispatch(cg.mode()) {
-        crate::host::gemm(threads, dims, ta, tb, beta, ops.a, ops.b, ops.c);
-        return LaunchReport::default();
-    }
+    let scheme = TilingScheme {
+        tile: TilePlan::choose(dims),
+        buffering: Buffering::Double,
+        broadcast: Broadcast::RowCol,
+    };
+    gemm_with_scheme(cg, dims, ta, tb, beta, scheme, ops)
+}
 
+fn execute_mesh_db(
+    cg: &mut CoreGroup,
+    dims: GemmDims,
+    ta: Trans,
+    tb: Trans,
+    beta: f32,
+    plan: TilePlan,
+    ops: GemmOperands<'_>,
+) -> LaunchReport {
     let GemmDims { m, n, k } = dims;
     let TilePlan { mt, nt, kt } = plan;
     let panels_m = m.div_ceil(plan.panel_m());

@@ -35,11 +35,48 @@ pub fn channel_plan_applies(shape: &ConvShape) -> bool {
     img + line <= LDM_BUDGET
 }
 
+/// Data-movement strategy of the lowering kernels. [`Im2colStrategy::Auto`]
+/// is the size-adaptive default; the forced variants expose the choice to
+/// the `swtune` searcher as one more scheme axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Im2colStrategy {
+    /// Channel plan when the whole image fits the LDM budget, row plan
+    /// otherwise — the shipped heuristic.
+    Auto,
+    /// Force the whole-channel plan (infeasible on large images).
+    Channel,
+    /// Force the sliding-row plan (always feasible).
+    Row,
+}
+
+impl Im2colStrategy {
+    /// Whether this strategy runs the channel plan on `shape`.
+    pub fn channel(self, shape: &ConvShape) -> bool {
+        match self {
+            Im2colStrategy::Auto => channel_plan_applies(shape),
+            Im2colStrategy::Channel => true,
+            Im2colStrategy::Row => false,
+        }
+    }
+
+    /// Whether this strategy's working set fits LDM on `shape` — the
+    /// tuner's candidate filter (a forced channel plan can overflow).
+    pub fn applies(self, shape: &ConvShape) -> bool {
+        im2col_plan_with(shape, self).validate().is_ok()
+            && col2im_plan_with(shape, self).validate().is_ok()
+    }
+}
+
 /// Static LDM descriptor of the im2col kernel that `shape` selects:
 /// whole image + one output line for the channel plan, `K` input rows +
 /// one output row for the sliding-row plan.
 pub fn im2col_plan(shape: &ConvShape) -> KernelPlan {
-    if channel_plan_applies(shape) {
+    im2col_plan_with(shape, Im2colStrategy::Auto)
+}
+
+/// [`im2col_plan`] under an explicit strategy.
+pub fn im2col_plan_with(shape: &ConvShape, strategy: Im2colStrategy) -> KernelPlan {
+    if strategy.channel(shape) {
         KernelPlan::new("swdnn.im2col.channel", 64)
             .buffer("img", shape.in_h * shape.in_w * 4)
             .buffer("line", shape.out_h() * shape.out_w() * 4)
@@ -54,7 +91,12 @@ pub fn im2col_plan(shape: &ConvShape) -> KernelPlan {
 
 /// Static LDM descriptor of the col2im kernel that `shape` selects.
 pub fn col2im_plan(shape: &ConvShape) -> KernelPlan {
-    if channel_plan_applies(shape) {
+    col2im_plan_with(shape, Im2colStrategy::Auto)
+}
+
+/// [`col2im_plan`] under an explicit strategy.
+pub fn col2im_plan_with(shape: &ConvShape, strategy: Im2colStrategy) -> KernelPlan {
+    if strategy.channel(shape) {
         KernelPlan::new("swdnn.col2im.channel", 64)
             .buffer("acc", shape.in_h * shape.in_w * 4)
             .buffer("line", shape.out_h() * shape.out_w() * 4)
@@ -62,6 +104,13 @@ pub fn col2im_plan(shape: &ConvShape) -> KernelPlan {
         KernelPlan::new("swdnn.col2im.row", 64)
             .buffer("acc", shape.in_w * 4)
             .buffer("line", shape.out_w() * 4)
+    }
+}
+
+/// Panic with the typed shape diagnostic if `shape` is degenerate.
+fn guard_shape(shape: &ConvShape) {
+    if let Err(e) = shape.validate() {
+        panic!("swdnn.im2col rejected shape: {e}");
     }
 }
 
@@ -73,15 +122,26 @@ pub struct Im2colOperands<'a> {
     pub cols: &'a mut [f32],
 }
 
-/// Mesh im2col for one image.
+/// Mesh im2col for one image (size-adaptive strategy).
 pub fn im2col(
     cg: &mut CoreGroup,
     shape: &ConvShape,
     ops: Option<Im2colOperands<'_>>,
 ) -> LaunchReport {
+    im2col_with_strategy(cg, shape, Im2colStrategy::Auto, ops)
+}
+
+/// Mesh im2col for one image under an explicit strategy.
+pub fn im2col_with_strategy(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    strategy: Im2colStrategy,
+    ops: Option<Im2colOperands<'_>>,
+) -> LaunchReport {
+    guard_shape(shape);
     if !cg.mode().is_functional() {
         let report = LaunchReport {
-            elapsed: time_model_im2col(shape),
+            elapsed: time_model_im2col_with(shape, strategy),
             stats: Default::default(),
         };
         cg.charge(report.elapsed);
@@ -96,8 +156,8 @@ pub fn im2col(
     }
     let image = MemView::new(ops.image);
     let cols = MemViewMut::new(ops.cols);
-    let kplan = im2col_plan(shape);
-    if channel_plan_applies(shape) {
+    let kplan = im2col_plan_with(shape, strategy);
+    if strategy.channel(shape) {
         let shape = *shape;
         cg.run_planned(&kplan, move |cpe| {
             im2col_channel_plan(cpe, &shape, image, cols)
@@ -188,15 +248,26 @@ pub struct Col2imOperands<'a> {
     pub image: &'a mut [f32],
 }
 
-/// Mesh col2im for one image.
+/// Mesh col2im for one image (size-adaptive strategy).
 pub fn col2im(
     cg: &mut CoreGroup,
     shape: &ConvShape,
     ops: Option<Col2imOperands<'_>>,
 ) -> LaunchReport {
+    col2im_with_strategy(cg, shape, Im2colStrategy::Auto, ops)
+}
+
+/// Mesh col2im for one image under an explicit strategy.
+pub fn col2im_with_strategy(
+    cg: &mut CoreGroup,
+    shape: &ConvShape,
+    strategy: Im2colStrategy,
+    ops: Option<Col2imOperands<'_>>,
+) -> LaunchReport {
+    guard_shape(shape);
     if !cg.mode().is_functional() {
         let report = LaunchReport {
-            elapsed: time_model_col2im(shape),
+            elapsed: time_model_col2im_with(shape, strategy),
             stats: Default::default(),
         };
         cg.charge(report.elapsed);
@@ -211,8 +282,8 @@ pub fn col2im(
     }
     let cols = MemView::new(ops.cols);
     let image = MemViewMut::new(ops.image);
-    let kplan = col2im_plan(shape);
-    if channel_plan_applies(shape) {
+    let kplan = col2im_plan_with(shape, strategy);
+    if strategy.channel(shape) {
         let shape = *shape;
         cg.run_planned(&kplan, move |cpe| {
             col2im_channel_plan(cpe, &shape, cols, image)
@@ -299,9 +370,14 @@ fn col2im_channel_plan(cpe: &mut Cpe, shape: &ConvShape, cols: MemView<'_>, imag
 
 /// Closed-form duration of [`im2col`].
 pub fn time_model_im2col(shape: &ConvShape) -> SimTime {
+    time_model_im2col_with(shape, Im2colStrategy::Auto)
+}
+
+/// [`time_model_im2col`] under an explicit strategy.
+pub fn time_model_im2col_with(shape: &ConvShape, strategy: Im2colStrategy) -> SimTime {
     let (oh, ow) = (shape.out_h(), shape.out_w());
     let kk = shape.k;
-    let per_cpe_time = if channel_plan_applies(shape) {
+    let per_cpe_time = if strategy.channel(shape) {
         let per_channel = dma::continuous_time(shape.in_h * shape.in_w * 4, 64).seconds()
             + (kk * kk) as f64
                 * (crate::gemm_flop_time((oh * ow) as u64).seconds()
@@ -319,9 +395,14 @@ pub fn time_model_im2col(shape: &ConvShape) -> SimTime {
 
 /// Closed-form duration of [`col2im`].
 pub fn time_model_col2im(shape: &ConvShape) -> SimTime {
+    time_model_col2im_with(shape, Im2colStrategy::Auto)
+}
+
+/// [`time_model_col2im`] under an explicit strategy.
+pub fn time_model_col2im_with(shape: &ConvShape, strategy: Im2colStrategy) -> SimTime {
     let (oh, ow) = (shape.out_h(), shape.out_w());
     let kk = shape.k;
-    let per_cpe_time = if channel_plan_applies(shape) {
+    let per_cpe_time = if strategy.channel(shape) {
         let per_channel = (kk * kk) as f64
             * (dma::continuous_time(oh * ow * 4, 64).seconds()
                 + crate::gemm_flop_time((oh * ow) as u64).seconds())
@@ -499,6 +580,61 @@ mod tests {
     #[test]
     fn models_match_mesh_row_plan() {
         model_check(shape(1, 4, 130, 3, 1, 1), 0.15);
+    }
+
+    #[test]
+    fn forced_row_strategy_matches_auto_bitwise() {
+        // Small image: Auto picks the channel plan. Forcing the row plan
+        // must produce the identical column matrix (pure data movement).
+        let s = shape(1, 3, 8, 3, 1, 1);
+        assert!(channel_plan_applies(&s));
+        let image: Vec<f32> = (0..s.in_c * s.in_h * s.in_w)
+            .map(|i| ((i * 13) % 31) as f32 - 15.0)
+            .collect();
+        let run = |strategy| {
+            let mut cols = vec![f32::NAN; s.col_rows() * s.col_cols()];
+            let mut cg = CoreGroup::new(ExecMode::Functional);
+            im2col_with_strategy(
+                &mut cg,
+                &s,
+                strategy,
+                Some(Im2colOperands {
+                    image: &image,
+                    cols: &mut cols,
+                }),
+            );
+            cols
+        };
+        assert_eq!(run(Im2colStrategy::Row), run(Im2colStrategy::Auto));
+    }
+
+    #[test]
+    fn forced_channel_plan_is_infeasible_on_large_images() {
+        let big = shape(1, 3, 224, 3, 1, 1);
+        assert!(!Im2colStrategy::Channel.applies(&big));
+        assert!(Im2colStrategy::Row.applies(&big));
+        assert!(Im2colStrategy::Auto.applies(&big));
+        let small = shape(1, 16, 28, 3, 1, 1);
+        assert!(Im2colStrategy::Channel.applies(&small));
+    }
+
+    #[test]
+    #[should_panic(expected = "swdnn.im2col rejected shape")]
+    fn degenerate_shape_fails_with_typed_diagnostic() {
+        let mut s = shape(1, 3, 8, 3, 1, 1);
+        s.in_w = 0;
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        im2col(&mut cg, &s, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "swdnn.im2col rejected shape")]
+    fn oversized_window_fails_before_underflow() {
+        // k = 9 on an unpadded 4x4 image: out extents would underflow in
+        // the plan arithmetic; the typed guard must fire first.
+        let s = shape(1, 3, 4, 9, 1, 0);
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        col2im(&mut cg, &s, None);
     }
 
     #[test]

@@ -23,11 +23,16 @@ pub mod im2col;
 pub mod lrn;
 pub mod pool;
 pub mod reference;
+pub mod scheme;
 pub mod shapes;
 pub mod softmax;
 pub mod transform;
 
-pub use shapes::{ConvShape, GemmDims, PoolMethod, PoolShape, Trans};
+pub use conv_explicit::ExplicitSchemes;
+pub use conv_implicit::{ConvTiles, ImplicitPass};
+pub use im2col::Im2colStrategy;
+pub use scheme::{Broadcast, Buffering, TilingScheme};
+pub use shapes::{ConvShape, GemmDims, PoolMethod, PoolShape, ShapeError, Trans};
 
 use sw26010::arch::{CPE_DP_FLOPS_PER_CYCLE, KERNEL_COMPUTE_EFFICIENCY};
 use sw26010::SimTime;

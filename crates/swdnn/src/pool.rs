@@ -49,12 +49,22 @@ pub struct PoolBwdOperands<'a> {
     pub in_grad: &'a mut [f32],
 }
 
+/// Panic with the typed shape diagnostic if `shape` is degenerate —
+/// e.g. a zero window (underflows `oy_lo` in the backward scatter) or a
+/// window larger than the padded image.
+fn guard_shape(shape: &PoolShape) {
+    if let Err(e) = shape.validate() {
+        panic!("swdnn.pool rejected shape: {e}");
+    }
+}
+
 /// Pooling forward.
 pub fn forward(
     cg: &mut CoreGroup,
     shape: &PoolShape,
     ops: Option<PoolFwdOperands<'_>>,
 ) -> LaunchReport {
+    guard_shape(shape);
     if !cg.mode().is_functional() {
         let report = LaunchReport {
             elapsed: forward_time(shape),
@@ -176,6 +186,7 @@ pub fn backward(
     shape: &PoolShape,
     ops: Option<PoolBwdOperands<'_>>,
 ) -> LaunchReport {
+    guard_shape(shape);
     if !cg.mode().is_functional() {
         let report = LaunchReport {
             elapsed: backward_time(shape),
@@ -499,6 +510,42 @@ mod tests {
             mesh.elapsed.micros(),
             model.micros()
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "swdnn.pool rejected shape")]
+    fn zero_window_fails_with_typed_diagnostic() {
+        // k = 0 would underflow the backward scatter's `oy_lo` arithmetic
+        // (`saturating_sub(k - 1)` on usize); the typed guard fires first.
+        let s = PoolShape {
+            batch: 1,
+            channels: 1,
+            in_h: 8,
+            in_w: 8,
+            k: 0,
+            stride: 2,
+            pad: 0,
+            method: PoolMethod::Max,
+        };
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        backward(&mut cg, &s, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "swdnn.pool rejected shape")]
+    fn oversized_window_fails_with_typed_diagnostic() {
+        let s = PoolShape {
+            batch: 1,
+            channels: 1,
+            in_h: 4,
+            in_w: 4,
+            k: 7,
+            stride: 2,
+            pad: 0,
+            method: PoolMethod::Average,
+        };
+        let mut cg = CoreGroup::new(ExecMode::TimingOnly);
+        forward(&mut cg, &s, None);
     }
 
     #[test]

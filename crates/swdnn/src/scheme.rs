@@ -1,0 +1,174 @@
+//! Declarative tiling schemes for the CPE-mesh GEMM family.
+//!
+//! A [`TilingScheme`] bundles everything that used to be hard-wired into
+//! the kernels as `TilePlan::choose` + static constants: the LDM block
+//! extents (`mt`/`nt`/`kt`), the DMA staging depth (single vs
+//! double-buffered loads) and the register-communication pattern (row+col
+//! broadcasts vs per-CPE DMA replication). Kernels take the scheme as a
+//! value — [`crate::gemm::gemm_with_scheme`] — so the `swtune` searcher
+//! can enumerate the space, while the hand-picked defaults become just
+//! one point in it ([`TilingScheme::hand`]).
+//!
+//! Feasibility is part of the type's contract: [`TilingScheme::validate`]
+//! goes through the same [`KernelPlan::validate`] the launch path
+//! enforces, so an infeasible scheme is rejected with the named-buffer
+//! diagnostic in release builds — there is no `debug_assert!`-only path
+//! left.
+
+use sw26010::{KernelPlan, PlanViolation, SimTime, Stats};
+
+use crate::gemm::{self, TilePlan};
+use crate::shapes::GemmDims;
+
+/// DMA staging depth of the tile loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Buffering {
+    /// Synchronous loads: each K panel's tiles are fetched, then used.
+    Single,
+    /// Two staging pairs; the next panel's fetch overlaps this panel's
+    /// broadcast-and-accumulate steps (async DMA engine).
+    Double,
+}
+
+/// How tiles reach the CPEs that need them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Broadcast {
+    /// Row and column bus broadcasts (Fig. 3 / Principle 4): each element
+    /// of A and B is DMA-fetched once per panel pass.
+    RowCol,
+    /// No register communication: every CPE DMA-replicates the full A row
+    /// strip and B column strip itself (~8x the traffic). Kept in the
+    /// search space as an honest, runnable alternative — the searcher has
+    /// to *show* the broadcasts win rather than assume it.
+    DmaReplicate,
+}
+
+/// One point in the GEMM design space: block extents + strategy enums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingScheme {
+    pub tile: TilePlan,
+    pub buffering: Buffering,
+    pub broadcast: Broadcast,
+}
+
+impl TilingScheme {
+    /// The hand-picked plan every kernel shipped before the tuner: the
+    /// `TilePlan::choose` extents, synchronous loads, bus broadcasts.
+    pub fn hand(dims: GemmDims) -> TilingScheme {
+        TilingScheme {
+            tile: TilePlan::choose(dims),
+            buffering: Buffering::Single,
+            broadcast: Broadcast::RowCol,
+        }
+    }
+
+    /// The launch-metadata descriptor of the kernel this scheme selects.
+    pub fn kernel_plan(&self) -> KernelPlan {
+        match (self.broadcast, self.buffering) {
+            (Broadcast::RowCol, Buffering::Single) => gemm::kernel_plan(self.tile),
+            (Broadcast::RowCol, Buffering::Double) => gemm::kernel_plan_double_buffered(self.tile),
+            (Broadcast::DmaReplicate, _) => gemm::kernel_plan_no_rlc(self.tile),
+        }
+    }
+
+    /// Structural feasibility: positive extents and an LDM-fitting
+    /// working set for the *selected* kernel variant (double buffering
+    /// and DMA replication both cost more LDM than the base kernel).
+    pub fn validate(&self) -> Result<(), PlanViolation> {
+        if self.tile.mt == 0 || self.tile.nt == 0 || self.tile.kt == 0 {
+            return Err(PlanViolation::BadGeometry {
+                plan: self.kernel_plan().name,
+                n_cpes: 0,
+            });
+        }
+        self.kernel_plan().validate()
+    }
+
+    /// Predicted duration of [`crate::gemm::gemm_with_scheme`] under this
+    /// scheme — the cost model the autotuner searches with, identical to
+    /// what timing-only execution charges.
+    pub fn time_model(&self, dims: GemmDims, beta: f32) -> SimTime {
+        match (self.broadcast, self.buffering) {
+            (Broadcast::RowCol, Buffering::Single) => gemm::time_model(dims, beta, self.tile),
+            (Broadcast::RowCol, Buffering::Double) => {
+                gemm::time_model_double_buffered(dims, beta, self.tile)
+            }
+            (Broadcast::DmaReplicate, _) => gemm::time_model_no_rlc_scheme(dims, beta, self.tile),
+        }
+    }
+
+    /// Predicted counter totals under this scheme.
+    pub fn stats_model(&self, dims: GemmDims, beta: f32) -> Stats {
+        match self.broadcast {
+            Broadcast::RowCol => gemm::stats_model(dims, beta, self.tile),
+            Broadcast::DmaReplicate => gemm::stats_model_no_rlc(dims, beta, self.tile),
+        }
+    }
+
+    /// Compact display form, e.g. `16x24x32+db` or `8x8x8+norlc`.
+    pub fn label(&self) -> String {
+        let mut s = format!("{}x{}x{}", self.tile.mt, self.tile.nt, self.tile.kt);
+        if self.buffering == Buffering::Double {
+            s.push_str("+db");
+        }
+        if self.broadcast == Broadcast::DmaReplicate {
+            s.push_str("+norlc");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_scheme_is_feasible_for_extreme_dims() {
+        for dims in [
+            GemmDims::new(1, 1, 1),
+            GemmDims::new(4096, 4096, 4096),
+            GemmDims::new(64, 50176, 27),
+        ] {
+            TilingScheme::hand(dims).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn variant_feasibility_binds_at_different_extents() {
+        // A tile that fits the broadcast kernel can overflow the no-RLC
+        // kernel (8x strips) — validate() must see the variant.
+        let tile = TilePlan {
+            mt: 32,
+            nt: 32,
+            kt: 32,
+        };
+        let rowcol = TilingScheme {
+            tile,
+            buffering: Buffering::Single,
+            broadcast: Broadcast::RowCol,
+        };
+        rowcol.validate().unwrap();
+        let norlc = TilingScheme {
+            broadcast: Broadcast::DmaReplicate,
+            ..rowcol
+        };
+        assert!(matches!(
+            norlc.validate(),
+            Err(PlanViolation::LdmOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let s = TilingScheme {
+            tile: TilePlan {
+                mt: 16,
+                nt: 24,
+                kt: 32,
+            },
+            buffering: Buffering::Double,
+            broadcast: Broadcast::RowCol,
+        };
+        assert_eq!(s.label(), "16x24x32+db");
+    }
+}

@@ -1,5 +1,59 @@
 //! Shape descriptors shared by the kernel library.
 
+/// Why a layer shape was rejected. Kernel entry points check shapes
+/// *before* any output-extent arithmetic, so a degenerate configuration
+/// (zero-sized spatial dims, kernel larger than the padded input) fails
+/// with one of these instead of a usize underflow deep in an index
+/// computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// A dimension that must be positive is zero (`which` names it).
+    ZeroDim {
+        op: &'static str,
+        which: &'static str,
+    },
+    /// Kernel/window size or stride is zero.
+    ZeroKernelOrStride { op: &'static str },
+    /// The kernel/window does not fit inside the padded input, so the
+    /// output extent `(in + 2*pad - k)/stride + 1` would underflow.
+    KernelExceedsInput {
+        op: &'static str,
+        k: usize,
+        padded_h: usize,
+        padded_w: usize,
+    },
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::ZeroDim { op, which } => {
+                write!(f, "{op}: dimension `{which}` must be positive")
+            }
+            ShapeError::ZeroKernelOrStride { op } => {
+                write!(f, "{op}: kernel size and stride must be positive")
+            }
+            ShapeError::KernelExceedsInput {
+                op,
+                k,
+                padded_h,
+                padded_w,
+            } => write!(
+                f,
+                "{op}: kernel {k} larger than padded input {padded_h}x{padded_w}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl From<ShapeError> for String {
+    fn from(e: ShapeError) -> String {
+        e.to_string()
+    }
+}
+
 /// Dimensions of a GEMM `C (m x n) = A (m x k) * B (k x n)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GemmDims {
@@ -102,18 +156,33 @@ impl ConvShape {
             * (self.k * self.k) as u64
     }
 
-    /// Validate that the geometry is consistent.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate that the geometry is consistent. Every conv/im2col kernel
+    /// entry point calls this before touching output extents, so the
+    /// `out_h()`/`out_w()` subtraction can never underflow on a shape
+    /// that got past it.
+    pub fn validate(&self) -> Result<(), ShapeError> {
+        const OP: &str = "conv";
+        for (which, v) in [
+            ("batch", self.batch),
+            ("in_c", self.in_c),
+            ("in_h", self.in_h),
+            ("in_w", self.in_w),
+            ("out_c", self.out_c),
+        ] {
+            if v == 0 {
+                return Err(ShapeError::ZeroDim { op: OP, which });
+            }
+        }
         if self.k == 0 || self.stride == 0 {
-            return Err("kernel size and stride must be positive".into());
+            return Err(ShapeError::ZeroKernelOrStride { op: OP });
         }
         if self.in_h + 2 * self.pad < self.k || self.in_w + 2 * self.pad < self.k {
-            return Err(format!(
-                "kernel {} larger than padded input {}x{}",
-                self.k,
-                self.in_h + 2 * self.pad,
-                self.in_w + 2 * self.pad
-            ));
+            return Err(ShapeError::KernelExceedsInput {
+                op: OP,
+                k: self.k,
+                padded_h: self.in_h + 2 * self.pad,
+                padded_w: self.in_w + 2 * self.pad,
+            });
         }
         Ok(())
     }
@@ -157,6 +226,34 @@ impl PoolShape {
 
     pub fn output_len(&self) -> usize {
         self.batch * self.channels * self.out_h() * self.out_w()
+    }
+
+    /// Validate that the geometry is consistent (see
+    /// [`ConvShape::validate`] for the contract).
+    pub fn validate(&self) -> Result<(), ShapeError> {
+        const OP: &str = "pool";
+        for (which, v) in [
+            ("batch", self.batch),
+            ("channels", self.channels),
+            ("in_h", self.in_h),
+            ("in_w", self.in_w),
+        ] {
+            if v == 0 {
+                return Err(ShapeError::ZeroDim { op: OP, which });
+            }
+        }
+        if self.k == 0 || self.stride == 0 {
+            return Err(ShapeError::ZeroKernelOrStride { op: OP });
+        }
+        if self.in_h + 2 * self.pad < self.k || self.in_w + 2 * self.pad < self.k {
+            return Err(ShapeError::KernelExceedsInput {
+                op: OP,
+                k: self.k,
+                padded_h: self.in_h + 2 * self.pad,
+                padded_w: self.in_w + 2 * self.pad,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -245,6 +342,94 @@ mod tests {
             stride: 1,
             pad: 0,
         };
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(ShapeError::KernelExceedsInput { k: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_conv_shapes_are_typed_errors() {
+        let base = ConvShape {
+            batch: 2,
+            in_c: 3,
+            in_h: 8,
+            in_w: 8,
+            out_c: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        // 0-sized spatial dim.
+        let mut c = base;
+        c.in_h = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ShapeError::ZeroDim {
+                op: "conv",
+                which: "in_h"
+            })
+        );
+        // Zero batch / channels.
+        let mut c = base;
+        c.batch = 0;
+        assert!(matches!(c.validate(), Err(ShapeError::ZeroDim { .. })));
+        let mut c = base;
+        c.in_c = 0;
+        assert!(matches!(c.validate(), Err(ShapeError::ZeroDim { .. })));
+        // Zero stride.
+        let mut c = base;
+        c.stride = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(ShapeError::ZeroKernelOrStride { .. })
+        ));
+        // Stride larger than the extent is degenerate but well-defined:
+        // one output position.
+        let mut c = base;
+        c.stride = 50;
+        c.validate().unwrap();
+        assert_eq!((c.out_h(), c.out_w()), (1, 1));
+        // The error converts into the String the layer builders expect.
+        let mut c = base;
+        c.k = 0;
+        let as_string: String = c.validate().unwrap_err().into();
+        assert!(as_string.contains("kernel size and stride"), "{as_string}");
+    }
+
+    #[test]
+    fn degenerate_pool_shapes_are_typed_errors() {
+        let base = PoolShape {
+            batch: 1,
+            channels: 4,
+            in_h: 6,
+            in_w: 6,
+            k: 2,
+            stride: 2,
+            pad: 0,
+            method: PoolMethod::Max,
+        };
+        base.validate().unwrap();
+        let mut p = base;
+        p.in_w = 0;
+        assert_eq!(
+            p.validate(),
+            Err(ShapeError::ZeroDim {
+                op: "pool",
+                which: "in_w"
+            })
+        );
+        let mut p = base;
+        p.k = 9;
+        assert!(matches!(
+            p.validate(),
+            Err(ShapeError::KernelExceedsInput { .. })
+        ));
+        let mut p = base;
+        p.stride = 0;
+        assert!(matches!(
+            p.validate(),
+            Err(ShapeError::ZeroKernelOrStride { .. })
+        ));
     }
 }

@@ -87,12 +87,16 @@ impl ServeOutcome {
         v
     }
 
-    /// Nearest-rank percentile (`p` in 0..=100) of admitted latencies.
+    /// Nearest-rank percentile of admitted latencies. Degenerate inputs
+    /// have pinned results instead of relying on float-cast saturation:
+    /// an empty sample returns 0.0, `p` is clamped into `[0, 100]`, and
+    /// a NaN `p` reads as the minimum (p = 0).
     pub fn latency_percentile(&self, p: f64) -> f64 {
         let v = self.latencies();
         if v.is_empty() {
             return 0.0;
         }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
         v[idx.min(v.len() - 1)]
     }

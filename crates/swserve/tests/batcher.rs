@@ -154,3 +154,46 @@ fn serving_outcome_is_backend_independent() {
     }
     assert_eq!(outcomes[0].served.len() + outcomes[0].shed.len(), 120);
 }
+
+#[test]
+fn latency_percentile_edge_cases_are_pinned() {
+    use swserve::batcher::{ServeOutcome, ServedRequest};
+
+    // Empty sample: defined zero, for any p including NaN.
+    let empty = ServeOutcome::default();
+    assert_eq!(empty.latency_percentile(50.0), 0.0);
+    assert_eq!(empty.latency_percentile(f64::NAN), 0.0);
+
+    let serve = |lat: &[f64]| ServeOutcome {
+        served: lat
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ServedRequest {
+                id: i as u64,
+                arrival: 0.0,
+                dispatch: 0.0,
+                completion: *l,
+                replica: 0,
+            })
+            .collect(),
+        ..Default::default()
+    };
+
+    // Single sample: every percentile is that sample.
+    let single = serve(&[0.25]);
+    for p in [0.0, 37.5, 100.0, -10.0, 1e9, f64::NAN] {
+        assert_eq!(single.latency_percentile(p), 0.25, "p = {p}");
+    }
+
+    // p = 0 and p = 100 hit the exact extremes of the sorted sample.
+    let five = serve(&[0.5, 0.1, 0.4, 0.2, 0.3]);
+    assert_eq!(five.latency_percentile(0.0), 0.1);
+    assert_eq!(five.latency_percentile(100.0), 0.5);
+    assert_eq!(five.latency_percentile(50.0), 0.3);
+
+    // Out-of-range and NaN p clamp to the ends instead of relying on
+    // float-to-usize cast behaviour.
+    assert_eq!(five.latency_percentile(-5.0), 0.1);
+    assert_eq!(five.latency_percentile(250.0), 0.5);
+    assert_eq!(five.latency_percentile(f64::NAN), 0.1);
+}

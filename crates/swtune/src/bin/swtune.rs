@@ -1,0 +1,124 @@
+//! Regenerate or verify the committed tiling tune DB.
+//!
+//! ```text
+//! swtune [--seed N] [--out PATH]   # search and (re)write the DB
+//! swtune --check [--out PATH]      # regenerate and demand byte identity
+//! ```
+//!
+//! `--check` is the CI determinism gate: it re-runs the search with the
+//! seed recorded in the committed DB and fails unless the fresh render
+//! is byte-identical to the file on disk.
+
+use std::process::ExitCode;
+
+use swtune::{TuneDb, DEFAULT_SEED};
+
+const DEFAULT_OUT: &str = "docs/tune/tune_db.json";
+
+fn usage() -> ExitCode {
+    eprintln!("usage: swtune [--seed N] [--out PATH] [--check]");
+    ExitCode::FAILURE
+}
+
+fn summarize(db: &TuneDb) {
+    let mut wins = 0usize;
+    for layer in &db.layers {
+        let win = layer.is_win();
+        wins += win as usize;
+        let marker = if win { "tuned" } else { " hand" };
+        println!(
+            "conv{:4}  hand {:8.3}s  tuned {:8.3}s  ({:+6.1}%)  [{}]",
+            layer.name,
+            layer.hand_total(),
+            layer.tuned_total(),
+            100.0 * (layer.tuned_total() / layer.hand_total() - 1.0),
+            marker,
+        );
+        for p in layer.passes.iter() {
+            println!(
+                "          {:3}: {:24} {:10.4}s vs hand {:10.4}s ({} candidates)",
+                match p.pass {
+                    swdnn::ImplicitPass::Forward => "fwd",
+                    swdnn::ImplicitPass::BackwardWeights => "dw",
+                    swdnn::ImplicitPass::BackwardInput => "dx",
+                },
+                p.plan.label(),
+                p.tuned_seconds,
+                p.hand_seconds,
+                p.candidates,
+            );
+        }
+    }
+    println!(
+        "searched plans beat the hand blocking on {wins}/{} layers",
+        db.layers.len()
+    );
+}
+
+fn main() -> ExitCode {
+    let mut seed = DEFAULT_SEED;
+    let mut out = DEFAULT_OUT.to_string();
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => return usage(),
+            },
+            "--check" => check = true,
+            _ => return usage(),
+        }
+    }
+
+    if check {
+        let committed = match std::fs::read_to_string(&out) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("swtune --check: cannot read {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Re-search with the committed DB's own seed: byte identity then
+        // proves both determinism and seed-independence of the winners.
+        let recorded = match TuneDb::parse(&committed) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("swtune --check: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fresh = TuneDb::generate(recorded.seed);
+        if fresh.render() == committed {
+            println!(
+                "swtune --check: {out} is byte-identical to a fresh search (seed {})",
+                recorded.seed
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("swtune --check: {out} differs from a fresh search — regenerate it");
+            ExitCode::FAILURE
+        }
+    } else {
+        let db = TuneDb::generate(seed);
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("swtune: cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&out, db.render()) {
+            eprintln!("swtune: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        summarize(&db);
+        println!("wrote {out}");
+        ExitCode::SUCCESS
+    }
+}
