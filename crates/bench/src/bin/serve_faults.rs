@@ -1,0 +1,3 @@
+fn main() {
+    swcaffe_bench::runner::scenario_main("serve_faults");
+}

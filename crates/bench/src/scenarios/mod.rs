@@ -18,6 +18,7 @@ pub mod fig6_p2p;
 pub mod fig7_allreduce;
 pub mod fig8_alexnet_layers;
 pub mod fig9_vgg_layers;
+pub mod serve_faults;
 pub mod serve_qps;
 pub mod table1_specs;
 pub mod table2_conv;
@@ -36,12 +37,13 @@ pub struct Scenario {
 }
 
 /// Every scenario, in paper order (post-paper additions at the end).
-/// The `fast` subset covers the eight pillars: the DMA model (fig2),
+/// The `fast` subset covers the nine pillars: the DMA model (fig2),
 /// Algorithm 1 on one chip (fig5), the topology-aware all-reduce
 /// (fig7), the convolution engine (table2), the overlapped-
 /// communication mode (ablation_overlap), the fault-tolerance
 /// machinery (ablation_faults), the inference-serving stack
-/// (serve_qps) and the searched-tiling ablation (ablation_tune).
+/// (serve_qps), the searched-tiling ablation (ablation_tune) and the
+/// serving resilience layer (serve_faults).
 pub static SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "fig2_dma",
@@ -139,6 +141,12 @@ pub static SCENARIOS: &[Scenario] = &[
         fast: true,
         run: ablation_tune::run,
     },
+    Scenario {
+        name: "serve_faults",
+        about: "fault-tolerant serving under injected replica failures",
+        fast: true,
+        run: serve_faults::run,
+    },
 ];
 
 /// Look a scenario up by registry key.
@@ -180,7 +188,8 @@ mod tests {
                 "ablation_overlap",
                 "ablation_faults",
                 "serve_qps",
-                "ablation_tune"
+                "ablation_tune",
+                "serve_faults"
             ]
         );
     }

@@ -81,7 +81,9 @@ pub fn run(_args: &[String]) -> (String, Report) {
         let unopt_s = cg.elapsed().seconds();
 
         let mut cluster = Cluster::new(&graph, ExecMode::TimingOnly);
-        let opt_s = cluster.latency_seconds(spec.max_batch);
+        let opt_s = cluster
+            .latency_seconds(spec.max_batch)
+            .expect("graph builds");
 
         writeln!(out).unwrap();
         writeln!(
@@ -116,7 +118,7 @@ pub fn run(_args: &[String]) -> (String, Report) {
         write!(out, "  bucket latency:").unwrap();
         let mut b = 1;
         while b <= spec.max_batch {
-            let l = cluster.latency_seconds(b);
+            let l = cluster.latency_seconds(b).expect("graph builds");
             write!(out, "  b{b} {:.1} ms", l * 1e3).unwrap();
             report.real(&format!("{}.lat_b{b}_ms", spec.key), l * 1e3);
             b *= 2;
@@ -124,7 +126,9 @@ pub fn run(_args: &[String]) -> (String, Report) {
         writeln!(out).unwrap();
 
         // Serving sweep at fractions of nominal capacity.
-        let worst = cluster.latency_seconds(spec.max_batch);
+        let worst = cluster
+            .latency_seconds(spec.max_batch)
+            .expect("graph builds");
         let capacity = CORE_GROUPS as f64 * spec.max_batch as f64 / worst;
         let cfg = BatchConfig {
             max_batch: spec.max_batch,

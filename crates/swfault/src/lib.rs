@@ -24,6 +24,8 @@
 
 use std::fmt;
 
+pub mod serve;
+
 /// One declared fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultEvent {
@@ -63,8 +65,9 @@ pub struct FaultPlan {
     /// Maximum retransmissions per message before the collective gives
     /// up with [`CollectiveFault::RetriesExhausted`].
     max_retries: u32,
-    /// Base of the exponential retransmission backoff: attempt `k`
-    /// (1-based) waits `backoff_base_s * 2^(k-1)` before resending.
+    /// Base of the retransmission backoff: attempt `k` (1-based) waits a
+    /// decorrelated-jitter interval derived from the plan seed, bounded
+    /// below by `backoff_base_s` (see [`decorrelated_backoff_s`]).
     backoff_base_s: f64,
 }
 
@@ -220,7 +223,7 @@ impl std::error::Error for CollectiveFault {}
 
 /// SplitMix64 finalizer: a high-quality 64-bit mixer used to derive all
 /// per-message fault decisions from the plan seed.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -228,8 +231,36 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// Uniform in [0, 1) from a mixed key.
-fn unit(key: u64) -> f64 {
+pub(crate) fn unit(key: u64) -> f64 {
     (mix(key) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// How many multiples of the base interval the decorrelated-jitter
+/// backoff may grow to before it saturates.
+pub const BACKOFF_CAP_FACTOR: f64 = 1024.0;
+
+/// Decorrelated-jitter backoff (the AWS "decorrelated jitter" schedule):
+/// attempt `k` waits `min(cap, base + u_k * (3*prev - base))` where
+/// `u_k` is a uniform draw keyed on `(seed, key, k)`. Unlike the fixed
+/// exponential it replaces, simultaneous retries of different messages
+/// de-synchronise instead of hammering the wire in lockstep — yet the
+/// whole schedule stays a pure function of the plan seed and the
+/// message coordinates, so plans replay bit-identically.
+///
+/// The interval is computed iteratively from `sleep_0 = base`, so it is
+/// deterministic for every `(seed, key, attempt)` triple and bounded in
+/// `[base, base * BACKOFF_CAP_FACTOR]`.
+pub fn decorrelated_backoff_s(seed: u64, key: u64, base_s: f64, attempt: u32) -> f64 {
+    let cap = base_s * BACKOFF_CAP_FACTOR;
+    let mut sleep = base_s;
+    for k in 1..=attempt {
+        let draw = unit(
+            seed.wrapping_add(mix(key ^ 0x9e6c_63d0_876a_68de))
+                .wrapping_add(mix(u64::from(k).wrapping_mul(0xd6e8_feb8_6659_fd93))),
+        );
+        sleep = (base_s + draw * (3.0 * sleep - base_s)).min(cap);
+    }
+    sleep
 }
 
 /// A live walk over a [`FaultPlan`]. One session per training run; the
@@ -327,10 +358,16 @@ impl FaultSession {
         self.plan.max_retries
     }
 
-    /// Exponential backoff before retransmission attempt `attempt`
-    /// (1-based).
-    pub fn backoff_s(&self, attempt: u32) -> f64 {
-        self.plan.backoff_base_s * f64::from(1u32 << (attempt - 1).min(16))
+    /// Backoff before retransmission attempt `attempt` (1-based) of the
+    /// message `(src -> dst)` at `step` of collective `seq`: decorrelated
+    /// jitter derived from the plan seed and the message coordinates, so
+    /// concurrent retries spread out while every plan replays the exact
+    /// same schedule.
+    pub fn backoff_s(&self, seq: u64, step: usize, src: usize, dst: usize, attempt: u32) -> f64 {
+        let key = mix(seq.wrapping_mul(0x517c_c1b7_2722_0a95))
+            .wrapping_add(mix(step as u64 ^ 0xda94_2042_e4dd_58b5))
+            .wrapping_add(mix((src as u64) << 32 | dst as u64));
+        decorrelated_backoff_s(self.plan.seed, key, self.plan.backoff_base_s, attempt)
     }
 
     /// Is the message `(src -> dst)` of `step` within collective `seq`
@@ -532,6 +569,50 @@ mod tests {
         s.begin_iteration(10);
         assert_eq!(s.link_factor(2), 1.0);
         assert!(!s.perturbs_timing());
+    }
+
+    #[test]
+    fn backoff_is_jittered_deterministic_and_bounded() {
+        let plan = FaultPlan::new(77).backoff_base_s(50.0e-6);
+        let a = FaultSession::new(plan.clone());
+        let b = FaultSession::new(plan);
+        let base = 50.0e-6;
+        let mut distinct = std::collections::BTreeSet::new();
+        for attempt in 1..=6u32 {
+            for (seq, step, src, dst) in
+                [(0u64, 0usize, 0usize, 1usize), (3, 2, 5, 6), (9, 1, 7, 0)]
+            {
+                let s = a.backoff_s(seq, step, src, dst, attempt);
+                // Plan replay: a second session gives the same schedule.
+                assert_eq!(s, b.backoff_s(seq, step, src, dst, attempt));
+                assert!(
+                    (base..=base * BACKOFF_CAP_FACTOR).contains(&s),
+                    "backoff {s} out of [base, cap]"
+                );
+                distinct.insert(s.to_bits());
+            }
+        }
+        // Jitter actually decorrelates: different messages and attempts
+        // do not share one lockstep exponential ladder.
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct intervals",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn decorrelated_backoff_grows_from_base() {
+        // Attempt 0 is the base itself; later attempts never fall below
+        // it and are reproducible.
+        for seed in [1u64, 42, 0xdead_beef] {
+            assert_eq!(decorrelated_backoff_s(seed, 5, 1e-4, 0), 1e-4);
+            for attempt in 1..8 {
+                let s = decorrelated_backoff_s(seed, 5, 1e-4, attempt);
+                assert!((1e-4..=1e-4 * BACKOFF_CAP_FACTOR).contains(&s));
+                assert_eq!(s, decorrelated_backoff_s(seed, 5, 1e-4, attempt));
+            }
+        }
     }
 
     #[test]

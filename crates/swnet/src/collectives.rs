@@ -215,8 +215,8 @@ impl<'a> StepAccum<'a> {
     /// fault that aborted the collective mid-flight. Checksum
     /// retransmissions (detected by the receiver, replayed by the
     /// sender) are charged here: start-up + uncontended wire time +
-    /// exponential backoff per extra attempt, bounded by the retry
-    /// budget.
+    /// seeded decorrelated-jitter backoff per extra attempt, bounded by
+    /// the retry budget.
     fn step(&mut self, transfers: &[Transfer]) -> Result<usize, CollectiveFault> {
         self.elapsed += step_time_faulty(self.topo, self.params, transfers, self.faults.as_deref());
         let idx = self.steps;
@@ -247,7 +247,7 @@ impl<'a> StepAccum<'a> {
                         let retry = self.params.alpha(t.bytes)
                             + t.bytes as f64 * self.params.beta1
                                 / self.params.collective_efficiency
-                            + f.backoff_s(attempt);
+                            + f.backoff_s(self.seq, idx, t.src, t.dst, attempt);
                         f.report.retry_cost_s += retry;
                         self.elapsed += SimTime::from_seconds(retry);
                         self.total_bytes += t.bytes as u64;

@@ -22,8 +22,10 @@
 
 pub mod compare;
 pub mod report;
+pub mod serve;
 
 pub use compare::{compare, Drift, DriftKind, Tolerance, DEFAULT_TIMING_REL_TOL};
 pub use report::{
     Bound, KernelRecord, Metric, MetricValue, PhaseTiming, Report, StatsSnap, SCHEMA_VERSION,
 };
+pub use serve::ServeHealthCounters;

@@ -16,6 +16,8 @@ use std::collections::VecDeque;
 
 use swcaffe_core::rng::SplitMix64;
 
+use crate::error::ServeError;
+
 /// Dynamic-batching configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchConfig {
@@ -35,6 +37,10 @@ pub struct Request {
     pub id: u64,
     /// Arrival time on the virtual clock (seconds).
     pub arrival: f64,
+    /// Priority tier: higher keeps service longer under brown-out.
+    /// Tier 0 (the default) is the first traffic shed when the
+    /// resilience layer's capacity-loss policy escalates to shedding.
+    pub tier: u8,
 }
 
 /// An admitted request with its simulated life cycle.
@@ -126,15 +132,27 @@ impl ServeOutcome {
 }
 
 /// Seeded open-loop Poisson arrival trace: `n` requests at `qps`
-/// expected arrivals per second.
+/// expected arrivals per second, all tier 0.
 pub fn poisson_trace(seed: u64, qps: f64, n: usize) -> Vec<Request> {
+    poisson_trace_tiered(seed, qps, n, &[0])
+}
+
+/// Seeded open-loop Poisson arrival trace with priority tiers assigned
+/// round-robin from `tiers` (deterministic in the seed and the tier
+/// list), for exercising the brown-out policy's tiered shedding.
+pub fn poisson_trace_tiered(seed: u64, qps: f64, n: usize, tiers: &[u8]) -> Vec<Request> {
     assert!(qps > 0.0, "qps must be positive");
+    assert!(!tiers.is_empty(), "need at least one tier");
     let mut rng = SplitMix64::new(seed);
     let mut t = 0.0f64;
     (0..n as u64)
         .map(|id| {
             t += -rng.next_f64_open0().ln() / qps;
-            Request { id, arrival: t }
+            Request {
+                id,
+                arrival: t,
+                tier: tiers[(id as usize) % tiers.len()],
+            }
         })
         .collect()
 }
@@ -147,20 +165,21 @@ pub fn simulate(
     replicas: usize,
     cfg: &BatchConfig,
     latency: &mut dyn FnMut(usize) -> f64,
-) -> Result<ServeOutcome, String> {
+) -> Result<ServeOutcome, ServeError> {
     if replicas == 0 {
-        return Err("need at least one replica".into());
+        return Err(ServeError::NoReplicas);
     }
     if cfg.max_batch == 0 {
-        return Err("max_batch must be at least 1".into());
+        return Err(ServeError::ZeroMaxBatch);
     }
     let worst = latency(cfg.max_batch);
     let budget = cfg.slo - worst;
     if budget < 0.0 {
-        return Err(format!(
-            "SLO {:.6}s infeasible: a full batch of {} takes {:.6}s",
-            cfg.slo, cfg.max_batch, worst
-        ));
+        return Err(ServeError::InfeasibleSlo {
+            slo: cfg.slo,
+            max_batch: cfg.max_batch,
+            worst,
+        });
     }
     let mut requests: Vec<Request> = trace.to_vec();
     requests.sort_by(|a, b| {

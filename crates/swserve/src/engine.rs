@@ -8,10 +8,14 @@
 //! Latency estimates always come from a `TimingOnly` twin — identical
 //! across value backends, which is what makes the batcher's virtual
 //! clock backend-independent.
+//!
+//! Every fallible path returns a typed [`ServeError`] value — injected
+//! faults and malformed inputs surface as data, never as aborts.
 
 use sw26010::{CoreGroup, ExecMode, SimTime};
 use swcaffe_core::{Net, Phase};
 
+use crate::error::ServeError;
 use crate::graph::{def_with_batch, FrozenGraph};
 
 /// Round a batch size up to its serving bucket (next power of two).
@@ -51,60 +55,58 @@ impl Engine {
 
     /// Simulated seconds one forward pass of `batch` images takes,
     /// evaluated at the batch's bucket on the `TimingOnly` twin and
-    /// memoized per bucket.
-    pub fn latency_seconds(&mut self, batch: usize) -> f64 {
+    /// memoized per bucket. Fails with [`ServeError::Graph`] if the
+    /// frozen def no longer builds at that bucket.
+    pub fn latency_seconds(&mut self, batch: usize) -> Result<f64, ServeError> {
         let b = bucket(batch);
         if let Some(&(_, s)) = self.latencies.iter().find(|(k, _)| *k == b) {
-            return s;
+            return Ok(s);
         }
         let def = def_with_batch(&self.graph.def, b);
-        let mut net = Net::from_def_mode(&def, ExecMode::TimingOnly)
-            .expect("frozen def must build in timing mode");
+        let mut net = Net::from_def_mode(&def, ExecMode::TimingOnly).map_err(ServeError::Graph)?;
         net.set_phase(Phase::Test);
         let before = self.timing_cg.elapsed();
         net.forward(&mut self.timing_cg);
         let s = (self.timing_cg.elapsed() - before).seconds();
         self.latencies.push((b, s));
-        s
+        Ok(s)
     }
 
     /// [`Engine::latency_seconds`] as a [`SimTime`].
-    pub fn latency(&mut self, batch: usize) -> SimTime {
-        SimTime::from_seconds(self.latency_seconds(batch))
+    pub fn latency(&mut self, batch: usize) -> Result<SimTime, ServeError> {
+        Ok(SimTime::from_seconds(self.latency_seconds(batch)?))
     }
 
     /// Run `batch` images (row-major, `graph.per_image` floats each)
     /// through the frozen graph and return their output rows. Pads the
     /// batch with zero rows up to its bucket. Requires a functional
     /// backend (`Sw26010` functional or `HostNative`).
-    pub fn infer(&mut self, batch: usize, input: &[f32]) -> Result<Vec<f32>, String> {
+    pub fn infer(&mut self, batch: usize, input: &[f32]) -> Result<Vec<f32>, ServeError> {
         if !self.mode.is_functional() {
-            return Err(format!(
-                "Engine::infer requires a functional backend, got {:?}",
-                self.mode
-            ));
+            return Err(ServeError::NonFunctionalBackend { mode: self.mode });
         }
         let per = self.graph.per_image;
         if input.len() != batch * per {
-            return Err(format!(
-                "input length {} != batch {batch} x per-image {per}",
-                input.len()
-            ));
+            return Err(ServeError::InputShape {
+                got: input.len(),
+                batch,
+                per_image: per,
+            });
         }
         let b = bucket(batch);
-        if !self.nets.iter().any(|(k, _)| *k == b) {
-            let def = def_with_batch(&self.graph.def, b);
-            let mut net = Net::from_def_mode(&def, self.mode)?;
-            net.set_phase(Phase::Test);
-            net.load_layer_snapshots(&self.graph.weights)?;
-            self.nets.push((b, net));
-        }
-        let net = &mut self
-            .nets
-            .iter_mut()
-            .find(|(k, _)| *k == b)
-            .expect("just inserted")
-            .1;
+        let idx = match self.nets.iter().position(|(k, _)| *k == b) {
+            Some(i) => i,
+            None => {
+                let def = def_with_batch(&self.graph.def, b);
+                let mut net = Net::from_def_mode(&def, self.mode).map_err(ServeError::Graph)?;
+                net.set_phase(Phase::Test);
+                net.load_layer_snapshots(&self.graph.weights)
+                    .map_err(ServeError::Snapshot)?;
+                self.nets.push((b, net));
+                self.nets.len() - 1
+            }
+        };
+        let net = &mut self.nets[idx].1;
         let mut padded = vec![0.0f32; b * per];
         padded[..input.len()].copy_from_slice(input);
         net.set_input(&self.graph.input, &padded);
@@ -114,4 +116,23 @@ impl Engine {
         let per_out = data.len() / b;
         Ok(data[..batch * per_out].to_vec())
     }
+
+    /// [`Engine::infer`], stamped with the Fletcher-64 checksum of the
+    /// response payload — the integrity tag the cluster's health state
+    /// machine verifies on every reply, so a response corrupted in
+    /// flight is detected (and retried) instead of handed to a client.
+    pub fn infer_checked(
+        &mut self,
+        batch: usize,
+        input: &[f32],
+    ) -> Result<(Vec<f32>, u64), ServeError> {
+        let out = self.infer(batch, input)?;
+        let tag = swfault::checksum(&out);
+        Ok((out, tag))
+    }
+}
+
+/// Verify a response payload against its Fletcher-64 tag.
+pub fn verify_response(payload: &[f32], tag: u64) -> bool {
+    swfault::checksum(payload) == tag
 }

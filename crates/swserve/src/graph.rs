@@ -82,6 +82,21 @@ pub struct FrozenGraph {
 }
 
 impl FrozenGraph {
+    /// Bytes of the frozen weight/state payload (f32 elements × 4) — the
+    /// read-back a crashed replica pays to re-warm from its snapshot,
+    /// priced with the same striped-filesystem model as training
+    /// checkpoint restore.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.weights
+            .iter()
+            .map(|s| {
+                let elems: usize = s.params.iter().map(Vec::len).sum::<usize>()
+                    + s.state.iter().map(Vec::len).sum::<usize>();
+                elems as u64 * 4
+            })
+            .sum()
+    }
+
     /// Freeze `net`'s weights against its definition and optimize the
     /// graph for inference. `net` must have been built from `def`.
     pub fn freeze(def: &NetDef, net: &Net) -> Result<FrozenGraph, String> {

@@ -119,7 +119,11 @@ fn infeasible_slo_is_rejected() {
         timeout: 0.001,
     };
     let err = simulate(&trace, 2, &cfg, &mut model_latency).unwrap_err();
-    assert!(err.contains("infeasible"), "unexpected error: {err}");
+    assert!(
+        matches!(err, swserve::ServeError::InfeasibleSlo { .. }),
+        "unexpected error: {err}"
+    );
+    assert!(err.to_string().contains("infeasible"));
 }
 
 /// Cluster-level determinism across functional backends: the virtual
@@ -139,7 +143,7 @@ fn serving_outcome_is_backend_independent() {
         ExecMode::TimingOnly,
     ] {
         let mut cluster = Cluster::new(&graph, mode);
-        let worst = cluster.latency_seconds(8);
+        let worst = cluster.latency_seconds(8).unwrap();
         let cfg = BatchConfig {
             max_batch: 8,
             slo: 4.0 * worst,

@@ -263,7 +263,7 @@ fn optimized_vgg_is_smaller_and_faster() {
     let unoptimized = cg.elapsed().seconds();
 
     let mut engine = Engine::new(graph, ExecMode::TimingOnly);
-    let optimized = engine.latency_seconds(batch);
+    let optimized = engine.latency_seconds(batch).unwrap();
     assert!(
         optimized < unoptimized,
         "optimized VGG latency {optimized} !< unoptimized {unoptimized}"
