@@ -14,6 +14,7 @@ pub mod blob;
 pub mod filler;
 pub mod layer;
 pub mod layers;
+pub mod lint;
 pub mod models;
 pub mod net;
 pub mod netdef;
@@ -23,6 +24,7 @@ pub mod solver;
 
 pub use blob::Blob;
 pub use layer::{Layer, Phase};
+pub use lint::{infer_shapes, lint_def, GraphViolation};
 pub use net::{GradReady, LayerOp, LayerSnapshot, LayerTimes, Net};
 pub use netdef::{ConvFormat, LayerDef, LayerKind, NetDef, PoolKind, TransDir};
 pub use solver::{LrPolicy, SgdSolver, SolverConfig};

@@ -100,6 +100,10 @@ impl Net {
     /// per replica/run without touching the definition.
     pub fn from_def_seeded(def: &NetDef, materialize: bool, base_seed: u64) -> Result<Net, String> {
         def.validate()?;
+        // Static shape inference up front: a malformed definition is
+        // rejected with a typed, layer-anchored error here instead of a
+        // panic (or a late setup error) deep inside layer construction.
+        crate::lint::infer_shapes(def).map_err(|v| format!("net lint: {v}"))?;
         let mut net = Net {
             name: def.name.clone(),
             def: def.clone(),

@@ -21,12 +21,19 @@
 //! [`report`] serializes findings as deterministic `swjson` documents
 //! for CI artifacts.
 
+pub mod comm;
+pub mod graph;
 pub mod lint;
 pub mod report;
 pub mod sanitize;
 pub mod suite;
 
+pub use comm::{check_schedule, check_spec, CheckMode, CommOutcome, CommViolation};
+pub use graph::{check_model_zoo, check_net_def, GraphOutcome};
 pub use lint::{conv_shape_plans, lint_benchmark_sweep, lint_plans, LintOutcome};
-pub use report::{report_json, violation_json, violations_json};
+pub use report::{
+    comm_report_json, comm_violation_json, graph_report_json, report_json, violation_json,
+    violations_json,
+};
 pub use sanitize::{check_trace, check_trace_against_plan, check_traces, Violation, ViolationKind};
 pub use suite::{drive_kernel_zoo, run_suite, summarize, SuiteOutcome};

@@ -3,6 +3,8 @@
 
 use swjson::{obj, Json};
 
+use crate::comm::{CommOutcome, CommViolation};
+use crate::graph::GraphOutcome;
 use crate::lint::LintOutcome;
 use crate::sanitize::{Violation, ViolationKind};
 use crate::suite::SuiteOutcome;
@@ -79,6 +81,87 @@ pub fn report_json(suite: &SuiteOutcome, lint: &LintOutcome, overhead_ratio: Opt
         suite.violations.is_empty() && lint.rejected.is_empty(),
     )
     .build()
+}
+
+/// One collective-schedule violation as a JSON object.
+pub fn comm_violation_json(v: &CommViolation) -> Json {
+    obj()
+        .field("kind", v.kind())
+        .field("message", v.to_string())
+        .build()
+}
+
+/// The `--comm` pass as one JSON document: one case per checked
+/// configuration with its mode, size, and violations.
+pub fn comm_report_json(outcomes: &[(String, CommOutcome, f64)]) -> Json {
+    let cases = Json::Arr(
+        outcomes
+            .iter()
+            .map(|(label, out, secs)| {
+                obj()
+                    .field("case", label.as_str())
+                    .field("algorithm", format!("{:?}", out.algo))
+                    .field("nodes", out.nodes as i64)
+                    .field("supernode_size", out.supernode_size as i64)
+                    .field("mode", out.mode.to_string())
+                    .field("steps", out.steps as i64)
+                    .field("ops", out.ops as i64)
+                    .field("seconds", *secs)
+                    .field(
+                        "violations",
+                        Json::Arr(out.violations.iter().map(comm_violation_json).collect()),
+                    )
+                    .field("clean", out.is_clean())
+                    .build()
+            })
+            .collect(),
+    );
+    obj()
+        .field("tool", "swcheck")
+        .field("pass", "comm")
+        .field("cases", cases)
+        .field("clean", outcomes.iter().all(|(_, out, _)| out.is_clean()))
+        .build()
+}
+
+/// The `--graph` pass as one JSON document: one case per linted net
+/// definition (raw and post-fusion).
+pub fn graph_report_json(outcomes: &[GraphOutcome]) -> Json {
+    let cases = Json::Arr(
+        outcomes
+            .iter()
+            .map(|out| {
+                let mut b = obj()
+                    .field("case", out.name.as_str())
+                    .field("layers", out.layers as i64)
+                    .field(
+                        "violations",
+                        Json::Arr(
+                            out.violations
+                                .iter()
+                                .map(|v| {
+                                    obj()
+                                        .field("kind", v.kind())
+                                        .field("layer", v.layer())
+                                        .field("message", v.to_string())
+                                        .build()
+                                })
+                                .collect(),
+                        ),
+                    );
+                if let Some(e) = &out.error {
+                    b = b.field("error", e.as_str());
+                }
+                b.field("clean", out.is_clean()).build()
+            })
+            .collect(),
+    );
+    obj()
+        .field("tool", "swcheck")
+        .field("pass", "graph")
+        .field("cases", cases)
+        .field("clean", outcomes.iter().all(GraphOutcome::is_clean))
+        .build()
 }
 
 #[cfg(test)]

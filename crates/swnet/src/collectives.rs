@@ -21,6 +21,7 @@ use sw26010::SimTime;
 use swfault::{CollectiveFault, FaultSession};
 
 use crate::cost::{step_time_faulty, NetParams, Transfer};
+use crate::schedule::CommSpec;
 use crate::topology::{RankMap, Topology};
 
 /// All-reduce algorithm selector.
@@ -40,27 +41,6 @@ pub struct AllreduceReport {
     pub cross_bytes: u64,
     /// Total bytes moved.
     pub total_bytes: u64,
-}
-
-/// Balanced block partition of `n` elements into `p` blocks.
-fn block_range(n: usize, p: usize, b: usize) -> (usize, usize) {
-    let base = n / p;
-    let rem = n % p;
-    let lo = b * base + b.min(rem);
-    let hi = lo + base + usize::from(b < rem);
-    (lo, hi)
-}
-
-fn blocks_span(n: usize, p: usize, lo_b: usize, hi_b: usize) -> (usize, usize) {
-    (block_range(n, p, lo_b).0, block_range(n, p, hi_b - 1).1)
-}
-
-/// Intersect a half-open element span with the active segment, collapsing
-/// disjoint pairs to an empty span.
-fn clamp_span(span: (usize, usize), seg: (usize, usize)) -> (usize, usize) {
-    let lo = span.0.max(seg.0);
-    let hi = span.1.min(seg.1);
-    (lo, lo.max(hi))
 }
 
 /// In-simulation all-reduce (sum) over `p = topo.nodes` buffers of `elems`
@@ -172,12 +152,77 @@ pub fn allreduce_segment_ft(
     } else {
         0
     };
-    let seg = (segment.start, segment.end);
-    match algo {
-        Algorithm::Ring => ring(topo, params, map, total_elems, seg, data, faults, seq),
-        Algorithm::Binomial => binomial(topo, params, map, seg, data, faults, seq),
-        Algorithm::RecursiveHalvingDoubling => rhd(topo, params, map, seg, data, faults, seq),
+    if matches!(
+        algo,
+        Algorithm::RecursiveHalvingDoubling | Algorithm::Binomial
+    ) {
+        assert!(
+            p.is_power_of_two(),
+            "{} needs a power-of-two node count",
+            match algo {
+                Algorithm::Binomial => "binomial tree",
+                _ => "recursive halving/doubling",
+            }
+        );
     }
+    let spec = CommSpec::new(*topo, map, algo, total_elems, segment)
+        .expect("validated configuration must schedule");
+    run_schedule(&spec, params, data, faults, seq)
+}
+
+/// Execute a collective from its symbolic schedule: every step's
+/// transfers (for the cost model) and messages (for the functional path)
+/// are built from the per-rank op lists [`CommSpec`] derives in closed
+/// form, so the runtime and the `swcheck::comm` static verifier share one
+/// schedule by construction. Ops expand in ascending-rank order with
+/// sends first — the byte-accounting order the blessed bench baselines
+/// were recorded under.
+fn run_schedule(
+    spec: &CommSpec,
+    params: &NetParams,
+    mut data: Option<&mut [Vec<f32>]>,
+    faults: Option<&mut FaultSession>,
+    seq: u64,
+) -> Result<AllreduceReport, CollectiveFault> {
+    let topo = &spec.topo;
+    let map = spec.map;
+    let chunks = spec.chunk_table();
+    let mut acc = StepAccum::new(topo, params, faults, seq);
+    let mut ops = Vec::new();
+    for step in 0..spec.num_steps() {
+        ops.clear();
+        spec.expand_step_into(step, &mut ops);
+        let mut transfers = Vec::with_capacity(ops.len() / 2 + 1);
+        let mut msgs: Vec<Msg> = Vec::new();
+        for op in ops.iter().filter(|o| o.is_send) {
+            let (lo, hi) = CommSpec::elem_span(&chunks, op.chunks);
+            let bytes = (hi - lo) * 4;
+            let src_phys = map.physical(topo, op.rank);
+            let dst_phys = map.physical(topo, op.peer);
+            transfers.push(Transfer {
+                src: src_phys,
+                dst: dst_phys,
+                bytes,
+                reduce_bytes: if op.reduce { bytes } else { 0 },
+            });
+            if let Some(d) = data.as_deref() {
+                if hi > lo {
+                    msgs.push((
+                        src_phys,
+                        dst_phys,
+                        lo..hi,
+                        d[src_phys][lo..hi].to_vec(),
+                        op.reduce,
+                    ));
+                }
+            }
+        }
+        let si = acc.step(&transfers)?;
+        if let Some(d) = data.as_deref_mut() {
+            deliver(d, msgs, acc.faults(), seq, si);
+        }
+    }
+    Ok(acc.finish())
 }
 
 struct StepAccum<'a> {
@@ -334,296 +379,6 @@ fn receive(
         attempt += 1;
     }
     payload
-}
-
-#[allow(clippy::too_many_arguments)]
-fn rhd(
-    topo: &Topology,
-    params: &NetParams,
-    map: RankMap,
-    seg: (usize, usize),
-    mut data: Option<&mut [Vec<f32>]>,
-    faults: Option<&mut FaultSession>,
-    seq: u64,
-) -> Result<AllreduceReport, CollectiveFault> {
-    let p = topo.nodes;
-    assert!(
-        p.is_power_of_two(),
-        "recursive halving/doubling needs a power-of-two node count"
-    );
-    // The segment is partitioned into its own p balanced blocks (for the
-    // monolithic call the segment IS the whole buffer, so nothing
-    // changes). Element placement does not affect the bits: every
-    // element's partial sums combine along the same rank-pairing tree,
-    // only the operand sides swap, and IEEE addition commutes.
-    let (base, seg_hi) = seg;
-    let n = seg_hi - base;
-    let mut acc = StepAccum::new(topo, params, faults, seq);
-    // Per logical rank: current block range [lo, hi).
-    let mut range: Vec<(usize, usize)> = vec![(0, p); p];
-
-    // Reduce-scatter by recursive halving.
-    let mut mask = p / 2;
-    while mask >= 1 {
-        let mut transfers = Vec::with_capacity(p);
-        let mut msgs: Vec<Msg> = Vec::new();
-        for (r, rng) in range.iter_mut().enumerate() {
-            let partner = r ^ mask;
-            let (lo, hi) = *rng;
-            let mid = lo + (hi - lo) / 2;
-            // Lower-half ranks keep [lo, mid) and send [mid, hi).
-            let (keep, send) = if r & mask == 0 {
-                ((lo, mid), (mid, hi))
-            } else {
-                ((mid, hi), (lo, mid))
-            };
-            let (slo, shi) = blocks_span(n, p, send.0, send.1);
-            let (slo, shi) = (base + slo, base + shi);
-            let bytes = (shi - slo) * 4;
-            let src_phys = map.physical(topo, r);
-            let dst_phys = map.physical(topo, partner);
-            transfers.push(Transfer {
-                src: src_phys,
-                dst: dst_phys,
-                bytes,
-                reduce_bytes: bytes,
-            });
-            if let Some(d) = data.as_deref() {
-                if shi > slo {
-                    msgs.push((
-                        src_phys,
-                        dst_phys,
-                        slo..shi,
-                        d[src_phys][slo..shi].to_vec(),
-                        true,
-                    ));
-                }
-            }
-            *rng = keep;
-        }
-        let si = acc.step(&transfers)?;
-        if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs, acc.faults(), seq, si);
-        }
-        mask /= 2;
-    }
-
-    // Allgather by recursive doubling.
-    let mut mask = 1;
-    while mask < p {
-        let snap = range.clone();
-        let mut transfers = Vec::with_capacity(p);
-        let mut msgs: Vec<Msg> = Vec::new();
-        for r in 0..p {
-            let partner = r ^ mask;
-            let (lo, hi) = snap[r];
-            let (slo, shi) = blocks_span(n, p, lo, hi);
-            let (slo, shi) = (base + slo, base + shi);
-            let bytes = (shi - slo) * 4;
-            let src_phys = map.physical(topo, r);
-            let dst_phys = map.physical(topo, partner);
-            transfers.push(Transfer {
-                src: src_phys,
-                dst: dst_phys,
-                bytes,
-                reduce_bytes: 0,
-            });
-            if let Some(d) = data.as_deref() {
-                if shi > slo {
-                    msgs.push((
-                        src_phys,
-                        dst_phys,
-                        slo..shi,
-                        d[src_phys][slo..shi].to_vec(),
-                        false,
-                    ));
-                }
-            }
-            // Union with the partner's (adjacent, equal-sized) range.
-            range[r] = (lo.min(snap[partner].0), hi.max(snap[partner].1));
-        }
-        let si = acc.step(&transfers)?;
-        if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs, acc.faults(), seq, si);
-        }
-        mask *= 2;
-    }
-    debug_assert!(range.iter().all(|&(lo, hi)| lo == 0 && hi == p));
-    Ok(acc.finish())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn ring(
-    topo: &Topology,
-    params: &NetParams,
-    map: RankMap,
-    elems: usize,
-    seg: (usize, usize),
-    mut data: Option<&mut [Vec<f32>]>,
-    faults: Option<&mut FaultSession>,
-    seq: u64,
-) -> Result<AllreduceReport, CollectiveFault> {
-    let p = topo.nodes;
-    let mut acc = StepAccum::new(topo, params, faults, seq);
-    // Reduce-scatter: at step k, rank r sends block (r - k) mod p to r+1.
-    for k in 0..p - 1 {
-        let mut transfers = Vec::with_capacity(p);
-        let mut msgs: Vec<Msg> = Vec::new();
-        for r in 0..p {
-            let b = (r + p - k) % p;
-            let (lo, hi) = clamp_span(block_range(elems, p, b), seg);
-            let bytes = (hi - lo) * 4;
-            let src_phys = map.physical(topo, r);
-            let dst_phys = map.physical(topo, (r + 1) % p);
-            transfers.push(Transfer {
-                src: src_phys,
-                dst: dst_phys,
-                bytes,
-                reduce_bytes: bytes,
-            });
-            if let Some(d) = data.as_deref() {
-                if hi > lo {
-                    msgs.push((
-                        src_phys,
-                        dst_phys,
-                        lo..hi,
-                        d[src_phys][lo..hi].to_vec(),
-                        true,
-                    ));
-                }
-            }
-        }
-        let si = acc.step(&transfers)?;
-        if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs, acc.faults(), seq, si);
-        }
-    }
-    // Allgather: rank r now owns block (r + 1) mod p fully reduced.
-    for k in 0..p - 1 {
-        let mut transfers = Vec::with_capacity(p);
-        let mut msgs: Vec<Msg> = Vec::new();
-        for r in 0..p {
-            let b = (r + 1 + p - k) % p;
-            let (lo, hi) = clamp_span(block_range(elems, p, b), seg);
-            let bytes = (hi - lo) * 4;
-            let src_phys = map.physical(topo, r);
-            let dst_phys = map.physical(topo, (r + 1) % p);
-            transfers.push(Transfer {
-                src: src_phys,
-                dst: dst_phys,
-                bytes,
-                reduce_bytes: 0,
-            });
-            if let Some(d) = data.as_deref() {
-                if hi > lo {
-                    msgs.push((
-                        src_phys,
-                        dst_phys,
-                        lo..hi,
-                        d[src_phys][lo..hi].to_vec(),
-                        false,
-                    ));
-                }
-            }
-        }
-        let si = acc.step(&transfers)?;
-        if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs, acc.faults(), seq, si);
-        }
-    }
-    Ok(acc.finish())
-}
-
-fn binomial(
-    topo: &Topology,
-    params: &NetParams,
-    map: RankMap,
-    seg: (usize, usize),
-    mut data: Option<&mut [Vec<f32>]>,
-    faults: Option<&mut FaultSession>,
-    seq: u64,
-) -> Result<AllreduceReport, CollectiveFault> {
-    let p = topo.nodes;
-    assert!(
-        p.is_power_of_two(),
-        "binomial tree needs a power-of-two node count"
-    );
-    let (slo, shi) = seg;
-    let bytes = (shi - slo) * 4;
-    let mut acc = StepAccum::new(topo, params, faults, seq);
-    // Reduce to logical rank 0.
-    let mut mask = 1;
-    while mask < p {
-        let mut transfers = Vec::new();
-        let mut msgs: Vec<Msg> = Vec::new();
-        for r in 0..p {
-            if r & mask != 0 && r % mask == 0 {
-                let dst = r - mask;
-                let src_phys = map.physical(topo, r);
-                let dst_phys = map.physical(topo, dst);
-                transfers.push(Transfer {
-                    src: src_phys,
-                    dst: dst_phys,
-                    bytes,
-                    reduce_bytes: bytes,
-                });
-                if let Some(d) = data.as_deref() {
-                    if shi > slo {
-                        msgs.push((
-                            src_phys,
-                            dst_phys,
-                            slo..shi,
-                            d[src_phys][slo..shi].to_vec(),
-                            true,
-                        ));
-                    }
-                }
-            }
-        }
-        let si = acc.step(&transfers)?;
-        if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs, acc.faults(), seq, si);
-        }
-        mask *= 2;
-    }
-    // Broadcast from rank 0.
-    let mut mask = p / 2;
-    while mask >= 1 {
-        let mut transfers = Vec::new();
-        let mut msgs: Vec<Msg> = Vec::new();
-        for r in 0..p {
-            if r % (mask * 2) == 0 {
-                let dst = r + mask;
-                if dst < p {
-                    let src_phys = map.physical(topo, r);
-                    let dst_phys = map.physical(topo, dst);
-                    transfers.push(Transfer {
-                        src: src_phys,
-                        dst: dst_phys,
-                        bytes,
-                        reduce_bytes: 0,
-                    });
-                    if let Some(d) = data.as_deref() {
-                        if shi > slo {
-                            msgs.push((
-                                src_phys,
-                                dst_phys,
-                                slo..shi,
-                                d[src_phys][slo..shi].to_vec(),
-                                false,
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-        let si = acc.step(&transfers)?;
-        if let Some(d) = data.as_deref_mut() {
-            deliver(d, msgs, acc.faults(), seq, si);
-        }
-        mask /= 2;
-    }
-    Ok(acc.finish())
 }
 
 #[cfg(test)]

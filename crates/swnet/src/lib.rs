@@ -19,6 +19,7 @@ pub mod analysis;
 pub mod collectives;
 pub mod cost;
 pub mod primitives;
+pub mod schedule;
 pub mod topology;
 
 pub use collectives::{
@@ -27,5 +28,8 @@ pub use collectives::{
 };
 pub use cost::{step_time_faulty, NetParams, ReduceEngine, Transfer};
 pub use primitives::{broadcast, parameter_server_round, reduce, CollectiveReport};
+pub use schedule::{
+    ChunkSpan, CommPhase, CommSchedule, CommSpec, RankOp, ScheduleError, StepOps, UniformStep,
+};
 pub use swfault::{CollectiveFault, FaultPlan, FaultReport, FaultSession};
-pub use topology::{RankMap, Topology, OVERSUBSCRIPTION, SUPERNODE_SIZE};
+pub use topology::{RankMap, Topology, TopologyError, OVERSUBSCRIPTION, SUPERNODE_SIZE};

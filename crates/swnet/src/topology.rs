@@ -11,6 +11,57 @@ pub const SUPERNODE_SIZE: usize = 256;
 /// Over-subscription factor of the central switching network.
 pub const OVERSUBSCRIPTION: usize = 4;
 
+/// Typed rejection of an invalid allocation or rank mapping. Construction
+/// and mapping used to `assert!`; the checked constructors below return
+/// this instead so callers (the cluster trainer's shrink path, the
+/// `swcheck::comm` static verifier) can surface configuration errors
+/// without aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An allocation of zero nodes.
+    ZeroNodes,
+    /// A supernode size of zero (the machine minimum is one node).
+    ZeroSupernodeSize,
+    /// A logical rank at or beyond the node count.
+    RankOutOfRange { logical: usize, nodes: usize },
+    /// Two logical ranks mapped onto one physical node.
+    NonBijectiveMap {
+        logical_a: usize,
+        logical_b: usize,
+        physical: usize,
+    },
+    /// A logical rank mapped to a physical node outside the allocation.
+    PhantomPhysical { logical: usize, physical: usize },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::ZeroNodes => write!(f, "topology must hold at least one node"),
+            TopologyError::ZeroSupernodeSize => {
+                write!(f, "supernode size must be at least one node")
+            }
+            TopologyError::RankOutOfRange { logical, nodes } => {
+                write!(f, "logical rank {logical} out of range for {nodes} nodes")
+            }
+            TopologyError::NonBijectiveMap {
+                logical_a,
+                logical_b,
+                physical,
+            } => write!(
+                f,
+                "logical ranks {logical_a} and {logical_b} both map to physical node {physical}"
+            ),
+            TopologyError::PhantomPhysical { logical, physical } => write!(
+                f,
+                "logical rank {logical} maps to phantom physical node {physical}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 /// A job allocation: `nodes` ranks spread over supernodes of `supernode_size`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Topology {
@@ -21,19 +72,31 @@ pub struct Topology {
 impl Topology {
     /// Standard allocation: contiguous ranks, 256-node supernodes.
     pub fn new(nodes: usize) -> Self {
-        Topology {
-            nodes,
-            supernode_size: SUPERNODE_SIZE,
-        }
+        Topology::try_new(nodes).expect("invalid topology")
+    }
+
+    /// Checked [`Topology::new`].
+    pub fn try_new(nodes: usize) -> Result<Self, TopologyError> {
+        Topology::try_with_supernode(nodes, SUPERNODE_SIZE)
     }
 
     /// Test-friendly allocation with a custom supernode size.
     pub fn with_supernode(nodes: usize, supernode_size: usize) -> Self {
-        assert!(supernode_size >= 1);
-        Topology {
+        Topology::try_with_supernode(nodes, supernode_size).expect("invalid topology")
+    }
+
+    /// Checked [`Topology::with_supernode`].
+    pub fn try_with_supernode(nodes: usize, supernode_size: usize) -> Result<Self, TopologyError> {
+        if nodes == 0 {
+            return Err(TopologyError::ZeroNodes);
+        }
+        if supernode_size == 0 {
+            return Err(TopologyError::ZeroSupernodeSize);
+        }
+        Ok(Topology {
             nodes,
             supernode_size,
-        }
+        })
     }
 
     /// Supernode housing a physical rank.
@@ -79,13 +142,24 @@ impl RankMap {
     /// round-robin order — switching to the shorter column height once
     /// the partial supernode is exhausted.
     pub fn physical(&self, topo: &Topology, logical: usize) -> usize {
-        match self {
+        self.try_physical(topo, logical)
+            .expect("invalid rank mapping")
+    }
+
+    /// Checked [`RankMap::physical`].
+    pub fn try_physical(&self, topo: &Topology, logical: usize) -> Result<usize, TopologyError> {
+        if logical >= topo.nodes {
+            return Err(TopologyError::RankOutOfRange {
+                logical,
+                nodes: topo.nodes,
+            });
+        }
+        Ok(match self {
             RankMap::Natural => logical,
             RankMap::RoundRobin => {
-                assert!(logical < topo.nodes, "logical rank out of range");
                 let s = topo.supernodes();
                 if s <= 1 {
-                    return logical;
+                    return Ok(logical);
                 }
                 let ss = topo.supernode_size;
                 // The first s-1 supernodes are full; the last holds the
@@ -101,7 +175,33 @@ impl RankMap {
                 };
                 sn * ss + idx
             }
+        })
+    }
+
+    /// Materialize and validate the full logical→physical table: every
+    /// logical rank must land on a distinct, existing physical node. The
+    /// closed-form ragged-matrix mapping is proven bijective by tests,
+    /// but the static checker re-establishes it per configuration so a
+    /// future mapping bug cannot silently alias two ranks' gradients.
+    pub fn physical_table(&self, topo: &Topology) -> Result<Vec<usize>, TopologyError> {
+        let mut owner = vec![usize::MAX; topo.nodes];
+        let mut table = Vec::with_capacity(topo.nodes);
+        for logical in 0..topo.nodes {
+            let physical = self.try_physical(topo, logical)?;
+            if physical >= topo.nodes {
+                return Err(TopologyError::PhantomPhysical { logical, physical });
+            }
+            if owner[physical] != usize::MAX {
+                return Err(TopologyError::NonBijectiveMap {
+                    logical_a: owner[physical],
+                    logical_b: logical,
+                    physical,
+                });
+            }
+            owner[physical] = logical;
+            table.push(physical);
         }
+        Ok(table)
     }
 }
 
@@ -185,6 +285,80 @@ mod tests {
                 "adjacent logical ranks {l} share a supernode"
             );
         }
+    }
+
+    #[test]
+    fn zero_node_allocation_is_rejected() {
+        assert_eq!(Topology::try_new(0), Err(TopologyError::ZeroNodes));
+        assert_eq!(
+            Topology::try_with_supernode(0, 4),
+            Err(TopologyError::ZeroNodes)
+        );
+    }
+
+    #[test]
+    fn zero_supernode_size_is_rejected() {
+        assert_eq!(
+            Topology::try_with_supernode(8, 0),
+            Err(TopologyError::ZeroSupernodeSize)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid topology")]
+    fn panicking_constructor_still_guards() {
+        let _ = Topology::with_supernode(8, 0);
+    }
+
+    #[test]
+    fn out_of_range_rank_is_rejected() {
+        let t = Topology::with_supernode(8, 4);
+        for map in [RankMap::Natural, RankMap::RoundRobin] {
+            assert_eq!(
+                map.try_physical(&t, 8),
+                Err(TopologyError::RankOutOfRange {
+                    logical: 8,
+                    nodes: 8
+                })
+            );
+            assert_eq!(
+                map.try_physical(&t, usize::MAX),
+                Err(TopologyError::RankOutOfRange {
+                    logical: usize::MAX,
+                    nodes: 8
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn physical_table_proves_bijectivity() {
+        for supernode_size in 1..=9usize {
+            for nodes in 1..=40usize {
+                let t = Topology::with_supernode(nodes, supernode_size);
+                for map in [RankMap::Natural, RankMap::RoundRobin] {
+                    let table = map.physical_table(&t).expect("bijective");
+                    assert_eq!(table.len(), nodes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topology_error_messages_name_the_offenders() {
+        let msg = TopologyError::NonBijectiveMap {
+            logical_a: 3,
+            logical_b: 7,
+            physical: 5,
+        }
+        .to_string();
+        assert!(
+            msg.contains('3') && msg.contains('7') && msg.contains('5'),
+            "{msg}"
+        );
+        assert!(TopologyError::ZeroNodes
+            .to_string()
+            .contains("at least one"));
     }
 
     #[test]

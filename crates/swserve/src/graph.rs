@@ -30,7 +30,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use swcaffe_core::net::LayerSnapshot;
-use swcaffe_core::{ConvFormat, LayerDef, LayerKind, Net, NetDef};
+use swcaffe_core::{ConvFormat, GraphViolation, LayerDef, LayerKind, Net, NetDef};
 
 /// What the optimizer did, for reporting and regression gating.
 #[derive(Debug, Clone, Copy, Default)]
@@ -250,6 +250,19 @@ pub fn def_with_batch(def: &NetDef, batch: usize) -> NetDef {
 /// Run the optimizer passes over `def`, producing an (unweighted)
 /// frozen graph. [`FrozenGraph::freeze`] fills in the weights.
 pub fn optimize(def: &NetDef) -> Result<FrozenGraph, String> {
+    // Mandatory lint pre-pass: structural, shape, layout, and fusion
+    // defects fail fast with a layer-anchored typed violation instead of
+    // surfacing as a panic (or silent garbage) downstream. Dangling
+    // blobs and dead layers are tolerated on *input* — eliminating them
+    // is this optimizer's job — but nothing else is.
+    if let Some(v) = swcaffe_core::lint::lint_def(def).iter().find(|v| {
+        !matches!(
+            v,
+            GraphViolation::DanglingBlob { .. } | GraphViolation::DeadLayer { .. }
+        )
+    }) {
+        return Err(format!("graph lint rejected '{}': {v}", def.name));
+    }
     let mut stats = OptimizeStats {
         source_layers: def.layers.len(),
         ..Default::default()
@@ -462,6 +475,12 @@ pub fn optimize(def: &NetDef) -> Result<FrozenGraph, String> {
     def.layers = layers;
     def.validate()
         .map_err(|e| format!("optimized graph failed validation: {e}"))?;
+    // Lint post-pass, fully strict: the frozen graph must be free of
+    // *every* violation class — the optimizer may not manufacture
+    // dangling blobs, dead layers, layout breaks, or illegal fusions.
+    if let Some(v) = swcaffe_core::lint::lint_def(&def).first() {
+        return Err(format!("optimizer produced an ill-formed graph: {v}"));
+    }
     Ok(FrozenGraph {
         def,
         weights: Vec::new(),

@@ -162,7 +162,7 @@ fn single_input_concat_collapses() {
         .layer(
             "data",
             LayerKind::Input {
-                shape: vec![2, 8],
+                shape: vec![2, 8, 1, 1],
                 with_labels: false,
             },
             &[],
